@@ -1,0 +1,84 @@
+// Shared workload setup for the experiment harnesses: builds the paper's
+// §5.1 workloads (dataset preset + detection model + restricted-class prior
+// + output source) and provides the per-trial sampling/estimation loops the
+// figures are averaged over.
+
+#ifndef SMOKESCREEN_BENCH_BENCH_COMMON_H_
+#define SMOKESCREEN_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator_api.h"
+#include "core/repair.h"
+#include "detect/class_prior_index.h"
+#include "detect/models.h"
+#include "detect/registry.h"
+#include "query/executor.h"
+#include "query/output_source.h"
+#include "stats/rng.h"
+#include "video/presets.h"
+
+namespace smokescreen {
+namespace bench {
+
+/// A fully materialized workload: video + model + prior + output cache.
+struct Workload {
+  std::string label;
+  std::unique_ptr<video::VideoDataset> dataset;
+  std::unique_ptr<detect::Detector> model;
+  std::unique_ptr<detect::ClassPriorIndex> prior;
+  std::unique_ptr<query::FrameOutputSource> source;
+};
+
+/// Builds a workload. `detector_name` is "yolov4" or "maskrcnn"; the prior is
+/// always computed with YOLO (person) + MTCNN (face), as in the paper.
+/// `frames` == 0 uses the preset's full length.
+inline Workload MakeWorkload(video::ScenePreset preset, const std::string& detector_name,
+                             int64_t frames = 0) {
+  Workload wl;
+  auto ds = frames == 0 ? video::MakePreset(preset) : video::MakePresetScaled(preset, frames);
+  ds.status().CheckOk();
+  wl.dataset = std::make_unique<video::VideoDataset>(std::move(ds).ValueOrDie());
+
+  auto model = detect::MakeDetector(detector_name);
+  model.status().CheckOk();
+  wl.model = std::move(model).ValueOrDie();
+
+  detect::SimYoloV4 person_detector;
+  detect::SimMtcnn face_detector;
+  auto prior = detect::ClassPriorIndex::Build(*wl.dataset, person_detector, face_detector);
+  prior.status().CheckOk();
+  wl.prior = std::make_unique<detect::ClassPriorIndex>(std::move(prior).ValueOrDie());
+
+  wl.source = std::make_unique<query::FrameOutputSource>(*wl.dataset, *wl.model,
+                                                         video::ObjectClass::kCar);
+  wl.label = std::string(video::ScenePresetName(preset)) + "+" + detector_name;
+  return wl;
+}
+
+/// Realized error of an estimate against ground truth, using the metric the
+/// paper assigns to the aggregate (relative for the mean family,
+/// rank-relative for MAX/MIN).
+inline double RealizedError(const query::QuerySpec& spec, const query::GroundTruth& gt,
+                            double y_approx) {
+  if (query::UsesRelativeErrorMetric(spec.aggregate)) {
+    return query::RelativeError(y_approx, gt.y_true);
+  }
+  auto err = query::RankRelativeError(gt.outputs, y_approx, gt.y_true);
+  err.status().CheckOk();
+  return *err;
+}
+
+/// Averages of one (true error, bounds...) experiment cell over trials.
+struct TrialAverages {
+  double true_error = 0.0;
+  std::vector<double> bounds;  // One per estimator, caller-defined order.
+  int violations = 0;          // Trials where bounds[0] < true error.
+};
+
+}  // namespace bench
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,77 @@
+// Extension: noise addition / lossy compression as interventions.
+//
+// §2.1 lists noise addition and video-compression techniques as further
+// degradation methods beyond the paper's three examples; they are modeled
+// here as a contrast scale < 1 (objects become harder to detect, encoded
+// bitrate drops). Like resolution reduction they are NON-RANDOM: detection
+// recall falls systematically, so the basic bound breaks and profile repair
+// is required. This harness sweeps the noise knob and reports true error,
+// uncorrected and repaired bounds, and the bandwidth saved.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "degrade/cost_model.h"
+#include "stats/sampling.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace smokescreen;
+
+int main() {
+  std::printf("=== Extension: noise/compression interventions (night-street, AVG) ===\n\n");
+
+  bench::Workload wl = bench::MakeWorkload(video::ScenePreset::kNightStreet, "yolov4");
+  query::QuerySpec spec;
+  spec.aggregate = query::AggregateFunction::kAvg;
+  auto gt = query::ComputeGroundTruth(*wl.source, spec);
+  gt.status().CheckOk();
+
+  stats::Rng rng(0x50156);
+  int64_t corr_size = stats::FractionToCount(wl.dataset->num_frames(), 0.06);
+  auto correction = core::BuildCorrectionSet(*wl.source, spec, corr_size, 0.05, rng);
+  correction.status().CheckOk();
+
+  util::TablePrinter table({"noise_level", "true_err", "bound_w/o_corr", "bound_w/_corr",
+                            "bytes_saved"});
+  const int kTrials = 20;
+  int wrong_without = 0;
+  int wrong_with = 0;
+  for (double noise : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
+    degrade::InterventionSet iv;
+    iv.sample_fraction = 0.5;
+    iv.contrast_scale = 1.0 - noise;
+
+    double true_err = 0, without = 0, with_corr = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      auto result = core::ResultErrorEst(*wl.source, *wl.prior, spec, iv, 0.05, rng);
+      result.status().CheckOk();
+      auto repaired = core::RepairErrorBound(spec, *result, *correction);
+      repaired.status().CheckOk();
+      true_err += query::RelativeError(result->estimate.y_approx, gt->y_true);
+      without += result->estimate.err_b;
+      with_corr += std::min(*repaired, 10.0);
+    }
+    true_err /= kTrials;
+    without /= kTrials;
+    with_corr /= kTrials;
+    if (without < true_err) ++wrong_without;
+    if (with_corr < true_err) ++wrong_with;
+
+    auto savings = degrade::EstimateSavings(*wl.dataset, *wl.prior, iv, 608);
+    savings.status().CheckOk();
+    table.AddRow({util::FormatDouble(noise, 1), util::FormatDouble(true_err),
+                  util::FormatDouble(without) + (without < true_err ? " (WRONG)" : ""),
+                  util::FormatDouble(with_corr),
+                  util::FormatPercent(1.0 - savings->bytes_fraction)});
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\nAs with resolution reduction, heavier noise/compression silently\n"
+      "invalidates the basic bound (%d of 7 levels WRONG) while the repaired\n"
+      "bound stays valid (%d of 7 WRONG) — and buys up to ~80%% of the bytes.\n",
+      wrong_without, wrong_with);
+  return wrong_with == 0 ? 0 : 1;
+}

@@ -1,0 +1,191 @@
+// Figure 4: true relative error of the estimated query result and the error
+// bound computed by Smokescreen and the baselines, for each aggregate query
+// type on both datasets, as the reduced-frame-sampling fraction varies.
+// Every cell is the average of 100 trials (the paper's protocol).
+//
+// Panels (matching §5.1): night-street uses Mask R-CNN, UA-DETRAC uses
+// YOLOv4. Mean-family baselines: EBGS, Hoeffding, Hoeffding-Serfling, CLT.
+// MAX baseline: Stein. The sweep ends at the paper's per-panel fractions
+// (night-street: 0.1 / 0.1 / 0.05 / 0.0015; UA-DETRAC: 0.06 / 0.06 / 0.02 /
+// 0.003 for AVG / SUM / MAX / COUNT).
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/mean_baselines.h"
+#include "baselines/stein.h"
+#include "bench/bench_common.h"
+#include "core/avg_estimator.h"
+#include "core/quantile_estimator.h"
+#include "stats/sampling.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace smokescreen;
+
+namespace {
+
+constexpr int kTrials = 100;
+constexpr double kDelta = 0.05;
+// Bounds can be +infinity (vacuous); they are clamped here for averaging.
+constexpr double kBoundCap = 10.0;
+
+double Clamp(double bound) { return std::min(bound, kBoundCap); }
+
+struct Tightness {
+  double max_ratio = 0.0;  // (baseline - ours) / ours.
+  std::string where;
+};
+
+void RunMeanPanel(bench::Workload& wl, query::AggregateFunction aggregate, double end_fraction,
+                  Tightness& tightness) {
+  query::QuerySpec spec;
+  spec.aggregate = aggregate;
+  auto gt = query::ComputeGroundTruth(*wl.source, spec);
+  gt.status().CheckOk();
+
+  core::SmokescreenMeanEstimator ours;
+  baselines::EbgsEstimator ebgs;
+  baselines::HoeffdingEstimator hoeffding;
+  baselines::HoeffdingSerflingEstimator hs;
+  baselines::CltEstimator clt;
+
+  std::printf("\n-- %s  %s (100-trial averages; bounds capped at %.0f) --\n", wl.label.c_str(),
+              query::AggregateFunctionName(aggregate), kBoundCap);
+  util::TablePrinter table({"fraction", "true_err", "smk_bound", "ebgs", "hoeffding",
+                            "hoeff-serf", "clt"});
+
+  const int64_t population = wl.dataset->num_frames();
+  stats::Rng rng(stats::HashCombine({static_cast<uint64_t>(aggregate), static_cast<uint64_t>(population)}));
+  for (int step = 1; step <= 8; ++step) {
+    double fraction = end_fraction * static_cast<double>(step) / 8.0;
+    int64_t n = std::max<int64_t>(10, stats::FractionToCount(population, fraction));
+
+    double true_err = 0, b_ours = 0, b_ebgs = 0, b_h = 0, b_hs = 0, b_clt = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      auto idx = stats::SampleWithoutReplacement(population, n, rng);
+      idx.status().CheckOk();
+      std::vector<double> sample;
+      sample.reserve(idx->size());
+      for (int64_t i : *idx) sample.push_back(gt->outputs[static_cast<size_t>(i)]);
+
+      auto r_ours = ours.EstimateMean(sample, population, kDelta);
+      auto r_ebgs = ebgs.EstimateMean(sample, population, kDelta);
+      auto r_h = hoeffding.EstimateMean(sample, population, kDelta);
+      auto r_hs = hs.EstimateMean(sample, population, kDelta);
+      auto r_clt = clt.EstimateMean(sample, population, kDelta);
+      r_ours.status().CheckOk();
+
+      double scale = aggregate == query::AggregateFunction::kAvg
+                         ? 1.0
+                         : static_cast<double>(population);
+      true_err += bench::RealizedError(spec, *gt, r_ours->y_approx * scale);
+      b_ours += Clamp(r_ours->err_b);
+      b_ebgs += Clamp(r_ebgs->err_b);
+      b_h += Clamp(r_h->err_b);
+      b_hs += Clamp(r_hs->err_b);
+      b_clt += Clamp(r_clt->err_b);
+    }
+    true_err /= kTrials;
+    b_ours /= kTrials;
+    b_ebgs /= kTrials;
+    b_h /= kTrials;
+    b_hs /= kTrials;
+    b_clt /= kTrials;
+    table.AddRow({util::FormatDouble(fraction, 5), util::FormatDouble(true_err),
+                  util::FormatDouble(b_ours), util::FormatDouble(b_ebgs),
+                  util::FormatDouble(b_h), util::FormatDouble(b_hs),
+                  util::FormatDouble(b_clt)});
+
+    // Track tightness against the reliable baselines (CLT excluded: no
+    // finite-sample guarantee).
+    for (double base : {b_ebgs, b_h, b_hs}) {
+      if (base < kBoundCap && b_ours > 0) {
+        double ratio = (base - b_ours) / b_ours;
+        if (ratio > tightness.max_ratio) {
+          tightness.max_ratio = ratio;
+          tightness.where = wl.label + "/" +
+                            query::AggregateFunctionName(aggregate) + " f=" +
+                            util::FormatDouble(fraction, 5);
+        }
+      }
+    }
+  }
+  table.Print(std::cout);
+}
+
+void RunMaxPanel(bench::Workload& wl, double end_fraction, Tightness& tightness) {
+  query::QuerySpec spec;
+  spec.aggregate = query::AggregateFunction::kMax;
+  auto gt = query::ComputeGroundTruth(*wl.source, spec);
+  gt.status().CheckOk();
+
+  core::SmokescreenQuantileEstimator ours;
+  baselines::SteinQuantileEstimator stein;
+
+  std::printf("\n-- %s  MAX/0.99-quantile (100-trial averages) --\n", wl.label.c_str());
+  util::TablePrinter table({"fraction", "true_err", "smk_bound", "stein"});
+  const int64_t population = wl.dataset->num_frames();
+  stats::Rng rng(stats::HashCombine({0xA3, static_cast<uint64_t>(population)}));
+  for (int step = 1; step <= 8; ++step) {
+    double fraction = end_fraction * static_cast<double>(step) / 8.0;
+    int64_t n = std::max<int64_t>(10, stats::FractionToCount(population, fraction));
+    double true_err = 0, b_ours = 0, b_stein = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      auto idx = stats::SampleWithoutReplacement(population, n, rng);
+      idx.status().CheckOk();
+      std::vector<double> sample;
+      for (int64_t i : *idx) sample.push_back(gt->outputs[static_cast<size_t>(i)]);
+      auto r_ours = ours.EstimateQuantile(sample, population, 0.99, true, kDelta);
+      auto r_stein = stein.EstimateQuantile(sample, population, 0.99, true, kDelta);
+      r_ours.status().CheckOk();
+      r_stein.status().CheckOk();
+      true_err += bench::RealizedError(spec, *gt, r_ours->y_approx);
+      b_ours += Clamp(r_ours->err_b);
+      b_stein += Clamp(r_stein->err_b);
+    }
+    true_err /= kTrials;
+    b_ours /= kTrials;
+    b_stein /= kTrials;
+    table.AddRow({util::FormatDouble(fraction, 5), util::FormatDouble(true_err),
+                  util::FormatDouble(b_ours), util::FormatDouble(b_stein)});
+    if (b_stein < kBoundCap && b_ours > 0) {
+      double ratio = (b_stein - b_ours) / b_ours;
+      if (ratio > tightness.max_ratio) {
+        tightness.max_ratio = ratio;
+        tightness.where = wl.label + "/MAX f=" + util::FormatDouble(fraction, 5);
+      }
+    }
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 4: error bounds vs sample fraction, all aggregates ===\n");
+
+  Tightness tightness;
+  {
+    bench::Workload night = bench::MakeWorkload(video::ScenePreset::kNightStreet, "maskrcnn");
+    RunMeanPanel(night, query::AggregateFunction::kAvg, 0.10, tightness);
+    RunMeanPanel(night, query::AggregateFunction::kSum, 0.10, tightness);
+    RunMaxPanel(night, 0.05, tightness);
+    RunMeanPanel(night, query::AggregateFunction::kCount, 0.0015, tightness);
+  }
+  {
+    bench::Workload detrac = bench::MakeWorkload(video::ScenePreset::kUaDetrac, "yolov4");
+    RunMeanPanel(detrac, query::AggregateFunction::kAvg, 0.06, tightness);
+    RunMeanPanel(detrac, query::AggregateFunction::kSum, 0.06, tightness);
+    RunMaxPanel(detrac, 0.02, tightness);
+    RunMeanPanel(detrac, query::AggregateFunction::kCount, 0.003, tightness);
+  }
+
+  std::printf(
+      "\nHeadline: Smokescreen's bound is up to %.2f%% tighter than the best\n"
+      "reliable baseline (at %s).\n"
+      "Paper reports up to 154.70%%; CLT is tighter but unreliable (Fig. 5).\n",
+      tightness.max_ratio * 100.0, tightness.where.c_str());
+  return 0;
+}

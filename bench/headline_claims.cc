@@ -1,0 +1,180 @@
+// Headline claims (abstract / §5.2.1):
+//   (1) "our upper bound estimation of analytical error is up to 155%
+//       tighter" than the previous state of the art;
+//   (2) "Smokescreen enables 88% more accurate tradeoffs" than a method
+//       based on previously-known approaches.
+//
+// (1) is measured as max over the Figure-4 grid of
+//     (baseline_bound - smokescreen_bound) / smokescreen_bound
+// against the reliable baselines (EBGS / Hoeffding / Hoeffding-Serfling /
+// Stein; CLT is excluded because it is not a valid 95% bound — Figure 5).
+//
+// (2) compares the degradation an administrator actually achieves: for an
+// error budget tau, each method picks the smallest sample fraction whose
+// BOUND is <= tau; the oracle picks using the TRUE error. The tradeoff
+// excess is (f_method - f_oracle) / f_oracle, and the improvement is
+//     (excess_baseline - excess_smokescreen) / excess_baseline.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/mean_baselines.h"
+#include "baselines/stein.h"
+#include "bench/bench_common.h"
+#include "core/avg_estimator.h"
+#include "core/quantile_estimator.h"
+#include "core/tradeoff.h"
+#include "stats/sampling.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace smokescreen;
+
+namespace {
+
+constexpr double kDelta = 0.05;
+constexpr int kTrials = 60;
+
+struct Sweep {
+  std::vector<std::pair<double, double>> smk;    // (fraction, avg bound).
+  std::vector<std::pair<double, double>> base;   // Best reliable baseline.
+  std::vector<std::pair<double, double>> truth;  // (fraction, avg true error).
+};
+
+/// Builds bound/truth sweeps over sample fractions for one workload+aggregate.
+Sweep BuildSweep(bench::Workload& wl, query::AggregateFunction aggregate,
+                 const std::vector<double>& fractions, stats::Rng& rng) {
+  query::QuerySpec spec;
+  spec.aggregate = aggregate;
+  auto gt = query::ComputeGroundTruth(*wl.source, spec);
+  gt.status().CheckOk();
+  const int64_t population = wl.dataset->num_frames();
+
+  core::SmokescreenMeanEstimator smk_mean;
+  core::SmokescreenQuantileEstimator smk_quant;
+  baselines::EbgsEstimator ebgs;
+  baselines::HoeffdingEstimator hoeffding;
+  baselines::HoeffdingSerflingEstimator hs;
+  baselines::SteinQuantileEstimator stein;
+
+  Sweep sweep;
+  for (double f : fractions) {
+    int64_t n = std::max<int64_t>(5, stats::FractionToCount(population, f));
+    double b_smk = 0, b_base = 0, t_err = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      auto idx = stats::SampleWithoutReplacement(population, n, rng);
+      idx.status().CheckOk();
+      std::vector<double> sample;
+      for (int64_t i : *idx) sample.push_back(gt->outputs[static_cast<size_t>(i)]);
+
+      if (query::IsMeanFamily(aggregate)) {
+        auto r_smk = smk_mean.EstimateMean(sample, population, kDelta);
+        r_smk.status().CheckOk();
+        double best_base = std::min(
+            {std::min(ebgs.EstimateMean(sample, population, kDelta)->err_b, 10.0),
+             std::min(hoeffding.EstimateMean(sample, population, kDelta)->err_b, 10.0),
+             std::min(hs.EstimateMean(sample, population, kDelta)->err_b, 10.0)});
+        b_smk += std::min(r_smk->err_b, 10.0);
+        b_base += best_base;
+        double scale =
+            aggregate == query::AggregateFunction::kAvg ? 1.0 : static_cast<double>(population);
+        t_err += bench::RealizedError(spec, *gt, r_smk->y_approx * scale);
+      } else {
+        auto r_smk = smk_quant.EstimateQuantile(sample, population, 0.99, true, kDelta);
+        auto r_stein = stein.EstimateQuantile(sample, population, 0.99, true, kDelta);
+        r_smk.status().CheckOk();
+        r_stein.status().CheckOk();
+        b_smk += std::min(r_smk->err_b, 10.0);
+        b_base += std::min(r_stein->err_b, 10.0);
+        t_err += bench::RealizedError(spec, *gt, r_smk->y_approx);
+      }
+    }
+    sweep.smk.emplace_back(f, b_smk / kTrials);
+    sweep.base.emplace_back(f, b_base / kTrials);
+    sweep.truth.emplace_back(f, t_err / kTrials);
+  }
+  return sweep;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Headline claims: bound tightness and tradeoff accuracy ===\n\n");
+
+  std::vector<double> fractions;
+  for (double f = 0.005; f <= 0.1001; f += 0.005) fractions.push_back(f);
+
+  double max_tightness = 0;
+  std::string tightness_where;
+  double total_improvement = 0;
+  int improvement_cells = 0;
+
+  util::TablePrinter table({"workload", "aggregate", "max_tighter_pct", "tradeoff_improve_pct"});
+
+  struct Panel {
+    video::ScenePreset preset;
+    const char* detector;
+    query::AggregateFunction aggregate;
+  };
+  std::vector<Panel> panels = {
+      {video::ScenePreset::kNightStreet, "maskrcnn", query::AggregateFunction::kAvg},
+      {video::ScenePreset::kNightStreet, "maskrcnn", query::AggregateFunction::kMax},
+      {video::ScenePreset::kUaDetrac, "yolov4", query::AggregateFunction::kAvg},
+      {video::ScenePreset::kUaDetrac, "yolov4", query::AggregateFunction::kSum},
+      {video::ScenePreset::kUaDetrac, "yolov4", query::AggregateFunction::kMax},
+  };
+
+  for (const Panel& panel : panels) {
+    bench::Workload wl = bench::MakeWorkload(panel.preset, panel.detector);
+    stats::Rng rng(stats::HashCombine(
+        {static_cast<uint64_t>(panel.aggregate), wl.dataset->dataset_id()}));
+    Sweep sweep = BuildSweep(wl, panel.aggregate, fractions, rng);
+
+    // (1) Tightness.
+    double panel_tightness = 0;
+    for (size_t i = 0; i < sweep.smk.size(); ++i) {
+      if (sweep.base[i].second < 10.0 && sweep.smk[i].second > 0) {
+        double ratio = (sweep.base[i].second - sweep.smk[i].second) / sweep.smk[i].second;
+        panel_tightness = std::max(panel_tightness, ratio);
+        if (ratio > max_tightness) {
+          max_tightness = ratio;
+          tightness_where = wl.label + "/" + query::AggregateFunctionName(panel.aggregate);
+        }
+      }
+    }
+
+    // (2) Tradeoff accuracy over a range of error budgets.
+    double improvement_sum = 0;
+    int improvement_count = 0;
+    for (double tau : {0.05, 0.08, 0.1, 0.15, 0.2, 0.3}) {
+      auto ours = core::TradeoffExcess(sweep.smk, sweep.truth, tau);
+      auto base = core::TradeoffExcess(sweep.base, sweep.truth, tau);
+      if (!ours.ok() || !base.ok()) continue;  // Budget unreachable in sweep.
+      if (*base <= 0) continue;                // Baseline already oracle-tight.
+      double improvement = (*base - *ours) / *base;
+      improvement_sum += improvement;
+      ++improvement_count;
+    }
+    double avg_improvement =
+        improvement_count > 0 ? improvement_sum / improvement_count : 0.0;
+    total_improvement += avg_improvement;
+    improvement_cells += improvement_count > 0 ? 1 : 0;
+
+    table.AddRow({wl.label, query::AggregateFunctionName(panel.aggregate),
+                  util::FormatDouble(panel_tightness * 100.0, 1),
+                  util::FormatDouble(avg_improvement * 100.0, 1)});
+  }
+
+  table.Print(std::cout);
+
+  std::printf(
+      "\nHeadline (1): error bound up to %.1f%% tighter than the best reliable\n"
+      "baseline (at %s). Paper claims up to 154.70%%.\n",
+      max_tightness * 100.0, tightness_where.c_str());
+  std::printf(
+      "Headline (2): tradeoffs on average %.1f%% more accurate than the\n"
+      "baseline-driven choice (excess degradation shaved). Paper claims 88%%.\n",
+      improvement_cells > 0 ? total_improvement / improvement_cells * 100.0 : 0.0);
+  return 0;
+}

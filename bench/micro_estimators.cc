@@ -1,0 +1,97 @@
+// Micro-benchmarks (google-benchmark): ns/op of each estimator and baseline
+// across sample sizes, supporting §5.3.1's claim that estimation cost is
+// negligible next to neural-network inference (tens of ms per intervention
+// set at most, versus ~30 ms per frame of model time).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/mean_baselines.h"
+#include "baselines/stein.h"
+#include "core/avg_estimator.h"
+#include "core/quantile_estimator.h"
+#include "stats/rng.h"
+
+namespace {
+
+using namespace smokescreen;
+
+std::vector<double> MakeSample(int64_t n) {
+  stats::Rng rng(42);
+  std::vector<double> sample;
+  sample.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    sample.push_back(static_cast<double>(rng.NextPoisson(7.0)));
+  }
+  return sample;
+}
+
+constexpr int64_t kPopulation = 1000000;
+constexpr double kDelta = 0.05;
+
+void BM_SmokescreenMean(benchmark::State& state) {
+  core::SmokescreenMeanEstimator est;
+  std::vector<double> sample = MakeSample(state.range(0));
+  for (auto _ : state) {
+    auto result = est.EstimateMean(sample, kPopulation, kDelta);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SmokescreenMean)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EbgsMean(benchmark::State& state) {
+  baselines::EbgsEstimator est;
+  std::vector<double> sample = MakeSample(state.range(0));
+  for (auto _ : state) {
+    auto result = est.EstimateMean(sample, kPopulation, kDelta);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EbgsMean)->Arg(1000);
+
+void BM_HoeffdingMean(benchmark::State& state) {
+  baselines::HoeffdingEstimator est;
+  std::vector<double> sample = MakeSample(state.range(0));
+  for (auto _ : state) {
+    auto result = est.EstimateMean(sample, kPopulation, kDelta);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_HoeffdingMean)->Arg(1000);
+
+void BM_CltMean(benchmark::State& state) {
+  baselines::CltEstimator est;
+  std::vector<double> sample = MakeSample(state.range(0));
+  for (auto _ : state) {
+    auto result = est.EstimateMean(sample, kPopulation, kDelta);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_CltMean)->Arg(1000);
+
+void BM_SmokescreenQuantile(benchmark::State& state) {
+  core::SmokescreenQuantileEstimator est;
+  std::vector<double> sample = MakeSample(state.range(0));
+  for (auto _ : state) {
+    auto result = est.EstimateQuantile(sample, kPopulation, 0.99, true, kDelta);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SmokescreenQuantile)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SteinQuantile(benchmark::State& state) {
+  baselines::SteinQuantileEstimator est;
+  std::vector<double> sample = MakeSample(state.range(0));
+  for (auto _ : state) {
+    auto result = est.EstimateQuantile(sample, kPopulation, 0.99, true, kDelta);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SteinQuantile)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

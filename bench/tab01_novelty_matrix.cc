@@ -1,0 +1,142 @@
+// Table 1: the scenario / technical-problem / novelty matrix, demonstrated
+// end-to-end rather than merely asserted:
+//
+//   row 1 (random interventions, AVG/SUM/COUNT): the improved EBGS +
+//         Hoeffding-Serfling bound is valid AND tighter than EBGS;
+//   row 1 (random interventions, MAX/MIN): the hypergeometric-normal
+//         quantile bound is valid AND tighter than Stein;
+//   row 2 (non-random interventions): the basic bound loses validity, the
+//         profile-repair bound restores it.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/mean_baselines.h"
+#include "baselines/stein.h"
+#include "bench/bench_common.h"
+#include "stats/sampling.h"
+#include "core/avg_estimator.h"
+#include "core/quantile_estimator.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace smokescreen;
+
+namespace {
+
+constexpr int kTrials = 50;
+constexpr double kDelta = 0.05;
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 1: scenario / problem / novelty, demonstrated ===\n\n");
+
+  bench::Workload wl = bench::MakeWorkload(video::ScenePreset::kUaDetrac, "yolov4");
+  const int64_t population = wl.dataset->num_frames();
+  stats::Rng rng(0x7AB1E);
+  util::TablePrinter table({"scenario", "claim", "measured", "verdict"});
+
+  // ---- Row 1a: random interventions, mean family. -------------------------
+  {
+    query::QuerySpec spec;
+    spec.aggregate = query::AggregateFunction::kAvg;
+    auto gt = query::ComputeGroundTruth(*wl.source, spec);
+    gt.status().CheckOk();
+    core::SmokescreenMeanEstimator ours;
+    baselines::EbgsEstimator ebgs;
+    int valid = 0;
+    double ours_avg = 0, ebgs_avg = 0;
+    int64_t n = stats::FractionToCount(population, 0.01);
+    for (int t = 0; t < kTrials; ++t) {
+      auto idx = stats::SampleWithoutReplacement(population, n, rng);
+      idx.status().CheckOk();
+      std::vector<double> sample;
+      for (int64_t i : *idx) sample.push_back(gt->outputs[static_cast<size_t>(i)]);
+      auto r_ours = ours.EstimateMean(sample, population, kDelta);
+      auto r_ebgs = ebgs.EstimateMean(sample, population, kDelta);
+      r_ours.status().CheckOk();
+      r_ebgs.status().CheckOk();
+      if (query::RelativeError(r_ours->y_approx, gt->y_true) <= r_ours->err_b) ++valid;
+      ours_avg += r_ours->err_b;
+      ebgs_avg += r_ebgs->err_b;
+    }
+    ours_avg /= kTrials;
+    ebgs_avg /= kTrials;
+    bool pass = valid >= kTrials * 0.95 && ours_avg < ebgs_avg;
+    table.AddRow({"random / AVG-SUM-COUNT", "valid bound, tighter than EBGS",
+                  "valid " + std::to_string(valid) + "/" + std::to_string(kTrials) +
+                      ", bound " + util::FormatDouble(ours_avg) + " vs EBGS " +
+                      util::FormatDouble(ebgs_avg),
+                  pass ? "PASS" : "FAIL"});
+  }
+
+  // ---- Row 1b: random interventions, MAX/MIN. ------------------------------
+  {
+    query::QuerySpec spec;
+    spec.aggregate = query::AggregateFunction::kMax;
+    auto gt = query::ComputeGroundTruth(*wl.source, spec);
+    gt.status().CheckOk();
+    core::SmokescreenQuantileEstimator ours;
+    baselines::SteinQuantileEstimator stein;
+    int valid = 0;
+    double ours_avg = 0, stein_avg = 0;
+    int64_t n = stats::FractionToCount(population, 0.01);
+    for (int t = 0; t < kTrials; ++t) {
+      auto idx = stats::SampleWithoutReplacement(population, n, rng);
+      idx.status().CheckOk();
+      std::vector<double> sample;
+      for (int64_t i : *idx) sample.push_back(gt->outputs[static_cast<size_t>(i)]);
+      auto r_ours = ours.EstimateQuantile(sample, population, 0.99, true, kDelta);
+      auto r_stein = stein.EstimateQuantile(sample, population, 0.99, true, kDelta);
+      r_ours.status().CheckOk();
+      r_stein.status().CheckOk();
+      if (bench::RealizedError(spec, *gt, r_ours->y_approx) <= r_ours->err_b) ++valid;
+      ours_avg += r_ours->err_b;
+      stein_avg += r_stein->err_b;
+    }
+    ours_avg /= kTrials;
+    stein_avg /= kTrials;
+    bool pass = valid >= kTrials * 0.95 && ours_avg < stein_avg;
+    table.AddRow({"random / MAX-MIN", "valid rank bound, tighter than Stein",
+                  "valid " + std::to_string(valid) + "/" + std::to_string(kTrials) +
+                      ", bound " + util::FormatDouble(ours_avg) + " vs Stein " +
+                      util::FormatDouble(stein_avg),
+                  pass ? "PASS" : "FAIL"});
+  }
+
+  // ---- Row 2: non-random interventions + profile repair. -------------------
+  {
+    query::QuerySpec spec;
+    spec.aggregate = query::AggregateFunction::kAvg;
+    auto gt = query::ComputeGroundTruth(*wl.source, spec);
+    gt.status().CheckOk();
+    degrade::InterventionSet iv;
+    iv.sample_fraction = 0.1;
+    iv.resolution = 192;
+    iv.restricted.Add(video::ObjectClass::kPerson);
+    auto correction = core::BuildCorrectionSet(
+        *wl.source, spec, stats::FractionToCount(population, 0.04), kDelta, rng);
+    correction.status().CheckOk();
+    int basic_valid = 0, repaired_valid = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      auto result = core::ResultErrorEst(*wl.source, *wl.prior, spec, iv, kDelta, rng);
+      result.status().CheckOk();
+      auto repaired = core::RepairErrorBound(spec, *result, *correction);
+      repaired.status().CheckOk();
+      double true_err = query::RelativeError(result->estimate.y_approx, gt->y_true);
+      if (result->estimate.err_b >= true_err) ++basic_valid;
+      if (*repaired >= true_err) ++repaired_valid;
+    }
+    bool pass = basic_valid < kTrials / 2 && repaired_valid >= kTrials * 0.95;
+    table.AddRow({"non-random / repair", "basic bound breaks, repaired bound holds",
+                  "basic valid " + std::to_string(basic_valid) + "/" +
+                      std::to_string(kTrials) + ", repaired valid " +
+                      std::to_string(repaired_valid) + "/" + std::to_string(kTrials),
+                  pass ? "PASS" : "FAIL"});
+  }
+
+  table.Print(std::cout);
+  std::printf("\nEach Table-1 cell exercised end-to-end on UA-DETRAC + SimYoloV4.\n");
+  return 0;
+}

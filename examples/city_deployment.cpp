@@ -1,0 +1,153 @@
+// City deployment: the paper's full §1 system model in one program.
+//
+// Four networked cameras cover different locations (two busy intersections,
+// one quieter arterial, one night street). Each applies its own
+// administrator-chosen degradation ON DEVICE, transmits the surviving frames
+// over a constrained uplink, and the central system answers the city-wide
+// "average cars per frame" query with a certified bound — combining the four
+// per-camera Algorithm-1 intervals by stratified weighting.
+
+#include <cstdio>
+#include <iostream>
+
+#include "camera/camera.h"
+#include "camera/central_system.h"
+#include "camera/network_link.h"
+#include "detect/models.h"
+#include "query/executor.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "video/presets.h"
+
+using namespace smokescreen;
+
+namespace {
+
+struct Site {
+  const char* name;
+  video::SceneConfig scene;
+  degrade::InterventionSet interventions;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== City-wide deployment: 4 cameras, 1 query processor ===\n\n");
+
+  // --- Site definitions -----------------------------------------------------
+  std::vector<Site> sites;
+  {
+    video::SceneConfig busy = video::PresetConfig(video::ScenePreset::kMvi40771);
+    busy.num_frames = 3000;
+
+    Site s1{"downtown-junction", busy, {}};
+    s1.scene.name = "downtown-junction";
+    s1.scene.seed = 101;
+    s1.interventions.sample_fraction = 0.15;
+    s1.interventions.resolution = 416;
+    sites.push_back(s1);
+
+    Site s2{"harbor-crossing", busy, {}};
+    s2.scene.name = "harbor-crossing";
+    s2.scene.seed = 102;
+    s2.scene.car_rate *= 0.8;
+    s2.interventions.sample_fraction = 0.15;
+    s2.interventions.resolution = 416;
+    sites.push_back(s2);
+
+    Site s3{"arterial-road", busy, {}};
+    s3.scene.name = "arterial-road";
+    s3.scene.seed = 103;
+    s3.scene.car_rate *= 0.4;
+    s3.interventions.sample_fraction = 0.25;  // Quieter: needs more frames.
+    sites.push_back(s3);
+
+    Site s4{"night-street", video::PresetConfig(video::ScenePreset::kNightStreet), {}};
+    s4.scene.num_frames = 3000;
+    s4.scene.name = "night-street-cam";
+    s4.scene.seed = 104;
+    s4.scene.full_resolution = 608;  // Same camera hardware fleet.
+    s4.interventions.sample_fraction = 0.30;
+    // Privacy-sensitive residential area: drop frames with people.
+    s4.interventions.restricted.Add(video::ObjectClass::kPerson);
+    sites.push_back(s4);
+  }
+
+  // --- Build feeds, cameras, central system ---------------------------------
+  detect::SimYoloV4 yolo;
+  detect::SimMtcnn mtcnn;
+  query::QuerySpec spec;
+  spec.aggregate = query::AggregateFunction::kAvg;
+  auto central = camera::CentralSystem::Create(spec, 0.05);
+  central.status().CheckOk();
+
+  std::vector<std::unique_ptr<video::VideoDataset>> feeds;
+  std::vector<std::unique_ptr<detect::ClassPriorIndex>> priors;
+  std::vector<std::unique_ptr<camera::Camera>> cameras;
+  double pooled_truth_numerator = 0;
+  double pooled_truth_denominator = 0;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    auto feed = video::SimulateScene(sites[i].scene);
+    feed.status().CheckOk();
+    feeds.push_back(std::make_unique<video::VideoDataset>(std::move(feed).ValueOrDie()));
+    auto prior = detect::ClassPriorIndex::Build(*feeds.back(), yolo, mtcnn);
+    prior.status().CheckOk();
+    priors.push_back(std::make_unique<detect::ClassPriorIndex>(std::move(prior).ValueOrDie()));
+
+    camera::CameraConfig config;
+    config.camera_id = static_cast<int>(i + 1);
+    config.interventions = sites[i].interventions;
+    cameras.push_back(std::make_unique<camera::Camera>(config, *feeds.back(), *priors.back(),
+                                                       yolo.max_resolution()));
+    central->AddFeed(*cameras.back(), yolo).CheckOk();
+
+    // Ground truth for validation only.
+    query::FrameOutputSource source(*feeds.back(), yolo, video::ObjectClass::kCar);
+    auto gt = query::ComputeGroundTruth(source, spec);
+    gt.status().CheckOk();
+    pooled_truth_numerator += gt->y_true * static_cast<double>(feeds.back()->num_frames());
+    pooled_truth_denominator += static_cast<double>(feeds.back()->num_frames());
+  }
+  double pooled_truth = pooled_truth_numerator / pooled_truth_denominator;
+
+  // --- One capture window ---------------------------------------------------
+  camera::NetworkLinkConfig link_config;
+  link_config.bandwidth_bytes_per_sec = 2.0e6;  // A constrained shared uplink.
+  stats::Rng rng(55);
+
+  util::TablePrinter table({"camera", "interventions", "frames_sent", "megabytes",
+                            "link_busy_s", "estimate", "err_bound"});
+  double total_mb = 0;
+  for (size_t i = 0; i < cameras.size(); ++i) {
+    camera::NetworkLink link(link_config);
+    auto batch = cameras[i]->CaptureAndTransmit(link, rng);
+    batch.status().CheckOk();
+    central->Ingest(*batch).CheckOk();
+    auto estimate = central->CameraEstimate(cameras[i]->camera_id());
+    estimate.status().CheckOk();
+    double mb = static_cast<double>(link.total_bytes()) / 1e6;
+    total_mb += mb;
+    table.AddRow({sites[i].name, sites[i].interventions.ToString(),
+                  std::to_string(batch->frame_indices.size()), util::FormatDouble(mb, 1),
+                  util::FormatDouble(link.BusySeconds(), 1),
+                  util::FormatDouble(estimate->y_approx, 3),
+                  util::FormatPercent(estimate->err_b)});
+  }
+  table.Print(std::cout);
+
+  auto city = central->CityWideEstimate();
+  city.status().CheckOk();
+  double realized = query::RelativeError(city->estimate.y_approx, pooled_truth);
+  std::printf(
+      "\ncity-wide AVG cars/frame: %.3f  (bound %.2f%% at %.0f%% confidence)\n"
+      "pooled truth (hidden in production): %.3f -> realized error %.2f%%\n"
+      "total uplink volume: %.1f MB; %lld frames covered by the estimate\n",
+      city->estimate.y_approx, city->estimate.err_b * 100.0,
+      (1.0 - city->total_delta) * 100.0, pooled_truth, realized * 100.0, total_mb,
+      static_cast<long long>(city->total_population));
+  std::printf(
+      "\nEvery camera degraded its own feed (the night camera even deleted\n"
+      "all person frames before transmission), yet the city still gets a\n"
+      "certified aggregate answer.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Privacy audit: non-random interventions and profile repair (§3.2.5).
+//
+// A privacy-conscious administrator wants image removal (drop every frame
+// containing a person) AND a reduced resolution. Both interventions are
+// NON-RANDOM: sampled outputs are systematically biased, so the basic error
+// bound can fall BELOW the true error — silently misleading the
+// administrator. This example shows the failure and the repair:
+//
+//   1. estimate with the basic algorithm only       -> bound may be invalid
+//   2. build a correction set (random degradation)  -> repair the bound
+//   3. compare both against the (hidden) true error
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/estimator_api.h"
+#include "core/repair.h"
+#include "detect/models.h"
+#include "query/executor.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "video/presets.h"
+
+using namespace smokescreen;
+
+int main() {
+  std::printf("=== Privacy audit: image removal + low resolution ===\n\n");
+  auto dataset = video::MakePresetScaled(video::ScenePreset::kUaDetrac, 6000);
+  dataset.status().CheckOk();
+  detect::SimYoloV4 yolo;
+  detect::SimMtcnn mtcnn;
+  auto prior = detect::ClassPriorIndex::Build(*dataset, yolo, mtcnn);
+  prior.status().CheckOk();
+
+  query::QuerySpec spec;
+  spec.aggregate = query::AggregateFunction::kAvg;
+  query::FrameOutputSource source(*dataset, yolo, video::ObjectClass::kCar);
+  auto gt = query::ComputeGroundTruth(source, spec);
+  gt.status().CheckOk();
+
+  // The privacy policy: no frames with people, resolution capped at 192px.
+  degrade::InterventionSet iv;
+  iv.sample_fraction = 0.1;
+  iv.resolution = 192;
+  iv.restricted.Add(video::ObjectClass::kPerson);
+  std::printf("Policy interventions: %s\n", iv.ToString().c_str());
+  std::printf("Frames surviving removal: %zu of %lld\n\n",
+              prior->FramesWithoutAny(iv.restricted).size(),
+              static_cast<long long>(dataset->num_frames()));
+
+  // Size the correction set with the elbow heuristic (§3.3.1).
+  stats::Rng rng(11);
+  auto sizing = core::DetermineCorrectionSetSize(source, spec, 0.05, rng, 0.2);
+  sizing.status().CheckOk();
+  std::printf("Correction-set sizing: chose %lld frames (%.1f%% of the video)\n",
+              static_cast<long long>(sizing->chosen_size), sizing->chosen_fraction * 100.0);
+  auto correction = core::BuildCorrectionSet(source, spec, sizing->chosen_size, 0.05, rng);
+  correction.status().CheckOk();
+
+  util::TablePrinter table({"trial", "true_err", "basic_bound", "basic_valid",
+                            "repaired_bound", "repaired_valid"});
+  int basic_wrong = 0, repaired_wrong = 0;
+  const int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    auto result = core::ResultErrorEst(source, *prior, spec, iv, 0.05, rng);
+    result.status().CheckOk();
+    auto repaired = core::RepairErrorBound(spec, *result, *correction);
+    repaired.status().CheckOk();
+    double true_err = query::RelativeError(result->estimate.y_approx, gt->y_true);
+
+    bool basic_ok = result->estimate.err_b >= true_err;
+    bool repaired_ok = *repaired >= true_err;
+    if (!basic_ok) ++basic_wrong;
+    if (!repaired_ok) ++repaired_wrong;
+    table.AddRow({std::to_string(t), util::FormatPercent(true_err),
+                  util::FormatPercent(result->estimate.err_b), basic_ok ? "yes" : "NO",
+                  util::FormatPercent(*repaired), repaired_ok ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\nBasic bound invalid in %d/%d trials (systematic bias from removal +\n"
+      "low resolution); repaired bound invalid in %d/%d trials.\n",
+      basic_wrong, kTrials, repaired_wrong, kTrials);
+  std::printf(
+      "\nTakeaway: under non-random interventions, only the correction-set\n"
+      "repaired bound can be trusted when choosing a degradation level.\n");
+  return 0;
+}

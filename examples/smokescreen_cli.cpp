@@ -1,0 +1,273 @@
+// smokescreen_cli — the administrator's command-line front end.
+//
+// Generate a degradation-accuracy profile, persist it, choose a tradeoff
+// against a public-preference error budget, and report what the chosen
+// degradation buys (bandwidth / energy / privacy):
+//
+//   smokescreen_cli --dataset ua-detrac --model yolov4 --agg AVG
+//       --frames 4000 --max-error 0.15 --profile-out /tmp/profile.csv
+//
+//   smokescreen_cli --profile-in /tmp/profile.csv --max-error 0.10
+//
+// Flags:
+//   --dataset night-street|ua-detrac|MVI_40771|MVI_40775   (default ua-detrac)
+//   --model   yolov4|maskrcnn                              (default yolov4)
+//   --agg     AVG|SUM|COUNT|MAX|MIN|VAR                    (default AVG)
+//   --frames  N        scale the preset to N frames        (default full)
+//   --max-error X      error budget for choosing a tradeoff (default 0.15)
+//   --restrict a,b     classes that MUST be removed (person/face)
+//   --profile-out P    save the generated profile as CSV
+//   --query "Q"        declarative spelling, e.g.
+//                      "SELECT COUNT(car >= 8) FROM ua-detrac USING yolov4"
+//                      (overrides --dataset/--model/--agg)
+//   --profile-in P     skip generation; choose from a saved profile
+//   --slices           render the three initial cube slices (§3.1) as plots
+//   --seed S           RNG seed                            (default 2026)
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/admin_session.h"
+#include "core/candidate_design.h"
+#include "core/estimator_api.h"
+#include "core/profile_io.h"
+#include "core/profiler.h"
+#include "core/tradeoff.h"
+#include "degrade/cost_model.h"
+#include "detect/models.h"
+#include "detect/registry.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "video/presets.h"
+
+using namespace smokescreen;
+
+namespace {
+
+struct Flags {
+  std::string dataset = "ua-detrac";
+  std::string model = "yolov4";
+  std::string aggregate = "AVG";
+  int64_t frames = 0;
+  double max_error = 0.15;
+  std::string restrict_classes;
+  std::string profile_out;
+  std::string profile_in;
+  std::string query_text;
+  bool slices = false;
+  uint64_t seed = 2026;
+};
+
+util::Result<Flags> ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> util::Result<std::string> {
+      if (i + 1 >= argc) return util::Status::InvalidArgument("missing value for " + arg);
+      return std::string(argv[++i]);
+    };
+    if (arg == "--dataset") {
+      SMK_ASSIGN_OR_RETURN(flags.dataset, next());
+    } else if (arg == "--model") {
+      SMK_ASSIGN_OR_RETURN(flags.model, next());
+    } else if (arg == "--agg") {
+      SMK_ASSIGN_OR_RETURN(flags.aggregate, next());
+    } else if (arg == "--frames") {
+      SMK_ASSIGN_OR_RETURN(std::string v, next());
+      flags.frames = std::atoll(v.c_str());
+    } else if (arg == "--max-error") {
+      SMK_ASSIGN_OR_RETURN(std::string v, next());
+      flags.max_error = std::atof(v.c_str());
+    } else if (arg == "--restrict") {
+      SMK_ASSIGN_OR_RETURN(flags.restrict_classes, next());
+    } else if (arg == "--profile-out") {
+      SMK_ASSIGN_OR_RETURN(flags.profile_out, next());
+    } else if (arg == "--profile-in") {
+      SMK_ASSIGN_OR_RETURN(flags.profile_in, next());
+    } else if (arg == "--query") {
+      SMK_ASSIGN_OR_RETURN(flags.query_text, next());
+    } else if (arg == "--slices") {
+      flags.slices = true;
+    } else if (arg == "--seed") {
+      SMK_ASSIGN_OR_RETURN(std::string v, next());
+      flags.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      return util::Status::InvalidArgument("help requested");
+    } else {
+      return util::Status::InvalidArgument("unknown flag: " + arg);
+    }
+  }
+  return flags;
+}
+
+util::Result<video::ScenePreset> PresetFromName(const std::string& name) {
+  static const std::map<std::string, video::ScenePreset> kPresets = {
+      {"night-street", video::ScenePreset::kNightStreet},
+      {"ua-detrac", video::ScenePreset::kUaDetrac},
+      {"MVI_40771", video::ScenePreset::kMvi40771},
+      {"MVI_40775", video::ScenePreset::kMvi40775},
+  };
+  auto it = kPresets.find(name);
+  if (it == kPresets.end()) return util::Status::NotFound("unknown dataset: " + name);
+  return it->second;
+}
+
+int Run(Flags flags) {
+  // A declarative --query overrides --dataset/--model/--agg.
+  query::QuerySpec parsed_spec;
+  bool have_parsed_spec = false;
+  if (!flags.query_text.empty()) {
+    auto parsed = query::ParseQuery(flags.query_text);
+    parsed.status().CheckOk();
+    parsed_spec = parsed->spec;
+    have_parsed_spec = true;
+    flags.dataset = parsed->dataset;
+    flags.model = parsed->model;
+    flags.aggregate = query::AggregateFunctionName(parsed->spec.aggregate);
+  }
+  // Load-or-generate the profile.
+  core::Profile profile;
+  if (!flags.profile_in.empty()) {
+    auto loaded = core::LoadProfile(flags.profile_in);
+    loaded.status().CheckOk();
+    profile = *loaded;
+    std::printf("loaded profile: %zu points, %s on %s/%s\n", profile.points.size(),
+                query::AggregateFunctionName(profile.spec.aggregate),
+                profile.dataset_name.c_str(), profile.detector_name.c_str());
+  }
+
+  auto preset = PresetFromName(flags.profile_in.empty() ? flags.dataset : profile.dataset_name);
+  // A loaded profile's dataset may be a scaled variant; fall back by prefix.
+  video::ScenePreset scene = video::ScenePreset::kUaDetrac;
+  if (preset.ok()) {
+    scene = *preset;
+  } else {
+    for (const char* candidate : {"night-street", "ua-detrac", "MVI_40771", "MVI_40775"}) {
+      if (util::StartsWith(flags.profile_in.empty() ? flags.dataset : profile.dataset_name,
+                           candidate)) {
+        scene = *PresetFromName(candidate);
+      }
+    }
+  }
+
+  auto dataset = flags.frames > 0 ? video::MakePresetScaled(scene, flags.frames)
+                                  : video::MakePreset(scene);
+  dataset.status().CheckOk();
+  auto model = detect::MakeDetector(flags.model);
+  model.status().CheckOk();
+  detect::SimYoloV4 person_detector;
+  detect::SimMtcnn face_detector;
+  auto prior = detect::ClassPriorIndex::Build(*dataset, person_detector, face_detector);
+  prior.status().CheckOk();
+
+  query::QuerySpec spec;
+  if (have_parsed_spec) {
+    spec = parsed_spec;
+  } else if (flags.profile_in.empty()) {
+    auto agg = query::AggregateFunctionFromName(flags.aggregate);
+    agg.status().CheckOk();
+    spec.aggregate = *agg;
+  } else {
+    spec = profile.spec;
+  }
+  query::FrameOutputSource source(*dataset, **model, video::ObjectClass::kCar);
+  stats::Rng rng(flags.seed);
+
+  if (flags.profile_in.empty()) {
+    core::CandidateGridOptions grid_opts;
+    grid_opts.min_fraction = 0.05;
+    grid_opts.max_fraction = 0.50;
+    grid_opts.fraction_step = 0.05;
+    grid_opts.num_resolutions = 5;
+    grid_opts.include_class_combinations = true;
+    for (const std::string& name : util::Split(flags.restrict_classes, ',')) {
+      if (name.empty()) continue;
+      auto cls = video::ObjectClassFromName(std::string(util::Trim(name)));
+      cls.status().CheckOk();
+      grid_opts.required_restricted.Add(*cls);
+    }
+    auto grid = core::BuildCandidateGrid(**model, grid_opts);
+    grid.status().CheckOk();
+    std::printf("profiling %zu candidates on %s (%lld frames) ...\n", grid->size(),
+                dataset->name().c_str(), static_cast<long long>(dataset->num_frames()));
+
+    core::ProfilerOptions opts;
+    opts.use_correction_set = true;
+    opts.early_stop = false;
+    core::Profiler profiler(source, *prior, spec, opts);
+    auto generated = profiler.Generate(*grid, rng);
+    generated.status().CheckOk();
+    profile = *generated;
+    std::printf("generated %zu profile points (%lld model invocations)\n",
+                profile.points.size(), static_cast<long long>(source.model_invocations()));
+    if (!flags.profile_out.empty()) {
+      core::SaveProfile(profile, flags.profile_out).CheckOk();
+      std::printf("profile saved to %s\n", flags.profile_out.c_str());
+    }
+  }
+
+  // Administration procedure (§3.1): show the three initial cube slices.
+  if (flags.slices) {
+    core::AdminSession session(profile, (*model)->max_resolution());
+    for (const core::AdminSession::Slice& slice : session.InitialSlices()) {
+      auto plot = session.RenderSlice(slice);
+      if (plot.ok()) {
+        std::printf("\n%s\n", plot->c_str());
+      } else {
+        std::printf("\n(slice \"%s\" empty: %s)\n", slice.title.c_str(),
+                    plot.status().ToString().c_str());
+      }
+    }
+  }
+
+  // Choose a tradeoff against the budget.
+  auto choice = core::ChooseTradeoff(profile, flags.max_error, (*model)->max_resolution());
+  if (!choice.ok()) {
+    std::printf("no candidate meets the %.1f%% budget: %s\n", flags.max_error * 100.0,
+                choice.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nchosen tradeoff: %s (bound %.2f%%)\n", choice->interventions.ToString().c_str(),
+              choice->err_bound * 100.0);
+
+  // What the degradation buys.
+  auto savings = degrade::EstimateSavings(*dataset, *prior, choice->interventions,
+                                          (*model)->max_resolution());
+  savings.status().CheckOk();
+  util::TablePrinter table({"benefit", "value"});
+  table.AddRow({"frames transmitted", util::FormatPercent(savings->frames_fraction)});
+  table.AddRow({"bytes transmitted", util::FormatPercent(savings->bytes_fraction)});
+  table.AddRow({"energy (proxy)", util::FormatPercent(savings->energy_fraction)});
+  table.AddRow({"restricted frames removed",
+                util::FormatPercent(savings->restricted_removed_fraction)});
+  table.AddRow({"faces still recognizable",
+                util::FormatPercent(savings->faces_recognizable_fraction)});
+  table.Print(std::cout);
+
+  // Execute the degraded query.
+  auto result = core::ResultErrorEst(source, *prior, spec, choice->interventions, 0.05, rng);
+  result.status().CheckOk();
+  std::printf("\napproximate %s answer: %.4f (err bound %.2f%%, %lld frames processed)\n",
+              query::AggregateFunctionName(spec.aggregate), result->estimate.y_approx,
+              result->estimate.err_b * 100.0, static_cast<long long>(result->sample_size));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = ParseFlags(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n\nusage: smokescreen_cli [--dataset D] [--model M] [--agg A]\n"
+                         "  [--frames N] [--max-error X] [--restrict person,face]\n"
+                         "  [--profile-out P | --profile-in P] [--seed S]\n",
+                 flags.status().ToString().c_str());
+    return 2;
+  }
+  return Run(*flags);
+}

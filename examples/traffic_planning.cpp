@@ -1,0 +1,85 @@
+// Traffic planning: the SUM / COUNT / MAX workloads of §3.2.2–3.2.4 on a
+// busy-intersection corpus (UA-DETRAC analogue).
+//
+//  * SUM(cars)            — total car-frames over the window (congestion load)
+//  * COUNT(frames >= 8)   — how long congestion exceeded 8 cars (lane closure)
+//  * MAX(cars) via q=0.99 — the most crowded moment
+//
+// Each query is answered from a 5% random sample and the estimate is shown
+// with its error bound and the realized error.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/estimator_api.h"
+#include "detect/models.h"
+#include "query/executor.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "video/presets.h"
+
+using namespace smokescreen;
+
+int main() {
+  std::printf("=== Traffic planning on a busy intersection ===\n\n");
+  auto dataset = video::MakePresetScaled(video::ScenePreset::kUaDetrac, 6000);
+  dataset.status().CheckOk();
+  detect::SimYoloV4 yolo;
+  detect::SimMtcnn mtcnn;
+  auto prior = detect::ClassPriorIndex::Build(*dataset, yolo, mtcnn);
+  prior.status().CheckOk();
+  query::FrameOutputSource source(*dataset, yolo, video::ObjectClass::kCar);
+
+  degrade::InterventionSet iv;
+  iv.sample_fraction = 0.05;  // Process only 5% of the video.
+
+  struct QueryCase {
+    const char* description;
+    query::QuerySpec spec;
+  };
+  std::vector<QueryCase> cases;
+  {
+    query::QuerySpec sum;
+    sum.aggregate = query::AggregateFunction::kSum;
+    cases.push_back({"SUM(cars): total congestion load", sum});
+    query::QuerySpec count;
+    count.aggregate = query::AggregateFunction::kCount;
+    count.count_threshold = 8;
+    cases.push_back({"COUNT(frames with >= 8 cars): heavy-congestion time", count});
+    query::QuerySpec max;
+    max.aggregate = query::AggregateFunction::kMax;
+    cases.push_back({"MAX(cars) ~ 0.99-quantile: peak crowding", max});
+  }
+
+  util::TablePrinter table(
+      {"query", "estimate", "err_bound", "true_value", "realized_err"});
+  stats::Rng rng(7);
+  for (const QueryCase& qc : cases) {
+    auto gt = query::ComputeGroundTruth(source, qc.spec);
+    gt.status().CheckOk();
+    auto result = core::ResultErrorEst(source, *prior, qc.spec, iv, 0.05, rng);
+    result.status().CheckOk();
+
+    double realized;
+    if (query::IsMeanFamily(qc.spec.aggregate)) {
+      realized = query::RelativeError(result->estimate.y_approx, gt->y_true);
+    } else {
+      auto rank_err =
+          query::RankRelativeError(gt->outputs, result->estimate.y_approx, gt->y_true);
+      rank_err.status().CheckOk();
+      realized = *rank_err;
+    }
+    table.AddRow({qc.spec.ToString(), util::FormatDouble(result->estimate.y_approx, 2),
+                  util::FormatPercent(result->estimate.err_b),
+                  util::FormatDouble(gt->y_true, 2), util::FormatPercent(realized)});
+    std::printf("%s\n", qc.description);
+  }
+  std::printf("\nResults from a 5%% sample (bounds hold w.p. >= 95%%):\n");
+  table.Print(std::cout);
+
+  std::printf(
+      "\nThe planner reads: SUM within its bound sizes road works, COUNT says\n"
+      "how many frames exceeded the lane-closure threshold, and MAX flags the\n"
+      "single worst moment (rank-relative bound).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "baselines/mean_baselines.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/avg_estimator.h"
+#include "stats/concentration.h"
+#include "stats/normal.h"
+#include "stats/descriptive.h"
+
+namespace smokescreen {
+namespace baselines {
+
+using core::Estimate;
+using util::Result;
+using util::Status;
+
+namespace {
+
+Status ValidateInputs(const std::vector<double>& sample, int64_t population, double delta) {
+  if (sample.empty()) return Status::InvalidArgument("empty sample");
+  if (population < static_cast<int64_t>(sample.size())) {
+    return Status::InvalidArgument("population smaller than sample");
+  }
+  if (delta <= 0.0 || delta >= 1.0) return Status::InvalidArgument("delta must be in (0,1)");
+  return Status::OK();
+}
+
+/// Online-aggregation style mapping: the answer is the plain sample mean and
+/// the relative-error bound is radius / LB (radius divided by the lower
+/// bound of the query result). When the radius swallows the mean the bound
+/// is vacuous (+infinity).
+Estimate SampleMeanMapping(double mean, double radius) {
+  Estimate est;
+  est.y_approx = mean;
+  double lb = std::abs(mean) - radius;
+  est.err_b =
+      lb > 0.0 ? radius / lb : std::numeric_limits<double>::infinity();
+  return est;
+}
+
+}  // namespace
+
+Result<Estimate> EbgsEstimator::EstimateMean(const std::vector<double>& sample,
+                                             int64_t population, double delta) const {
+  SMK_RETURN_IF_ERROR(ValidateInputs(sample, population, delta));
+  SMK_ASSIGN_OR_RETURN(stats::Summary summary, stats::Summarize(sample));
+  // The stopping algorithm's per-step budget at step n (union bound over all
+  // possible stopping times), combined with the empirical Bernstein radius.
+  double delta_n = stats::EbgsDeltaAtStep(delta, summary.count);
+  double radius =
+      stats::EmpiricalBernsteinRadius(summary.stddev, summary.range, summary.count, delta_n);
+  double ub = std::abs(summary.mean) + radius;
+  double lb = std::max(0.0, std::abs(summary.mean) - radius);
+  double sign = summary.mean < 0.0 ? -1.0 : 1.0;
+  return core::SmokescreenMeanEstimator::FromBounds(lb, ub, sign);
+}
+
+Result<Estimate> HoeffdingSerflingEstimator::EstimateMean(const std::vector<double>& sample,
+                                                          int64_t population,
+                                                          double delta) const {
+  SMK_RETURN_IF_ERROR(ValidateInputs(sample, population, delta));
+  SMK_ASSIGN_OR_RETURN(stats::Summary summary, stats::Summarize(sample));
+  double radius =
+      stats::HoeffdingSerflingRadius(summary.range, summary.count, population, delta);
+  return SampleMeanMapping(summary.mean, radius);
+}
+
+Result<Estimate> HoeffdingEstimator::EstimateMean(const std::vector<double>& sample,
+                                                  int64_t population, double delta) const {
+  SMK_RETURN_IF_ERROR(ValidateInputs(sample, population, delta));
+  SMK_ASSIGN_OR_RETURN(stats::Summary summary, stats::Summarize(sample));
+  double radius = stats::HoeffdingRadius(summary.range, summary.count, delta);
+  return SampleMeanMapping(summary.mean, radius);
+}
+
+Result<Estimate> CltTEstimator::EstimateMean(const std::vector<double>& sample,
+                                             int64_t population, double delta) const {
+  SMK_RETURN_IF_ERROR(ValidateInputs(sample, population, delta));
+  if (sample.size() < 2) return Status::InvalidArgument("CLT-t needs at least two samples");
+  SMK_ASSIGN_OR_RETURN(stats::Summary summary, stats::Summarize(sample));
+  double t = stats::StudentTQuantile(1.0 - delta / 2.0,
+                                     static_cast<int64_t>(sample.size()) - 1);
+  double radius = t * summary.stddev / std::sqrt(static_cast<double>(sample.size()));
+  return SampleMeanMapping(summary.mean, radius);
+}
+
+Result<Estimate> CltEstimator::EstimateMean(const std::vector<double>& sample,
+                                            int64_t population, double delta) const {
+  SMK_RETURN_IF_ERROR(ValidateInputs(sample, population, delta));
+  SMK_ASSIGN_OR_RETURN(stats::Summary summary, stats::Summarize(sample));
+  double radius = stats::CltRadius(summary.stddev, summary.count, delta);
+  return SampleMeanMapping(summary.mean, radius);
+}
+
+}  // namespace baselines
+}  // namespace smokescreen

@@ -1,0 +1,83 @@
+// Competing mean estimators evaluated against Smokescreen in §5.2.1:
+//
+//  * EBGS — the empirical Bernstein stopping algorithm (Mnih et al. 2008),
+//    used directly for result + error bound estimation. It keeps the
+//    stopping algorithm's union bound over stopping times (delta_t = c/t^p),
+//    making its interval wider than Smokescreen's single-n construction, and
+//    shares the UB/LB harmonic-midpoint output mapping.
+//  * Hoeffding–Serfling — the raw without-replacement radius with the sample
+//    mean as the answer; relative error = radius / LB.
+//  * Hoeffding — online aggregation's i.i.d. radius; same mapping.
+//  * CLT — online aggregation's large-sample normal radius; tight but with
+//    no finite-sample guarantee (the brittle baseline of Figure 5).
+
+#ifndef SMOKESCREEN_BASELINES_MEAN_BASELINES_H_
+#define SMOKESCREEN_BASELINES_MEAN_BASELINES_H_
+
+#include "core/estimate.h"
+
+namespace smokescreen {
+namespace baselines {
+
+class EbgsEstimator : public core::MeanEstimator {
+ public:
+  EbgsEstimator() : name_("EBGS") {}
+  const std::string& name() const override { return name_; }
+  util::Result<core::Estimate> EstimateMean(const std::vector<double>& sample,
+                                            int64_t population, double delta) const override;
+
+ private:
+  std::string name_;
+};
+
+class HoeffdingSerflingEstimator : public core::MeanEstimator {
+ public:
+  HoeffdingSerflingEstimator() : name_("Hoeffding-Serfling") {}
+  const std::string& name() const override { return name_; }
+  util::Result<core::Estimate> EstimateMean(const std::vector<double>& sample,
+                                            int64_t population, double delta) const override;
+
+ private:
+  std::string name_;
+};
+
+class HoeffdingEstimator : public core::MeanEstimator {
+ public:
+  HoeffdingEstimator() : name_("Hoeffding") {}
+  const std::string& name() const override { return name_; }
+  util::Result<core::Estimate> EstimateMean(const std::vector<double>& sample,
+                                            int64_t population, double delta) const override;
+
+ private:
+  std::string name_;
+};
+
+/// CLT with Student-t critical values instead of normal ones — the standard
+/// small-sample patch. Still no distribution-free guarantee: it assumes the
+/// sample mean is t-distributed, which heavy-tailed detector outputs break.
+class CltTEstimator : public core::MeanEstimator {
+ public:
+  CltTEstimator() : name_("CLT-t") {}
+  const std::string& name() const override { return name_; }
+  util::Result<core::Estimate> EstimateMean(const std::vector<double>& sample,
+                                            int64_t population, double delta) const override;
+
+ private:
+  std::string name_;
+};
+
+class CltEstimator : public core::MeanEstimator {
+ public:
+  CltEstimator() : name_("CLT") {}
+  const std::string& name() const override { return name_; }
+  util::Result<core::Estimate> EstimateMean(const std::vector<double>& sample,
+                                            int64_t population, double delta) const override;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace baselines
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_BASELINES_MEAN_BASELINES_H_

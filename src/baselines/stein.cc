@@ -1,0 +1,40 @@
+#include "baselines/stein.h"
+
+#include <cmath>
+
+#include "stats/empirical.h"
+
+namespace smokescreen {
+namespace baselines {
+
+using core::Estimate;
+using util::Result;
+using util::Status;
+
+Result<Estimate> SteinQuantileEstimator::EstimateQuantile(const std::vector<double>& sample,
+                                                          int64_t population, double r,
+                                                          bool is_max, double delta) const {
+  (void)is_max;  // The with-replacement bound has no side-specific variance term.
+  if (sample.empty()) return Status::InvalidArgument("empty sample");
+  if (population < static_cast<int64_t>(sample.size())) {
+    return Status::InvalidArgument("population smaller than sample");
+  }
+  if (r <= 0.0 || r >= 1.0) return Status::InvalidArgument("quantile r must be in (0,1)");
+  if (delta <= 0.0 || delta >= 1.0) return Status::InvalidArgument("delta must be in (0,1)");
+
+  SMK_ASSIGN_OR_RETURN(stats::EmpiricalDistribution dist,
+                       stats::EmpiricalDistribution::Create(sample));
+  int64_t k_hat = dist.QuantileIndex(r);
+  Estimate est;
+  est.y_approx = dist.DistinctValue(k_hat);
+  double f_hat = dist.Frequency(k_hat);
+
+  // Hoeffding (with replacement) deviation of the sampled CDF.
+  double deviation =
+      std::sqrt(std::log(2.0 / delta) / (2.0 * static_cast<double>(sample.size())));
+  est.err_b = ((deviation + f_hat) / f_hat + 1.0) * f_hat / r;
+  return est;
+}
+
+}  // namespace baselines
+}  // namespace smokescreen

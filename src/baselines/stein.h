@@ -1,0 +1,34 @@
+// Stein baseline for extreme quantiles (Manku, Rajagopalan & Lindsay 1999).
+//
+// Their analysis assumes random sampling WITH replacement and bounds the
+// sampled cumulative frequency deviation via a Hoeffding-style term
+// sqrt(ln(2/delta) / (2n)) — no variance information and no finite-population
+// correction. The query-result estimation is the same empirical r-quantile
+// as Smokescreen's (the paper notes the result estimates coincide); only the
+// bound differs, and is looser at small sample fractions.
+
+#ifndef SMOKESCREEN_BASELINES_STEIN_H_
+#define SMOKESCREEN_BASELINES_STEIN_H_
+
+#include "core/estimate.h"
+
+namespace smokescreen {
+namespace baselines {
+
+class SteinQuantileEstimator : public core::QuantileEstimator {
+ public:
+  SteinQuantileEstimator() : name_("Stein") {}
+  const std::string& name() const override { return name_; }
+
+  util::Result<core::Estimate> EstimateQuantile(const std::vector<double>& sample,
+                                                int64_t population, double r, bool is_max,
+                                                double delta) const override;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace baselines
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_BASELINES_STEIN_H_

@@ -1,0 +1,42 @@
+#include "camera/camera.h"
+
+#include <cmath>
+
+namespace smokescreen {
+namespace camera {
+
+using util::Result;
+
+Camera::Camera(CameraConfig config, const video::VideoDataset& feed,
+               const detect::ClassPriorIndex& prior, int model_max_resolution)
+    : config_(config), feed_(feed), prior_(prior), model_max_resolution_(model_max_resolution) {}
+
+int64_t Camera::FrameBytes() const {
+  int resolution = config_.interventions.EffectiveResolution(model_max_resolution_);
+  double bytes = config_.bytes_per_pixel * static_cast<double>(resolution) *
+                 static_cast<double>(resolution) * config_.interventions.contrast_scale;
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(bytes)));
+}
+
+Result<CameraBatch> Camera::CaptureAndTransmit(NetworkLink& link, stats::Rng& rng) const {
+  SMK_ASSIGN_OR_RETURN(degrade::DegradedView view,
+                       degrade::DegradedView::Create(feed_, prior_, config_.interventions,
+                                                     model_max_resolution_, rng));
+  CameraBatch batch;
+  batch.camera_id = config_.camera_id;
+  batch.frame_indices = view.sampled_frames();
+  batch.eligible_population = view.eligible_population();
+  batch.original_population = view.original_population();
+  batch.resolution = view.resolution();
+  batch.contrast_scale = view.contrast_scale();
+
+  int64_t frame_bytes = FrameBytes();
+  for (size_t i = 0; i < batch.frame_indices.size(); ++i) {
+    link.TransmitFrame(frame_bytes);
+  }
+  batch.total_bytes = frame_bytes * static_cast<int64_t>(batch.frame_indices.size());
+  return batch;
+}
+
+}  // namespace camera
+}  // namespace smokescreen

@@ -1,0 +1,78 @@
+// A configurable networked camera (the paper's §1 system model).
+//
+// Each camera holds its own video feed and applies the administrator-chosen
+// destructive interventions ON DEVICE — that is the whole point: privacy-
+// sensitive frames never leave the camera, and only the degraded, sampled,
+// resolution-reduced frames cross the network. CaptureAndTransmit applies
+// image removal, random frame sampling and resolution reduction, accounts
+// every transmitted byte on the NetworkLink, and hands the central system a
+// batch descriptor from which estimation can proceed.
+
+#ifndef SMOKESCREEN_CAMERA_CAMERA_H_
+#define SMOKESCREEN_CAMERA_CAMERA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "camera/network_link.h"
+#include "degrade/degraded_view.h"
+#include "degrade/intervention.h"
+#include "detect/class_prior_index.h"
+#include "stats/rng.h"
+#include "util/status.h"
+#include "video/dataset.h"
+
+namespace smokescreen {
+namespace camera {
+
+/// What one camera ships to the central system for one capture window.
+struct CameraBatch {
+  int camera_id = 0;
+  /// Frames actually transmitted (indices into the camera's own feed).
+  std::vector<int64_t> frame_indices;
+  /// Population the sample was drawn from (survivors of image removal).
+  int64_t eligible_population = 0;
+  /// The camera's full frame count for the window.
+  int64_t original_population = 0;
+  int resolution = 0;
+  double contrast_scale = 1.0;
+  int64_t total_bytes = 0;
+};
+
+struct CameraConfig {
+  int camera_id = 0;
+  degrade::InterventionSet interventions;
+  /// Encoded bytes per pixel (post-codec). Frame bytes =
+  /// bytes_per_pixel * resolution^2 * contrast_scale.
+  double bytes_per_pixel = 0.1;
+};
+
+class Camera {
+ public:
+  /// The dataset and prior must outlive the camera. `model_max_resolution`
+  /// resolves an unset resolution knob.
+  Camera(CameraConfig config, const video::VideoDataset& feed,
+         const detect::ClassPriorIndex& prior, int model_max_resolution);
+
+  int camera_id() const { return config_.camera_id; }
+  const video::VideoDataset& feed() const { return feed_; }
+  const degrade::InterventionSet& interventions() const { return config_.interventions; }
+
+  /// Encoded size of one frame at the camera's configured degradation.
+  int64_t FrameBytes() const;
+
+  /// Applies the interventions to the whole feed and transmits the surviving
+  /// sample over `link`. Randomness (frame sampling) comes from `rng`.
+  util::Result<CameraBatch> CaptureAndTransmit(NetworkLink& link, stats::Rng& rng) const;
+
+ private:
+  CameraConfig config_;
+  const video::VideoDataset& feed_;
+  const detect::ClassPriorIndex& prior_;
+  int model_max_resolution_;
+};
+
+}  // namespace camera
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_CAMERA_CAMERA_H_

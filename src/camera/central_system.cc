@@ -1,0 +1,97 @@
+#include "camera/central_system.h"
+
+#include "core/avg_estimator.h"
+
+namespace smokescreen {
+namespace camera {
+
+using util::Result;
+using util::Status;
+
+Result<CentralSystem> CentralSystem::Create(const query::QuerySpec& spec, double delta) {
+  SMK_RETURN_IF_ERROR(spec.Validate());
+  if (!query::IsMeanFamily(spec.aggregate)) {
+    return Status::NotImplemented("central combination supports AVG/SUM/COUNT only");
+  }
+  if (delta <= 0.0 || delta >= 1.0) return Status::InvalidArgument("delta must be in (0,1)");
+  return CentralSystem(spec, delta);
+}
+
+Status CentralSystem::AddFeed(const Camera& cam, const detect::Detector& model) {
+  auto [it, inserted] = feeds_.try_emplace(cam.camera_id());
+  if (!inserted) {
+    return Status::AlreadyExists("camera " + std::to_string(cam.camera_id()) +
+                                 " already registered");
+  }
+  it->second.cam = &cam;
+  it->second.source = std::make_unique<query::FrameOutputSource>(cam.feed(), model,
+                                                                 spec_.target_class);
+  return Status::OK();
+}
+
+Status CentralSystem::Ingest(const CameraBatch& batch) {
+  auto it = feeds_.find(batch.camera_id);
+  if (it == feeds_.end()) {
+    return Status::NotFound("camera " + std::to_string(batch.camera_id) + " not registered");
+  }
+  if (batch.frame_indices.empty()) {
+    return Status::InvalidArgument("empty batch from camera " +
+                                   std::to_string(batch.camera_id));
+  }
+  Feed& feed = it->second;
+  auto outputs = feed.source->Outputs(spec_, batch.frame_indices, batch.resolution,
+                                      batch.contrast_scale);
+  SMK_RETURN_IF_ERROR(outputs.status());
+  feed.outputs = std::move(outputs).ValueOrDie();
+  feed.eligible_population = batch.eligible_population;
+  feed.has_batch = true;
+  return Status::OK();
+}
+
+int64_t CentralSystem::feeds_with_data() const {
+  int64_t count = 0;
+  for (const auto& [id, feed] : feeds_) {
+    if (feed.has_batch) ++count;
+  }
+  return count;
+}
+
+Result<core::Estimate> CentralSystem::CameraEstimate(int camera_id) const {
+  auto it = feeds_.find(camera_id);
+  if (it == feeds_.end()) {
+    return Status::NotFound("camera " + std::to_string(camera_id) + " not registered");
+  }
+  const Feed& feed = it->second;
+  if (!feed.has_batch) {
+    return Status::FailedPrecondition("camera " + std::to_string(camera_id) +
+                                      " has not delivered a batch");
+  }
+  int64_t active = feeds_with_data();
+  double delta_k = delta_ / static_cast<double>(active);
+  core::SmokescreenMeanEstimator estimator;
+  return estimator.EstimateMean(feed.outputs, feed.eligible_population, delta_k);
+}
+
+Result<core::CombinedEstimate> CentralSystem::CityWideEstimate() const {
+  int64_t active = feeds_with_data();
+  if (active == 0) return Status::FailedPrecondition("no camera has delivered a batch");
+  double delta_k = delta_ / static_cast<double>(active);
+
+  std::vector<core::StratumInterval> strata;
+  for (const auto& [id, feed] : feeds_) {
+    if (!feed.has_batch) continue;
+    SMK_ASSIGN_OR_RETURN(auto bounds,
+                         core::SmokescreenMeanEstimator::ConfidenceBounds(
+                             feed.outputs, feed.eligible_population, delta_k));
+    core::StratumInterval stratum;
+    stratum.lb = bounds.first;
+    stratum.ub = bounds.second;
+    stratum.population = feed.eligible_population;
+    stratum.delta = delta_k;
+    strata.push_back(stratum);
+  }
+  return core::CombineMeanEstimates(strata);
+}
+
+}  // namespace camera
+}  // namespace smokescreen

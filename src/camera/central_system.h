@@ -1,0 +1,75 @@
+// The central query processor receiving degraded feeds from many cameras.
+//
+// Per the paper's §1 model, cameras transmit (already degraded) images and a
+// central system runs the analytical query — here the detection UDF runs
+// centrally over each ingested batch, per-camera estimates are formed with
+// Algorithm 1, and a city-wide answer is produced by stratified combination
+// (core/combine.h): camera k's interval gets weight N_k / sum N and failure
+// budget delta / num_cameras.
+//
+// Mean-family aggregates (AVG/SUM/COUNT) only: stratified combination of
+// extreme quantiles is not sound without cross-camera distribution access.
+
+#ifndef SMOKESCREEN_CAMERA_CENTRAL_SYSTEM_H_
+#define SMOKESCREEN_CAMERA_CENTRAL_SYSTEM_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "camera/camera.h"
+#include "core/combine.h"
+#include "core/estimate.h"
+#include "detect/detector.h"
+#include "query/output_source.h"
+#include "query/query_spec.h"
+#include "util/status.h"
+
+namespace smokescreen {
+namespace camera {
+
+class CentralSystem {
+ public:
+  /// `delta` is the total failure budget, split evenly across feeds at
+  /// estimation time.
+  static util::Result<CentralSystem> Create(const query::QuerySpec& spec, double delta);
+
+  /// Registers a camera feed. The camera and detector must outlive the
+  /// system. Error when the id is already registered.
+  util::Status AddFeed(const Camera& cam, const detect::Detector& model);
+
+  /// Ingests one transmitted batch: runs the UDF over the batch's frames and
+  /// stores the outputs for estimation. Error for unknown camera ids or
+  /// empty batches. Re-ingesting a camera's batch replaces the previous one.
+  util::Status Ingest(const CameraBatch& batch);
+
+  /// Number of feeds that have delivered a batch.
+  int64_t feeds_with_data() const;
+
+  /// Algorithm-1 estimate for one camera (mean scale).
+  util::Result<core::Estimate> CameraEstimate(int camera_id) const;
+
+  /// Stratified city-wide estimate over all ingested feeds.
+  util::Result<core::CombinedEstimate> CityWideEstimate() const;
+
+ private:
+  CentralSystem(const query::QuerySpec& spec, double delta) : spec_(spec), delta_(delta) {}
+
+  struct Feed {
+    const Camera* cam = nullptr;
+    std::unique_ptr<query::FrameOutputSource> source;
+    // Filled by Ingest():
+    bool has_batch = false;
+    std::vector<double> outputs;
+    int64_t eligible_population = 0;
+  };
+
+  query::QuerySpec spec_;
+  double delta_;
+  std::map<int, Feed> feeds_;
+};
+
+}  // namespace camera
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_CAMERA_CENTRAL_SYSTEM_H_

@@ -1,0 +1,27 @@
+#include "camera/network_link.h"
+
+namespace smokescreen {
+namespace camera {
+
+void NetworkLink::TransmitFrame(int64_t bytes) {
+  total_bytes_ += bytes;
+  ++total_frames_;
+}
+
+double NetworkLink::BusySeconds() const {
+  if (config_.bandwidth_bytes_per_sec <= 0.0) return 0.0;
+  return static_cast<double>(total_bytes_) / config_.bandwidth_bytes_per_sec;
+}
+
+double NetworkLink::EnergyJoules() const {
+  return static_cast<double>(total_bytes_) * config_.energy_joules_per_byte +
+         static_cast<double>(total_frames_) * config_.energy_joules_per_frame;
+}
+
+void NetworkLink::Reset() {
+  total_bytes_ = 0;
+  total_frames_ = 0;
+}
+
+}  // namespace camera
+}  // namespace smokescreen

@@ -1,0 +1,52 @@
+// Network link accounting for camera-to-central transmission.
+//
+// The paper's §1 motivates degradation partly with transmission constraints
+// (wireless sensor networks' low bandwidth, energy budgets). NetworkLink
+// tallies what a camera actually sends so deployments can verify that the
+// chosen degradation meets those constraints.
+
+#ifndef SMOKESCREEN_CAMERA_NETWORK_LINK_H_
+#define SMOKESCREEN_CAMERA_NETWORK_LINK_H_
+
+#include <cstdint>
+
+namespace smokescreen {
+namespace camera {
+
+struct NetworkLinkConfig {
+  /// Sustained uplink throughput.
+  double bandwidth_bytes_per_sec = 1.0e6;
+  /// Radio energy per transmitted byte.
+  double energy_joules_per_byte = 1.0e-7;
+  /// Fixed per-frame overhead (wakeup, headers).
+  double energy_joules_per_frame = 1.0e-3;
+};
+
+class NetworkLink {
+ public:
+  explicit NetworkLink(NetworkLinkConfig config) : config_(config) {}
+
+  /// Records the transmission of one frame of `bytes` bytes.
+  void TransmitFrame(int64_t bytes);
+
+  int64_t total_bytes() const { return total_bytes_; }
+  int64_t total_frames() const { return total_frames_; }
+
+  /// Time the link spends busy, at the configured bandwidth.
+  double BusySeconds() const;
+
+  /// Total radio energy spent.
+  double EnergyJoules() const;
+
+  void Reset();
+
+ private:
+  NetworkLinkConfig config_;
+  int64_t total_bytes_ = 0;
+  int64_t total_frames_ = 0;
+};
+
+}  // namespace camera
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_CAMERA_NETWORK_LINK_H_

@@ -1,0 +1,102 @@
+#include "core/admin_session.h"
+
+#include <algorithm>
+
+#include "util/ascii_plot.h"
+#include "util/string_util.h"
+
+namespace smokescreen {
+namespace core {
+
+using util::Result;
+using util::Status;
+
+AdminSession::AdminSession(const Profile& profile, int model_max_resolution)
+    : profile_(profile), model_max_resolution_(model_max_resolution) {
+  for (const ProfilePoint& point : profile.points) {
+    loosest_fraction_ = std::max(loosest_fraction_, point.interventions.sample_fraction);
+    loosest_resolution_ =
+        std::max(loosest_resolution_, point.interventions.EffectiveResolution(
+                                          model_max_resolution));
+  }
+}
+
+std::vector<AdminSession::Slice> AdminSession::InitialSlices() const {
+  // Resolution knob values in the profile store the literal candidate value;
+  // a slice lookup must match it exactly, so find the literal loosest knob.
+  int loosest_knob_resolution = 0;
+  for (const ProfilePoint& point : profile_.points) {
+    loosest_knob_resolution =
+        std::max(loosest_knob_resolution, point.interventions.resolution);
+  }
+  return {
+      FractionSlice(loosest_knob_resolution, video::ClassSet::None()),
+      ResolutionSlice(loosest_fraction_, video::ClassSet::None()),
+      RestrictedSlice(loosest_fraction_, loosest_knob_resolution),
+  };
+}
+
+AdminSession::Slice AdminSession::FractionSlice(int resolution,
+                                                const video::ClassSet& restricted) const {
+  Slice slice;
+  slice.axis = "fraction";
+  slice.title = "err_bound vs sample fraction (p=" + std::to_string(resolution) +
+                ", c=" + restricted.ToString() + ")";
+  slice.points = SliceByFraction(profile_, resolution, restricted);
+  return slice;
+}
+
+AdminSession::Slice AdminSession::ResolutionSlice(double fraction,
+                                                  const video::ClassSet& restricted) const {
+  Slice slice;
+  slice.axis = "resolution";
+  slice.title = "err_bound vs resolution (f=" + util::FormatDouble(fraction, 2) +
+                ", c=" + restricted.ToString() + ")";
+  slice.points = SliceByResolution(profile_, fraction, restricted);
+  return slice;
+}
+
+AdminSession::Slice AdminSession::RestrictedSlice(double fraction, int resolution) const {
+  Slice slice;
+  slice.axis = "restricted classes";
+  slice.title = "err_bound vs restricted classes (f=" + util::FormatDouble(fraction, 2) +
+                ", p=" + std::to_string(resolution) + ")";
+  slice.points = SliceByRestricted(profile_, fraction, resolution);
+  return slice;
+}
+
+Result<std::string> AdminSession::RenderSlice(const Slice& slice) const {
+  if (slice.points.empty()) {
+    return Status::InvalidArgument("slice has no profile points: " + slice.title);
+  }
+  util::PlotSeries bound_series;
+  bound_series.label = "error bound";
+  bound_series.glyph = '*';
+  util::PlotSeries raw_series;
+  raw_series.label = "uncorrected bound";
+  raw_series.glyph = 'o';
+  for (size_t i = 0; i < slice.points.size(); ++i) {
+    const ProfilePoint& point = slice.points[i];
+    double x;
+    if (slice.axis == "fraction") {
+      x = point.interventions.sample_fraction;
+    } else if (slice.axis == "resolution") {
+      x = static_cast<double>(point.interventions.EffectiveResolution(model_max_resolution_));
+    } else {
+      x = static_cast<double>(point.interventions.restricted.mask());
+    }
+    bound_series.points.emplace_back(x, std::min(point.err_bound, 2.0));
+    raw_series.points.emplace_back(x, std::min(point.err_uncorrected, 2.0));
+  }
+  util::PlotOptions options;
+  options.x_label = slice.axis;
+  options.y_label = slice.title;
+  return util::RenderAsciiPlot({bound_series, raw_series}, options);
+}
+
+Result<TradeoffChoice> AdminSession::FineTune(double max_error) const {
+  return ChooseTradeoff(profile_, max_error, model_max_resolution_);
+}
+
+}  // namespace core
+}  // namespace smokescreen

@@ -1,0 +1,71 @@
+// The administration procedure of §3.1.
+//
+// Error bounds over the intervention candidates form a degradation
+// hypercube with axes (f, p, c). Administrators are initially shown three
+// cube slices — each varying one knob with the unseen dimensions fixed to
+// their LOOSEST intervention values — as 2-D plots; they then adjust the
+// fixed dimensions for more plots and fine-tune the knobs against bounded
+// error values. AdminSession wraps a generated Profile with exactly that
+// workflow, including terminal-rendered plots of each slice.
+
+#ifndef SMOKESCREEN_CORE_ADMIN_SESSION_H_
+#define SMOKESCREEN_CORE_ADMIN_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/profiler.h"
+#include "core/tradeoff.h"
+#include "util/status.h"
+
+namespace smokescreen {
+namespace core {
+
+class AdminSession {
+ public:
+  /// One 2-D cut through the degradation hypercube.
+  struct Slice {
+    std::string title;
+    /// The knob being varied, for plotting ("fraction", "resolution",
+    /// "restricted classes").
+    std::string axis;
+    std::vector<ProfilePoint> points;
+  };
+
+  /// The profile must outlive the session. `model_max_resolution` resolves
+  /// unset resolution knobs.
+  AdminSession(const Profile& profile, int model_max_resolution);
+
+  /// Loosest (least degrading) values present in the profile: the largest
+  /// sample fraction, the highest resolution, and no removal.
+  double LoosestFraction() const { return loosest_fraction_; }
+  int LoosestResolution() const { return loosest_resolution_; }
+
+  /// The three plots initially shown (§3.1): vary one knob, fix the others
+  /// to their loosest values.
+  std::vector<Slice> InitialSlices() const;
+
+  /// Adjusted slices: the administrator pins the fixed dimensions elsewhere.
+  Slice FractionSlice(int resolution, const video::ClassSet& restricted) const;
+  Slice ResolutionSlice(double fraction, const video::ClassSet& restricted) const;
+  Slice RestrictedSlice(double fraction, int resolution) const;
+
+  /// Renders a slice's (knob, err_bound) curve as an ASCII plot, marking
+  /// uncorrected and repaired bounds as separate series.
+  util::Result<std::string> RenderSlice(const Slice& slice) const;
+
+  /// Fine-tuning: the strongest degradation whose bound meets `max_error`
+  /// (delegates to ChooseTradeoff over the whole hypercube).
+  util::Result<TradeoffChoice> FineTune(double max_error) const;
+
+ private:
+  const Profile& profile_;
+  int model_max_resolution_;
+  double loosest_fraction_ = 0.0;
+  int loosest_resolution_ = 0;
+};
+
+}  // namespace core
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_CORE_ADMIN_SESSION_H_

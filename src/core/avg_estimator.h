@@ -1,0 +1,49 @@
+// Smokescreen's AVG estimator (paper Algorithm 1, Theorem 3.1).
+//
+// Improvements over the empirical Bernstein stopping algorithm it adapts:
+//  * the confidence interval is built only for the actual sample size n (no
+//    union bound over all stopping times), and
+//  * the radius comes from the Hoeffding–Serfling inequality for sampling
+//    without replacement, which is tighter than the empirical Bernstein
+//    bound at small sample sizes.
+//
+// Given the interval (LB, UB) for |mu|:
+//   Y_approx = sgn(x_bar) * 2*UB*LB / (UB + LB)   (harmonic midpoint)
+//   err_b    = (UB - LB) / (UB + LB)
+// which satisfies |Y_approx - mu| / |mu| <= err_b w.p. >= 1 - delta.
+
+#ifndef SMOKESCREEN_CORE_AVG_ESTIMATOR_H_
+#define SMOKESCREEN_CORE_AVG_ESTIMATOR_H_
+
+#include "core/estimate.h"
+
+namespace smokescreen {
+namespace core {
+
+class SmokescreenMeanEstimator : public MeanEstimator {
+ public:
+  SmokescreenMeanEstimator() : name_("Smokescreen") {}
+
+  const std::string& name() const override { return name_; }
+
+  util::Result<Estimate> EstimateMean(const std::vector<double>& sample, int64_t population,
+                                      double delta) const override;
+
+  /// Exposed interval construction for tests and for the repair algebra:
+  /// returns {LB, UB} for |mu| given the sample.
+  static util::Result<std::pair<double, double>> ConfidenceBounds(
+      const std::vector<double>& sample, int64_t population, double delta);
+
+  /// The harmonic-midpoint mapping from an interval to (Y_approx, err_b);
+  /// shared with the EBGS baseline, which uses the same output construction
+  /// with a different interval.
+  static Estimate FromBounds(double lb, double ub, double sign);
+
+ private:
+  std::string name_;
+};
+
+}  // namespace core
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_CORE_AVG_ESTIMATOR_H_

@@ -1,0 +1,44 @@
+#include "core/combine.h"
+
+#include "core/avg_estimator.h"
+
+namespace smokescreen {
+namespace core {
+
+using util::Result;
+using util::Status;
+
+Result<CombinedEstimate> CombineMeanEstimates(const std::vector<StratumInterval>& strata) {
+  if (strata.empty()) return Status::InvalidArgument("no strata to combine");
+
+  CombinedEstimate combined;
+  for (const StratumInterval& stratum : strata) {
+    if (stratum.population <= 0) {
+      return Status::InvalidArgument("stratum population must be positive");
+    }
+    if (stratum.lb < 0.0 || stratum.lb > stratum.ub) {
+      return Status::InvalidArgument("stratum interval must satisfy 0 <= lb <= ub");
+    }
+    if (stratum.delta <= 0.0 || stratum.delta >= 1.0) {
+      return Status::InvalidArgument("stratum delta must be in (0,1)");
+    }
+    combined.total_population += stratum.population;
+    combined.total_delta += stratum.delta;
+  }
+  if (combined.total_delta >= 1.0) {
+    return Status::InvalidArgument("combined failure budget reaches 1; use smaller deltas");
+  }
+
+  double lb = 0.0, ub = 0.0;
+  for (const StratumInterval& stratum : strata) {
+    double weight = static_cast<double>(stratum.population) /
+                    static_cast<double>(combined.total_population);
+    lb += weight * stratum.lb;
+    ub += weight * stratum.ub;
+  }
+  combined.estimate = SmokescreenMeanEstimator::FromBounds(lb, ub, /*sign=*/1.0);
+  return combined;
+}
+
+}  // namespace core
+}  // namespace smokescreen

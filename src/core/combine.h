@@ -1,0 +1,49 @@
+// Combining per-camera estimates (multi-camera deployments).
+//
+// The paper's system model has a SET of configurable networked cameras
+// feeding one query processor (§1). When each camera k covers N_k frames and
+// produces a mean-family interval [LB_k, UB_k] valid w.p. >= 1 - delta_k,
+// the city-wide mean lies in [sum w_k LB_k, sum w_k UB_k] with
+// w_k = N_k / sum N, valid w.p. >= 1 - sum delta_k (union bound). Mapping
+// that combined interval through Theorem 3.1's harmonic construction yields
+// a city-wide Y_approx and relative-error bound.
+
+#ifndef SMOKESCREEN_CORE_COMBINE_H_
+#define SMOKESCREEN_CORE_COMBINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/estimate.h"
+#include "util/status.h"
+
+namespace smokescreen {
+namespace core {
+
+/// One camera's contribution: a mean-scale confidence interval over its own
+/// N_k frames, valid with probability >= 1 - delta.
+struct StratumInterval {
+  double lb = 0.0;
+  double ub = 0.0;
+  int64_t population = 0;  // N_k.
+  double delta = 0.05;
+};
+
+struct CombinedEstimate {
+  /// City-wide mean-scale answer and relative-error bound.
+  Estimate estimate;
+  /// Total failure budget: sum of the strata deltas.
+  double total_delta = 0.0;
+  /// Total population covered.
+  int64_t total_population = 0;
+};
+
+/// Combines per-stratum intervals into one estimate. Error when empty, when
+/// any interval is malformed (lb > ub, lb < 0, population <= 0), or when the
+/// summed failure budget reaches 1 (the combined bound would be vacuous).
+util::Result<CombinedEstimate> CombineMeanEstimates(const std::vector<StratumInterval>& strata);
+
+}  // namespace core
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_CORE_COMBINE_H_

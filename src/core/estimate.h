@@ -1,0 +1,59 @@
+// Estimator interfaces shared by Smokescreen's algorithms (core/) and the
+// competing methods of §5.1 (baselines/).
+//
+// All estimators consume a vector of frame-level model outputs sampled
+// WITHOUT REPLACEMENT from a population of known size, and produce an
+// approximate answer plus a high-confidence upper bound err_b on the
+// relative error — |Y_approx - Y_true| / |Y_true| for the mean family, and
+// the rank-relative metric for quantiles (MAX/MIN).
+
+#ifndef SMOKESCREEN_CORE_ESTIMATE_H_
+#define SMOKESCREEN_CORE_ESTIMATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace smokescreen {
+namespace core {
+
+/// An approximate query answer with its error upper bound (valid with
+/// probability at least 1 - delta).
+struct Estimate {
+  double y_approx = 0.0;
+  double err_b = 0.0;
+};
+
+/// Estimators for AVG (and, after scaling by N, SUM and COUNT).
+class MeanEstimator {
+ public:
+  virtual ~MeanEstimator() = default;
+  virtual const std::string& name() const = 0;
+
+  /// `sample` holds n outputs drawn without replacement from `population`
+  /// values; delta in (0,1) is the allowed failure probability. Returns the
+  /// mean-scale estimate and the relative-error bound.
+  virtual util::Result<Estimate> EstimateMean(const std::vector<double>& sample,
+                                              int64_t population, double delta) const = 0;
+};
+
+/// Estimators for MAX/MIN via extreme r-quantiles.
+class QuantileEstimator {
+ public:
+  virtual ~QuantileEstimator() = default;
+  virtual const std::string& name() const = 0;
+
+  /// Estimates the r-th quantile from `sample` (drawn without replacement
+  /// from `population` values). `is_max` selects the MAX-side (r near 1) or
+  /// MIN-side (r near 0) bound formula. err_b bounds the rank-relative error.
+  virtual util::Result<Estimate> EstimateQuantile(const std::vector<double>& sample,
+                                                  int64_t population, double r, bool is_max,
+                                                  double delta) const = 0;
+};
+
+}  // namespace core
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_CORE_ESTIMATE_H_

@@ -1,0 +1,70 @@
+#include "core/estimator_api.h"
+
+#include "core/avg_estimator.h"
+#include "core/quantile_estimator.h"
+#include "core/var_estimator.h"
+
+namespace smokescreen {
+namespace core {
+
+using util::Result;
+using util::Status;
+
+Result<EstimationResult> EstimateFromFrames(query::FrameOutputSource& source,
+                                            const query::QuerySpec& spec,
+                                            const std::vector<int64_t>& frames,
+                                            int64_t eligible_population,
+                                            int64_t original_population, int resolution,
+                                            double contrast_scale, double delta) {
+  SMK_RETURN_IF_ERROR(spec.Validate());
+  if (frames.empty()) return Status::InvalidArgument("no frames to estimate from");
+
+  EstimationResult result;
+  result.sample_size = static_cast<int64_t>(frames.size());
+  result.eligible_population = eligible_population;
+  result.original_population = original_population;
+  result.resolution = resolution;
+  SMK_ASSIGN_OR_RETURN(result.sample_outputs,
+                       source.Outputs(spec, frames, resolution, contrast_scale));
+
+  if (spec.aggregate == query::AggregateFunction::kVar) {
+    SmokescreenVarianceEstimator estimator;
+    SMK_ASSIGN_OR_RETURN(result.estimate,
+                         estimator.EstimateVariance(result.sample_outputs, eligible_population,
+                                                    delta));
+  } else if (query::IsMeanFamily(spec.aggregate)) {
+    SmokescreenMeanEstimator estimator;
+    SMK_ASSIGN_OR_RETURN(Estimate mean_est, estimator.EstimateMean(result.sample_outputs,
+                                                                   eligible_population, delta));
+    result.estimate = mean_est;
+    if (spec.aggregate != query::AggregateFunction::kAvg) {
+      // SUM/COUNT (§3.2.2–3.2.3): Y_approx scales by the known video length
+      // N; the relative-error bound is unchanged.
+      result.estimate.y_approx *= static_cast<double>(original_population);
+    }
+  } else {
+    SmokescreenQuantileEstimator estimator;
+    bool is_max = spec.aggregate == query::AggregateFunction::kMax;
+    SMK_ASSIGN_OR_RETURN(
+        result.estimate,
+        estimator.EstimateQuantile(result.sample_outputs, eligible_population,
+                                   spec.EffectiveQuantileR(), is_max, delta));
+  }
+  return result;
+}
+
+Result<EstimationResult> ResultErrorEst(query::FrameOutputSource& source,
+                                        const detect::ClassPriorIndex& prior,
+                                        const query::QuerySpec& spec,
+                                        const degrade::InterventionSet& interventions,
+                                        double delta, stats::Rng& rng) {
+  SMK_ASSIGN_OR_RETURN(degrade::DegradedView view,
+                       degrade::DegradedView::Create(source.dataset(), prior, interventions,
+                                                     source.detector().max_resolution(), rng));
+  return EstimateFromFrames(source, spec, view.sampled_frames(), view.eligible_population(),
+                            view.original_population(), view.resolution(),
+                            view.contrast_scale(), delta);
+}
+
+}  // namespace core
+}  // namespace smokescreen

@@ -1,0 +1,62 @@
+// ResultErrorEst — the single entry point of the paper's Algorithm 3
+// (lines 1–2): apply a set of destructive interventions to the video, run
+// the detection UDF on the surviving sampled frames, and produce the
+// approximate aggregate answer plus its error upper bound, dispatching to
+// the AVG-family estimator (§3.2.1–3.2.3) or the quantile estimator
+// (§3.2.4) as appropriate.
+
+#ifndef SMOKESCREEN_CORE_ESTIMATOR_API_H_
+#define SMOKESCREEN_CORE_ESTIMATOR_API_H_
+
+#include <vector>
+
+#include "core/estimate.h"
+#include "degrade/degraded_view.h"
+#include "degrade/intervention.h"
+#include "detect/class_prior_index.h"
+#include "query/output_source.h"
+#include "query/query_spec.h"
+#include "stats/rng.h"
+#include "util/status.h"
+
+namespace smokescreen {
+namespace core {
+
+/// Outcome of one degraded estimation run.
+struct EstimationResult {
+  /// Aggregate-scale answer and relative-error bound (SUM/COUNT answers are
+  /// scaled by the original population N, as in §3.2.2).
+  Estimate estimate;
+  int64_t sample_size = 0;
+  /// Population the sample was drawn from (frames surviving image removal).
+  int64_t eligible_population = 0;
+  /// Original query-specified frame count N.
+  int64_t original_population = 0;
+  int resolution = 0;
+  /// The sampled frame-level outputs (kept for profile repair's rank logic).
+  std::vector<double> sample_outputs;
+};
+
+/// Runs the query under `interventions` and estimates answer + error bound.
+/// Randomness: frame sampling only, driven by `rng` (detector outputs are
+/// deterministic).
+util::Result<EstimationResult> ResultErrorEst(query::FrameOutputSource& source,
+                                              const detect::ClassPriorIndex& prior,
+                                              const query::QuerySpec& spec,
+                                              const degrade::InterventionSet& interventions,
+                                              double delta, stats::Rng& rng);
+
+/// Estimation from an explicit list of pre-sampled frames (used by the
+/// profiler's nested-prefix reuse strategy, where samples for ascending
+/// fractions share a common permutation so cached outputs are reused).
+util::Result<EstimationResult> EstimateFromFrames(query::FrameOutputSource& source,
+                                                  const query::QuerySpec& spec,
+                                                  const std::vector<int64_t>& frames,
+                                                  int64_t eligible_population,
+                                                  int64_t original_population, int resolution,
+                                                  double contrast_scale, double delta);
+
+}  // namespace core
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_CORE_ESTIMATOR_API_H_

@@ -1,0 +1,63 @@
+#include "core/online_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/avg_estimator.h"
+#include "stats/concentration.h"
+
+namespace smokescreen {
+namespace core {
+
+using util::Result;
+using util::Status;
+
+Result<OnlineMonitor> OnlineMonitor::Create(const query::QuerySpec& spec,
+                                            int64_t expected_population, double delta) {
+  SMK_RETURN_IF_ERROR(spec.Validate());
+  if (!query::IsMeanFamily(spec.aggregate)) {
+    return Status::NotImplemented(
+        "online monitoring supports mean-family aggregates (AVG/SUM/COUNT) only");
+  }
+  if (expected_population <= 0) {
+    return Status::InvalidArgument("expected population must be positive");
+  }
+  if (delta <= 0.0 || delta >= 1.0) return Status::InvalidArgument("delta must be in (0,1)");
+  return OnlineMonitor(spec, expected_population, delta);
+}
+
+void OnlineMonitor::Observe(double output) { accumulator_.Add(output); }
+
+Result<Estimate> OnlineMonitor::CurrentEstimate() const {
+  if (accumulator_.count() == 0) return Status::FailedPrecondition("no outputs observed yet");
+  int64_t n = std::min(accumulator_.count(), population_);
+  double radius =
+      stats::HoeffdingSerflingRadius(accumulator_.range(), n, population_, delta_);
+  double abs_mean = std::abs(accumulator_.mean());
+  double sign = accumulator_.mean() < 0.0 ? -1.0 : 1.0;
+  Estimate est = SmokescreenMeanEstimator::FromBounds(std::max(0.0, abs_mean - radius),
+                                                      abs_mean + radius, sign);
+  if (spec_.aggregate != query::AggregateFunction::kAvg) {
+    est.y_approx *= static_cast<double>(population_);
+  }
+  return est;
+}
+
+Result<bool> OnlineMonitor::IsConsistentWith(double reference_answer, double slack) const {
+  if (slack < 0.0) return Status::InvalidArgument("slack must be non-negative");
+  if (accumulator_.count() == 0) return Status::FailedPrecondition("no outputs observed yet");
+
+  // Convert the reference to mean scale for comparison with the interval.
+  double reference_mean = reference_answer;
+  if (spec_.aggregate != query::AggregateFunction::kAvg) {
+    reference_mean /= static_cast<double>(population_);
+  }
+  int64_t n = std::min(accumulator_.count(), population_);
+  double radius =
+      stats::HoeffdingSerflingRadius(accumulator_.range(), n, population_, delta_);
+  radius *= 1.0 + slack;
+  return std::abs(accumulator_.mean() - reference_mean) <= radius;
+}
+
+}  // namespace core
+}  // namespace smokescreen

@@ -1,0 +1,62 @@
+// Online monitoring of the deployed degradation setting.
+//
+// After the administrator picks a tradeoff, §3.1 has the query run "on the
+// video D or upcoming videos processed by the determined degradation
+// operations". Profiles were computed on a representative portion, so the
+// deployment needs a cheap check that upcoming video still behaves like the
+// profiled video. OnlineMonitor consumes the degraded frame outputs as they
+// stream in, maintains the Algorithm-1 estimate/bound incrementally (O(1)
+// per frame via Welford + running min/max), and flags drift when the
+// profiled answer falls outside the stream's current confidence interval —
+// the administrator's cue to re-profile.
+//
+// Mean-family aggregates only (AVG/SUM/COUNT); extreme quantiles cannot be
+// monitored from a running prefix without storing the distribution.
+
+#ifndef SMOKESCREEN_CORE_ONLINE_MONITOR_H_
+#define SMOKESCREEN_CORE_ONLINE_MONITOR_H_
+
+#include "core/estimate.h"
+#include "query/query_spec.h"
+#include "stats/descriptive.h"
+#include "util/status.h"
+
+namespace smokescreen {
+namespace core {
+
+class OnlineMonitor {
+ public:
+  /// `expected_population` is the N the running sample is drawn from (the
+  /// upcoming video's frame count); `delta` the per-check failure budget.
+  static util::Result<OnlineMonitor> Create(const query::QuerySpec& spec,
+                                            int64_t expected_population, double delta);
+
+  /// Feeds one frame-level output (already query-transformed).
+  void Observe(double output);
+
+  int64_t count() const { return accumulator_.count(); }
+
+  /// Current Algorithm-1 estimate/bound from the streamed prefix. Error when
+  /// nothing has been observed yet.
+  util::Result<Estimate> CurrentEstimate() const;
+
+  /// True when `reference_answer` (the profiled Y_approx, at aggregate
+  /// scale) is consistent with the stream: it lies inside the stream's
+  /// current confidence interval, inflated by `slack` (relative). False
+  /// signals drift — time to re-profile.
+  util::Result<bool> IsConsistentWith(double reference_answer, double slack = 0.0) const;
+
+ private:
+  OnlineMonitor(const query::QuerySpec& spec, int64_t population, double delta)
+      : spec_(spec), population_(population), delta_(delta) {}
+
+  query::QuerySpec spec_;
+  int64_t population_;
+  double delta_;
+  stats::WelfordAccumulator accumulator_;
+};
+
+}  // namespace core
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_CORE_ONLINE_MONITOR_H_

@@ -1,0 +1,105 @@
+#include "core/profile_io.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace smokescreen {
+namespace core {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr char kMagicLine[] = "#smokescreen-profile v1";
+
+}  // namespace
+
+Status SaveProfile(const Profile& profile, const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << kMagicLine << "\n";
+  out << "#dataset=" << profile.dataset_name << "\n";
+  out << "#detector=" << profile.detector_name << "\n";
+  out << "#aggregate=" << query::AggregateFunctionName(profile.spec.aggregate) << "\n";
+  out << "#count_threshold=" << profile.spec.count_threshold << "\n";
+  out << "#quantile_r=" << util::FormatDouble(profile.spec.quantile_r, 6) << "\n";
+  out << "fraction,resolution,restricted,contrast_scale,err_bound,err_uncorrected,"
+         "y_approx,repaired,sample_size\n";
+  for (const ProfilePoint& p : profile.points) {
+    out << util::FormatDouble(p.interventions.sample_fraction, 6) << ','
+        << p.interventions.resolution << ','
+        << static_cast<int>(p.interventions.restricted.mask()) << ','
+        << util::FormatDouble(p.interventions.contrast_scale, 6) << ','
+        << util::FormatDouble(p.err_bound, 9) << ','
+        << util::FormatDouble(p.err_uncorrected, 9) << ','
+        << util::FormatDouble(p.y_approx, 9) << ',' << (p.repaired ? 1 : 0) << ','
+        << p.sample_size << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Profile> LoadProfile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+
+  std::string line;
+  if (!std::getline(in, line) || util::Trim(line) != kMagicLine) {
+    return Status::IoError("not a smokescreen profile: " + path);
+  }
+
+  Profile profile;
+  // Header comments.
+  while (in.peek() == '#') {
+    std::getline(in, line);
+    auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = line.substr(1, eq - 1);
+    std::string value = line.substr(eq + 1);
+    if (key == "dataset") {
+      profile.dataset_name = value;
+    } else if (key == "detector") {
+      profile.detector_name = value;
+    } else if (key == "aggregate") {
+      SMK_ASSIGN_OR_RETURN(profile.spec.aggregate, query::AggregateFunctionFromName(value));
+    } else if (key == "count_threshold") {
+      profile.spec.count_threshold = std::atoi(value.c_str());
+    } else if (key == "quantile_r") {
+      profile.spec.quantile_r = std::atof(value.c_str());
+    }
+  }
+  // Column header.
+  if (!std::getline(in, line) || !util::StartsWith(line, "fraction,")) {
+    return Status::IoError("missing column header in " + path);
+  }
+  // Rows.
+  while (std::getline(in, line)) {
+    if (util::Trim(line).empty()) continue;
+    std::vector<std::string> cells = util::Split(line, ',');
+    if (cells.size() != 9) {
+      return Status::IoError("malformed profile row: " + line);
+    }
+    ProfilePoint p;
+    p.interventions.sample_fraction = std::atof(cells[0].c_str());
+    p.interventions.resolution = std::atoi(cells[1].c_str());
+    int mask = std::atoi(cells[2].c_str());
+    for (int i = 0; i < video::kNumObjectClasses; ++i) {
+      if (mask & (1 << i)) p.interventions.restricted.Add(static_cast<video::ObjectClass>(i));
+    }
+    p.interventions.contrast_scale = std::atof(cells[3].c_str());
+    p.err_bound = std::atof(cells[4].c_str());
+    p.err_uncorrected = std::atof(cells[5].c_str());
+    p.y_approx = std::atof(cells[6].c_str());
+    p.repaired = cells[7] == "1";
+    p.sample_size = std::atoll(cells[8].c_str());
+    SMK_RETURN_IF_ERROR(p.interventions.Validate());
+    profile.points.push_back(p);
+  }
+  return profile;
+}
+
+}  // namespace core
+}  // namespace smokescreen

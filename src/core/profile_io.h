@@ -1,0 +1,27 @@
+// Profile persistence: administrators generate profiles once (the expensive,
+// model-bound stage) and share/revisit them later when choosing tradeoffs —
+// including transferring a profile computed on a similar, less sensitive
+// video (§3.3.1). The format is a commented CSV: human-inspectable and
+// trivially plottable.
+
+#ifndef SMOKESCREEN_CORE_PROFILE_IO_H_
+#define SMOKESCREEN_CORE_PROFILE_IO_H_
+
+#include <string>
+
+#include "core/profiler.h"
+#include "util/status.h"
+
+namespace smokescreen {
+namespace core {
+
+/// Writes the profile to `path`. Overwrites.
+util::Status SaveProfile(const Profile& profile, const std::string& path);
+
+/// Reads a profile previously written by SaveProfile.
+util::Result<Profile> LoadProfile(const std::string& path);
+
+}  // namespace core
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_CORE_PROFILE_IO_H_

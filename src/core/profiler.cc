@@ -1,0 +1,235 @@
+#include "core/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "stats/sampling.h"
+
+namespace smokescreen {
+namespace core {
+
+using degrade::InterventionSet;
+using util::Result;
+using util::Status;
+
+const ProfilePoint* Profile::Find(const InterventionSet& interventions) const {
+  for (const ProfilePoint& point : points) {
+    if (point.interventions == interventions) return &point;
+  }
+  return nullptr;
+}
+
+Profiler::Profiler(query::FrameOutputSource& source, const detect::ClassPriorIndex& prior,
+                   query::QuerySpec spec, ProfilerOptions options)
+    : source_(source), prior_(prior), spec_(spec), options_(options) {}
+
+namespace {
+
+/// Group key: everything except the sample fraction.
+struct GroupKey {
+  int resolution;
+  uint8_t restricted_mask;
+  int64_t contrast_bits;
+
+  bool operator<(const GroupKey& other) const {
+    return std::tie(resolution, restricted_mask, contrast_bits) <
+           std::tie(other.resolution, other.restricted_mask, other.contrast_bits);
+  }
+};
+
+}  // namespace
+
+Result<Profile> Profiler::Generate(const std::vector<InterventionSet>& candidates,
+                                   stats::Rng& rng) {
+  SMK_RETURN_IF_ERROR(spec_.Validate());
+  if (candidates.empty()) return Status::InvalidArgument("no intervention candidates");
+
+  Profile profile;
+  profile.spec = spec_;
+  profile.dataset_name = source_.dataset().name();
+  profile.detector_name = source_.detector().name();
+
+  // Build the correction set once; it corrects every candidate (§3.2.5).
+  correction_set_.reset();
+  if (options_.use_correction_set) {
+    int64_t size = options_.correction_set_size;
+    if (size <= 0) {
+      SMK_ASSIGN_OR_RETURN(CorrectionSizing sizing,
+                           DetermineCorrectionSetSize(source_, spec_, options_.delta, rng,
+                                                      options_.correction_max_fraction));
+      size = sizing.chosen_size;
+    }
+    SMK_ASSIGN_OR_RETURN(CorrectionSet correction,
+                         BuildCorrectionSet(source_, spec_, size, options_.delta, rng));
+    correction_set_ = std::move(correction);
+  }
+
+  // Group candidates by the non-fraction knobs; ascending fractions within a
+  // group share one permutation (nested prefixes = maximal output reuse).
+  std::map<GroupKey, std::vector<InterventionSet>> groups;
+  for (const InterventionSet& candidate : candidates) {
+    SMK_RETURN_IF_ERROR(candidate.Validate());
+    GroupKey key{candidate.resolution, candidate.restricted.mask(),
+                 static_cast<int64_t>(std::llround(candidate.contrast_scale * 4096.0))};
+    groups[key].push_back(candidate);
+  }
+
+  const int model_max = source_.detector().max_resolution();
+  const int64_t original_population = source_.dataset().num_frames();
+
+  for (auto& [key, group] : groups) {
+    std::sort(group.begin(), group.end(),
+              [](const InterventionSet& a, const InterventionSet& b) {
+                return a.sample_fraction < b.sample_fraction;
+              });
+
+    std::vector<int64_t> eligible = prior_.FramesWithoutAny(group.front().restricted);
+    if (eligible.empty()) {
+      return Status::FailedPrecondition("candidate group " + group.front().ToString() +
+                                        " removes every frame");
+    }
+    int64_t eligible_population = static_cast<int64_t>(eligible.size());
+    // One permutation per group; each fraction takes a prefix.
+    stats::Shuffle(eligible, rng);
+
+    double prev_err = std::numeric_limits<double>::infinity();
+    for (const InterventionSet& candidate : group) {
+      int64_t n = stats::FractionToCount(original_population, candidate.sample_fraction);
+      n = std::min(n, eligible_population);
+      std::vector<int64_t> frames(eligible.begin(), eligible.begin() + n);
+      int resolution = candidate.EffectiveResolution(model_max);
+      SMK_ASSIGN_OR_RETURN(
+          EstimationResult result,
+          EstimateFromFrames(source_, spec_, frames, eligible_population, original_population,
+                             resolution, candidate.contrast_scale, options_.delta));
+
+      ProfilePoint point;
+      point.interventions = candidate;
+      point.y_approx = result.estimate.y_approx;
+      point.err_uncorrected = result.estimate.err_b;
+      point.sample_size = result.sample_size;
+
+      bool purely_random = candidate.restricted.empty() && resolution == model_max &&
+                           candidate.contrast_scale >= 1.0;
+      if (correction_set_.has_value()) {
+        SMK_ASSIGN_OR_RETURN(double repaired_err,
+                             RepairErrorBound(spec_, result, *correction_set_));
+        if (purely_random) {
+          // Random-only: both bounds are valid; keep the tighter.
+          point.err_bound = std::min(point.err_uncorrected, repaired_err);
+          point.repaired = repaired_err < point.err_uncorrected;
+        } else {
+          point.err_bound = repaired_err;
+          point.repaired = true;
+        }
+      } else {
+        point.err_bound = point.err_uncorrected;
+        point.repaired = false;
+      }
+      profile.points.push_back(point);
+
+      if (options_.early_stop && std::isfinite(prev_err) &&
+          prev_err - point.err_bound < options_.early_stop_tolerance) {
+        break;  // Bound is flattening; skip costlier fractions in this group.
+      }
+      prev_err = point.err_bound;
+    }
+  }
+  return profile;
+}
+
+namespace {
+
+bool NearlyEqual(double a, double b) { return std::abs(a - b) < 1e-9; }
+
+}  // namespace
+
+Result<double> InterpolateBound(const Profile& profile, const degrade::InterventionSet& target) {
+  SMK_RETURN_IF_ERROR(target.Validate());
+  // Collect the group: points matching every knob except the fraction.
+  std::vector<const ProfilePoint*> group;
+  for (const ProfilePoint& point : profile.points) {
+    if (point.interventions.resolution == target.resolution &&
+        point.interventions.restricted == target.restricted &&
+        NearlyEqual(point.interventions.contrast_scale, target.contrast_scale)) {
+      group.push_back(&point);
+    }
+  }
+  if (group.empty()) {
+    return Status::NotFound("no profile points match " + target.ToString() +
+                            " (ignoring the sample fraction)");
+  }
+  std::sort(group.begin(), group.end(), [](const ProfilePoint* a, const ProfilePoint* b) {
+    return a->interventions.sample_fraction < b->interventions.sample_fraction;
+  });
+  double f = target.sample_fraction;
+  if (f < group.front()->interventions.sample_fraction - 1e-9 ||
+      f > group.back()->interventions.sample_fraction + 1e-9) {
+    return Status::OutOfRange("fraction " + std::to_string(f) +
+                              " outside the profiled range [" +
+                              std::to_string(group.front()->interventions.sample_fraction) +
+                              ", " +
+                              std::to_string(group.back()->interventions.sample_fraction) + "]");
+  }
+  for (size_t i = 0; i < group.size(); ++i) {
+    double fi = group[i]->interventions.sample_fraction;
+    if (NearlyEqual(fi, f)) return group[i]->err_bound;
+    if (i + 1 < group.size()) {
+      double fj = group[i + 1]->interventions.sample_fraction;
+      if (f > fi && f < fj) {
+        double t = (f - fi) / (fj - fi);
+        return group[i]->err_bound + t * (group[i + 1]->err_bound - group[i]->err_bound);
+      }
+    }
+  }
+  return group.back()->err_bound;  // f == last fraction within tolerance.
+}
+
+std::vector<ProfilePoint> SliceByFraction(const Profile& profile, int resolution,
+                                          const video::ClassSet& restricted) {
+  std::vector<ProfilePoint> slice;
+  for (const ProfilePoint& point : profile.points) {
+    if (point.interventions.resolution == resolution &&
+        point.interventions.restricted == restricted) {
+      slice.push_back(point);
+    }
+  }
+  std::sort(slice.begin(), slice.end(), [](const ProfilePoint& a, const ProfilePoint& b) {
+    return a.interventions.sample_fraction < b.interventions.sample_fraction;
+  });
+  return slice;
+}
+
+std::vector<ProfilePoint> SliceByResolution(const Profile& profile, double fraction,
+                                            const video::ClassSet& restricted) {
+  std::vector<ProfilePoint> slice;
+  for (const ProfilePoint& point : profile.points) {
+    if (NearlyEqual(point.interventions.sample_fraction, fraction) &&
+        point.interventions.restricted == restricted) {
+      slice.push_back(point);
+    }
+  }
+  std::sort(slice.begin(), slice.end(), [](const ProfilePoint& a, const ProfilePoint& b) {
+    return a.interventions.resolution < b.interventions.resolution;
+  });
+  return slice;
+}
+
+std::vector<ProfilePoint> SliceByRestricted(const Profile& profile, double fraction,
+                                            int resolution) {
+  std::vector<ProfilePoint> slice;
+  for (const ProfilePoint& point : profile.points) {
+    if (NearlyEqual(point.interventions.sample_fraction, fraction) &&
+        point.interventions.resolution == resolution) {
+      slice.push_back(point);
+    }
+  }
+  std::sort(slice.begin(), slice.end(), [](const ProfilePoint& a, const ProfilePoint& b) {
+    return a.interventions.restricted.mask() < b.interventions.restricted.mask();
+  });
+  return slice;
+}
+
+}  // namespace core
+}  // namespace smokescreen

@@ -1,0 +1,135 @@
+#include "core/repair.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/avg_estimator.h"
+#include "core/quantile_estimator.h"
+#include "core/var_estimator.h"
+#include "stats/empirical.h"
+#include "stats/sampling.h"
+
+namespace smokescreen {
+namespace core {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// Computes the correction set's own estimate from its outputs.
+Result<Estimate> EstimateCorrection(const query::QuerySpec& spec,
+                                    const std::vector<double>& outputs, int64_t population,
+                                    double delta) {
+  if (spec.aggregate == query::AggregateFunction::kVar) {
+    SmokescreenVarianceEstimator estimator;
+    return estimator.EstimateVariance(outputs, population, delta);
+  }
+  if (query::IsMeanFamily(spec.aggregate)) {
+    SmokescreenMeanEstimator estimator;
+    SMK_ASSIGN_OR_RETURN(Estimate est, estimator.EstimateMean(outputs, population, delta));
+    if (spec.aggregate != query::AggregateFunction::kAvg) {
+      est.y_approx *= static_cast<double>(population);
+    }
+    return est;
+  }
+  SmokescreenQuantileEstimator estimator;
+  bool is_max = spec.aggregate == query::AggregateFunction::kMax;
+  return estimator.EstimateQuantile(outputs, population, spec.EffectiveQuantileR(), is_max,
+                                    delta);
+}
+
+}  // namespace
+
+Result<CorrectionSet> BuildCorrectionSetFromFrames(query::FrameOutputSource& source,
+                                                   const query::QuerySpec& spec,
+                                                   const std::vector<int64_t>& frames,
+                                                   double delta) {
+  SMK_RETURN_IF_ERROR(spec.Validate());
+  int64_t population = source.dataset().num_frames();
+  if (frames.empty() || static_cast<int64_t>(frames.size()) > population) {
+    return Status::InvalidArgument("correction set size must be in [1, N]");
+  }
+  CorrectionSet correction;
+  correction.size = static_cast<int64_t>(frames.size());
+  correction.population = population;
+  SMK_ASSIGN_OR_RETURN(correction.outputs,
+                       source.Outputs(spec, frames, source.detector().max_resolution(), 1.0));
+  SMK_ASSIGN_OR_RETURN(correction.estimate,
+                       EstimateCorrection(spec, correction.outputs, population, delta));
+  return correction;
+}
+
+Result<CorrectionSet> BuildCorrectionSet(query::FrameOutputSource& source,
+                                         const query::QuerySpec& spec, int64_t m, double delta,
+                                         stats::Rng& rng) {
+  int64_t population = source.dataset().num_frames();
+  if (m <= 0 || m > population) {
+    return Status::InvalidArgument("correction set size must be in [1, N]");
+  }
+  SMK_ASSIGN_OR_RETURN(std::vector<int64_t> frames,
+                       stats::SampleWithoutReplacement(population, m, rng));
+  return BuildCorrectionSetFromFrames(source, spec, frames, delta);
+}
+
+Result<double> RepairErrorBound(const query::QuerySpec& spec, const EstimationResult& degraded,
+                                const CorrectionSet& correction) {
+  SMK_RETURN_IF_ERROR(spec.Validate());
+  double err_v = correction.estimate.err_b;
+  if (query::UsesRelativeErrorMetric(spec.aggregate)) {
+    double y = degraded.estimate.y_approx;
+    double y_v = correction.estimate.y_approx;
+    if (y_v == 0.0) return std::numeric_limits<double>::infinity();
+    return (1.0 + err_v) * std::abs(y - y_v) / std::abs(y_v) + err_v;
+  }
+  // MAX/MIN: compare ranks of both approximations inside the correction set
+  // (Algorithm 3 lines 7–9).
+  SMK_ASSIGN_OR_RETURN(stats::EmpiricalDistribution dist,
+                       stats::EmpiricalDistribution::Create(correction.outputs));
+  double r = spec.EffectiveQuantileR();
+  double rank_degraded = dist.RankFraction(degraded.estimate.y_approx);
+  double rank_correction = dist.RankFraction(correction.estimate.y_approx);
+  return std::abs(rank_degraded - rank_correction) / r + err_v;
+}
+
+Result<CorrectionSizing> DetermineCorrectionSetSize(query::FrameOutputSource& source,
+                                                    const query::QuerySpec& spec, double delta,
+                                                    stats::Rng& rng, double max_fraction,
+                                                    double plateau_tolerance) {
+  SMK_RETURN_IF_ERROR(spec.Validate());
+  if (max_fraction <= 0.0 || max_fraction > 1.0) {
+    return Status::InvalidArgument("max_fraction must be in (0, 1]");
+  }
+  int64_t population = source.dataset().num_frames();
+  // Grow along a fixed random permutation so each step's outputs subsume the
+  // previous step's (prefixes of a permutation are uniform without-
+  // replacement samples, and the output cache turns growth into pure reuse).
+  SMK_ASSIGN_OR_RETURN(std::vector<int64_t> permutation,
+                       stats::SampleWithoutReplacement(population, population, rng));
+
+  int64_t step = std::max<int64_t>(1, static_cast<int64_t>(std::llround(
+                                          0.01 * static_cast<double>(population))));
+  int64_t limit = std::max<int64_t>(
+      step, static_cast<int64_t>(std::llround(max_fraction * static_cast<double>(population))));
+
+  CorrectionSizing sizing;
+  double prev_err = std::numeric_limits<double>::infinity();
+  int resolution = source.detector().max_resolution();
+  for (int64_t m = step; m <= limit; m += step) {
+    std::vector<int64_t> prefix(permutation.begin(), permutation.begin() + m);
+    SMK_ASSIGN_OR_RETURN(std::vector<double> outputs,
+                         source.Outputs(spec, prefix, resolution, 1.0));
+    SMK_ASSIGN_OR_RETURN(Estimate est, EstimateCorrection(spec, outputs, population, delta));
+    double fraction = static_cast<double>(m) / static_cast<double>(population);
+    sizing.curve.emplace_back(fraction, est.err_b);
+    sizing.chosen_size = m;
+    sizing.chosen_fraction = fraction;
+    if (std::abs(prev_err - est.err_b) < plateau_tolerance) break;  // The elbow.
+    prev_err = est.err_b;
+  }
+  return sizing;
+}
+
+}  // namespace core
+}  // namespace smokescreen

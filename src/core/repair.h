@@ -1,0 +1,83 @@
+// Profile repair (paper §3.2.5, Algorithm 3; §3.3.1).
+//
+// Outputs sampled from videos degraded by NON-RANDOM interventions (reduced
+// resolution, image removal) can be systematically biased, so the basic
+// error bounds are not valid. A *correction set* — model outputs from video
+// degraded by random interventions only — repairs the bound:
+//
+//   AVG/SUM/COUNT (eq. 12):
+//     err_b = (1 + err_v) * |Y - Y_v| / |Y_v| + err_v
+//   MAX/MIN (eq. 13), with ranks taken inside the correction set:
+//     err_b = |rank(Y) - rank(Y_v)| / r + err_v
+//
+// where (Y_v, err_v) is the correction set's own estimate. The repaired
+// bound inherits the correction set's >= 1 - delta confidence, with no
+// distributional assumption on the non-randomly degraded outputs.
+
+#ifndef SMOKESCREEN_CORE_REPAIR_H_
+#define SMOKESCREEN_CORE_REPAIR_H_
+
+#include <vector>
+
+#include "core/estimator_api.h"
+#include "query/output_source.h"
+#include "query/query_spec.h"
+#include "stats/rng.h"
+#include "util/status.h"
+
+namespace smokescreen {
+namespace core {
+
+/// A correction set: m frame outputs obtained under random interventions
+/// only (full resolution, no removal), plus its own estimate.
+struct CorrectionSet {
+  std::vector<double> outputs;  // v_1 .. v_m
+  /// Y_approx(v), err_b(v) at aggregate scale.
+  Estimate estimate;
+  int64_t size = 0;        // m
+  int64_t population = 0;  // N
+};
+
+/// Samples m frames uniformly without replacement (no resolution/removal
+/// interventions) and computes the correction set's estimate for `spec`.
+util::Result<CorrectionSet> BuildCorrectionSet(query::FrameOutputSource& source,
+                                               const query::QuerySpec& spec, int64_t m,
+                                               double delta, stats::Rng& rng);
+
+/// Builds a correction set from an explicit frame list (which must be a
+/// uniform without-replacement sample, e.g. a prefix of a random
+/// permutation). Lets callers grow a correction set incrementally while
+/// reusing cached model outputs.
+util::Result<CorrectionSet> BuildCorrectionSetFromFrames(query::FrameOutputSource& source,
+                                                         const query::QuerySpec& spec,
+                                                         const std::vector<int64_t>& frames,
+                                                         double delta);
+
+/// Algorithm 3's corrected error bound for a degraded estimation result.
+/// May return +infinity when the correction set is uninformative (Y_v == 0).
+util::Result<double> RepairErrorBound(const query::QuerySpec& spec,
+                                      const EstimationResult& degraded,
+                                      const CorrectionSet& correction);
+
+/// Result of the correction-set sizing heuristic (§3.3.1).
+struct CorrectionSizing {
+  int64_t chosen_size = 0;
+  double chosen_fraction = 0.0;
+  /// The explored curve: (fraction m/N, err_b(v)) per growth step.
+  std::vector<std::pair<double, double>> curve;
+};
+
+/// Grows the correction set by 1% of the original video per step and stops
+/// at the elbow: when err_b(v) changes by less than `plateau_tolerance`
+/// between consecutive steps, or when `max_fraction` (the administrator's
+/// size limit) is reached.
+util::Result<CorrectionSizing> DetermineCorrectionSetSize(query::FrameOutputSource& source,
+                                                          const query::QuerySpec& spec,
+                                                          double delta, stats::Rng& rng,
+                                                          double max_fraction = 0.5,
+                                                          double plateau_tolerance = 0.02);
+
+}  // namespace core
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_CORE_REPAIR_H_

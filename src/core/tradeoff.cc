@@ -1,0 +1,75 @@
+#include "core/tradeoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smokescreen {
+namespace core {
+
+using util::Result;
+using util::Status;
+
+Result<double> AdjustThresholdForModelAccuracy(double total_error, double model_error) {
+  if (total_error <= 0.0) return Status::InvalidArgument("total error budget must be positive");
+  if (model_error < 0.0) return Status::InvalidArgument("model error must be non-negative");
+  double budget = (1.0 + total_error) / (1.0 + model_error) - 1.0;
+  if (budget <= 0.0) {
+    return Status::FailedPrecondition(
+        "the model's inherent error already exhausts the total budget");
+  }
+  return budget;
+}
+
+Result<TradeoffChoice> ChooseTradeoff(const Profile& profile, double max_error,
+                                      int model_max_resolution) {
+  if (max_error <= 0.0) return Status::InvalidArgument("max_error must be positive");
+  const ProfilePoint* best = nullptr;
+  double best_score = -1.0;
+  for (const ProfilePoint& point : profile.points) {
+    if (point.err_bound > max_error) continue;
+    double score = point.interventions.DegradationScore(model_max_resolution);
+    if (score > best_score ||
+        (best != nullptr && score == best_score &&
+         point.interventions.sample_fraction < best->interventions.sample_fraction)) {
+      best = &point;
+      best_score = score;
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no intervention candidate meets error threshold " +
+                            std::to_string(max_error));
+  }
+  TradeoffChoice choice;
+  choice.interventions = best->interventions;
+  choice.err_bound = best->err_bound;
+  choice.degradation_score = best_score;
+  return choice;
+}
+
+Result<double> MinimalKnobMeetingThreshold(
+    const std::vector<std::pair<double, double>>& knob_and_bound, double max_error) {
+  bool found = false;
+  double best = 0.0;
+  for (const auto& [knob, bound] : knob_and_bound) {
+    if (bound > max_error) continue;
+    if (!found || knob < best) {
+      best = knob;
+      found = true;
+    }
+  }
+  if (!found) return Status::NotFound("no knob setting meets the error threshold");
+  return best;
+}
+
+Result<double> TradeoffExcess(const std::vector<std::pair<double, double>>& knob_and_bound,
+                              const std::vector<std::pair<double, double>>& knob_and_true_error,
+                              double max_error) {
+  SMK_ASSIGN_OR_RETURN(double chosen, MinimalKnobMeetingThreshold(knob_and_bound, max_error));
+  SMK_ASSIGN_OR_RETURN(double oracle,
+                       MinimalKnobMeetingThreshold(knob_and_true_error, max_error));
+  if (oracle <= 0.0) return Status::InvalidArgument("oracle knob must be positive");
+  return (chosen - oracle) / oracle;
+}
+
+}  // namespace core
+}  // namespace smokescreen

@@ -1,0 +1,57 @@
+// Choosing a tradeoff (paper §2.3, Figures 1–2).
+//
+// Given a profile and the public preference "analytical error at most tau",
+// the administrator picks the most aggressive degradation whose BOUND stays
+// under tau. With a loose bound the administrator is forced to a weaker
+// degradation (point C of Figure 2); with a tight bound they get close to
+// the oracle choice (point A). TradeoffAccuracy quantifies that gap and
+// drives the paper's "88% more accurate tradeoffs" headline.
+
+#ifndef SMOKESCREEN_CORE_TRADEOFF_H_
+#define SMOKESCREEN_CORE_TRADEOFF_H_
+
+#include "core/profiler.h"
+#include "util/status.h"
+
+namespace smokescreen {
+namespace core {
+
+struct TradeoffChoice {
+  degrade::InterventionSet interventions;
+  double err_bound = 0.0;
+  double degradation_score = 0.0;
+};
+
+/// §2.3: administrators "can adjust the analytical accuracy threshold in the
+/// selection process by considering models' inherent accuracy". If the total
+/// tolerable error versus reality is `total_error` and the model itself is
+/// off by `model_error` (both relative), the budget left for degradation is
+///   (1 + total) = (1 + model) * (1 + degradation)
+///   => degradation = (1 + total) / (1 + model) - 1.
+/// Error when the model alone already exceeds the total budget.
+util::Result<double> AdjustThresholdForModelAccuracy(double total_error, double model_error);
+
+/// The profile point with err_bound <= max_error that maximizes the
+/// degradation score (ties broken toward the smaller sample fraction).
+/// NotFound when no candidate meets the threshold.
+util::Result<TradeoffChoice> ChooseTradeoff(const Profile& profile, double max_error,
+                                            int model_max_resolution);
+
+/// Given (degradation knob value, bound) pairs for a 1-D sweep where LOWER
+/// knob values mean MORE degradation (e.g. sample fraction or resolution),
+/// returns the smallest knob value whose bound is <= max_error. NotFound when
+/// the whole sweep violates the threshold.
+util::Result<double> MinimalKnobMeetingThreshold(
+    const std::vector<std::pair<double, double>>& knob_and_bound, double max_error);
+
+/// Tradeoff-accuracy metric: how much extra (less-degraded) knob a method
+/// demands relative to the oracle on a 1-D sweep. 0 = oracle-perfect.
+///   excess = (knob_method - knob_oracle) / knob_oracle.
+util::Result<double> TradeoffExcess(
+    const std::vector<std::pair<double, double>>& knob_and_bound,
+    const std::vector<std::pair<double, double>>& knob_and_true_error, double max_error);
+
+}  // namespace core
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_CORE_TRADEOFF_H_

@@ -1,0 +1,62 @@
+#include "core/var_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/avg_estimator.h"
+#include "stats/concentration.h"
+#include "stats/descriptive.h"
+
+namespace smokescreen {
+namespace core {
+
+using util::Result;
+using util::Status;
+
+std::pair<double, double> SmokescreenVarianceEstimator::VarianceBounds(double mean_lb,
+                                                                       double mean_ub,
+                                                                       double mean_sq_lb,
+                                                                       double mean_sq_ub) {
+  // Range of m^2 over m in [mean_lb, mean_ub].
+  double sq_max = std::max(mean_lb * mean_lb, mean_ub * mean_ub);
+  double sq_min;
+  if (mean_lb <= 0.0 && mean_ub >= 0.0) {
+    sq_min = 0.0;  // The interval straddles zero.
+  } else {
+    sq_min = std::min(mean_lb * mean_lb, mean_ub * mean_ub);
+  }
+  double var_lb = std::max(0.0, mean_sq_lb - sq_max);
+  double var_ub = std::max(0.0, mean_sq_ub - sq_min);
+  return {var_lb, var_ub};
+}
+
+Result<Estimate> SmokescreenVarianceEstimator::EstimateVariance(const std::vector<double>& sample,
+                                                                int64_t population,
+                                                                double delta) const {
+  if (sample.empty()) return Status::InvalidArgument("empty sample");
+  if (population < static_cast<int64_t>(sample.size())) {
+    return Status::InvalidArgument("population smaller than sample");
+  }
+  if (delta <= 0.0 || delta >= 1.0) return Status::InvalidArgument("delta must be in (0,1)");
+
+  std::vector<double> squares;
+  squares.reserve(sample.size());
+  for (double v : sample) squares.push_back(v * v);
+
+  SMK_ASSIGN_OR_RETURN(stats::Summary s_x, stats::Summarize(sample));
+  SMK_ASSIGN_OR_RETURN(stats::Summary s_x2, stats::Summarize(squares));
+
+  // Split the failure budget across the two simultaneous intervals.
+  double half_delta = delta / 2.0;
+  double radius_x =
+      stats::HoeffdingSerflingRadius(s_x.range, s_x.count, population, half_delta);
+  double radius_x2 =
+      stats::HoeffdingSerflingRadius(s_x2.range, s_x2.count, population, half_delta);
+
+  auto [var_lb, var_ub] = VarianceBounds(s_x.mean - radius_x, s_x.mean + radius_x,
+                                         s_x2.mean - radius_x2, s_x2.mean + radius_x2);
+  return SmokescreenMeanEstimator::FromBounds(var_lb, var_ub, /*sign=*/1.0);
+}
+
+}  // namespace core
+}  // namespace smokescreen

@@ -1,0 +1,56 @@
+// Degradation cost/benefit model.
+//
+// The paper motivates intentional degradation with system goals (bandwidth,
+// energy, storage — §1, §2.1) and privacy goals, but leaves their
+// quantification to the administrator. This extension computes, for an
+// InterventionSet, what the degradation actually buys:
+//   * frames_fraction   — share of frames transmitted (sampling + removal);
+//   * bytes_fraction    — share of bytes transmitted, with per-frame bytes
+//                         proportional to resolution^2 and scaled by the
+//                         compression knob;
+//   * energy_fraction   — a transmission-dominated energy proxy
+//                         (0.8 * bytes + 0.2 * frames);
+//   * restricted_removed_fraction — share of restricted-class frames the
+//                         removal intervention actually deletes;
+//   * faces_recognizable_fraction — share of ground-truth faces that remain
+//                         above a recognizability size after resolution
+//                         reduction, among transmitted frames (lower =
+//                         more privacy).
+// Together with the error bound this gives the administrator both axes of
+// Figure 1's tradeoff.
+
+#ifndef SMOKESCREEN_DEGRADE_COST_MODEL_H_
+#define SMOKESCREEN_DEGRADE_COST_MODEL_H_
+
+#include "degrade/intervention.h"
+#include "detect/class_prior_index.h"
+#include "util/status.h"
+#include "video/dataset.h"
+
+namespace smokescreen {
+namespace degrade {
+
+struct DegradationSavings {
+  double frames_fraction = 1.0;
+  double bytes_fraction = 1.0;
+  double energy_fraction = 1.0;
+  double restricted_removed_fraction = 0.0;
+  double faces_recognizable_fraction = 1.0;
+};
+
+/// Minimum effective face size (pixels) at which a face is considered
+/// recognizable; below it, identification is implausible (the GDPR-style
+/// motivation for resolution reduction).
+constexpr double kFaceRecognitionSizePx = 12.0;
+
+/// Computes the savings of `interventions` on `dataset` relative to naive
+/// full-resolution, all-frames execution.
+util::Result<DegradationSavings> EstimateSavings(const video::VideoDataset& dataset,
+                                                 const detect::ClassPriorIndex& prior,
+                                                 const InterventionSet& interventions,
+                                                 int model_max_resolution);
+
+}  // namespace degrade
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_DEGRADE_COST_MODEL_H_

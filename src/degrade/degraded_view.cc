@@ -1,0 +1,52 @@
+#include "degrade/degraded_view.h"
+
+#include <algorithm>
+
+#include "stats/sampling.h"
+
+namespace smokescreen {
+namespace degrade {
+
+using util::Result;
+using util::Status;
+
+Result<DegradedView> DegradedView::Create(const video::VideoDataset& dataset,
+                                          const detect::ClassPriorIndex& prior,
+                                          const InterventionSet& interventions,
+                                          int model_max_resolution, stats::Rng& rng) {
+  SMK_RETURN_IF_ERROR(interventions.Validate());
+  if (prior.num_frames() != dataset.num_frames()) {
+    return Status::InvalidArgument("prior index covers " + std::to_string(prior.num_frames()) +
+                                   " frames but dataset has " +
+                                   std::to_string(dataset.num_frames()));
+  }
+
+  DegradedView view;
+  view.interventions_ = interventions;
+  view.original_population_ = dataset.num_frames();
+  view.resolution_ = interventions.EffectiveResolution(model_max_resolution);
+  view.contrast_scale_ = interventions.contrast_scale;
+
+  // 1. Image removal: keep frames whose prior avoids the restricted classes.
+  std::vector<int64_t> eligible = prior.FramesWithoutAny(interventions.restricted);
+  view.eligible_population_ = static_cast<int64_t>(eligible.size());
+  if (eligible.empty()) {
+    return Status::FailedPrecondition("image removal (" + interventions.restricted.ToString() +
+                                      ") deleted every frame");
+  }
+
+  // 2. Reduced frame sampling: n = f * N of the *original* population, capped
+  // by what removal left over.
+  int64_t n = stats::FractionToCount(view.original_population_, interventions.sample_fraction);
+  n = std::min<int64_t>(n, view.eligible_population_);
+  SMK_ASSIGN_OR_RETURN(std::vector<int64_t> picks,
+                       stats::SampleWithoutReplacement(view.eligible_population_, n, rng));
+  view.sampled_frames_.reserve(picks.size());
+  for (int64_t pick : picks) {
+    view.sampled_frames_.push_back(eligible[static_cast<size_t>(pick)]);
+  }
+  return view;
+}
+
+}  // namespace degrade
+}  // namespace smokescreen

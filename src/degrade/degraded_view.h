@@ -1,0 +1,67 @@
+// DegradedView: the set of frames that survives an InterventionSet, plus the
+// sampled subset actually sent to the model.
+//
+// Construction order mirrors the paper's execution semantics: image removal
+// first restricts the population to frames without restricted classes, then
+// reduced frame sampling draws n = f * N frames without replacement from the
+// survivors (N is the original query-specified frame count), and each sampled
+// frame is processed at the reduced resolution.
+
+#ifndef SMOKESCREEN_DEGRADE_DEGRADED_VIEW_H_
+#define SMOKESCREEN_DEGRADE_DEGRADED_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "degrade/intervention.h"
+#include "detect/class_prior_index.h"
+#include "stats/rng.h"
+#include "util/status.h"
+#include "video/dataset.h"
+
+namespace smokescreen {
+namespace degrade {
+
+class DegradedView {
+ public:
+  /// Applies `interventions` to `dataset`. The prior index decides which
+  /// frames image removal deletes; `rng` drives the random frame sampling.
+  /// `model_max_resolution` resolves an unset resolution knob.
+  static util::Result<DegradedView> Create(const video::VideoDataset& dataset,
+                                           const detect::ClassPriorIndex& prior,
+                                           const InterventionSet& interventions,
+                                           int model_max_resolution, stats::Rng& rng);
+
+  /// Sampled frame indices (into the original dataset), in draw order.
+  const std::vector<int64_t>& sampled_frames() const { return sampled_frames_; }
+
+  /// Frames surviving image removal, before sampling. This is the population
+  /// the sample is drawn from — the estimators' N for finite-population
+  /// corrections.
+  int64_t eligible_population() const { return eligible_population_; }
+
+  /// Original query-specified frame count (the paper's N).
+  int64_t original_population() const { return original_population_; }
+
+  /// Resolution the model runs at for these frames.
+  int resolution() const { return resolution_; }
+
+  double contrast_scale() const { return contrast_scale_; }
+
+  const InterventionSet& interventions() const { return interventions_; }
+
+ private:
+  DegradedView() = default;
+
+  std::vector<int64_t> sampled_frames_;
+  int64_t eligible_population_ = 0;
+  int64_t original_population_ = 0;
+  int resolution_ = 0;
+  double contrast_scale_ = 1.0;
+  InterventionSet interventions_;
+};
+
+}  // namespace degrade
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_DEGRADE_DEGRADED_VIEW_H_

@@ -1,0 +1,50 @@
+#include "detect/class_prior_index.h"
+
+namespace smokescreen {
+namespace detect {
+
+using util::Result;
+using video::ObjectClass;
+
+Result<ClassPriorIndex> ClassPriorIndex::Build(const video::VideoDataset& dataset,
+                                               const Detector& person_detector,
+                                               const Detector& face_detector) {
+  std::vector<uint8_t> masks(static_cast<size_t>(dataset.num_frames()), 0);
+  const int person_res = person_detector.max_resolution();
+  const int face_res = face_detector.max_resolution();
+  for (int64_t i = 0; i < dataset.num_frames(); ++i) {
+    uint8_t mask = 0;
+    SMK_ASSIGN_OR_RETURN(int cars, person_detector.CountDetections(dataset, i, person_res,
+                                                                   ObjectClass::kCar, 1.0));
+    if (cars > 0) mask |= 1u << static_cast<int>(ObjectClass::kCar);
+    SMK_ASSIGN_OR_RETURN(int persons, person_detector.CountDetections(dataset, i, person_res,
+                                                                      ObjectClass::kPerson, 1.0));
+    if (persons > 0) mask |= 1u << static_cast<int>(ObjectClass::kPerson);
+    SMK_ASSIGN_OR_RETURN(int faces, face_detector.CountDetections(dataset, i, face_res,
+                                                                  ObjectClass::kFace, 1.0));
+    if (faces > 0) mask |= 1u << static_cast<int>(ObjectClass::kFace);
+    masks[static_cast<size_t>(i)] = mask;
+  }
+  return ClassPriorIndex(std::move(masks));
+}
+
+double ClassPriorIndex::ContainmentFraction(ObjectClass cls) const {
+  if (masks_.empty()) return 0.0;
+  int64_t count = 0;
+  for (uint8_t mask : masks_) {
+    if (mask & (1u << static_cast<int>(cls))) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(masks_.size());
+}
+
+std::vector<int64_t> ClassPriorIndex::FramesWithoutAny(const video::ClassSet& set) const {
+  std::vector<int64_t> out;
+  out.reserve(masks_.size());
+  for (size_t i = 0; i < masks_.size(); ++i) {
+    if ((masks_[i] & set.mask()) == 0) out.push_back(static_cast<int64_t>(i));
+  }
+  return out;
+}
+
+}  // namespace detect
+}  // namespace smokescreen

@@ -1,0 +1,106 @@
+#include "detect/detector.h"
+
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace smokescreen {
+namespace detect {
+
+using util::Result;
+using util::Status;
+using video::Frame;
+using video::GtObject;
+using video::ObjectClass;
+using video::VideoDataset;
+
+Status Detector::ValidateResolution(int resolution) const {
+  if (resolution <= 0) return Status::InvalidArgument("resolution must be positive");
+  if (resolution > max_resolution()) {
+    return Status::InvalidArgument(name() + " supports at most " +
+                                   std::to_string(max_resolution()) + "px, got " +
+                                   std::to_string(resolution));
+  }
+  if (resolution % resolution_stride() != 0) {
+    return Status::InvalidArgument(name() + " requires resolutions in multiples of " +
+                                   std::to_string(resolution_stride()) + ", got " +
+                                   std::to_string(resolution));
+  }
+  return Status::OK();
+}
+
+CalibratedDetector::CalibratedDetector(
+    std::string name, uint64_t model_id, int max_resolution, int resolution_stride,
+    std::array<ClassCalibration, video::kNumObjectClasses> calibrations)
+    : name_(std::move(name)),
+      model_id_(model_id),
+      max_resolution_(max_resolution),
+      resolution_stride_(resolution_stride),
+      calibrations_(calibrations) {}
+
+double CalibratedDetector::ObjectRecall(const GtObject& obj, int resolution,
+                                        int reference_resolution, double contrast_scale) const {
+  const ClassCalibration& cal = calibrations_[static_cast<size_t>(obj.cls)];
+  double scale = static_cast<double>(resolution) / static_cast<double>(reference_resolution);
+  double clarity = obj.contrast * contrast_scale;
+  double s_eff = obj.apparent_size * scale * clarity;
+  double recall = cal.plateau / (1.0 + std::exp(-(s_eff - cal.s50) / cal.width));
+  return recall;
+}
+
+double CalibratedDetector::DuplicateProbability(const Frame& /*frame*/, int /*resolution*/,
+                                                ObjectClass /*cls*/) const {
+  return 0.0;
+}
+
+Result<int> CalibratedDetector::CountDetections(const VideoDataset& dataset, int64_t frame_index,
+                                                int resolution, ObjectClass cls,
+                                                double contrast_scale) const {
+  SMK_RETURN_IF_ERROR(ValidateResolution(resolution));
+  if (frame_index < 0 || frame_index >= dataset.num_frames()) {
+    return Status::OutOfRange("frame index " + std::to_string(frame_index) + " out of [0, " +
+                              std::to_string(dataset.num_frames()) + ")");
+  }
+  const Frame& frame = dataset.frame(frame_index);
+  const ClassCalibration& cal = calibrations_[static_cast<size_t>(cls)];
+  const uint64_t res_bits = static_cast<uint64_t>(resolution);
+  const uint64_t cls_bits = static_cast<uint64_t>(cls);
+  const uint64_t contrast_bits =
+      static_cast<uint64_t>(std::llround(contrast_scale * 4096.0));
+
+  double dup_prob = DuplicateProbability(frame, resolution, cls);
+
+  int count = 0;
+  for (const GtObject& obj : frame.objects) {
+    if (obj.cls != cls) continue;
+    double recall = ObjectRecall(obj, resolution, dataset.full_resolution(), contrast_scale);
+    bool detected = stats::StatelessBernoulli(
+        recall, {dataset.dataset_id(), static_cast<uint64_t>(frame.frame_id),
+                 static_cast<uint64_t>(obj.track_id), res_bits, model_id_, cls_bits,
+                 contrast_bits, /*purpose=*/0x11});
+    if (!detected) continue;
+    ++count;
+    if (dup_prob > 0.0 &&
+        stats::StatelessBernoulli(
+            dup_prob, {dataset.dataset_id(), static_cast<uint64_t>(frame.frame_id),
+                       static_cast<uint64_t>(obj.track_id), res_bits, model_id_, cls_bits,
+                       contrast_bits, /*purpose=*/0x22})) {
+      ++count;  // NMS failure: the object is reported twice.
+    }
+  }
+
+  // Clutter-driven false positives. Slightly elevated at reduced resolution
+  // (small textures are more ambiguous), mildly elevated in crowded frames.
+  double res_factor =
+      1.0 + 0.5 * (1.0 - static_cast<double>(resolution) /
+                             static_cast<double>(dataset.full_resolution()));
+  double clutter_factor = 1.0 + 0.03 * static_cast<double>(frame.objects.size());
+  double fp_lambda = cal.fp_rate * res_factor * clutter_factor;
+  count += stats::StatelessPoisson(
+      fp_lambda, {dataset.dataset_id(), static_cast<uint64_t>(frame.frame_id), res_bits,
+                  model_id_, cls_bits, contrast_bits, /*purpose=*/0x33});
+  return count;
+}
+
+}  // namespace detect
+}  // namespace smokescreen

@@ -1,0 +1,108 @@
+// Detector interface and the shared calibrated detection model.
+//
+// A simulated detector maps (frame, inference resolution, class) to a count
+// of detections, exactly the quantity the paper's frame-level UDFs produce.
+// Outputs are deterministic: the same frame at the same resolution always
+// yields the same count (as with a real network), via stateless hashing of
+// (dataset, frame, object track, resolution, model).
+//
+// The accuracy model has three calibrated ingredients:
+//  * recall: a logistic curve in the *effective* object size
+//      s_eff = apparent_size * (resolution / reference_resolution) * contrast,
+//    so reducing resolution shrinks objects toward the miss region — the
+//    systematic, one-directional bias that makes resolution reduction a
+//    NON-RANDOM intervention in the paper's taxonomy;
+//  * false positives: a small Poisson clutter term;
+//  * model quirks: hooks for pathological behaviours such as the paper's
+//    Figure 7/8 anomaly (YOLOv4 at 384x384 on night video).
+
+#ifndef SMOKESCREEN_DETECT_DETECTOR_H_
+#define SMOKESCREEN_DETECT_DETECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+#include "video/dataset.h"
+#include "video/types.h"
+
+namespace smokescreen {
+namespace detect {
+
+/// Per-class logistic calibration of a detector at its confidence threshold.
+struct ClassCalibration {
+  /// Effective object size (pixels) at which recall is half the plateau.
+  double s50 = 15.0;
+  /// Logistic width (pixels); smaller = sharper size cutoff.
+  double width = 4.0;
+  /// Asymptotic recall for large, clear objects.
+  double plateau = 0.98;
+  /// Expected false positives per frame at full resolution.
+  double fp_rate = 0.02;
+};
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  virtual const std::string& name() const = 0;
+  /// Stable identity used in the determinism hash.
+  virtual uint64_t model_id() const = 0;
+  /// Largest supported inference resolution ("original" for this model).
+  virtual int max_resolution() const = 0;
+  /// Required resolution granularity (e.g. 64 for Mask R-CNN, 32 for YOLO).
+  virtual int resolution_stride() const = 0;
+
+  /// Checks resolution is positive, a multiple of the stride, and <= max.
+  util::Status ValidateResolution(int resolution) const;
+
+  /// Number of detections of `cls` in the given frame when inference runs at
+  /// `resolution`. `contrast_scale` < 1 models appearance-degrading
+  /// interventions (noise addition, lossy compression).
+  virtual util::Result<int> CountDetections(const video::VideoDataset& dataset,
+                                            int64_t frame_index, int resolution,
+                                            video::ObjectClass cls,
+                                            double contrast_scale = 1.0) const = 0;
+};
+
+/// Base class implementing the calibrated recall/false-positive model.
+class CalibratedDetector : public Detector {
+ public:
+  CalibratedDetector(std::string name, uint64_t model_id, int max_resolution,
+                     int resolution_stride,
+                     std::array<ClassCalibration, video::kNumObjectClasses> calibrations);
+
+  const std::string& name() const override { return name_; }
+  uint64_t model_id() const override { return model_id_; }
+  int max_resolution() const override { return max_resolution_; }
+  int resolution_stride() const override { return resolution_stride_; }
+
+  util::Result<int> CountDetections(const video::VideoDataset& dataset, int64_t frame_index,
+                                    int resolution, video::ObjectClass cls,
+                                    double contrast_scale) const override;
+
+  /// Recall of one object at the given resolution (exposed for tests and
+  /// calibration plots).
+  double ObjectRecall(const video::GtObject& obj, int resolution, int reference_resolution,
+                      double contrast_scale) const;
+
+ protected:
+  /// Probability that a *detected* object is reported twice (NMS failure).
+  /// Default 0; SimYoloV4 overrides this with its 384px night-scene quirk.
+  virtual double DuplicateProbability(const video::Frame& frame, int resolution,
+                                      video::ObjectClass cls) const;
+
+ private:
+  std::string name_;
+  uint64_t model_id_;
+  int max_resolution_;
+  int resolution_stride_;
+  std::array<ClassCalibration, video::kNumObjectClasses> calibrations_;
+};
+
+}  // namespace detect
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_DETECT_DETECTOR_H_

@@ -1,0 +1,19 @@
+#include "detect/registry.h"
+
+#include "detect/models.h"
+
+namespace smokescreen {
+namespace detect {
+
+util::Result<std::unique_ptr<Detector>> MakeDetector(const std::string& name) {
+  if (name == "yolov4") return MakeSimYoloV4();
+  if (name == "maskrcnn") return MakeSimMaskRcnn();
+  if (name == "mtcnn") return MakeSimMtcnn();
+  if (name == "ssd") return MakeSimSsd();
+  return util::Status::NotFound("no detector registered as '" + name + "'");
+}
+
+std::vector<std::string> RegisteredDetectorNames() { return {"yolov4", "maskrcnn", "mtcnn", "ssd"}; }
+
+}  // namespace detect
+}  // namespace smokescreen

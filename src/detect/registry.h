@@ -1,0 +1,27 @@
+// Name-based detector registry, so examples/benches can select a model UDF
+// by string ("yolov4", "maskrcnn", "mtcnn") the way a query names its UDF.
+
+#ifndef SMOKESCREEN_DETECT_REGISTRY_H_
+#define SMOKESCREEN_DETECT_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/detector.h"
+#include "util/status.h"
+
+namespace smokescreen {
+namespace detect {
+
+/// Creates a detector by registered name. Known names: "yolov4", "maskrcnn",
+/// "mtcnn" (case-sensitive).
+util::Result<std::unique_ptr<Detector>> MakeDetector(const std::string& name);
+
+/// Names accepted by MakeDetector.
+std::vector<std::string> RegisteredDetectorNames();
+
+}  // namespace detect
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_DETECT_REGISTRY_H_

@@ -1,0 +1,93 @@
+#include "query/aggregate.h"
+
+#include <numeric>
+
+#include "stats/empirical.h"
+
+namespace smokescreen {
+namespace query {
+
+using util::Result;
+using util::Status;
+
+const char* AggregateFunctionName(AggregateFunction fn) {
+  switch (fn) {
+    case AggregateFunction::kAvg:
+      return "AVG";
+    case AggregateFunction::kSum:
+      return "SUM";
+    case AggregateFunction::kCount:
+      return "COUNT";
+    case AggregateFunction::kMax:
+      return "MAX";
+    case AggregateFunction::kMin:
+      return "MIN";
+    case AggregateFunction::kVar:
+      return "VAR";
+  }
+  return "?";
+}
+
+Result<AggregateFunction> AggregateFunctionFromName(const std::string& name) {
+  if (name == "AVG" || name == "avg") return AggregateFunction::kAvg;
+  if (name == "SUM" || name == "sum") return AggregateFunction::kSum;
+  if (name == "COUNT" || name == "count") return AggregateFunction::kCount;
+  if (name == "MAX" || name == "max") return AggregateFunction::kMax;
+  if (name == "MIN" || name == "min") return AggregateFunction::kMin;
+  if (name == "VAR" || name == "var") return AggregateFunction::kVar;
+  return Status::InvalidArgument("unknown aggregate function: " + name);
+}
+
+bool IsMeanFamily(AggregateFunction fn) {
+  return fn == AggregateFunction::kAvg || fn == AggregateFunction::kSum ||
+         fn == AggregateFunction::kCount;
+}
+
+bool UsesRelativeErrorMetric(AggregateFunction fn) {
+  return IsMeanFamily(fn) || fn == AggregateFunction::kVar;
+}
+
+double DefaultQuantileR(AggregateFunction fn) {
+  switch (fn) {
+    case AggregateFunction::kMax:
+      return 0.99;
+    case AggregateFunction::kMin:
+      return 0.01;
+    default:
+      return 0.0;
+  }
+}
+
+Result<double> ComputeAggregate(AggregateFunction fn, const std::vector<double>& outputs,
+                                double quantile_r) {
+  if (outputs.empty()) return Status::InvalidArgument("cannot aggregate zero outputs");
+  switch (fn) {
+    case AggregateFunction::kAvg: {
+      double sum = std::accumulate(outputs.begin(), outputs.end(), 0.0);
+      return sum / static_cast<double>(outputs.size());
+    }
+    case AggregateFunction::kSum:
+    case AggregateFunction::kCount:
+      return std::accumulate(outputs.begin(), outputs.end(), 0.0);
+    case AggregateFunction::kVar: {
+      double mean = std::accumulate(outputs.begin(), outputs.end(), 0.0) /
+                    static_cast<double>(outputs.size());
+      double sq = 0.0;
+      for (double v : outputs) sq += (v - mean) * (v - mean);
+      return sq / static_cast<double>(outputs.size());  // Population variance.
+    }
+    case AggregateFunction::kMax:
+    case AggregateFunction::kMin: {
+      if (quantile_r <= 0.0 || quantile_r > 1.0) {
+        return Status::InvalidArgument("quantile r must be in (0,1] for MAX/MIN");
+      }
+      SMK_ASSIGN_OR_RETURN(stats::EmpiricalDistribution dist,
+                           stats::EmpiricalDistribution::Create(outputs));
+      return dist.Quantile(quantile_r);
+    }
+  }
+  return Status::Internal("unhandled aggregate function");
+}
+
+}  // namespace query
+}  // namespace smokescreen

@@ -1,0 +1,43 @@
+// Aggregate functions supported by the profiling model (paper §3.2):
+// AVG, SUM, COUNT, MAX, MIN over frame-level model outputs.
+
+#ifndef SMOKESCREEN_QUERY_AGGREGATE_H_
+#define SMOKESCREEN_QUERY_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace smokescreen {
+namespace query {
+
+enum class AggregateFunction { kAvg, kSum, kCount, kMax, kMin, kVar };
+
+const char* AggregateFunctionName(AggregateFunction fn);
+util::Result<AggregateFunction> AggregateFunctionFromName(const std::string& name);
+
+/// True for AVG/SUM/COUNT (the mean-style estimators of §3.2.1–3.2.3);
+/// false for MAX/MIN (the quantile estimator of §3.2.4) and VAR (the §7
+/// extension estimator).
+bool IsMeanFamily(AggregateFunction fn);
+
+/// True for aggregates whose accuracy metric is plain relative error
+/// (AVG/SUM/COUNT/VAR); MAX/MIN use the rank-relative metric instead.
+bool UsesRelativeErrorMetric(AggregateFunction fn);
+
+/// The paper approximates MAX by the 0.99-quantile and MIN by the 0.01-
+/// quantile; mean-family aggregates have no quantile parameter (returns 0).
+double DefaultQuantileR(AggregateFunction fn);
+
+/// Exact aggregate of a full output vector (defines Y_true). MAX/MIN use the
+/// r-quantile definition Y = min{ s_i : cumfreq(s_i) >= r }; VAR is the
+/// population variance (N denominator). Error on empty input or invalid r
+/// for MAX/MIN.
+util::Result<double> ComputeAggregate(AggregateFunction fn, const std::vector<double>& outputs,
+                                      double quantile_r);
+
+}  // namespace query
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_QUERY_AGGREGATE_H_

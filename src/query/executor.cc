@@ -1,0 +1,45 @@
+#include "query/executor.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/empirical.h"
+
+namespace smokescreen {
+namespace query {
+
+using util::Result;
+
+Result<GroundTruth> ComputeGroundTruth(FrameOutputSource& source, const QuerySpec& spec,
+                                       int resolution_override) {
+  SMK_RETURN_IF_ERROR(spec.Validate());
+  int resolution =
+      resolution_override > 0 ? resolution_override : source.detector().max_resolution();
+  GroundTruth gt;
+  SMK_ASSIGN_OR_RETURN(gt.outputs, source.AllOutputs(spec, resolution));
+  SMK_ASSIGN_OR_RETURN(gt.y_true,
+                       ComputeAggregate(spec.aggregate, gt.outputs, spec.EffectiveQuantileR()));
+  return gt;
+}
+
+double RelativeError(double approx, double truth) {
+  if (truth == 0.0) {
+    return approx == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::abs(approx - truth) / std::abs(truth);
+}
+
+Result<double> RankRelativeError(const std::vector<double>& original_outputs, double approx,
+                                 double truth) {
+  SMK_ASSIGN_OR_RETURN(stats::EmpiricalDistribution dist,
+                       stats::EmpiricalDistribution::Create(original_outputs));
+  double rank_truth = dist.RankFraction(truth);
+  double rank_approx = dist.RankFraction(approx);
+  if (rank_truth == 0.0) {
+    return rank_approx == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::abs(rank_approx - rank_truth) / rank_truth;
+}
+
+}  // namespace query
+}  // namespace smokescreen

@@ -1,0 +1,99 @@
+#include "query/output_source.h"
+
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace smokescreen {
+namespace query {
+
+using util::Result;
+
+FrameOutputSource::FrameOutputSource(const video::VideoDataset& dataset,
+                                     const detect::Detector& detector,
+                                     video::ObjectClass target_class)
+    : dataset_(dataset), detector_(detector), target_class_(target_class) {}
+
+Result<int> FrameOutputSource::RawCount(int64_t frame_index, int resolution,
+                                        double contrast_scale) {
+  uint64_t key = stats::HashCombine({static_cast<uint64_t>(frame_index),
+                                     static_cast<uint64_t>(resolution),
+                                     static_cast<uint64_t>(std::llround(contrast_scale * 4096.0))});
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  SMK_ASSIGN_OR_RETURN(int count, detector_.CountDetections(dataset_, frame_index, resolution,
+                                                            target_class_, contrast_scale));
+  ++model_invocations_;
+  cache_.emplace(key, count);
+  return count;
+}
+
+Result<std::vector<int>> FrameOutputSource::RawCounts(const std::vector<int64_t>& frame_indices,
+                                                      int resolution, double contrast_scale) {
+  std::vector<int> out;
+  out.reserve(frame_indices.size());
+  for (int64_t idx : frame_indices) {
+    SMK_ASSIGN_OR_RETURN(int count, RawCount(idx, resolution, contrast_scale));
+    out.push_back(count);
+  }
+  return out;
+}
+
+Result<std::vector<double>> FrameOutputSource::Outputs(const QuerySpec& spec,
+                                                       const std::vector<int64_t>& frame_indices,
+                                                       int resolution, double contrast_scale) {
+  std::vector<double> out;
+  out.reserve(frame_indices.size());
+  for (int64_t idx : frame_indices) {
+    SMK_ASSIGN_OR_RETURN(int count, RawCount(idx, resolution, contrast_scale));
+    out.push_back(spec.TransformOutput(count));
+  }
+  return out;
+}
+
+Result<FrameOutputSource::SkippedScan> FrameOutputSource::AllOutputsWithSkipping(
+    const QuerySpec& spec, int resolution, double contrast_scale) {
+  SkippedScan scan;
+  scan.outputs.reserve(static_cast<size_t>(dataset_.num_frames()));
+  std::vector<int64_t> prev_tracks;
+  double prev_output = 0.0;
+  bool have_prev = false;
+  for (int64_t i = 0; i < dataset_.num_frames(); ++i) {
+    // The cheap "frame difference detector": the multiset of target-class
+    // track ids (sorted; tracks are emitted in stable order per frame).
+    std::vector<int64_t> tracks;
+    for (const video::GtObject& obj : dataset_.frame(i).objects) {
+      if (obj.cls == target_class_) tracks.push_back(obj.track_id);
+    }
+    bool same_sequence =
+        i > 0 && dataset_.frame(i).sequence_id == dataset_.frame(i - 1).sequence_id;
+    if (have_prev && same_sequence && tracks == prev_tracks) {
+      scan.outputs.push_back(prev_output);
+      ++scan.skipped;
+      continue;
+    }
+    SMK_ASSIGN_OR_RETURN(int count, RawCount(i, resolution, contrast_scale));
+    prev_output = spec.TransformOutput(count);
+    prev_tracks = std::move(tracks);
+    have_prev = true;
+    scan.outputs.push_back(prev_output);
+  }
+  return scan;
+}
+
+Result<std::vector<double>> FrameOutputSource::AllOutputs(const QuerySpec& spec, int resolution,
+                                                          double contrast_scale) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(dataset_.num_frames()));
+  for (int64_t i = 0; i < dataset_.num_frames(); ++i) {
+    SMK_ASSIGN_OR_RETURN(int count, RawCount(i, resolution, contrast_scale));
+    out.push_back(spec.TransformOutput(count));
+  }
+  return out;
+}
+
+}  // namespace query
+}  // namespace smokescreen

@@ -1,0 +1,87 @@
+// FrameOutputSource: the "video frame processor" component of the prototype
+// (paper §4). It invokes the detection UDF on frames and memoizes outputs
+// per (frame, resolution, contrast) so that
+//  * outputs for frames sampled at a low rate are reused at higher rates
+//    (the §3.3.2 reuse strategy), and
+//  * profile generation can report its model-invocation count (§5.3.1).
+
+#ifndef SMOKESCREEN_QUERY_OUTPUT_SOURCE_H_
+#define SMOKESCREEN_QUERY_OUTPUT_SOURCE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/detector.h"
+#include "query/query_spec.h"
+#include "util/status.h"
+#include "video/dataset.h"
+
+namespace smokescreen {
+namespace query {
+
+class FrameOutputSource {
+ public:
+  /// Neither reference may outlive this object.
+  FrameOutputSource(const video::VideoDataset& dataset, const detect::Detector& detector,
+                    video::ObjectClass target_class);
+
+  /// Raw detector count for one frame at the given resolution. Cached.
+  util::Result<int> RawCount(int64_t frame_index, int resolution, double contrast_scale = 1.0);
+
+  /// Raw counts for a list of frames (order preserved).
+  util::Result<std::vector<int>> RawCounts(const std::vector<int64_t>& frame_indices,
+                                           int resolution, double contrast_scale = 1.0);
+
+  /// Query-transformed outputs X_i for a list of frames.
+  util::Result<std::vector<double>> Outputs(const QuerySpec& spec,
+                                            const std::vector<int64_t>& frame_indices,
+                                            int resolution, double contrast_scale = 1.0);
+
+  /// Query-transformed outputs for the entire dataset at `resolution`.
+  util::Result<std::vector<double>> AllOutputs(const QuerySpec& spec, int resolution,
+                                               double contrast_scale = 1.0);
+
+  /// §7 future work, implemented: "a sequence of frames are so similar that
+  /// part of frames can be skipped from processing". Scans the dataset in
+  /// order and, when a frame's target-class track set is unchanged from the
+  /// previous frame (the stand-in for a cheap frame-difference detector),
+  /// reuses the previous output instead of invoking the model. Returns the
+  /// outputs plus how many invocations were skipped. Exact when detections
+  /// depend only on the track set; approximate otherwise (object sizes drift
+  /// within a track), which is why it is an extension, not the default.
+  struct SkippedScan {
+    std::vector<double> outputs;
+    int64_t skipped = 0;
+  };
+  util::Result<SkippedScan> AllOutputsWithSkipping(const QuerySpec& spec, int resolution,
+                                                   double contrast_scale = 1.0);
+
+  /// Total UDF invocations that missed the cache (the paper's N_model).
+  int64_t model_invocations() const { return model_invocations_; }
+  /// Invocations answered from the cache (reuse-strategy savings).
+  int64_t cache_hits() const { return cache_hits_; }
+  void ResetCounters() {
+    model_invocations_ = 0;
+    cache_hits_ = 0;
+  }
+
+  const video::VideoDataset& dataset() const { return dataset_; }
+  const detect::Detector& detector() const { return detector_; }
+  video::ObjectClass target_class() const { return target_class_; }
+
+ private:
+  const video::VideoDataset& dataset_;
+  const detect::Detector& detector_;
+  video::ObjectClass target_class_;
+
+  /// Cache key: frame, resolution, quantized contrast.
+  std::unordered_map<uint64_t, int> cache_;
+  int64_t model_invocations_ = 0;
+  int64_t cache_hits_ = 0;
+};
+
+}  // namespace query
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_QUERY_OUTPUT_SOURCE_H_

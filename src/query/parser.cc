@@ -1,0 +1,161 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace smokescreen {
+namespace query {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// Tokenizer: identifiers/numbers, parentheses, and the '>=' operator.
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  /// Next token, empty at end of input.
+  Result<std::string> Next() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return std::string();
+    char c = text_[pos_];
+    if (c == '(' || c == ')') {
+      ++pos_;
+      return std::string(1, c);
+    }
+    if (c == '>') {
+      if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+        pos_ += 2;
+        return std::string(">=");
+      }
+      return Status::InvalidArgument("expected '>=' at position " + std::to_string(pos_));
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' || c == '.') {
+      size_t start = pos_;
+      while (pos_ < text_.size()) {
+        char ch = text_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' || ch == '-' ||
+            ch == '.') {
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      return text_.substr(start, pos_ - start);
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c + "' at position " +
+                                   std::to_string(pos_));
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+bool IsInteger(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool IsNumber(const std::string& s) {
+  if (s.empty()) return false;
+  bool seen_dot = false;
+  for (char c : s) {
+    if (c == '.') {
+      if (seen_dot) return false;
+      seen_dot = true;
+    } else if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(const std::string& text) {
+  Lexer lexer(text);
+  auto expect = [&lexer](const std::string& keyword) -> Status {
+    SMK_ASSIGN_OR_RETURN(std::string token, lexer.Next());
+    if (ToUpper(token) != keyword) {
+      return Status::InvalidArgument("expected '" + keyword + "', got '" + token + "'");
+    }
+    return Status::OK();
+  };
+
+  ParsedQuery parsed;
+  SMK_RETURN_IF_ERROR(expect("SELECT"));
+
+  // Aggregate.
+  SMK_ASSIGN_OR_RETURN(std::string agg_token, lexer.Next());
+  SMK_ASSIGN_OR_RETURN(parsed.spec.aggregate, AggregateFunctionFromName(ToUpper(agg_token)));
+
+  SMK_RETURN_IF_ERROR(expect("("));
+  SMK_ASSIGN_OR_RETURN(std::string class_token, lexer.Next());
+  SMK_ASSIGN_OR_RETURN(parsed.spec.target_class, video::ObjectClassFromName(class_token));
+
+  SMK_ASSIGN_OR_RETURN(std::string after_class, lexer.Next());
+  if (after_class == ">=") {
+    if (parsed.spec.aggregate != AggregateFunction::kCount) {
+      return Status::InvalidArgument("a '>=' predicate is only valid inside COUNT(...)");
+    }
+    SMK_ASSIGN_OR_RETURN(std::string threshold, lexer.Next());
+    if (!IsInteger(threshold)) {
+      return Status::InvalidArgument("COUNT predicate threshold must be an integer, got '" +
+                                     threshold + "'");
+    }
+    parsed.spec.count_threshold = std::atoi(threshold.c_str());
+    SMK_RETURN_IF_ERROR(expect(")"));
+  } else if (after_class != ")") {
+    return Status::InvalidArgument("expected ')' or '>=', got '" + after_class + "'");
+  }
+
+  SMK_RETURN_IF_ERROR(expect("FROM"));
+  SMK_ASSIGN_OR_RETURN(parsed.dataset, lexer.Next());
+  if (parsed.dataset.empty()) return Status::InvalidArgument("missing dataset after FROM");
+
+  // Optional clauses in any order: USING model, WITH QUANTILE r.
+  while (true) {
+    SMK_ASSIGN_OR_RETURN(std::string token, lexer.Next());
+    if (token.empty()) break;
+    std::string keyword = ToUpper(token);
+    if (keyword == "USING") {
+      SMK_ASSIGN_OR_RETURN(parsed.model, lexer.Next());
+      if (parsed.model.empty()) return Status::InvalidArgument("missing model after USING");
+    } else if (keyword == "WITH") {
+      SMK_RETURN_IF_ERROR(expect("QUANTILE"));
+      if (parsed.spec.aggregate != AggregateFunction::kMax &&
+          parsed.spec.aggregate != AggregateFunction::kMin) {
+        return Status::InvalidArgument("WITH QUANTILE is only valid for MAX/MIN");
+      }
+      SMK_ASSIGN_OR_RETURN(std::string r_token, lexer.Next());
+      if (!IsNumber(r_token)) {
+        return Status::InvalidArgument("quantile must be a number, got '" + r_token + "'");
+      }
+      parsed.spec.quantile_r = std::atof(r_token.c_str());
+    } else {
+      return Status::InvalidArgument("unexpected token '" + token + "'");
+    }
+  }
+
+  SMK_RETURN_IF_ERROR(parsed.spec.Validate());
+  return parsed;
+}
+
+}  // namespace query
+}  // namespace smokescreen

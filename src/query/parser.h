@@ -1,0 +1,46 @@
+// A small declarative query language for the video query processor.
+//
+// The paper's §1 model has administrators submitting analytical queries
+// whose plans embed a detection UDF. This parser accepts the natural
+// declarative spelling of every workload in the paper:
+//
+//   SELECT AVG(car) FROM night-street
+//   SELECT SUM(car) FROM ua-detrac USING yolov4
+//   SELECT COUNT(car >= 8) FROM ua-detrac
+//   SELECT MAX(car) FROM ua-detrac WITH QUANTILE 0.99
+//   SELECT VAR(car) FROM ua-detrac USING maskrcnn
+//
+// Grammar (case-insensitive keywords):
+//   query      := SELECT agg '(' class [cmp] ')' FROM dataset
+//                 [USING model] [WITH QUANTILE r]
+//   agg        := AVG | SUM | COUNT | MAX | MIN | VAR
+//   cmp        := '>=' integer          (COUNT only)
+//   dataset    := identifier            (resolved by the caller)
+//   model      := identifier            (default "yolov4")
+
+#ifndef SMOKESCREEN_QUERY_PARSER_H_
+#define SMOKESCREEN_QUERY_PARSER_H_
+
+#include <string>
+
+#include "query/query_spec.h"
+#include "util/status.h"
+
+namespace smokescreen {
+namespace query {
+
+struct ParsedQuery {
+  QuerySpec spec;
+  std::string dataset;
+  std::string model = "yolov4";
+};
+
+/// Parses the query text. Returns InvalidArgument with a pointed message on
+/// any syntax or semantic error (unknown aggregate/class, predicate on a
+/// non-COUNT aggregate, quantile on a non-MAX/MIN aggregate, ...).
+util::Result<ParsedQuery> ParseQuery(const std::string& text);
+
+}  // namespace query
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_QUERY_PARSER_H_

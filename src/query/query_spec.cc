@@ -1,0 +1,33 @@
+#include "query/query_spec.h"
+
+namespace smokescreen {
+namespace query {
+
+using util::Status;
+
+Status QuerySpec::Validate() const {
+  if (aggregate == AggregateFunction::kCount && count_threshold < 1) {
+    return Status::InvalidArgument("COUNT predicate threshold must be >= 1");
+  }
+  if (aggregate == AggregateFunction::kMax || aggregate == AggregateFunction::kMin) {
+    double r = EffectiveQuantileR();
+    if (r <= 0.0 || r >= 1.0) {
+      return Status::InvalidArgument("MAX/MIN quantile r must be in (0,1)");
+    }
+  }
+  return Status::OK();
+}
+
+std::string QuerySpec::ToString() const {
+  std::string out = AggregateFunctionName(aggregate);
+  out += "(";
+  out += video::ObjectClassName(target_class);
+  if (aggregate == AggregateFunction::kCount) {
+    out += ">=" + std::to_string(count_threshold);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace query
+}  // namespace smokescreen

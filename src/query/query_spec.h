@@ -1,0 +1,49 @@
+// QuerySpec: the paper's (D, F_model, F_A) triple plus COUNT predicate and
+// MAX/MIN quantile parameters.
+
+#ifndef SMOKESCREEN_QUERY_QUERY_SPEC_H_
+#define SMOKESCREEN_QUERY_QUERY_SPEC_H_
+
+#include <string>
+
+#include "query/aggregate.h"
+#include "util/status.h"
+#include "video/types.h"
+
+namespace smokescreen {
+namespace query {
+
+struct QuerySpec {
+  /// Aggregate function F_A.
+  AggregateFunction aggregate = AggregateFunction::kAvg;
+  /// Class the detection UDF counts (the paper's workloads count cars).
+  video::ObjectClass target_class = video::ObjectClass::kCar;
+  /// COUNT predicate: the frame qualifies when the detector reports at least
+  /// this many target objects. Ignored by other aggregates.
+  int count_threshold = 1;
+  /// Quantile r for MAX/MIN; 0 means "use DefaultQuantileR(aggregate)".
+  double quantile_r = 0.0;
+
+  double EffectiveQuantileR() const {
+    return quantile_r > 0.0 ? quantile_r : DefaultQuantileR(aggregate);
+  }
+
+  /// Maps a raw detector count to the frame-level output X_i the aggregate
+  /// consumes: identity for AVG/SUM/MAX/MIN, predicate indicator for COUNT.
+  double TransformOutput(int raw_count) const {
+    if (aggregate == AggregateFunction::kCount) {
+      return raw_count >= count_threshold ? 1.0 : 0.0;
+    }
+    return static_cast<double>(raw_count);
+  }
+
+  util::Status Validate() const;
+
+  /// e.g. "AVG(car)" or "COUNT(car>=3)".
+  std::string ToString() const;
+};
+
+}  // namespace query
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_QUERY_QUERY_SPEC_H_

@@ -1,0 +1,121 @@
+#include "query/trace.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace smokescreen {
+namespace query {
+
+using util::Result;
+using util::Status;
+
+Result<OutputTrace> OutputTrace::Record(FrameOutputSource& source,
+                                        const std::vector<int>& resolutions) {
+  if (resolutions.empty()) return Status::InvalidArgument("no resolutions to record");
+  OutputTrace trace;
+  trace.dataset_name_ = source.dataset().name();
+  trace.detector_name_ = source.detector().name();
+  trace.num_frames_ = source.dataset().num_frames();
+  for (int resolution : resolutions) {
+    SMK_RETURN_IF_ERROR(source.detector().ValidateResolution(resolution));
+    std::vector<int64_t> all_frames(static_cast<size_t>(trace.num_frames_));
+    for (int64_t i = 0; i < trace.num_frames_; ++i) all_frames[static_cast<size_t>(i)] = i;
+    SMK_ASSIGN_OR_RETURN(std::vector<int> counts, source.RawCounts(all_frames, resolution));
+    trace.counts_[resolution] = std::move(counts);
+  }
+  return trace;
+}
+
+std::vector<int> OutputTrace::resolutions() const {
+  std::vector<int> out;
+  out.reserve(counts_.size());
+  for (const auto& [resolution, counts] : counts_) out.push_back(resolution);
+  return out;
+}
+
+Result<const std::vector<int>*> OutputTrace::CountsAt(int resolution) const {
+  auto it = counts_.find(resolution);
+  if (it == counts_.end()) {
+    return Status::NotFound("resolution " + std::to_string(resolution) + " not in trace");
+  }
+  return &it->second;
+}
+
+Result<std::vector<double>> OutputTrace::Outputs(const QuerySpec& spec, int resolution) const {
+  SMK_RETURN_IF_ERROR(spec.Validate());
+  SMK_ASSIGN_OR_RETURN(const std::vector<int>* counts, CountsAt(resolution));
+  std::vector<double> out;
+  out.reserve(counts->size());
+  for (int count : *counts) out.push_back(spec.TransformOutput(count));
+  return out;
+}
+
+Status OutputTrace::SaveTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "#smokescreen-trace v1\n";
+  out << "#dataset=" << dataset_name_ << "\n";
+  out << "#detector=" << detector_name_ << "\n";
+  out << "frame";
+  for (const auto& [resolution, counts] : counts_) out << ",res" << resolution;
+  out << "\n";
+  for (int64_t i = 0; i < num_frames_; ++i) {
+    out << i;
+    for (const auto& [resolution, counts] : counts_) {
+      out << ',' << counts[static_cast<size_t>(i)];
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<OutputTrace> OutputTrace::LoadFrom(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line) || util::Trim(line) != "#smokescreen-trace v1") {
+    return Status::IoError("not a smokescreen trace: " + path);
+  }
+  OutputTrace trace;
+  while (in.peek() == '#') {
+    std::getline(in, line);
+    auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = line.substr(1, eq - 1);
+    std::string value = line.substr(eq + 1);
+    if (key == "dataset") trace.dataset_name_ = value;
+    if (key == "detector") trace.detector_name_ = value;
+  }
+  if (!std::getline(in, line) || !util::StartsWith(line, "frame")) {
+    return Status::IoError("missing trace header in " + path);
+  }
+  std::vector<int> resolutions;
+  for (const std::string& column : util::Split(line, ',')) {
+    if (column == "frame") continue;
+    if (!util::StartsWith(column, "res")) {
+      return Status::IoError("bad trace column: " + column);
+    }
+    resolutions.push_back(std::atoi(column.c_str() + 3));
+  }
+  if (resolutions.empty()) return Status::IoError("trace has no resolution columns");
+  for (int resolution : resolutions) trace.counts_[resolution] = {};
+
+  while (std::getline(in, line)) {
+    if (util::Trim(line).empty()) continue;
+    std::vector<std::string> cells = util::Split(line, ',');
+    if (cells.size() != resolutions.size() + 1) {
+      return Status::IoError("malformed trace row: " + line);
+    }
+    for (size_t c = 0; c < resolutions.size(); ++c) {
+      trace.counts_[resolutions[c]].push_back(std::atoi(cells[c + 1].c_str()));
+    }
+    ++trace.num_frames_;
+  }
+  return trace;
+}
+
+}  // namespace query
+}  // namespace smokescreen

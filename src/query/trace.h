@@ -1,0 +1,59 @@
+// Output-trace recording and replay.
+//
+// Model outputs are by far the most expensive artifact in the pipeline
+// (§5.3.1: profile time is dominated by inference). A trace materializes the
+// per-frame raw detector counts for a set of resolutions so that later
+// profiling runs — re-tuning knobs, experimenting with thresholds — replay
+// them without touching the detector at all. This mirrors the paper's
+// practice of storing per-frame prior information on disk.
+
+#ifndef SMOKESCREEN_QUERY_TRACE_H_
+#define SMOKESCREEN_QUERY_TRACE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "query/output_source.h"
+#include "util/status.h"
+
+namespace smokescreen {
+namespace query {
+
+/// Raw detector counts for every frame at each recorded resolution.
+class OutputTrace {
+ public:
+  OutputTrace() = default;
+
+  /// Runs the detector over all frames at each of `resolutions` (through the
+  /// source's cache) and records the counts.
+  static util::Result<OutputTrace> Record(FrameOutputSource& source,
+                                          const std::vector<int>& resolutions);
+
+  /// Resolutions present in the trace, ascending.
+  std::vector<int> resolutions() const;
+  int64_t num_frames() const { return num_frames_; }
+  const std::string& dataset_name() const { return dataset_name_; }
+  const std::string& detector_name() const { return detector_name_; }
+
+  /// Raw counts at `resolution` (error when not recorded).
+  util::Result<const std::vector<int>*> CountsAt(int resolution) const;
+
+  /// Query-transformed outputs X_i at `resolution` for `spec`.
+  util::Result<std::vector<double>> Outputs(const QuerySpec& spec, int resolution) const;
+
+  /// CSV persistence (one row per frame, one column per resolution).
+  util::Status SaveTo(const std::string& path) const;
+  static util::Result<OutputTrace> LoadFrom(const std::string& path);
+
+ private:
+  std::string dataset_name_;
+  std::string detector_name_;
+  int64_t num_frames_ = 0;
+  std::map<int, std::vector<int>> counts_;  // resolution -> per-frame counts.
+};
+
+}  // namespace query
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_QUERY_TRACE_H_

@@ -1,0 +1,60 @@
+#include "stats/concentration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/normal.h"
+#include "util/logging.h"
+
+namespace smokescreen {
+namespace stats {
+
+double HoeffdingRadius(double range, int64_t n, double delta) {
+  SMK_CHECK_GT(n, 0);
+  SMK_CHECK(delta > 0.0 && delta < 1.0);
+  if (range <= 0.0) return 0.0;
+  return range * std::sqrt(std::log(2.0 / delta) / (2.0 * static_cast<double>(n)));
+}
+
+double HoeffdingSerflingRho(int64_t n, int64_t population) {
+  SMK_CHECK_GT(n, 0);
+  SMK_CHECK_GE(population, n);
+  double N = static_cast<double>(population);
+  double dn = static_cast<double>(n);
+  double a = 1.0 - (dn - 1.0) / N;
+  double b = (1.0 - dn / N) * (1.0 + 1.0 / dn);
+  return std::min(a, b);
+}
+
+double HoeffdingSerflingRadius(double range, int64_t n, int64_t population, double delta) {
+  SMK_CHECK(delta > 0.0 && delta < 1.0);
+  if (range <= 0.0) return 0.0;
+  double rho = HoeffdingSerflingRho(n, population);
+  return range * std::sqrt(rho * std::log(2.0 / delta) / (2.0 * static_cast<double>(n)));
+}
+
+double EmpiricalBernsteinRadius(double sample_stddev, double range, int64_t n, double delta) {
+  SMK_CHECK_GT(n, 0);
+  SMK_CHECK(delta > 0.0 && delta < 1.0);
+  double dn = static_cast<double>(n);
+  double log_term = std::log(3.0 / delta);
+  return sample_stddev * std::sqrt(2.0 * log_term / dn) + 3.0 * range * log_term / dn;
+}
+
+double EbgsDeltaAtStep(double delta, int64_t step) {
+  SMK_CHECK_GT(step, 0);
+  SMK_CHECK(delta > 0.0 && delta < 1.0);
+  constexpr double kP = 1.1;
+  double c = delta * (kP - 1.0) / kP;
+  return c / std::pow(static_cast<double>(step), kP);
+}
+
+double CltRadius(double sample_stddev, int64_t n, double delta) {
+  SMK_CHECK_GT(n, 0);
+  SMK_CHECK(delta > 0.0 && delta < 1.0);
+  double z = ZScoreUpperTail(delta / 2.0);
+  return z * sample_stddev / std::sqrt(static_cast<double>(n));
+}
+
+}  // namespace stats
+}  // namespace smokescreen

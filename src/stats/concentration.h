@@ -1,0 +1,46 @@
+// Concentration inequalities: two-sided confidence radii for the mean of a
+// bounded sample. These feed both the paper's Algorithm 1 (Hoeffding–Serfling)
+// and the baselines of Section 5.1 (Hoeffding, EBGS / empirical Bernstein,
+// CLT).
+//
+// All radii are two-sided: with probability >= 1-delta,
+// |sample_mean - true_mean| <= radius.
+
+#ifndef SMOKESCREEN_STATS_CONCENTRATION_H_
+#define SMOKESCREEN_STATS_CONCENTRATION_H_
+
+#include <cstdint>
+
+namespace smokescreen {
+namespace stats {
+
+/// Hoeffding's inequality (i.i.d. / with-replacement):
+/// radius = R * sqrt(ln(2/delta) / (2n)).
+double HoeffdingRadius(double range, int64_t n, double delta);
+
+/// The Hoeffding–Serfling sampling-without-replacement factor
+/// rho_n = min{ 1 - (n-1)/N, (1 - n/N)(1 + 1/n) }  (Bardenet & Maillard).
+double HoeffdingSerflingRho(int64_t n, int64_t population);
+
+/// Hoeffding–Serfling inequality radius (without replacement):
+/// radius = R * sqrt(rho_n * ln(2/delta) / (2n)).
+double HoeffdingSerflingRadius(double range, int64_t n, int64_t population, double delta);
+
+/// Empirical Bernstein radius (Audibert–Munos–Szepesvari):
+/// radius = sample_stddev * sqrt(2 ln(3/delta) / n) + 3 R ln(3/delta) / n.
+double EmpiricalBernsteinRadius(double sample_stddev, double range, int64_t n, double delta);
+
+/// The per-step confidence budget delta_t = c / t^p used by the empirical
+/// Bernstein *stopping* algorithm (Mnih, Szepesvari & Audibert 2008), with
+/// p = 1.1 and c = delta * (p - 1) / p so that sum_t delta_t <= delta.
+double EbgsDeltaAtStep(double delta, int64_t step);
+
+/// Central-limit-theorem (large-sample normal) radius:
+/// radius = z_{1 - delta/2} * sample_stddev / sqrt(n).
+/// No finite-sample guarantee -- this is the brittle baseline of Figure 5.
+double CltRadius(double sample_stddev, int64_t n, double delta);
+
+}  // namespace stats
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_STATS_CONCENTRATION_H_

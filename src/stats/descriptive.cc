@@ -1,0 +1,47 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+namespace smokescreen {
+namespace stats {
+
+using util::Result;
+using util::Status;
+
+Result<Summary> Summarize(const std::vector<double>& values) {
+  if (values.empty()) return Status::InvalidArgument("cannot summarize empty sample");
+  WelfordAccumulator acc;
+  for (double v : values) acc.Add(v);
+  Summary s;
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.variance = acc.variance();
+  s.stddev = std::sqrt(s.variance);
+  s.min = acc.min();
+  s.max = acc.max();
+  s.range = acc.range();
+  s.sum = acc.mean() * static_cast<double>(acc.count());
+  return s;
+}
+
+void WelfordAccumulator::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double WelfordAccumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+}  // namespace stats
+}  // namespace smokescreen

@@ -1,0 +1,90 @@
+#include "stats/empirical.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smokescreen {
+namespace stats {
+
+using util::Result;
+using util::Status;
+
+Result<EmpiricalDistribution> EmpiricalDistribution::Create(const std::vector<double>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot build empirical distribution from empty sample");
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+
+  EmpiricalDistribution dist;
+  dist.total_count_ = static_cast<int64_t>(sorted.size());
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    dist.distinct_.push_back(sorted[i]);
+    dist.counts_.push_back(static_cast<int64_t>(j - i));
+    i = j;
+  }
+  dist.cum_freq_.resize(dist.distinct_.size());
+  int64_t running = 0;
+  for (size_t i = 0; i < dist.counts_.size(); ++i) {
+    running += dist.counts_[i];
+    dist.cum_freq_[i] = static_cast<double>(running) / static_cast<double>(dist.total_count_);
+  }
+  return dist;
+}
+
+double EmpiricalDistribution::Frequency(int64_t i) const {
+  return static_cast<double>(counts_[static_cast<size_t>(i)]) /
+         static_cast<double>(total_count_);
+}
+
+double EmpiricalDistribution::CumulativeFrequency(int64_t i) const {
+  return cum_freq_[static_cast<size_t>(i)];
+}
+
+int64_t EmpiricalDistribution::QuantileIndex(double r) const {
+  r = std::min(std::max(r, 1.0 / static_cast<double>(2 * total_count_)), 1.0);
+  // Smallest index with cumulative frequency >= r. Guard against floating
+  // error by nudging r down a hair relative to exact multiples of 1/n.
+  auto it = std::lower_bound(cum_freq_.begin(), cum_freq_.end(), r - 1e-12);
+  if (it == cum_freq_.end()) return static_cast<int64_t>(cum_freq_.size()) - 1;
+  return static_cast<int64_t>(it - cum_freq_.begin());
+}
+
+int64_t EmpiricalDistribution::IndexOfValueFloor(double value) const {
+  auto it = std::upper_bound(distinct_.begin(), distinct_.end(), value);
+  if (it == distinct_.begin()) return -1;
+  return static_cast<int64_t>(it - distinct_.begin()) - 1;
+}
+
+double EmpiricalDistribution::RankFraction(double value) const {
+  int64_t idx = IndexOfValueFloor(value);
+  if (idx < 0) return 0.0;
+  return CumulativeFrequency(idx);
+}
+
+double EmpiricalDistribution::FrequencyOfValue(double value) const {
+  auto it = std::lower_bound(distinct_.begin(), distinct_.end(), value);
+  if (it == distinct_.end() || *it != value) return 0.0;
+  return Frequency(static_cast<int64_t>(it - distinct_.begin()));
+}
+
+Result<double> EmpiricalDistribution::MinFrequencyInRange(int64_t lo, int64_t hi) const {
+  if (lo > hi) return Status::InvalidArgument("empty frequency range");
+  if (lo < 0 || hi >= num_distinct()) return Status::OutOfRange("frequency range out of bounds");
+  double best = Frequency(lo);
+  for (int64_t i = lo + 1; i <= hi; ++i) best = std::min(best, Frequency(i));
+  return best;
+}
+
+Result<double> EmpiricalDistribution::MaxFrequencyInRange(int64_t lo, int64_t hi) const {
+  if (lo > hi) return Status::InvalidArgument("empty frequency range");
+  if (lo < 0 || hi >= num_distinct()) return Status::OutOfRange("frequency range out of bounds");
+  double best = Frequency(lo);
+  for (int64_t i = lo + 1; i <= hi; ++i) best = std::max(best, Frequency(i));
+  return best;
+}
+
+}  // namespace stats
+}  // namespace smokescreen

@@ -1,0 +1,49 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace smokescreen {
+namespace stats {
+
+void IntHistogram::Add(int64_t key, int64_t weight) {
+  buckets_[key] += weight;
+  total_ += weight;
+}
+
+int64_t IntHistogram::CountFor(int64_t key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? 0 : it->second;
+}
+
+int64_t IntHistogram::min_key() const { return buckets_.empty() ? 0 : buckets_.begin()->first; }
+int64_t IntHistogram::max_key() const { return buckets_.empty() ? 0 : buckets_.rbegin()->first; }
+
+double IntHistogram::FrequencyFor(int64_t key) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(CountFor(key)) / static_cast<double>(total_);
+}
+
+std::vector<int64_t> IntHistogram::DenseCounts() const {
+  if (buckets_.empty()) return {};
+  std::vector<int64_t> out(static_cast<size_t>(max_key() - min_key() + 1), 0);
+  for (const auto& [key, count] : buckets_) {
+    out[static_cast<size_t>(key - min_key())] = count;
+  }
+  return out;
+}
+
+double IntHistogram::TotalVariationDistance(const IntHistogram& other) const {
+  std::set<int64_t> keys;
+  for (const auto& [key, count] : buckets_) keys.insert(key);
+  for (const auto& [key, count] : other.buckets_) keys.insert(key);
+  double tv = 0.0;
+  for (int64_t key : keys) {
+    tv += std::abs(FrequencyFor(key) - other.FrequencyFor(key));
+  }
+  return tv / 2.0;
+}
+
+}  // namespace stats
+}  // namespace smokescreen

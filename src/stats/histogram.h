@@ -1,0 +1,47 @@
+// Integer-valued histogram used by the Figure 8 experiment (predicted
+// car-count distribution) and by dataset calibration checks.
+
+#ifndef SMOKESCREEN_STATS_HISTOGRAM_H_
+#define SMOKESCREEN_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace smokescreen {
+namespace stats {
+
+/// Counts occurrences of integer keys (e.g. cars-per-frame).
+class IntHistogram {
+ public:
+  void Add(int64_t key, int64_t weight = 1);
+
+  int64_t CountFor(int64_t key) const;
+  int64_t total() const { return total_; }
+  bool empty() const { return buckets_.empty(); }
+
+  int64_t min_key() const;
+  int64_t max_key() const;
+
+  /// Fraction of mass at `key`.
+  double FrequencyFor(int64_t key) const;
+
+  /// Dense counts over [min_key, max_key]; empty histogram yields {}.
+  std::vector<int64_t> DenseCounts() const;
+
+  /// Total-variation distance to another histogram over their joint support,
+  /// in [0, 1]. Used to quantify "distribution deviates from the truth"
+  /// (Figure 8 discussion).
+  double TotalVariationDistance(const IntHistogram& other) const;
+
+  const std::map<int64_t, int64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::map<int64_t, int64_t> buckets_;
+  int64_t total_ = 0;
+};
+
+}  // namespace stats
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_STATS_HISTOGRAM_H_

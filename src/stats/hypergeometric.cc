@@ -1,0 +1,81 @@
+#include "stats/hypergeometric.h"
+
+#include <cmath>
+
+#include "stats/normal.h"
+
+namespace smokescreen {
+namespace stats {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+// log(C(n, k)) via lgamma.
+double LogChoose(int64_t n, int64_t k) {
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+}  // namespace
+
+double HypergeometricMean(const HypergeometricParams& p) {
+  if (p.population <= 0) return 0.0;
+  return static_cast<double>(p.draws) * static_cast<double>(p.successes) /
+         static_cast<double>(p.population);
+}
+
+double HypergeometricVariance(const HypergeometricParams& p) {
+  if (p.population <= 1) return 0.0;
+  double N = static_cast<double>(p.population);
+  double K = static_cast<double>(p.successes);
+  double n = static_cast<double>(p.draws);
+  double f = K / N;
+  return n * f * (1.0 - f) * (N - n) / (N - 1.0);
+}
+
+Result<double> HypergeometricPmf(const HypergeometricParams& p, int64_t k) {
+  if (p.population < 0 || p.successes < 0 || p.draws < 0) {
+    return Status::InvalidArgument("hypergeometric parameters must be non-negative");
+  }
+  if (p.successes > p.population || p.draws > p.population) {
+    return Status::InvalidArgument("successes/draws cannot exceed population");
+  }
+  int64_t lo = std::max<int64_t>(0, p.draws - (p.population - p.successes));
+  int64_t hi = std::min(p.draws, p.successes);
+  if (k < lo || k > hi) return 0.0;
+  double logp = LogChoose(p.successes, k) +
+                LogChoose(p.population - p.successes, p.draws - k) -
+                LogChoose(p.population, p.draws);
+  return std::exp(logp);
+}
+
+double HypergeometricCdfNormalApprox(const HypergeometricParams& p, int64_t k) {
+  double var = HypergeometricVariance(p);
+  if (var <= 0.0) {
+    return static_cast<double>(k) >= HypergeometricMean(p) ? 1.0 : 0.0;
+  }
+  double z = (static_cast<double>(k) + 0.5 - HypergeometricMean(p)) / std::sqrt(var);
+  return StdNormalCdf(z);
+}
+
+double SampledFrequencyVariance(double population_frequency, int64_t population, int64_t draws) {
+  if (population <= 1 || draws <= 0) return 0.0;
+  double N = static_cast<double>(population);
+  double n = static_cast<double>(draws);
+  double f = population_frequency;
+  return f * (1.0 - f) * (N - n) / (n * (N - 1.0));
+}
+
+double FinitePopulationFactor(int64_t population, int64_t draws) {
+  if (population <= 1 || draws <= 0) return 0.0;
+  double N = static_cast<double>(population);
+  double n = static_cast<double>(draws);
+  return std::sqrt((N - n) / (n * (N - 1.0)));
+}
+
+}  // namespace stats
+}  // namespace smokescreen

@@ -1,0 +1,50 @@
+// Hypergeometric distribution utilities.
+//
+// When n frames are drawn without replacement from N and K of the N satisfy
+// some property, the number of sampled satisfying frames is
+// Hypergeometric(N, K, n). The paper's Algorithm 2 (MAX/MIN quantile bounds)
+// rests on the normal approximation of this distribution (Nicholson 1956),
+// including the finite-population correction factor (N-n)/(n(N-1)) on the
+// variance of the sampled frequency.
+
+#ifndef SMOKESCREEN_STATS_HYPERGEOMETRIC_H_
+#define SMOKESCREEN_STATS_HYPERGEOMETRIC_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace smokescreen {
+namespace stats {
+
+/// Parameters: population N, successes K in population, draws n.
+struct HypergeometricParams {
+  int64_t population;  // N
+  int64_t successes;   // K
+  int64_t draws;       // n
+};
+
+/// Mean number of successes in the sample: n*K/N.
+double HypergeometricMean(const HypergeometricParams& p);
+
+/// Variance of the number of successes: n*(K/N)*(1-K/N)*(N-n)/(N-1).
+double HypergeometricVariance(const HypergeometricParams& p);
+
+/// Exact P(X = k) computed in log space (stable for large parameters).
+util::Result<double> HypergeometricPmf(const HypergeometricParams& p, int64_t k);
+
+/// Normal approximation of P(X <= k) with continuity correction.
+double HypergeometricCdfNormalApprox(const HypergeometricParams& p, int64_t k);
+
+/// Variance of the *sampled frequency* (X/n) of a population frequency F
+/// under draws-n-of-N without replacement: F(1-F) * (N-n)/(n(N-1)).
+/// This is the term inside the square roots in the paper's equations (7)-(8).
+double SampledFrequencyVariance(double population_frequency, int64_t population, int64_t draws);
+
+/// The finite-population factor sqrt((N-n)/(n(N-1))) itself.
+double FinitePopulationFactor(int64_t population, int64_t draws);
+
+}  // namespace stats
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_STATS_HYPERGEOMETRIC_H_

@@ -1,0 +1,75 @@
+#include "stats/normal.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace smokescreen {
+namespace stats {
+
+double StdNormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double StdNormalQuantile(double p) {
+  SMK_CHECK(p > 0.0 && p < 1.0) << "quantile requires p in (0,1), got " << p;
+
+  // Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+
+  double x;
+  if (p < p_low) {
+    double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    double q = p - 0.5;
+    double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+
+  // One Halley refinement step using the exact CDF.
+  double e = StdNormalCdf(x) - p;
+  double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double ZScoreUpperTail(double delta) {
+  SMK_CHECK(delta > 0.0 && delta < 1.0) << "delta must be in (0,1), got " << delta;
+  return StdNormalQuantile(1.0 - delta);
+}
+
+double StudentTQuantile(double p, int64_t dof) {
+  SMK_CHECK(p > 0.0 && p < 1.0) << "quantile requires p in (0,1), got " << p;
+  SMK_CHECK_GE(dof, 1);
+  double z = StdNormalQuantile(p);
+  double nu = static_cast<double>(dof);
+  double z2 = z * z;
+  // Cornish-Fisher expansion in powers of 1/nu (Abramowitz & Stegun 26.7.5).
+  double g1 = (z2 * z + z) / 4.0;
+  double g2 = (5.0 * z2 * z2 * z + 16.0 * z2 * z + 3.0 * z) / 96.0;
+  double g3 = (3.0 * z2 * z2 * z2 * z + 19.0 * z2 * z2 * z + 17.0 * z2 * z - 15.0 * z) / 384.0;
+  double g4 = (79.0 * std::pow(z, 9) + 776.0 * std::pow(z, 7) + 1482.0 * std::pow(z, 5) -
+               1920.0 * z2 * z - 945.0 * z) /
+              92160.0;
+  return z + g1 / nu + g2 / (nu * nu) + g3 / (nu * nu * nu) + g4 / (nu * nu * nu * nu);
+}
+
+}  // namespace stats
+}  // namespace smokescreen

@@ -1,0 +1,33 @@
+// Standard normal distribution helpers: CDF, inverse CDF (quantile), and the
+// Z-score phi_{delta} used in the paper's Algorithm 2.
+
+#ifndef SMOKESCREEN_STATS_NORMAL_H_
+#define SMOKESCREEN_STATS_NORMAL_H_
+
+#include <cstdint>
+
+namespace smokescreen {
+namespace stats {
+
+/// P(Z <= x) for Z ~ N(0,1).
+double StdNormalCdf(double x);
+
+/// Inverse of StdNormalCdf for p in (0, 1). Acklam's rational approximation
+/// refined with one Halley step; max relative error well below 1e-9.
+double StdNormalQuantile(double p);
+
+/// Upper-tail Z-score: the value z such that P(Z > z) = delta.
+/// This is the phi_{delta} of the paper's Algorithm 2 (phi_{delta/2} is the
+/// two-sided critical value at confidence 1-delta).
+double ZScoreUpperTail(double delta);
+
+/// Quantile of Student's t distribution with `dof` degrees of freedom, via
+/// the Cornish-Fisher expansion around the normal quantile. Accurate to a
+/// few tenths of a percent for dof >= 3 (the regime the small-sample CLT
+/// baseline uses); dof must be >= 1.
+double StudentTQuantile(double p, int64_t dof);
+
+}  // namespace stats
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_STATS_NORMAL_H_

@@ -1,0 +1,136 @@
+#include "stats/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace smokescreen {
+namespace stats {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashCombine(std::initializer_list<uint64_t> words) {
+  uint64_t state = 0x5aff00d5aff00d5aULL;
+  uint64_t acc = SplitMix64(state);
+  for (uint64_t w : words) {
+    state ^= w;
+    acc = Rotl(acc ^ SplitMix64(state), 23) * 0x2545f4914f6cdd1dULL;
+  }
+  // Final avalanche.
+  state ^= acc;
+  return SplitMix64(state);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(sm);
+  // xoshiro must not be seeded all-zero; SplitMix64 of anything cannot
+  // produce four zero lanes, but be defensive.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  SMK_CHECK_GT(bound, 0u);
+  // Lemire's multiply-shift rejection method.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  // 53 top bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+int Rng::NextPoisson(double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth multiplication method.
+    double limit = std::exp(-lambda);
+    double prod = NextDouble();
+    int count = 0;
+    while (prod > limit) {
+      ++count;
+      prod *= NextDouble();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for the scene
+  // simulator's large-arrival regimes.
+  double value = lambda + std::sqrt(lambda) * NextGaussian() + 0.5;
+  return value < 0.0 ? 0 : static_cast<int>(value);
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double StatelessUniform(std::initializer_list<uint64_t> words) {
+  return static_cast<double>(HashCombine(words) >> 11) * 0x1.0p-53;
+}
+
+bool StatelessBernoulli(double p, std::initializer_list<uint64_t> words) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return StatelessUniform(words) < p;
+}
+
+int StatelessPoisson(double lambda, std::initializer_list<uint64_t> words) {
+  // Uses the hash as a seed for a short-lived sequential generator; the
+  // result remains a pure function of (lambda, words).
+  Rng rng(HashCombine(words));
+  return rng.NextPoisson(lambda);
+}
+
+}  // namespace stats
+}  // namespace smokescreen

@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation.
+//
+// Two pieces:
+//  * Rng — a xoshiro256** stream generator for sequential use (trial-level
+//    sampling randomness).
+//  * StatelessHash / StatelessUniform — counter-based hashing so that the
+//    simulated detectors can produce an output that is a pure function of
+//    (dataset, frame, object, resolution, model), independent of call order.
+//    This mirrors a real neural network: inference on the same image at the
+//    same resolution always yields the same detections.
+
+#ifndef SMOKESCREEN_STATS_RNG_H_
+#define SMOKESCREEN_STATS_RNG_H_
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace smokescreen {
+namespace stats {
+
+/// SplitMix64 step; used for seeding and stateless hashing.
+uint64_t SplitMix64(uint64_t& state);
+
+/// Mixes an arbitrary list of 64-bit words into a single well-distributed
+/// 64-bit hash. Deterministic across runs and platforms.
+uint64_t HashCombine(std::initializer_list<uint64_t> words);
+
+/// xoshiro256** PRNG. Fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  /// Seeds the four lanes from `seed` via SplitMix64 (never all-zero).
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64 random bits.
+  uint64_t NextUint64();
+
+  /// Uniform integer in [0, bound) via Lemire's unbiased method. bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal variate (Box–Muller; one value per call, spare cached).
+  double NextGaussian();
+
+  /// Poisson variate with mean `lambda` (Knuth for small lambda, PTRS-like
+  /// normal-approximation rejection for large lambda).
+  int NextPoisson(double lambda);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+/// Deterministic uniform double in [0,1) derived from the given words.
+double StatelessUniform(std::initializer_list<uint64_t> words);
+
+/// Deterministic Bernoulli derived from the given words.
+bool StatelessBernoulli(double p, std::initializer_list<uint64_t> words);
+
+/// Deterministic Poisson variate derived from the given words.
+int StatelessPoisson(double lambda, std::initializer_list<uint64_t> words);
+
+}  // namespace stats
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_STATS_RNG_H_

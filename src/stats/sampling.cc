@@ -1,0 +1,72 @@
+#include "stats/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+namespace smokescreen {
+namespace stats {
+
+using util::Result;
+using util::Status;
+
+Result<std::vector<int64_t>> SampleWithoutReplacement(int64_t population, int64_t n, Rng& rng) {
+  if (population < 0 || n < 0) {
+    return Status::InvalidArgument("population and n must be non-negative");
+  }
+  if (n > population) {
+    return Status::InvalidArgument("sample size " + std::to_string(n) +
+                                   " exceeds population " + std::to_string(population));
+  }
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(n));
+  // Sparse partial Fisher–Yates: O(n) time/space even for huge populations.
+  std::unordered_map<int64_t, int64_t> swapped;
+  swapped.reserve(static_cast<size_t>(n) * 2);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t j = i + static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(population - i)));
+    auto it_j = swapped.find(j);
+    int64_t value_j = it_j == swapped.end() ? j : it_j->second;
+    auto it_i = swapped.find(i);
+    int64_t value_i = it_i == swapped.end() ? i : it_i->second;
+    swapped[j] = value_i;
+    out.push_back(value_j);
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> SampleWithoutReplacementSorted(int64_t population, int64_t n,
+                                                            Rng& rng) {
+  if (population < 0 || n < 0) {
+    return Status::InvalidArgument("population and n must be non-negative");
+  }
+  if (n > population) {
+    return Status::InvalidArgument("sample size " + std::to_string(n) +
+                                   " exceeds population " + std::to_string(population));
+  }
+  // Sequential selection sampling: walk the population once, include item i
+  // with probability (remaining_needed / remaining_items).
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(n));
+  int64_t needed = n;
+  for (int64_t i = 0; i < population && needed > 0; ++i) {
+    int64_t remaining = population - i;
+    if (rng.NextDouble() * static_cast<double>(remaining) < static_cast<double>(needed)) {
+      out.push_back(i);
+      --needed;
+    }
+  }
+  return out;
+}
+
+int64_t FractionToCount(int64_t population, double fraction) {
+  if (fraction <= 0.0 || population <= 0) return 0;
+  if (fraction >= 1.0) return population;
+  int64_t n = static_cast<int64_t>(std::llround(fraction * static_cast<double>(population)));
+  n = std::max<int64_t>(n, 1);
+  return std::min(n, population);
+}
+
+}  // namespace stats
+}  // namespace smokescreen

@@ -1,0 +1,99 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace smokescreen {
+namespace util {
+
+Result<std::string> RenderAsciiPlot(const std::vector<PlotSeries>& series,
+                                    const PlotOptions& options) {
+  if (options.width < 10 || options.height < 4) {
+    return Status::InvalidArgument("plot canvas too small");
+  }
+  double x_min = 0, x_max = 0, y_min = 0, y_max = 0;
+  bool any = false;
+  for (const PlotSeries& s : series) {
+    for (const auto& [x, y] : s.points) {
+      if (!std::isfinite(x) || !std::isfinite(y)) continue;
+      if (!any) {
+        x_min = x_max = x;
+        y_min = y_max = y;
+        any = true;
+      } else {
+        x_min = std::min(x_min, x);
+        x_max = std::max(x_max, x);
+        y_min = std::min(y_min, y);
+        y_max = std::max(y_max, y);
+      }
+    }
+  }
+  if (!any) return Status::InvalidArgument("no finite points to plot");
+  if (options.y_min != options.y_max) {
+    y_min = options.y_min;
+    y_max = options.y_max;
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> canvas(static_cast<size_t>(h), std::string(static_cast<size_t>(w), ' '));
+
+  auto to_col = [&](double x) {
+    int col = static_cast<int>(std::lround((x - x_min) / (x_max - x_min) * (w - 1)));
+    return std::clamp(col, 0, w - 1);
+  };
+  auto to_row = [&](double y) {
+    // Row 0 is the top of the canvas.
+    double clamped = std::clamp(y, y_min, y_max);
+    int row = static_cast<int>(std::lround((y_max - clamped) / (y_max - y_min) * (h - 1)));
+    return std::clamp(row, 0, h - 1);
+  };
+
+  for (const PlotSeries& s : series) {
+    // Sort by x and connect consecutive points with interpolated glyphs.
+    std::vector<std::pair<double, double>> pts;
+    for (const auto& p : s.points) {
+      if (std::isfinite(p.first) && std::isfinite(p.second)) pts.push_back(p);
+    }
+    std::sort(pts.begin(), pts.end());
+    for (size_t i = 0; i < pts.size(); ++i) {
+      int c0 = to_col(pts[i].first);
+      canvas[static_cast<size_t>(to_row(pts[i].second))][static_cast<size_t>(c0)] = s.glyph;
+      if (i + 1 < pts.size()) {
+        int c1 = to_col(pts[i + 1].first);
+        for (int c = c0 + 1; c < c1; ++c) {
+          double t = static_cast<double>(c - c0) / std::max(1, c1 - c0);
+          double y = pts[i].second + t * (pts[i + 1].second - pts[i].second);
+          char& cell = canvas[static_cast<size_t>(to_row(y))][static_cast<size_t>(c)];
+          if (cell == ' ') cell = '.';
+        }
+      }
+    }
+  }
+
+  std::string out;
+  out += options.y_label + "\n";
+  for (int r = 0; r < h; ++r) {
+    double y_at_row = y_max - static_cast<double>(r) / (h - 1) * (y_max - y_min);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%8.3f ", y_at_row);
+    out += label;
+    out += "|" + canvas[static_cast<size_t>(r)] + "\n";
+  }
+  out += std::string(9, ' ') + "+" + std::string(static_cast<size_t>(w), '-') + "\n";
+  char xaxis[128];
+  std::snprintf(xaxis, sizeof(xaxis), "%9s%-10.4g%*.4g   (%s)\n", " ", x_min,
+                std::max(1, w - 10), x_max, options.x_label.c_str());
+  out += xaxis;
+  for (const PlotSeries& s : series) {
+    out += "          " + std::string(1, s.glyph) + " = " + s.label + "\n";
+  }
+  return out;
+}
+
+}  // namespace util
+}  // namespace smokescreen

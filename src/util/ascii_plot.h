@@ -1,0 +1,42 @@
+// ASCII line plots for terminal-rendered tradeoff curves.
+//
+// The paper's administrators examine 2-D plots of cube slices (§3.1,
+// Figures 1-3). This renderer draws one or more (x, y) series as an ASCII
+// chart so the CLI and examples can show actual curves, not just tables.
+
+#ifndef SMOKESCREEN_UTIL_ASCII_PLOT_H_
+#define SMOKESCREEN_UTIL_ASCII_PLOT_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace smokescreen {
+namespace util {
+
+struct PlotSeries {
+  std::string label;
+  char glyph = '*';
+  std::vector<std::pair<double, double>> points;  // (x, y), any order.
+};
+
+struct PlotOptions {
+  int width = 60;   // Plot-area columns.
+  int height = 16;  // Plot-area rows.
+  std::string x_label = "x";
+  std::string y_label = "y";
+  /// Fixed y-range; when min == max the range is derived from the data.
+  double y_min = 0.0;
+  double y_max = 0.0;
+};
+
+/// Renders the series into a multi-line string. Error when no series has
+/// points or the canvas is degenerate.
+util::Result<std::string> RenderAsciiPlot(const std::vector<PlotSeries>& series,
+                                          const PlotOptions& options);
+
+}  // namespace util
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_UTIL_ASCII_PLOT_H_

@@ -1,0 +1,59 @@
+#include "util/csv_writer.h"
+
+#include "util/string_util.h"
+
+namespace smokescreen {
+namespace util {
+
+CsvWriter::~CsvWriter() { Close().CheckOk(); }
+
+std::string CsvWriter::QuoteField(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+Status CsvWriter::Open(const std::string& path, const std::vector<std::string>& header) {
+  if (out_.is_open()) return Status::FailedPrecondition("CsvWriter already open");
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_) return Status::IoError("cannot open " + path);
+  arity_ = header.size();
+  return WriteRow(header);
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) return Status::FailedPrecondition("CsvWriter not open");
+  if (cells.size() != arity_) {
+    return Status::InvalidArgument("row arity " + std::to_string(cells.size()) +
+                                   " != header arity " + std::to_string(arity_));
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << QuoteField(cells[i]);
+  }
+  out_ << '\n';
+  if (!out_) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+Status CsvWriter::WriteRow(const std::vector<double>& cells) {
+  std::vector<std::string> strs;
+  strs.reserve(cells.size());
+  for (double v : cells) strs.push_back(FormatDouble(v, 6));
+  return WriteRow(strs);
+}
+
+Status CsvWriter::Close() {
+  if (!out_.is_open()) return Status::OK();
+  out_.close();
+  if (out_.fail()) return Status::IoError("close failed");
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace smokescreen

@@ -1,0 +1,47 @@
+// CSV file writer with RFC-4180 quoting, used to persist experiment series.
+
+#ifndef SMOKESCREEN_UTIL_CSV_WRITER_H_
+#define SMOKESCREEN_UTIL_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace smokescreen {
+namespace util {
+
+/// Writes rows to a CSV file. The header is written on Open().
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Opens `path` for writing (truncating) and writes the header row.
+  Status Open(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one data row; must match the header's arity.
+  Status WriteRow(const std::vector<std::string>& cells);
+  Status WriteRow(const std::vector<double>& cells);
+
+  /// Flushes and closes the file. Idempotent.
+  Status Close();
+
+  bool is_open() const { return out_.is_open(); }
+
+  /// Quotes a single CSV field if it contains a comma, quote, or newline.
+  static std::string QuoteField(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  size_t arity_ = 0;
+};
+
+}  // namespace util
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_UTIL_CSV_WRITER_H_

@@ -1,0 +1,68 @@
+// Minimal leveled logging with stream syntax, plus CHECK macros.
+//
+//   SMK_LOG(INFO) << "profiled " << n << " candidates";
+//   SMK_CHECK_GE(fraction, 0.0) << "fraction must be non-negative";
+//
+// FATAL log lines and failed CHECKs abort the process after flushing.
+
+#ifndef SMOKESCREEN_UTIL_LOGGING_H_
+#define SMOKESCREEN_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace smokescreen {
+namespace util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global log threshold; messages below it are dropped. Default: kInfo.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+/// One log statement. Accumulates a message and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace util
+}  // namespace smokescreen
+
+#define SMK_LOG_DEBUG \
+  ::smokescreen::util::LogMessage(::smokescreen::util::LogLevel::kDebug, __FILE__, __LINE__)
+#define SMK_LOG_INFO \
+  ::smokescreen::util::LogMessage(::smokescreen::util::LogLevel::kInfo, __FILE__, __LINE__)
+#define SMK_LOG_WARNING \
+  ::smokescreen::util::LogMessage(::smokescreen::util::LogLevel::kWarning, __FILE__, __LINE__)
+#define SMK_LOG_ERROR \
+  ::smokescreen::util::LogMessage(::smokescreen::util::LogLevel::kError, __FILE__, __LINE__)
+#define SMK_LOG_FATAL \
+  ::smokescreen::util::LogMessage(::smokescreen::util::LogLevel::kFatal, __FILE__, __LINE__)
+
+#define SMK_LOG(severity) SMK_LOG_##severity
+
+#define SMK_CHECK(cond) \
+  if (!(cond)) SMK_LOG(FATAL) << "Check failed: " #cond " "
+#define SMK_CHECK_EQ(a, b) SMK_CHECK((a) == (b))
+#define SMK_CHECK_NE(a, b) SMK_CHECK((a) != (b))
+#define SMK_CHECK_LT(a, b) SMK_CHECK((a) < (b))
+#define SMK_CHECK_LE(a, b) SMK_CHECK((a) <= (b))
+#define SMK_CHECK_GT(a, b) SMK_CHECK((a) > (b))
+#define SMK_CHECK_GE(a, b) SMK_CHECK((a) >= (b))
+
+#endif  // SMOKESCREEN_UTIL_LOGGING_H_

@@ -1,0 +1,172 @@
+// Status / Result error model, in the style of Apache Arrow and RocksDB.
+//
+// Functions that can fail return a Status (no payload) or a Result<T>
+// (payload-or-Status). Errors never propagate across the public API as
+// exceptions. Use the SMK_RETURN_IF_ERROR / SMK_ASSIGN_OR_RETURN macros to
+// chain fallible calls.
+
+#ifndef SMOKESCREEN_UTIL_STATUS_H_
+#define SMOKESCREEN_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace smokescreen {
+namespace util {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIoError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome with an optional message.
+///
+/// Status is cheap to copy in the success case (no allocation) and carries a
+/// code plus free-form message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with a diagnostic if not OK. Use in tests and main().
+  void CheckOk() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value of type T or an error Status. Modeled on arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning code.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status; aborts if the status is OK (an OK Result
+  /// must carry a value).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      std::get<Status>(repr_) =
+          Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Error status, or OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Payload accessors; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Returns the value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::get<Status>(repr_).CheckOk();  // Prints the error and aborts.
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace util
+}  // namespace smokescreen
+
+// Evaluates `expr` (a Status expression); returns it from the enclosing
+// function if it is an error.
+#define SMK_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::smokescreen::util::Status _smk_st = (expr);   \
+    if (!_smk_st.ok()) return _smk_st;              \
+  } while (false)
+
+#define SMK_CONCAT_IMPL(a, b) a##b
+#define SMK_CONCAT(a, b) SMK_CONCAT_IMPL(a, b)
+
+// Evaluates `rexpr` (a Result<T> expression); on success binds the value to
+// `lhs`, otherwise returns the error from the enclosing function.
+#define SMK_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  auto SMK_CONCAT(_smk_result_, __LINE__) = (rexpr);          \
+  if (!SMK_CONCAT(_smk_result_, __LINE__).ok())               \
+    return SMK_CONCAT(_smk_result_, __LINE__).status();       \
+  lhs = std::move(SMK_CONCAT(_smk_result_, __LINE__)).ValueOrDie()
+
+#endif  // SMOKESCREEN_UTIL_STATUS_H_

@@ -1,0 +1,34 @@
+// Small string helpers shared across the project.
+
+#ifndef SMOKESCREEN_UTIL_STRING_UTIL_H_
+#define SMOKESCREEN_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smokescreen {
+namespace util {
+
+/// Splits `input` on `delim`; empty fields are preserved.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Formats a double with `digits` significant decimal places ("0.0123").
+std::string FormatDouble(double value, int digits = 4);
+
+/// Formats a fraction in [0,1] as a percentage string ("12.34%").
+std::string FormatPercent(double fraction, int digits = 2);
+
+}  // namespace util
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_UTIL_STRING_UTIL_H_

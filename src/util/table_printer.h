@@ -1,0 +1,44 @@
+// Fixed-width console table printer used by the experiment harnesses to
+// render the paper's tables/series in a readable form.
+
+#ifndef SMOKESCREEN_UTIL_TABLE_PRINTER_H_
+#define SMOKESCREEN_UTIL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace smokescreen {
+namespace util {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+///
+///   TablePrinter t({"fraction", "true_err", "bound"});
+///   t.AddRow({"0.01", "0.1432", "0.3311"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row. Rows shorter than the header are right-padded with "".
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with 4 decimal places.
+  void AddRow(const std::vector<double>& cells);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  void Print(std::ostream& os) const;
+
+  /// Renders as CSV (header + rows), for downstream plotting.
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace util
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,19 @@
+#include "util/timer.h"
+
+namespace smokescreen {
+namespace util {
+
+double Timer::ElapsedSeconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+int64_t Timer::ElapsedMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_).count();
+}
+
+int64_t Timer::ElapsedMillis() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - start_).count();
+}
+
+}  // namespace util
+}  // namespace smokescreen

@@ -1,0 +1,48 @@
+// Wall-clock stopwatch used by the profiling-time experiments (§5.3.1).
+
+#ifndef SMOKESCREEN_UTIL_TIMER_H_
+#define SMOKESCREEN_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace smokescreen {
+namespace util {
+
+/// A simple monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart().
+  double ElapsedSeconds() const;
+  int64_t ElapsedMicros() const;
+  int64_t ElapsedMillis() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates total time across many start/stop intervals, e.g. to separate
+/// "model processing time" from "estimation time" inside one loop.
+class AccumulatingTimer {
+ public:
+  void Start() { running_timer_.Restart(); }
+  void Stop() { total_micros_ += running_timer_.ElapsedMicros(); }
+
+  double TotalSeconds() const { return static_cast<double>(total_micros_) / 1e6; }
+  int64_t TotalMicros() const { return total_micros_; }
+  void Reset() { total_micros_ = 0; }
+
+ private:
+  Timer running_timer_;
+  int64_t total_micros_ = 0;
+};
+
+}  // namespace util
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_UTIL_TIMER_H_

@@ -1,0 +1,168 @@
+#include "video/dataset.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace smokescreen {
+namespace video {
+
+using util::Result;
+using util::Status;
+
+VideoDataset::VideoDataset(std::string name, uint64_t dataset_id, int full_resolution, double fps,
+                           std::vector<Frame> frames, std::vector<SequenceInfo> sequences)
+    : name_(std::move(name)),
+      dataset_id_(dataset_id),
+      full_resolution_(full_resolution),
+      fps_(fps),
+      frames_(std::move(frames)),
+      sequences_(std::move(sequences)) {}
+
+double VideoDataset::GtContainmentFraction(ObjectClass cls) const {
+  if (frames_.empty()) return 0.0;
+  int64_t containing = 0;
+  for (const Frame& f : frames_) {
+    if (f.ContainsGt(cls)) ++containing;
+  }
+  return static_cast<double>(containing) / static_cast<double>(frames_.size());
+}
+
+double VideoDataset::GtMeanCount(ObjectClass cls) const {
+  if (frames_.empty()) return 0.0;
+  int64_t total = 0;
+  for (const Frame& f : frames_) total += f.CountGt(cls);
+  return static_cast<double>(total) / static_cast<double>(frames_.size());
+}
+
+Result<VideoDataset> VideoDataset::ExtractSequence(const std::string& sequence_name) const {
+  for (const SequenceInfo& seq : sequences_) {
+    if (seq.name != sequence_name) continue;
+    std::vector<Frame> sub(frames_.begin() + seq.first_frame,
+                           frames_.begin() + seq.first_frame + seq.num_frames);
+    std::vector<SequenceInfo> seqs = {{seq.name, 0, seq.num_frames}};
+    return VideoDataset(name_ + "/" + seq.name, dataset_id_, full_resolution_, fps_,
+                        std::move(sub), std::move(seqs));
+  }
+  return Status::NotFound("sequence not found: " + sequence_name);
+}
+
+namespace {
+
+constexpr uint32_t kMagic = 0x534d4b56;  // "SMKV"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(in);
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  WritePod(out, static_cast<uint64_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::ifstream& in, std::string* s) {
+  uint64_t size = 0;
+  if (!ReadPod(in, &size)) return false;
+  if (size > (1ull << 30)) return false;  // Corrupt-length guard.
+  s->resize(size);
+  in.read(s->data(), static_cast<std::streamsize>(size));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status VideoDataset::SaveTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  WritePod(out, kMagic);
+  WritePod(out, kVersion);
+  WriteString(out, name_);
+  WritePod(out, dataset_id_);
+  WritePod(out, static_cast<int32_t>(full_resolution_));
+  WritePod(out, fps_);
+  WritePod(out, static_cast<uint64_t>(sequences_.size()));
+  for (const SequenceInfo& seq : sequences_) {
+    WriteString(out, seq.name);
+    WritePod(out, seq.first_frame);
+    WritePod(out, seq.num_frames);
+  }
+  WritePod(out, static_cast<uint64_t>(frames_.size()));
+  for (const Frame& f : frames_) {
+    WritePod(out, f.frame_id);
+    WritePod(out, f.sequence_id);
+    WritePod(out, f.timestamp_sec);
+    WritePod(out, f.scene_contrast);
+    WritePod(out, static_cast<uint32_t>(f.objects.size()));
+    for (const GtObject& obj : f.objects) {
+      WritePod(out, static_cast<uint8_t>(obj.cls));
+      WritePod(out, obj.track_id);
+      WritePod(out, obj.apparent_size);
+      WritePod(out, obj.contrast);
+      WritePod(out, obj.x);
+      WritePod(out, obj.y);
+    }
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<VideoDataset> VideoDataset::LoadFrom(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!ReadPod(in, &magic) || magic != kMagic) return Status::IoError("bad magic in " + path);
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::IoError("unsupported version in " + path);
+  }
+  std::string name;
+  uint64_t dataset_id = 0;
+  int32_t resolution = 0;
+  double fps = 0.0;
+  if (!ReadString(in, &name) || !ReadPod(in, &dataset_id) || !ReadPod(in, &resolution) ||
+      !ReadPod(in, &fps)) {
+    return Status::IoError("truncated header in " + path);
+  }
+  uint64_t num_seqs = 0;
+  if (!ReadPod(in, &num_seqs)) return Status::IoError("truncated sequences in " + path);
+  std::vector<SequenceInfo> sequences(num_seqs);
+  for (SequenceInfo& seq : sequences) {
+    if (!ReadString(in, &seq.name) || !ReadPod(in, &seq.first_frame) ||
+        !ReadPod(in, &seq.num_frames)) {
+      return Status::IoError("truncated sequence info in " + path);
+    }
+  }
+  uint64_t num_frames = 0;
+  if (!ReadPod(in, &num_frames)) return Status::IoError("truncated frame count in " + path);
+  std::vector<Frame> frames(num_frames);
+  for (Frame& f : frames) {
+    uint32_t num_objects = 0;
+    if (!ReadPod(in, &f.frame_id) || !ReadPod(in, &f.sequence_id) ||
+        !ReadPod(in, &f.timestamp_sec) || !ReadPod(in, &f.scene_contrast) ||
+        !ReadPod(in, &num_objects)) {
+      return Status::IoError("truncated frame in " + path);
+    }
+    f.objects.resize(num_objects);
+    for (GtObject& obj : f.objects) {
+      uint8_t cls = 0;
+      if (!ReadPod(in, &cls) || !ReadPod(in, &obj.track_id) || !ReadPod(in, &obj.apparent_size) ||
+          !ReadPod(in, &obj.contrast) || !ReadPod(in, &obj.x) || !ReadPod(in, &obj.y)) {
+        return Status::IoError("truncated object in " + path);
+      }
+      if (cls >= kNumObjectClasses) return Status::IoError("bad object class in " + path);
+      obj.cls = static_cast<ObjectClass>(cls);
+    }
+  }
+  return VideoDataset(std::move(name), dataset_id, resolution, fps, std::move(frames),
+                      std::move(sequences));
+}
+
+}  // namespace video
+}  // namespace smokescreen

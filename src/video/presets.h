@@ -1,0 +1,37 @@
+// Calibrated scene presets standing in for the paper's two corpora and the
+// two UA-DETRAC sequences used by the profile-similarity experiment (§5.3.2).
+//
+// Calibration targets (from the paper's §5.1):
+//   night-street: 19,463 frames, 30 FPS source (1-in-50 subsample),
+//     14.18% of frames contain "person", 4.02% contain "face"; night scene.
+//   UA-DETRAC:    15,210 frames over 12 sequences, 25 FPS,
+//     65.86% contain "person", 2.48% contain "face"; busy daytime junctions.
+//   MVI_40771:    1,720 frames, busy intersection (video A of Figure 10).
+//   MVI_40775:    975 frames, same camera at a different time (video B).
+
+#ifndef SMOKESCREEN_VIDEO_PRESETS_H_
+#define SMOKESCREEN_VIDEO_PRESETS_H_
+
+#include "video/scene_simulator.h"
+
+namespace smokescreen {
+namespace video {
+
+enum class ScenePreset { kNightStreet, kUaDetrac, kMvi40771, kMvi40775 };
+
+const char* ScenePresetName(ScenePreset preset);
+
+/// Full-size calibrated configuration for a preset.
+SceneConfig PresetConfig(ScenePreset preset);
+
+/// Convenience: simulate the full preset.
+util::Result<VideoDataset> MakePreset(ScenePreset preset);
+
+/// A reduced-frame-count variant of the preset (same statistics, faster) for
+/// tests and quick examples. `num_frames` replaces the preset's length.
+util::Result<VideoDataset> MakePresetScaled(ScenePreset preset, int64_t num_frames);
+
+}  // namespace video
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_VIDEO_PRESETS_H_

@@ -1,0 +1,54 @@
+#include "video/types.h"
+
+namespace smokescreen {
+namespace video {
+
+const char* ObjectClassName(ObjectClass cls) {
+  switch (cls) {
+    case ObjectClass::kCar:
+      return "car";
+    case ObjectClass::kPerson:
+      return "person";
+    case ObjectClass::kFace:
+      return "face";
+  }
+  return "?";
+}
+
+util::Result<ObjectClass> ObjectClassFromName(const std::string& name) {
+  if (name == "car") return ObjectClass::kCar;
+  if (name == "person") return ObjectClass::kPerson;
+  if (name == "face") return ObjectClass::kFace;
+  return util::Status::InvalidArgument("unknown object class: " + name);
+}
+
+int ClassSet::size() const {
+  int count = 0;
+  for (int i = 0; i < kNumObjectClasses; ++i) {
+    if (mask_ & (1u << i)) ++count;
+  }
+  return count;
+}
+
+std::string ClassSet::ToString() const {
+  if (empty()) return "none";
+  std::string out;
+  for (int i = 0; i < kNumObjectClasses; ++i) {
+    if (mask_ & (1u << i)) {
+      if (!out.empty()) out += '+';
+      out += ObjectClassName(static_cast<ObjectClass>(i));
+    }
+  }
+  return out;
+}
+
+int Frame::CountGt(ObjectClass cls) const {
+  int count = 0;
+  for (const GtObject& obj : objects) {
+    if (obj.cls == cls) ++count;
+  }
+  return count;
+}
+
+}  // namespace video
+}  // namespace smokescreen

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/mean_baselines.h"
+#include "baselines/stein.h"
+#include "core/avg_estimator.h"
+#include "core/quantile_estimator.h"
+#include "stats/concentration.h"
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace smokescreen {
+namespace baselines {
+namespace {
+
+std::vector<double> PoissonSample(int n, double lambda, uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i) out.push_back(static_cast<double>(rng.NextPoisson(lambda)));
+  return out;
+}
+
+TEST(BaselinesTest, AllRejectBadInput) {
+  EbgsEstimator ebgs;
+  HoeffdingEstimator h;
+  HoeffdingSerflingEstimator hs;
+  CltEstimator clt;
+  for (core::MeanEstimator* est :
+       std::initializer_list<core::MeanEstimator*>{&ebgs, &h, &hs, &clt}) {
+    EXPECT_FALSE(est->EstimateMean({}, 100, 0.05).ok()) << est->name();
+    EXPECT_FALSE(est->EstimateMean({1.0, 2.0}, 1, 0.05).ok()) << est->name();
+    EXPECT_FALSE(est->EstimateMean({1.0}, 100, 0.0).ok()) << est->name();
+  }
+}
+
+TEST(BaselinesTest, Names) {
+  EXPECT_EQ(EbgsEstimator().name(), "EBGS");
+  EXPECT_EQ(HoeffdingEstimator().name(), "Hoeffding");
+  EXPECT_EQ(HoeffdingSerflingEstimator().name(), "Hoeffding-Serfling");
+  EXPECT_EQ(CltEstimator().name(), "CLT");
+  EXPECT_EQ(SteinQuantileEstimator().name(), "Stein");
+}
+
+TEST(BaselinesTest, HoeffdingMatchesClosedForm) {
+  std::vector<double> sample{1, 2, 3, 4, 5};  // mean 3, R 4.
+  HoeffdingEstimator est;
+  auto result = est.EstimateMean(sample, 1000, 0.05);
+  ASSERT_TRUE(result.ok());
+  double radius = stats::HoeffdingRadius(4.0, 5, 0.05);
+  EXPECT_EQ(result->y_approx, 3.0);  // Sample-mean answer, not harmonic.
+  if (3.0 - radius > 0) {
+    EXPECT_NEAR(result->err_b, radius / (3.0 - radius), 1e-12);
+  } else {
+    EXPECT_TRUE(std::isinf(result->err_b));
+  }
+}
+
+TEST(BaselinesTest, HoeffdingSerflingMatchesClosedForm) {
+  std::vector<double> sample(100, 2.0);
+  sample[0] = 0.0;
+  sample[1] = 4.0;  // R = 4.
+  auto summary = stats::Summarize(sample);
+  ASSERT_TRUE(summary.ok());
+  HoeffdingSerflingEstimator est;
+  auto result = est.EstimateMean(sample, 500, 0.05);
+  ASSERT_TRUE(result.ok());
+  double radius = stats::HoeffdingSerflingRadius(4.0, 100, 500, 0.05);
+  EXPECT_NEAR(result->err_b, radius / (summary->mean - radius), 1e-12);
+}
+
+TEST(BaselinesTest, CltMatchesClosedForm) {
+  std::vector<double> sample = PoissonSample(64, 5.0, 3);
+  auto summary = stats::Summarize(sample);
+  ASSERT_TRUE(summary.ok());
+  CltEstimator est;
+  auto result = est.EstimateMean(sample, 10000, 0.05);
+  ASSERT_TRUE(result.ok());
+  double radius = stats::CltRadius(summary->stddev, 64, 0.05);
+  EXPECT_NEAR(result->err_b, radius / (summary->mean - radius), 1e-12);
+  EXPECT_EQ(result->y_approx, summary->mean);
+}
+
+TEST(BaselinesTest, EbgsUsesHarmonicOutputMapping) {
+  std::vector<double> sample = PoissonSample(200, 4.0, 5);
+  auto summary = stats::Summarize(sample);
+  ASSERT_TRUE(summary.ok());
+  EbgsEstimator est;
+  auto result = est.EstimateMean(sample, 100000, 0.05);
+  ASSERT_TRUE(result.ok());
+  double radius = stats::EmpiricalBernsteinRadius(summary->stddev, summary->range, 200,
+                                                  stats::EbgsDeltaAtStep(0.05, 200));
+  double ub = summary->mean + radius;
+  double lb = std::max(0.0, summary->mean - radius);
+  if (lb > 0) {
+    EXPECT_NEAR(result->y_approx, 2 * ub * lb / (ub + lb), 1e-12);
+    EXPECT_NEAR(result->err_b, (ub - lb) / (ub + lb), 1e-12);
+  } else {
+    EXPECT_EQ(result->err_b, 1.0);
+  }
+}
+
+TEST(BaselinesTest, SmokescreenTighterThanEbgsAndHoeffding) {
+  // The paper's §5.2.1 ordering at moderate sample sizes.
+  std::vector<double> sample = PoissonSample(150, 2.0, 7);
+  core::SmokescreenMeanEstimator ours;
+  EbgsEstimator ebgs;
+  HoeffdingEstimator hoeffding;
+  int64_t population = 15000;
+  auto r_ours = ours.EstimateMean(sample, population, 0.05);
+  auto r_ebgs = ebgs.EstimateMean(sample, population, 0.05);
+  auto r_h = hoeffding.EstimateMean(sample, population, 0.05);
+  ASSERT_TRUE(r_ours.ok());
+  ASSERT_TRUE(r_ebgs.ok());
+  ASSERT_TRUE(r_h.ok());
+  EXPECT_LT(r_ours->err_b, r_ebgs->err_b);
+  EXPECT_LT(r_ours->err_b, r_h->err_b);
+}
+
+TEST(BaselinesTest, CltTighterButUnsafe) {
+  // CLT's bound is typically below ours (that is its appeal; Figure 5 shows
+  // why it is untrustworthy).
+  std::vector<double> sample = PoissonSample(300, 2.0, 11);
+  core::SmokescreenMeanEstimator ours;
+  CltEstimator clt;
+  auto r_ours = ours.EstimateMean(sample, 15000, 0.05);
+  auto r_clt = clt.EstimateMean(sample, 15000, 0.05);
+  ASSERT_TRUE(r_ours.ok());
+  ASSERT_TRUE(r_clt.ok());
+  EXPECT_LT(r_clt->err_b, r_ours->err_b);
+}
+
+TEST(BaselinesTest, VacuousBoundsBecomeInfinite) {
+  // Tiny sample with large range: radius swallows the mean.
+  std::vector<double> sample{0.0, 10.0};
+  HoeffdingEstimator est;
+  auto result = est.EstimateMean(sample, 1000, 0.05);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::isinf(result->err_b));
+}
+
+TEST(SteinTest, RejectsBadInput) {
+  SteinQuantileEstimator est;
+  EXPECT_FALSE(est.EstimateQuantile({}, 100, 0.99, true, 0.05).ok());
+  EXPECT_FALSE(est.EstimateQuantile({1.0, 2.0}, 1, 0.99, true, 0.05).ok());
+  EXPECT_FALSE(est.EstimateQuantile({1.0}, 100, 1.5, true, 0.05).ok());
+  EXPECT_FALSE(est.EstimateQuantile({1.0}, 100, 0.99, true, 2.0).ok());
+}
+
+TEST(SteinTest, SameResultEstimateAsSmokescreen) {
+  // The paper: "For MAX, our query result estimation is the same as Stein's."
+  std::vector<double> sample = PoissonSample(500, 6.0, 13);
+  SteinQuantileEstimator stein;
+  core::SmokescreenQuantileEstimator ours;
+  auto r_stein = stein.EstimateQuantile(sample, 15000, 0.99, true, 0.05);
+  auto r_ours = ours.EstimateQuantile(sample, 15000, 0.99, true, 0.05);
+  ASSERT_TRUE(r_stein.ok());
+  ASSERT_TRUE(r_ours.ok());
+  EXPECT_EQ(r_stein->y_approx, r_ours->y_approx);
+}
+
+TEST(SteinTest, LooserThanSmokescreenAtSmallFractions) {
+  std::vector<double> sample = PoissonSample(150, 6.0, 17);
+  SteinQuantileEstimator stein;
+  core::SmokescreenQuantileEstimator ours;
+  auto r_stein = stein.EstimateQuantile(sample, 15000, 0.99, true, 0.05);
+  auto r_ours = ours.EstimateQuantile(sample, 15000, 0.99, true, 0.05);
+  ASSERT_TRUE(r_stein.ok());
+  ASSERT_TRUE(r_ours.ok());
+  EXPECT_GT(r_stein->err_b, r_ours->err_b);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace smokescreen

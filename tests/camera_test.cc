@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "camera/camera.h"
+#include "camera/central_system.h"
+#include "camera/network_link.h"
+#include "core/combine.h"
+#include "detect/models.h"
+#include "query/executor.h"
+#include "video/presets.h"
+
+namespace smokescreen {
+namespace camera {
+namespace {
+
+using video::ObjectClass;
+using video::ScenePreset;
+
+TEST(NetworkLinkTest, AccountsBytesAndFrames) {
+  NetworkLink link(NetworkLinkConfig{});
+  link.TransmitFrame(1000);
+  link.TransmitFrame(500);
+  EXPECT_EQ(link.total_bytes(), 1500);
+  EXPECT_EQ(link.total_frames(), 2);
+  link.Reset();
+  EXPECT_EQ(link.total_bytes(), 0);
+  EXPECT_EQ(link.total_frames(), 0);
+}
+
+TEST(NetworkLinkTest, BusyTimeAndEnergy) {
+  NetworkLinkConfig config;
+  config.bandwidth_bytes_per_sec = 1000.0;
+  config.energy_joules_per_byte = 0.001;
+  config.energy_joules_per_frame = 0.5;
+  NetworkLink link(config);
+  link.TransmitFrame(2000);
+  EXPECT_NEAR(link.BusySeconds(), 2.0, 1e-12);
+  EXPECT_NEAR(link.EnergyJoules(), 2000 * 0.001 + 0.5, 1e-12);
+}
+
+TEST(CombineTest, SingleStratumMatchesHarmonicMapping) {
+  core::StratumInterval s{1.0, 3.0, 100, 0.05};
+  auto combined = core::CombineMeanEstimates({s});
+  ASSERT_TRUE(combined.ok());
+  EXPECT_NEAR(combined->estimate.y_approx, 1.5, 1e-12);  // 2*3*1/(3+1).
+  EXPECT_NEAR(combined->estimate.err_b, 0.5, 1e-12);
+  EXPECT_EQ(combined->total_population, 100);
+  EXPECT_NEAR(combined->total_delta, 0.05, 1e-12);
+}
+
+TEST(CombineTest, WeightsByPopulation) {
+  // Camera A: tight interval around 2, 900 frames; B: around 10, 100 frames.
+  core::StratumInterval a{2.0, 2.0, 900, 0.025};
+  core::StratumInterval b{10.0, 10.0, 100, 0.025};
+  auto combined = core::CombineMeanEstimates({a, b});
+  ASSERT_TRUE(combined.ok());
+  // Degenerate intervals: combined interval is a point at 0.9*2 + 0.1*10.
+  EXPECT_NEAR(combined->estimate.y_approx, 2.8, 1e-12);
+  EXPECT_NEAR(combined->estimate.err_b, 0.0, 1e-12);
+}
+
+TEST(CombineTest, RejectsBadInput) {
+  EXPECT_FALSE(core::CombineMeanEstimates({}).ok());
+  EXPECT_FALSE(core::CombineMeanEstimates({{1.0, 0.5, 100, 0.05}}).ok());  // lb > ub.
+  EXPECT_FALSE(core::CombineMeanEstimates({{-1.0, 1.0, 100, 0.05}}).ok());
+  EXPECT_FALSE(core::CombineMeanEstimates({{0.0, 1.0, 0, 0.05}}).ok());
+  EXPECT_FALSE(core::CombineMeanEstimates({{0.0, 1.0, 100, 0.0}}).ok());
+  EXPECT_FALSE(core::CombineMeanEstimates({{0.0, 1.0, 100, 0.6}, {0.0, 1.0, 100, 0.6}}).ok());
+}
+
+class DeploymentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto a = video::MakePresetScaled(ScenePreset::kUaDetrac, 1000);
+    auto b = video::MakePresetScaled(ScenePreset::kNightStreet, 800);
+    a.status().CheckOk();
+    b.status().CheckOk();
+    feed_a_ = std::make_unique<video::VideoDataset>(std::move(a).ValueOrDie());
+    feed_b_ = std::make_unique<video::VideoDataset>(std::move(b).ValueOrDie());
+    auto prior_a = detect::ClassPriorIndex::Build(*feed_a_, yolo_, mtcnn_);
+    auto prior_b = detect::ClassPriorIndex::Build(*feed_b_, yolo_, mtcnn_);
+    prior_a.status().CheckOk();
+    prior_b.status().CheckOk();
+    prior_a_ = std::make_unique<detect::ClassPriorIndex>(std::move(prior_a).ValueOrDie());
+    prior_b_ = std::make_unique<detect::ClassPriorIndex>(std::move(prior_b).ValueOrDie());
+  }
+
+  CameraConfig Config(int id, double fraction, int resolution = 0) {
+    CameraConfig config;
+    config.camera_id = id;
+    config.interventions.sample_fraction = fraction;
+    config.interventions.resolution = resolution;
+    return config;
+  }
+
+  detect::SimYoloV4 yolo_;
+  detect::SimMtcnn mtcnn_;
+  std::unique_ptr<video::VideoDataset> feed_a_;
+  std::unique_ptr<video::VideoDataset> feed_b_;
+  std::unique_ptr<detect::ClassPriorIndex> prior_a_;
+  std::unique_ptr<detect::ClassPriorIndex> prior_b_;
+};
+
+TEST_F(DeploymentTest, CameraTransmitsExpectedVolume) {
+  Camera cam(Config(1, 0.2, 320), *feed_a_, *prior_a_, 608);
+  NetworkLink link(NetworkLinkConfig{});
+  stats::Rng rng(1);
+  auto batch = cam.CaptureAndTransmit(link, rng);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->camera_id, 1);
+  EXPECT_EQ(batch->frame_indices.size(), 200u);
+  EXPECT_EQ(batch->resolution, 320);
+  EXPECT_EQ(link.total_frames(), 200);
+  EXPECT_EQ(link.total_bytes(), batch->total_bytes);
+  // 0.1 bytes/pixel * 320^2 = 10240 bytes/frame.
+  EXPECT_EQ(cam.FrameBytes(), 10240);
+}
+
+TEST_F(DeploymentTest, LowerResolutionTransmitsFewerBytes) {
+  Camera hi(Config(1, 0.2, 608), *feed_a_, *prior_a_, 608);
+  Camera lo(Config(2, 0.2, 128), *feed_a_, *prior_a_, 608);
+  EXPECT_GT(hi.FrameBytes(), lo.FrameBytes() * 10);
+}
+
+TEST_F(DeploymentTest, CentralSystemEndToEnd) {
+  query::QuerySpec spec;
+  spec.aggregate = query::AggregateFunction::kAvg;
+  auto central = CentralSystem::Create(spec, 0.05);
+  ASSERT_TRUE(central.ok());
+
+  Camera cam_a(Config(1, 0.3), *feed_a_, *prior_a_, 608);
+  Camera cam_b(Config(2, 0.3), *feed_b_, *prior_b_, 608);
+  ASSERT_TRUE(central->AddFeed(cam_a, yolo_).ok());
+  ASSERT_TRUE(central->AddFeed(cam_b, yolo_).ok());
+  EXPECT_EQ(central->feeds_with_data(), 0);
+
+  NetworkLink link(NetworkLinkConfig{});
+  stats::Rng rng(2);
+  auto batch_a = cam_a.CaptureAndTransmit(link, rng);
+  auto batch_b = cam_b.CaptureAndTransmit(link, rng);
+  ASSERT_TRUE(batch_a.ok());
+  ASSERT_TRUE(batch_b.ok());
+  ASSERT_TRUE(central->Ingest(*batch_a).ok());
+  ASSERT_TRUE(central->Ingest(*batch_b).ok());
+  EXPECT_EQ(central->feeds_with_data(), 2);
+
+  auto est_a = central->CameraEstimate(1);
+  auto est_b = central->CameraEstimate(2);
+  ASSERT_TRUE(est_a.ok());
+  ASSERT_TRUE(est_b.ok());
+  // DETRAC is far busier than night-street.
+  EXPECT_GT(est_a->y_approx, est_b->y_approx);
+
+  auto city = central->CityWideEstimate();
+  ASSERT_TRUE(city.ok());
+  EXPECT_EQ(city->total_population, batch_a->eligible_population +
+                                        batch_b->eligible_population);
+  // The combined mean lies between the per-camera means.
+  EXPECT_GT(city->estimate.y_approx, est_b->y_approx);
+  EXPECT_LT(city->estimate.y_approx, est_a->y_approx);
+  EXPECT_NEAR(city->total_delta, 0.05, 1e-9);
+}
+
+TEST_F(DeploymentTest, CityWideEstimateCoversPooledTruth) {
+  query::QuerySpec spec;
+  spec.aggregate = query::AggregateFunction::kAvg;
+  // Pooled truth across both feeds.
+  query::FrameOutputSource source_a(*feed_a_, yolo_, ObjectClass::kCar);
+  query::FrameOutputSource source_b(*feed_b_, yolo_, ObjectClass::kCar);
+  auto gt_a = query::ComputeGroundTruth(source_a, spec);
+  auto gt_b = query::ComputeGroundTruth(source_b, spec);
+  ASSERT_TRUE(gt_a.ok());
+  ASSERT_TRUE(gt_b.ok());
+  double n_a = static_cast<double>(feed_a_->num_frames());
+  double n_b = static_cast<double>(feed_b_->num_frames());
+  double pooled_truth = (gt_a->y_true * n_a + gt_b->y_true * n_b) / (n_a + n_b);
+
+  auto central = CentralSystem::Create(spec, 0.05);
+  ASSERT_TRUE(central.ok());
+  Camera cam_a(Config(1, 0.4), *feed_a_, *prior_a_, 608);
+  Camera cam_b(Config(2, 0.4), *feed_b_, *prior_b_, 608);
+  ASSERT_TRUE(central->AddFeed(cam_a, yolo_).ok());
+  ASSERT_TRUE(central->AddFeed(cam_b, yolo_).ok());
+
+  NetworkLink link(NetworkLinkConfig{});
+  stats::Rng rng(3);
+  int covered = 0;
+  const int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    auto batch_a = cam_a.CaptureAndTransmit(link, rng);
+    auto batch_b = cam_b.CaptureAndTransmit(link, rng);
+    ASSERT_TRUE(batch_a.ok());
+    ASSERT_TRUE(batch_b.ok());
+    ASSERT_TRUE(central->Ingest(*batch_a).ok());
+    ASSERT_TRUE(central->Ingest(*batch_b).ok());
+    auto city = central->CityWideEstimate();
+    ASSERT_TRUE(city.ok());
+    double realized = std::abs(city->estimate.y_approx - pooled_truth) / pooled_truth;
+    if (realized <= city->estimate.err_b) ++covered;
+  }
+  EXPECT_GE(covered, kTrials - 1);
+}
+
+TEST_F(DeploymentTest, CentralSystemErrorHandling) {
+  query::QuerySpec max_spec;
+  max_spec.aggregate = query::AggregateFunction::kMax;
+  EXPECT_EQ(CentralSystem::Create(max_spec, 0.05).status().code(),
+            util::StatusCode::kNotImplemented);
+
+  query::QuerySpec avg;
+  auto central = CentralSystem::Create(avg, 0.05);
+  ASSERT_TRUE(central.ok());
+  Camera cam(Config(7, 0.2), *feed_a_, *prior_a_, 608);
+  ASSERT_TRUE(central->AddFeed(cam, yolo_).ok());
+  EXPECT_EQ(central->AddFeed(cam, yolo_).code(), util::StatusCode::kAlreadyExists);
+
+  CameraBatch unknown;
+  unknown.camera_id = 99;
+  unknown.frame_indices = {0};
+  EXPECT_EQ(central->Ingest(unknown).code(), util::StatusCode::kNotFound);
+
+  CameraBatch empty;
+  empty.camera_id = 7;
+  EXPECT_EQ(central->Ingest(empty).code(), util::StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(central->CameraEstimate(99).status().code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(central->CameraEstimate(7).status().code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(central->CityWideEstimate().status().code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace camera
+}  // namespace smokescreen

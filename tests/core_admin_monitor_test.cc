@@ -1,0 +1,203 @@
+// Tests for the §3.1 administration session (cube slices + fine-tuning) and
+// the deployment-time online monitor.
+
+#include <gtest/gtest.h>
+
+#include "core/admin_session.h"
+#include "core/online_monitor.h"
+#include "stats/rng.h"
+
+namespace smokescreen {
+namespace core {
+namespace {
+
+Profile MakeGridProfile() {
+  Profile profile;
+  profile.spec.aggregate = query::AggregateFunction::kAvg;
+  for (double f : {0.1, 0.3, 0.5}) {
+    for (int p : {128, 320, 608}) {
+      for (const video::ClassSet& c :
+           {video::ClassSet::None(), video::ClassSet({video::ObjectClass::kPerson})}) {
+        ProfilePoint point;
+        point.interventions.sample_fraction = f;
+        point.interventions.resolution = p;
+        point.interventions.restricted = c;
+        // A plausible synthetic bound: worse at low f, low p, with removal.
+        point.err_bound = 0.05 / f + (608.0 - p) / 1000.0 + (c.empty() ? 0.0 : 0.05);
+        point.err_uncorrected = point.err_bound * 0.8;
+        point.sample_size = static_cast<int64_t>(f * 1000);
+        profile.points.push_back(point);
+      }
+    }
+  }
+  return profile;
+}
+
+TEST(AdminSessionTest, LoosestValues) {
+  Profile profile = MakeGridProfile();
+  AdminSession session(profile, 608);
+  EXPECT_NEAR(session.LoosestFraction(), 0.5, 1e-12);
+  EXPECT_EQ(session.LoosestResolution(), 608);
+}
+
+TEST(AdminSessionTest, InitialSlicesFixUnseenDimsLoosest) {
+  Profile profile = MakeGridProfile();
+  AdminSession session(profile, 608);
+  auto slices = session.InitialSlices();
+  ASSERT_EQ(slices.size(), 3u);
+
+  // Slice 0: vary fraction at p=608, c=none -> 3 points.
+  EXPECT_EQ(slices[0].axis, "fraction");
+  ASSERT_EQ(slices[0].points.size(), 3u);
+  for (const ProfilePoint& p : slices[0].points) {
+    EXPECT_EQ(p.interventions.resolution, 608);
+    EXPECT_TRUE(p.interventions.restricted.empty());
+  }
+
+  // Slice 1: vary resolution at f=0.5, c=none.
+  EXPECT_EQ(slices[1].axis, "resolution");
+  ASSERT_EQ(slices[1].points.size(), 3u);
+  for (const ProfilePoint& p : slices[1].points) {
+    EXPECT_NEAR(p.interventions.sample_fraction, 0.5, 1e-12);
+  }
+
+  // Slice 2: vary restricted classes at f=0.5, p=608.
+  EXPECT_EQ(slices[2].axis, "restricted classes");
+  EXPECT_EQ(slices[2].points.size(), 2u);
+}
+
+TEST(AdminSessionTest, AdjustedSlicesPinDimensions) {
+  Profile profile = MakeGridProfile();
+  AdminSession session(profile, 608);
+  auto slice = session.FractionSlice(320, video::ClassSet({video::ObjectClass::kPerson}));
+  ASSERT_EQ(slice.points.size(), 3u);
+  for (const ProfilePoint& p : slice.points) {
+    EXPECT_EQ(p.interventions.resolution, 320);
+    EXPECT_TRUE(p.interventions.restricted.Contains(video::ObjectClass::kPerson));
+  }
+  // Ordered by the varying knob.
+  EXPECT_LT(slice.points.front().interventions.sample_fraction,
+            slice.points.back().interventions.sample_fraction);
+}
+
+TEST(AdminSessionTest, RenderSliceProducesPlot) {
+  Profile profile = MakeGridProfile();
+  AdminSession session(profile, 608);
+  auto slices = session.InitialSlices();
+  auto plot = session.RenderSlice(slices[0]);
+  ASSERT_TRUE(plot.ok());
+  EXPECT_NE(plot->find("error bound"), std::string::npos);
+  EXPECT_NE(plot->find("uncorrected bound"), std::string::npos);
+  EXPECT_NE(plot->find("fraction"), std::string::npos);
+}
+
+TEST(AdminSessionTest, RenderEmptySliceFails) {
+  Profile profile = MakeGridProfile();
+  AdminSession session(profile, 608);
+  auto empty = session.FractionSlice(999, video::ClassSet::None());
+  EXPECT_FALSE(session.RenderSlice(empty).ok());
+}
+
+TEST(AdminSessionTest, FineTunePicksStrongestWithinBudget) {
+  Profile profile = MakeGridProfile();
+  AdminSession session(profile, 608);
+  auto choice = session.FineTune(0.40);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_LE(choice->err_bound, 0.40);
+  // Nothing meets an absurd budget.
+  EXPECT_FALSE(session.FineTune(0.0001).ok());
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(OnlineMonitorTest, CreationValidation) {
+  query::QuerySpec avg;
+  EXPECT_TRUE(OnlineMonitor::Create(avg, 1000, 0.05).ok());
+  EXPECT_FALSE(OnlineMonitor::Create(avg, 0, 0.05).ok());
+  EXPECT_FALSE(OnlineMonitor::Create(avg, 1000, 0.0).ok());
+  query::QuerySpec max;
+  max.aggregate = query::AggregateFunction::kMax;
+  auto result = OnlineMonitor::Create(max, 1000, 0.05);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kNotImplemented);
+}
+
+TEST(OnlineMonitorTest, EstimateBeforeObservationsFails) {
+  query::QuerySpec avg;
+  auto monitor = OnlineMonitor::Create(avg, 1000, 0.05);
+  ASSERT_TRUE(monitor.ok());
+  EXPECT_FALSE(monitor->CurrentEstimate().ok());
+  EXPECT_FALSE(monitor->IsConsistentWith(1.0).ok());
+}
+
+TEST(OnlineMonitorTest, EstimateConvergesToStreamMean) {
+  query::QuerySpec avg;
+  auto monitor = OnlineMonitor::Create(avg, 2000, 0.05);
+  ASSERT_TRUE(monitor.ok());
+  stats::Rng rng(5);
+  double total = 0;
+  for (int i = 0; i < 1500; ++i) {
+    double v = static_cast<double>(rng.NextPoisson(3.0));
+    total += v;
+    monitor->Observe(v);
+  }
+  auto est = monitor->CurrentEstimate();
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->y_approx, total / 1500.0, 0.5);
+  EXPECT_LT(est->err_b, 0.2);
+  EXPECT_EQ(monitor->count(), 1500);
+}
+
+TEST(OnlineMonitorTest, SumScaleMatchesPopulation) {
+  query::QuerySpec sum;
+  sum.aggregate = query::AggregateFunction::kSum;
+  auto monitor = OnlineMonitor::Create(sum, 1000, 0.05);
+  ASSERT_TRUE(monitor.ok());
+  for (int i = 0; i < 500; ++i) monitor->Observe(2.0);
+  auto est = monitor->CurrentEstimate();
+  ASSERT_TRUE(est.ok());
+  // All outputs 2.0 with zero range -> estimate is exactly 2 * N.
+  EXPECT_NEAR(est->y_approx, 2000.0, 1e-9);
+}
+
+TEST(OnlineMonitorTest, ConsistencyAcceptsTrueAnswerRejectsDrift) {
+  query::QuerySpec avg;
+  auto monitor = OnlineMonitor::Create(avg, 5000, 0.05);
+  ASSERT_TRUE(monitor.ok());
+  stats::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    monitor->Observe(static_cast<double>(rng.NextPoisson(4.0)));
+  }
+  auto consistent = monitor->IsConsistentWith(4.0);
+  ASSERT_TRUE(consistent.ok());
+  EXPECT_TRUE(*consistent);
+  auto drifted = monitor->IsConsistentWith(12.0);
+  ASSERT_TRUE(drifted.ok());
+  EXPECT_FALSE(*drifted);
+  EXPECT_FALSE(monitor->IsConsistentWith(4.0, -0.1).ok());
+}
+
+TEST(OnlineMonitorTest, SlackWidensAcceptance) {
+  query::QuerySpec avg;
+  auto monitor = OnlineMonitor::Create(avg, 5000, 0.05);
+  ASSERT_TRUE(monitor.ok());
+  stats::Rng rng(10);
+  for (int i = 0; i < 2000; ++i) {
+    monitor->Observe(static_cast<double>(rng.NextPoisson(4.0)));
+  }
+  // A reference just outside the raw interval but inside a 3x-slack one.
+  auto est = monitor->CurrentEstimate();
+  ASSERT_TRUE(est.ok());
+  double reference = est->y_approx * 1.2;
+  auto strict = monitor->IsConsistentWith(reference, 0.0);
+  auto loose = monitor->IsConsistentWith(reference, 3.0);
+  ASSERT_TRUE(strict.ok());
+  ASSERT_TRUE(loose.ok());
+  if (!*strict) {
+    EXPECT_TRUE(*loose);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace smokescreen

@@ -1,0 +1,147 @@
+#include "core/avg_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/concentration.h"
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+#include "stats/sampling.h"
+
+namespace smokescreen {
+namespace core {
+namespace {
+
+TEST(AvgEstimatorTest, RejectsBadInput) {
+  SmokescreenMeanEstimator est;
+  EXPECT_FALSE(est.EstimateMean({}, 100, 0.05).ok());
+  EXPECT_FALSE(est.EstimateMean({1.0, 2.0}, 1, 0.05).ok());
+  EXPECT_FALSE(est.EstimateMean({1.0}, 100, 0.0).ok());
+  EXPECT_FALSE(est.EstimateMean({1.0}, 100, 1.0).ok());
+}
+
+TEST(AvgEstimatorTest, ConfidenceBoundsMatchAlgorithmOne) {
+  // Hand-check Algorithm 1's interval: I = R*sqrt(rho_n * ln(2/delta)/(2n)).
+  std::vector<double> sample{1.0, 3.0, 2.0, 2.0};  // mean 2, R 2, n 4.
+  int64_t population = 10;
+  double delta = 0.05;
+  auto bounds = SmokescreenMeanEstimator::ConfidenceBounds(sample, population, delta);
+  ASSERT_TRUE(bounds.ok());
+  double rho = stats::HoeffdingSerflingRho(4, 10);
+  double radius = 2.0 * std::sqrt(rho * std::log(2.0 / delta) / 8.0);
+  EXPECT_NEAR(bounds->second, 2.0 + radius, 1e-12);
+  EXPECT_NEAR(bounds->first, std::max(0.0, 2.0 - radius), 1e-12);
+}
+
+TEST(AvgEstimatorTest, HarmonicMidpointConstruction) {
+  // With LB, UB > 0: Y = 2*UB*LB/(UB+LB); err = (UB-LB)/(UB+LB).
+  Estimate est = SmokescreenMeanEstimator::FromBounds(1.0, 3.0, 1.0);
+  EXPECT_NEAR(est.y_approx, 1.5, 1e-12);
+  EXPECT_NEAR(est.err_b, 0.5, 1e-12);
+}
+
+TEST(AvgEstimatorTest, TheoremConsistency) {
+  // Theorem 3.1's algebra: |Y| = (1+err)*LB = (1-err)*UB.
+  double lb = 0.7, ub = 2.3;
+  Estimate est = SmokescreenMeanEstimator::FromBounds(lb, ub, 1.0);
+  EXPECT_NEAR(std::abs(est.y_approx), (1.0 + est.err_b) * lb, 1e-12);
+  EXPECT_NEAR(std::abs(est.y_approx), (1.0 - est.err_b) * ub, 1e-12);
+}
+
+TEST(AvgEstimatorTest, ZeroLowerBoundCase) {
+  // LB == 0: Y_approx = 0, err_b = 1 (the theorem's degenerate case).
+  Estimate est = SmokescreenMeanEstimator::FromBounds(0.0, 2.0, 1.0);
+  EXPECT_EQ(est.y_approx, 0.0);
+  EXPECT_EQ(est.err_b, 1.0);
+}
+
+TEST(AvgEstimatorTest, AllZeroSample) {
+  SmokescreenMeanEstimator est;
+  auto result = est.EstimateMean({0.0, 0.0, 0.0}, 100, 0.05);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->y_approx, 0.0);
+  EXPECT_EQ(result->err_b, 0.0);  // Zero range: the interval collapses.
+}
+
+TEST(AvgEstimatorTest, NegativeMeanKeepsSign) {
+  SmokescreenMeanEstimator est;
+  std::vector<double> sample(200, -5.0);
+  for (size_t i = 0; i < 50; ++i) sample[i] = -4.0;
+  auto result = est.EstimateMean(sample, 10000, 0.05);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->y_approx, 0.0);
+}
+
+TEST(AvgEstimatorTest, ErrorBoundShrinksWithSampleSize) {
+  SmokescreenMeanEstimator est;
+  stats::Rng rng(5);
+  std::vector<double> small, large;
+  for (int i = 0; i < 50; ++i) small.push_back(rng.NextDouble() * 4.0 + 1.0);
+  large = small;
+  for (int i = 0; i < 450; ++i) large.push_back(rng.NextDouble() * 4.0 + 1.0);
+  auto e_small = est.EstimateMean(small, 100000, 0.05);
+  auto e_large = est.EstimateMean(large, 100000, 0.05);
+  ASSERT_TRUE(e_small.ok());
+  ASSERT_TRUE(e_large.ok());
+  EXPECT_LT(e_large->err_b, e_small->err_b);
+}
+
+TEST(AvgEstimatorTest, FullSampleHasNearZeroBound) {
+  SmokescreenMeanEstimator est;
+  std::vector<double> sample;
+  stats::Rng rng(6);
+  for (int i = 0; i < 1000; ++i) sample.push_back(rng.NextDouble());
+  auto result = est.EstimateMean(sample, 1000, 0.05);
+  ASSERT_TRUE(result.ok());
+  // Sampling the whole population: rho_n ~ 1/n, tiny bound.
+  EXPECT_LT(result->err_b, 0.2);
+}
+
+TEST(AvgEstimatorTest, BoundIsValidUpperBoundEmpirically) {
+  // Draw many without-replacement samples from a fixed population and check
+  // the bound covers the realized relative error >= 95% of the time.
+  stats::Rng rng(777);
+  std::vector<double> population;
+  for (int i = 0; i < 5000; ++i) {
+    population.push_back(static_cast<double>(rng.NextPoisson(2.0)));
+  }
+  double mu = 0;
+  for (double v : population) mu += v;
+  mu /= static_cast<double>(population.size());
+  ASSERT_GT(mu, 0.0);
+
+  SmokescreenMeanEstimator est;
+  const int kTrials = 300;
+  int covered = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    auto idx = stats::SampleWithoutReplacement(5000, 150, rng);
+    ASSERT_TRUE(idx.ok());
+    std::vector<double> sample;
+    for (int64_t i : *idx) sample.push_back(population[static_cast<size_t>(i)]);
+    auto result = est.EstimateMean(sample, 5000, 0.05);
+    ASSERT_TRUE(result.ok());
+    double true_err = std::abs(result->y_approx - mu) / mu;
+    if (true_err <= result->err_b) ++covered;
+  }
+  EXPECT_GE(static_cast<double>(covered) / kTrials, 0.95);
+}
+
+TEST(AvgEstimatorTest, TighterThanEmpiricalBernsteinAtSmallSamples) {
+  // The paper's claim: the single-n Hoeffding–Serfling construction beats
+  // the EBGS union-bound interval, especially at small n.
+  stats::Rng rng(88);
+  std::vector<double> sample;
+  for (int i = 0; i < 40; ++i) sample.push_back(static_cast<double>(rng.NextPoisson(3.0)));
+  auto summary = stats::Summarize(sample);
+  ASSERT_TRUE(summary.ok());
+
+  double ours = stats::HoeffdingSerflingRadius(summary->range, 40, 10000, 0.05);
+  double ebgs = stats::EmpiricalBernsteinRadius(summary->stddev, summary->range, 40,
+                                                stats::EbgsDeltaAtStep(0.05, 40));
+  EXPECT_LT(ours, ebgs);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace smokescreen

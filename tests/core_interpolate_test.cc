@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/profiler.h"
+
+namespace smokescreen {
+namespace core {
+namespace {
+
+Profile MakeProfile() {
+  Profile profile;
+  auto add = [&](double f, int p, double err) {
+    ProfilePoint point;
+    point.interventions.sample_fraction = f;
+    point.interventions.resolution = p;
+    point.err_bound = err;
+    profile.points.push_back(point);
+  };
+  add(0.1, 320, 0.40);
+  add(0.3, 320, 0.20);
+  add(0.5, 320, 0.10);
+  add(0.1, 608, 0.30);
+  return profile;
+}
+
+degrade::InterventionSet Target(double f, int p) {
+  degrade::InterventionSet iv;
+  iv.sample_fraction = f;
+  iv.resolution = p;
+  return iv;
+}
+
+TEST(InterpolateBoundTest, ExactPointReturnsItsBound) {
+  Profile profile = MakeProfile();
+  auto bound = InterpolateBound(profile, Target(0.3, 320));
+  ASSERT_TRUE(bound.ok());
+  EXPECT_NEAR(*bound, 0.20, 1e-12);
+}
+
+TEST(InterpolateBoundTest, MidpointInterpolatesLinearly) {
+  Profile profile = MakeProfile();
+  auto bound = InterpolateBound(profile, Target(0.2, 320));
+  ASSERT_TRUE(bound.ok());
+  EXPECT_NEAR(*bound, 0.30, 1e-12);  // Halfway between 0.40 and 0.20.
+
+  auto quarter = InterpolateBound(profile, Target(0.15, 320));
+  ASSERT_TRUE(quarter.ok());
+  EXPECT_NEAR(*quarter, 0.35, 1e-12);
+}
+
+TEST(InterpolateBoundTest, EndpointsWork) {
+  Profile profile = MakeProfile();
+  auto low = InterpolateBound(profile, Target(0.1, 320));
+  auto high = InterpolateBound(profile, Target(0.5, 320));
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_NEAR(*low, 0.40, 1e-12);
+  EXPECT_NEAR(*high, 0.10, 1e-12);
+}
+
+TEST(InterpolateBoundTest, ExtrapolationRejected) {
+  Profile profile = MakeProfile();
+  EXPECT_EQ(InterpolateBound(profile, Target(0.05, 320)).status().code(),
+            util::StatusCode::kOutOfRange);
+  EXPECT_EQ(InterpolateBound(profile, Target(0.7, 320)).status().code(),
+            util::StatusCode::kOutOfRange);
+}
+
+TEST(InterpolateBoundTest, UnknownGroupRejected) {
+  Profile profile = MakeProfile();
+  EXPECT_EQ(InterpolateBound(profile, Target(0.2, 999)).status().code(),
+            util::StatusCode::kNotFound);
+  degrade::InterventionSet with_removal = Target(0.2, 320);
+  with_removal.restricted.Add(video::ObjectClass::kPerson);
+  EXPECT_EQ(InterpolateBound(profile, with_removal).status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(InterpolateBoundTest, SinglePointGroup) {
+  Profile profile = MakeProfile();
+  auto exact = InterpolateBound(profile, Target(0.1, 608));
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(*exact, 0.30, 1e-12);
+  EXPECT_FALSE(InterpolateBound(profile, Target(0.2, 608)).ok());
+}
+
+TEST(InterpolateBoundTest, InvalidTargetRejected) {
+  Profile profile = MakeProfile();
+  degrade::InterventionSet bad = Target(0.0, 320);  // Fraction must be > 0.
+  EXPECT_FALSE(InterpolateBound(profile, bad).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace smokescreen

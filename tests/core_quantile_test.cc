@@ -1,0 +1,161 @@
+#include "core/quantile_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/empirical.h"
+#include "stats/hypergeometric.h"
+#include "stats/normal.h"
+#include "stats/rng.h"
+#include "stats/sampling.h"
+
+namespace smokescreen {
+namespace core {
+namespace {
+
+TEST(QuantileEstimatorTest, RejectsBadInput) {
+  SmokescreenQuantileEstimator est;
+  EXPECT_FALSE(est.EstimateQuantile({}, 100, 0.99, true, 0.05).ok());
+  EXPECT_FALSE(est.EstimateQuantile({1.0, 2.0}, 1, 0.99, true, 0.05).ok());
+  EXPECT_FALSE(est.EstimateQuantile({1.0}, 100, 0.0, true, 0.05).ok());
+  EXPECT_FALSE(est.EstimateQuantile({1.0}, 100, 1.0, true, 0.05).ok());
+  EXPECT_FALSE(est.EstimateQuantile({1.0}, 100, 0.99, true, 0.0).ok());
+}
+
+TEST(QuantileEstimatorTest, ApproximateQuantileMatchesPaperDefinition) {
+  SmokescreenQuantileEstimator est;
+  std::vector<double> sample;
+  for (int i = 1; i <= 100; ++i) sample.push_back(i);
+  auto result = est.EstimateQuantile(sample, 10000, 0.99, true, 0.05);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->y_approx, 99.0);  // min{s : cumfreq >= 0.99}.
+}
+
+TEST(QuantileEstimatorTest, ErrorBoundMatchesAlgorithmTwoMaxFormula) {
+  // Hand-check line 6 of Algorithm 2.
+  std::vector<double> sample;
+  for (int i = 0; i < 90; ++i) sample.push_back(1.0);
+  for (int i = 0; i < 10; ++i) sample.push_back(5.0);
+  int64_t population = 1000;
+  double r = 0.95, delta = 0.05;
+  SmokescreenQuantileEstimator est;
+  auto result = est.EstimateQuantile(sample, population, r, true, delta);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->y_approx, 5.0);  // cumfreq(1)=0.9 < 0.95 -> next distinct.
+  double f_hat = 0.1;
+  double z = stats::ZScoreUpperTail(delta / 2.0);
+  double fpc = stats::FinitePopulationFactor(population, 100);
+  double expected = ((z * std::sqrt(r * (1 - r)) * fpc + f_hat) / f_hat + 1.0) * f_hat / r;
+  EXPECT_NEAR(result->err_b, expected, 1e-12);
+}
+
+TEST(QuantileEstimatorTest, ErrorBoundMatchesAlgorithmTwoMinFormula) {
+  std::vector<double> sample;
+  for (int i = 0; i < 10; ++i) sample.push_back(0.0);
+  for (int i = 0; i < 90; ++i) sample.push_back(3.0);
+  int64_t population = 1000;
+  double r = 0.05, delta = 0.05;
+  SmokescreenQuantileEstimator est;
+  auto result = est.EstimateQuantile(sample, population, r, false, delta);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->y_approx, 0.0);
+  double f_hat = 0.1;
+  double z = stats::ZScoreUpperTail(delta / 2.0);
+  double fpc = stats::FinitePopulationFactor(population, 100);
+  double var = (r + f_hat) * (1.0 - (r + f_hat));
+  double expected = ((z * std::sqrt(var) * fpc + f_hat) / f_hat + 1.0) * f_hat / r;
+  EXPECT_NEAR(result->err_b, expected, 1e-12);
+}
+
+TEST(QuantileEstimatorTest, BoundShrinksWithSampleFraction) {
+  // Larger n (same population) -> smaller finite-population factor -> the
+  // deviation term shrinks.
+  stats::Rng rng(9);
+  std::vector<double> small, large;
+  for (int i = 0; i < 100; ++i) small.push_back(static_cast<double>(rng.NextPoisson(5.0)));
+  large = small;
+  for (int i = 0; i < 900; ++i) large.push_back(static_cast<double>(rng.NextPoisson(5.0)));
+  SmokescreenQuantileEstimator est;
+  auto e_small = est.EstimateQuantile(small, 2000, 0.99, true, 0.05);
+  auto e_large = est.EstimateQuantile(large, 2000, 0.99, true, 0.05);
+  ASSERT_TRUE(e_small.ok());
+  ASSERT_TRUE(e_large.ok());
+  EXPECT_LT(e_large->err_b, e_small->err_b);
+}
+
+TEST(QuantileEstimatorTest, FullSampleDeviationVanishes) {
+  // n == N: fpc = 0, so the bound reduces to the (F_hat/F_hat + 1)*F_hat/r
+  // structural floor.
+  std::vector<double> sample;
+  for (int i = 1; i <= 100; ++i) sample.push_back(i);
+  SmokescreenQuantileEstimator est;
+  auto result = est.EstimateQuantile(sample, 100, 0.99, true, 0.05);
+  ASSERT_TRUE(result.ok());
+  double f_hat = 0.01;
+  EXPECT_NEAR(result->err_b, (1.0 + 1.0) * f_hat / 0.99, 1e-9);
+}
+
+TEST(QuantileEstimatorTest, RankErrorBoundCoversEmpirically) {
+  // Population of Poisson counts; check the rank-relative error of the
+  // estimated 0.99-quantile is below the bound in >= 95% of draws.
+  stats::Rng rng(4242);
+  std::vector<double> population;
+  for (int i = 0; i < 8000; ++i) {
+    population.push_back(static_cast<double>(rng.NextPoisson(6.0)));
+  }
+  auto pop_dist = stats::EmpiricalDistribution::Create(population);
+  ASSERT_TRUE(pop_dist.ok());
+  double r = 0.99;
+  double y_true = pop_dist->Quantile(r);
+  double rank_true = pop_dist->RankFraction(y_true);
+
+  SmokescreenQuantileEstimator est;
+  const int kTrials = 300;
+  int covered = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    auto idx = stats::SampleWithoutReplacement(8000, 400, rng);
+    ASSERT_TRUE(idx.ok());
+    std::vector<double> sample;
+    for (int64_t i : *idx) sample.push_back(population[static_cast<size_t>(i)]);
+    auto result = est.EstimateQuantile(sample, 8000, r, true, 0.05);
+    ASSERT_TRUE(result.ok());
+    double rank_approx = pop_dist->RankFraction(result->y_approx);
+    double true_err = std::abs(rank_approx - rank_true) / rank_true;
+    if (true_err <= result->err_b) ++covered;
+  }
+  EXPECT_GE(static_cast<double>(covered) / kTrials, 0.95);
+}
+
+TEST(QuantileEstimatorTest, MinSideCoversEmpirically) {
+  stats::Rng rng(515);
+  std::vector<double> population;
+  for (int i = 0; i < 8000; ++i) {
+    population.push_back(static_cast<double>(rng.NextPoisson(6.0)));
+  }
+  auto pop_dist = stats::EmpiricalDistribution::Create(population);
+  ASSERT_TRUE(pop_dist.ok());
+  double r = 0.01;
+  double rank_true = pop_dist->RankFraction(pop_dist->Quantile(r));
+
+  SmokescreenQuantileEstimator est;
+  const int kTrials = 200;
+  int covered = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    auto idx = stats::SampleWithoutReplacement(8000, 400, rng);
+    ASSERT_TRUE(idx.ok());
+    std::vector<double> sample;
+    for (int64_t i : *idx) sample.push_back(population[static_cast<size_t>(i)]);
+    auto result = est.EstimateQuantile(sample, 8000, r, false, 0.05);
+    ASSERT_TRUE(result.ok());
+    double rank_approx = pop_dist->RankFraction(result->y_approx);
+    double true_err = std::abs(rank_approx - rank_true) / rank_true;
+    if (true_err <= result->err_b) ++covered;
+  }
+  EXPECT_GE(static_cast<double>(covered) / kTrials, 0.95);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace smokescreen

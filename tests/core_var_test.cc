@@ -1,0 +1,203 @@
+#include "core/var_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/estimator_api.h"
+#include "core/repair.h"
+#include "detect/models.h"
+#include "query/aggregate.h"
+#include "query/executor.h"
+#include "stats/rng.h"
+#include "stats/sampling.h"
+#include "video/presets.h"
+
+namespace smokescreen {
+namespace core {
+namespace {
+
+TEST(VarAggregateTest, NameRoundTrip) {
+  EXPECT_STREQ(query::AggregateFunctionName(query::AggregateFunction::kVar), "VAR");
+  auto parsed = query::AggregateFunctionFromName("VAR");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, query::AggregateFunction::kVar);
+}
+
+TEST(VarAggregateTest, MetricClassification) {
+  EXPECT_FALSE(query::IsMeanFamily(query::AggregateFunction::kVar));
+  EXPECT_TRUE(query::UsesRelativeErrorMetric(query::AggregateFunction::kVar));
+}
+
+TEST(VarAggregateTest, ComputeAggregateIsPopulationVariance) {
+  // Values 1,2,3,4: population variance = 1.25.
+  auto var = query::ComputeAggregate(query::AggregateFunction::kVar, {1, 2, 3, 4}, 0);
+  ASSERT_TRUE(var.ok());
+  EXPECT_NEAR(*var, 1.25, 1e-12);
+  auto constant = query::ComputeAggregate(query::AggregateFunction::kVar, {5, 5, 5}, 0);
+  ASSERT_TRUE(constant.ok());
+  EXPECT_EQ(*constant, 0.0);
+}
+
+TEST(VarEstimatorTest, RejectsBadInput) {
+  SmokescreenVarianceEstimator est;
+  EXPECT_FALSE(est.EstimateVariance({}, 100, 0.05).ok());
+  EXPECT_FALSE(est.EstimateVariance({1.0, 2.0}, 1, 0.05).ok());
+  EXPECT_FALSE(est.EstimateVariance({1.0}, 100, 0.0).ok());
+}
+
+TEST(VarEstimatorTest, IntervalArithmetic) {
+  // E[X] in [1, 2], E[X^2] in [5, 7]: m^2 in [1, 4] -> Var in [1, 6].
+  auto [lb, ub] = SmokescreenVarianceEstimator::VarianceBounds(1.0, 2.0, 5.0, 7.0);
+  EXPECT_NEAR(lb, 1.0, 1e-12);
+  EXPECT_NEAR(ub, 6.0, 1e-12);
+}
+
+TEST(VarEstimatorTest, IntervalStraddlingZeroMean) {
+  // E[X] in [-1, 2]: m^2 in [0, 4].
+  auto [lb, ub] = SmokescreenVarianceEstimator::VarianceBounds(-1.0, 2.0, 5.0, 7.0);
+  EXPECT_NEAR(lb, 1.0, 1e-12);
+  EXPECT_NEAR(ub, 7.0, 1e-12);
+}
+
+TEST(VarEstimatorTest, LowerBoundClampedAtZero) {
+  auto [lb, ub] = SmokescreenVarianceEstimator::VarianceBounds(2.0, 3.0, 1.0, 2.0);
+  EXPECT_EQ(lb, 0.0);
+  EXPECT_GE(ub, 0.0);
+}
+
+TEST(VarEstimatorTest, BoundShrinksWithSampleSize) {
+  // The VAR bound is range-based on X^2, so it only becomes informative on
+  // bounded data or at large n; binary indicator outputs (a COUNT-style
+  // predicate) are the friendliest case.
+  stats::Rng rng(21);
+  std::vector<double> small, large;
+  for (int i = 0; i < 100; ++i) small.push_back(rng.NextBernoulli(0.5) ? 1.0 : 0.0);
+  large = small;
+  for (int i = 0; i < 2900; ++i) large.push_back(rng.NextBernoulli(0.5) ? 1.0 : 0.0);
+  SmokescreenVarianceEstimator est;
+  auto e_small = est.EstimateVariance(small, 50000, 0.05);
+  auto e_large = est.EstimateVariance(large, 50000, 0.05);
+  ASSERT_TRUE(e_small.ok());
+  ASSERT_TRUE(e_large.ok());
+  EXPECT_LT(e_large->err_b, e_small->err_b);
+  EXPECT_LT(e_large->err_b, 1.0);  // Informative, not the degenerate LB=0 case.
+}
+
+TEST(VarEstimatorTest, NontrivialCoverageOnBinaryPopulation) {
+  stats::Rng rng(31);
+  const int64_t kPop = 10000;
+  std::vector<double> population;
+  for (int64_t i = 0; i < kPop; ++i) population.push_back(rng.NextBernoulli(0.3) ? 1.0 : 0.0);
+  auto var_true = query::ComputeAggregate(query::AggregateFunction::kVar, population, 0);
+  ASSERT_TRUE(var_true.ok());
+
+  SmokescreenVarianceEstimator est;
+  const int kTrials = 150;
+  int covered = 0;
+  int informative = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    auto idx = stats::SampleWithoutReplacement(kPop, 3000, rng);
+    ASSERT_TRUE(idx.ok());
+    std::vector<double> sample;
+    for (int64_t i : *idx) sample.push_back(population[static_cast<size_t>(i)]);
+    auto result = est.EstimateVariance(sample, kPop, 0.05);
+    ASSERT_TRUE(result.ok());
+    if (result->err_b < 1.0) ++informative;
+    double true_err = std::abs(result->y_approx - *var_true) / *var_true;
+    if (true_err <= result->err_b + 1e-12) ++covered;
+  }
+  EXPECT_GE(static_cast<double>(covered) / kTrials, 0.95);
+  EXPECT_GT(informative, kTrials / 2);  // Bounds must actually bind here.
+}
+
+TEST(VarEstimatorTest, CoverageOnSyntheticPopulation) {
+  stats::Rng rng(22);
+  const int64_t kPop = 6000;
+  std::vector<double> population;
+  for (int64_t i = 0; i < kPop; ++i) {
+    population.push_back(static_cast<double>(rng.NextPoisson(5.0)));
+  }
+  auto var_true = query::ComputeAggregate(query::AggregateFunction::kVar, population, 0);
+  ASSERT_TRUE(var_true.ok());
+  ASSERT_GT(*var_true, 0.0);
+
+  SmokescreenVarianceEstimator est;
+  const int kTrials = 200;
+  int covered = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    auto idx = stats::SampleWithoutReplacement(kPop, 400, rng);
+    ASSERT_TRUE(idx.ok());
+    std::vector<double> sample;
+    for (int64_t i : *idx) sample.push_back(population[static_cast<size_t>(i)]);
+    auto result = est.EstimateVariance(sample, kPop, 0.05);
+    ASSERT_TRUE(result.ok());
+    double true_err = std::abs(result->y_approx - *var_true) / *var_true;
+    if (true_err <= result->err_b + 1e-12) ++covered;
+  }
+  EXPECT_GE(static_cast<double>(covered) / kTrials, 0.95);
+}
+
+TEST(VarEstimatorTest, EndToEndThroughResultErrorEst) {
+  auto ds = video::MakePresetScaled(video::ScenePreset::kUaDetrac, 1200);
+  ASSERT_TRUE(ds.ok());
+  detect::SimYoloV4 yolo;
+  detect::SimMtcnn mtcnn;
+  auto prior = detect::ClassPriorIndex::Build(*ds, yolo, mtcnn);
+  ASSERT_TRUE(prior.ok());
+  query::FrameOutputSource source(*ds, yolo, video::ObjectClass::kCar);
+
+  query::QuerySpec spec;
+  spec.aggregate = query::AggregateFunction::kVar;
+  ASSERT_TRUE(spec.Validate().ok());
+  auto gt = query::ComputeGroundTruth(source, spec);
+  ASSERT_TRUE(gt.ok());
+  ASSERT_GT(gt->y_true, 0.0);
+
+  degrade::InterventionSet iv;
+  iv.sample_fraction = 0.4;
+  stats::Rng rng(23);
+  auto result = ResultErrorEst(source, *prior, spec, iv, 0.05, rng);
+  ASSERT_TRUE(result.ok());
+  double realized = query::RelativeError(result->estimate.y_approx, gt->y_true);
+  EXPECT_LE(realized, result->estimate.err_b + 0.05);
+}
+
+TEST(VarEstimatorTest, RepairCoversVarianceBias) {
+  // Non-random resolution degradation distorts the variance too; the VAR
+  // repair path must restore a valid bound.
+  auto ds = video::MakePresetScaled(video::ScenePreset::kUaDetrac, 1500);
+  ASSERT_TRUE(ds.ok());
+  detect::SimYoloV4 yolo;
+  detect::SimMtcnn mtcnn;
+  auto prior = detect::ClassPriorIndex::Build(*ds, yolo, mtcnn);
+  ASSERT_TRUE(prior.ok());
+  query::FrameOutputSource source(*ds, yolo, video::ObjectClass::kCar);
+
+  query::QuerySpec spec;
+  spec.aggregate = query::AggregateFunction::kVar;
+  auto gt = query::ComputeGroundTruth(source, spec);
+  ASSERT_TRUE(gt.ok());
+
+  degrade::InterventionSet iv;
+  iv.sample_fraction = 0.5;
+  iv.resolution = 128;
+  stats::Rng rng(24);
+  int repaired_valid = 0;
+  const int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    auto result = ResultErrorEst(source, *prior, spec, iv, 0.05, rng);
+    ASSERT_TRUE(result.ok());
+    auto correction = BuildCorrectionSet(source, spec, 200, 0.05, rng);
+    ASSERT_TRUE(correction.ok());
+    auto repaired = RepairErrorBound(spec, *result, *correction);
+    ASSERT_TRUE(repaired.ok());
+    double true_err = query::RelativeError(result->estimate.y_approx, gt->y_true);
+    if (true_err <= *repaired) ++repaired_valid;
+  }
+  EXPECT_GE(repaired_valid, kTrials - 1);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace smokescreen

@@ -1,0 +1,138 @@
+#include "degrade/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "detect/models.h"
+#include "video/presets.h"
+
+namespace smokescreen {
+namespace degrade {
+namespace {
+
+using video::ObjectClass;
+using video::ScenePreset;
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ds = video::MakePresetScaled(ScenePreset::kUaDetrac, 1500);
+    ds.status().CheckOk();
+    dataset_ = std::make_unique<video::VideoDataset>(std::move(ds).ValueOrDie());
+    auto prior = detect::ClassPriorIndex::Build(*dataset_, yolo_, mtcnn_);
+    prior.status().CheckOk();
+    prior_ = std::make_unique<detect::ClassPriorIndex>(std::move(prior).ValueOrDie());
+  }
+
+  detect::SimYoloV4 yolo_;
+  detect::SimMtcnn mtcnn_;
+  std::unique_ptr<video::VideoDataset> dataset_;
+  std::unique_ptr<detect::ClassPriorIndex> prior_;
+};
+
+TEST_F(CostModelTest, NoInterventionCostsEverything) {
+  auto savings = EstimateSavings(*dataset_, *prior_, InterventionSet::None(), 608);
+  ASSERT_TRUE(savings.ok());
+  EXPECT_NEAR(savings->frames_fraction, 1.0, 1e-12);
+  EXPECT_NEAR(savings->bytes_fraction, 1.0, 1e-12);
+  EXPECT_NEAR(savings->energy_fraction, 1.0, 1e-12);
+  EXPECT_EQ(savings->restricted_removed_fraction, 0.0);
+}
+
+TEST_F(CostModelTest, SamplingScalesFramesLinearly) {
+  InterventionSet iv;
+  iv.sample_fraction = 0.25;
+  auto savings = EstimateSavings(*dataset_, *prior_, iv, 608);
+  ASSERT_TRUE(savings.ok());
+  EXPECT_NEAR(savings->frames_fraction, 0.25, 0.001);
+  EXPECT_NEAR(savings->bytes_fraction, 0.25, 0.001);  // Full resolution.
+}
+
+TEST_F(CostModelTest, ResolutionScalesBytesQuadratically) {
+  InterventionSet iv;
+  iv.resolution = 304;  // Half of 608.
+  auto savings = EstimateSavings(*dataset_, *prior_, iv, 608);
+  ASSERT_TRUE(savings.ok());
+  EXPECT_NEAR(savings->frames_fraction, 1.0, 1e-12);
+  EXPECT_NEAR(savings->bytes_fraction, 0.25, 1e-12);  // (1/2)^2.
+}
+
+TEST_F(CostModelTest, CompressionScalesBytesLinearly) {
+  InterventionSet iv;
+  iv.contrast_scale = 0.5;
+  auto savings = EstimateSavings(*dataset_, *prior_, iv, 608);
+  ASSERT_TRUE(savings.ok());
+  EXPECT_NEAR(savings->bytes_fraction, 0.5, 1e-12);
+}
+
+TEST_F(CostModelTest, RemovalDropsRestrictedFrames) {
+  InterventionSet iv;
+  iv.restricted.Add(ObjectClass::kPerson);
+  auto savings = EstimateSavings(*dataset_, *prior_, iv, 608);
+  ASSERT_TRUE(savings.ok());
+  EXPECT_EQ(savings->restricted_removed_fraction, 1.0);
+  // Most DETRAC frames contain persons, so far fewer frames are transmitted.
+  EXPECT_LT(savings->frames_fraction, 0.6);
+}
+
+TEST_F(CostModelTest, EnergyIsConvexCombination) {
+  InterventionSet iv;
+  iv.sample_fraction = 0.5;
+  iv.resolution = 304;
+  auto savings = EstimateSavings(*dataset_, *prior_, iv, 608);
+  ASSERT_TRUE(savings.ok());
+  EXPECT_NEAR(savings->energy_fraction,
+              0.8 * savings->bytes_fraction + 0.2 * savings->frames_fraction, 1e-12);
+}
+
+TEST_F(CostModelTest, ResolutionReductionShrinksRecognizableFaces) {
+  InterventionSet full;
+  InterventionSet low;
+  low.resolution = 96;
+  auto at_full = EstimateSavings(*dataset_, *prior_, full, 608);
+  auto at_low = EstimateSavings(*dataset_, *prior_, low, 608);
+  ASSERT_TRUE(at_full.ok());
+  ASSERT_TRUE(at_low.ok());
+  EXPECT_LT(at_low->faces_recognizable_fraction, at_full->faces_recognizable_fraction);
+  EXPECT_LT(at_low->faces_recognizable_fraction, 0.2);
+}
+
+TEST_F(CostModelTest, FaceRemovalEliminatesMostRecognizableFaces) {
+  InterventionSet iv;
+  iv.restricted.Add(ObjectClass::kFace);
+  auto savings = EstimateSavings(*dataset_, *prior_, iv, 608);
+  ASSERT_TRUE(savings.ok());
+  // Faces the detector sees are removed; only undetected (mostly
+  // unrecognizably small) faces can remain.
+  InterventionSet none;
+  auto baseline = EstimateSavings(*dataset_, *prior_, none, 608);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_LT(savings->faces_recognizable_fraction,
+            0.5 * baseline->faces_recognizable_fraction + 1e-9);
+}
+
+TEST_F(CostModelTest, RejectsInvalidIntervention) {
+  InterventionSet iv;
+  iv.sample_fraction = 0.0;
+  EXPECT_FALSE(EstimateSavings(*dataset_, *prior_, iv, 608).ok());
+}
+
+TEST_F(CostModelTest, MoreDegradationNeverCostsMore) {
+  InterventionSet light;
+  light.sample_fraction = 0.8;
+  light.resolution = 512;
+  InterventionSet heavy;
+  heavy.sample_fraction = 0.1;
+  heavy.resolution = 128;
+  heavy.restricted.Add(ObjectClass::kPerson);
+  auto s_light = EstimateSavings(*dataset_, *prior_, light, 608);
+  auto s_heavy = EstimateSavings(*dataset_, *prior_, heavy, 608);
+  ASSERT_TRUE(s_light.ok());
+  ASSERT_TRUE(s_heavy.ok());
+  EXPECT_LT(s_heavy->bytes_fraction, s_light->bytes_fraction);
+  EXPECT_LT(s_heavy->energy_fraction, s_light->energy_fraction);
+  EXPECT_LE(s_heavy->faces_recognizable_fraction, s_light->faces_recognizable_fraction + 1e-9);
+}
+
+}  // namespace
+}  // namespace degrade
+}  // namespace smokescreen

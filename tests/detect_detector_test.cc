@@ -1,0 +1,229 @@
+#include "detect/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "detect/models.h"
+#include "detect/registry.h"
+#include "video/presets.h"
+#include "video/scene_simulator.h"
+
+namespace smokescreen {
+namespace detect {
+namespace {
+
+using video::ObjectClass;
+using video::ScenePreset;
+using video::VideoDataset;
+
+VideoDataset SmallNight() {
+  auto ds = video::MakePresetScaled(ScenePreset::kNightStreet, 1500);
+  ds.status().CheckOk();
+  return std::move(ds).ValueOrDie();
+}
+
+VideoDataset SmallDetrac() {
+  auto ds = video::MakePresetScaled(ScenePreset::kUaDetrac, 1500);
+  ds.status().CheckOk();
+  return std::move(ds).ValueOrDie();
+}
+
+TEST(DetectorModelTest, MetadataMatchesPaperSetting) {
+  SimYoloV4 yolo;
+  EXPECT_EQ(yolo.max_resolution(), 608);
+  EXPECT_EQ(yolo.resolution_stride(), 32);
+  EXPECT_EQ(yolo.name(), "SimYoloV4");
+
+  SimMaskRcnn mask;
+  EXPECT_EQ(mask.max_resolution(), 640);
+  EXPECT_EQ(mask.resolution_stride(), 64);  // "multiples of 64" per the paper.
+
+  SimMtcnn mtcnn;
+  EXPECT_EQ(mtcnn.max_resolution(), 640);
+}
+
+TEST(DetectorModelTest, ResolutionValidation) {
+  SimMaskRcnn mask;
+  EXPECT_TRUE(mask.ValidateResolution(128).ok());
+  EXPECT_TRUE(mask.ValidateResolution(640).ok());
+  EXPECT_FALSE(mask.ValidateResolution(130).ok());  // Not a multiple of 64.
+  EXPECT_FALSE(mask.ValidateResolution(704).ok());  // Above max.
+  EXPECT_FALSE(mask.ValidateResolution(0).ok());
+  EXPECT_FALSE(mask.ValidateResolution(-64).ok());
+
+  SimYoloV4 yolo;
+  EXPECT_TRUE(yolo.ValidateResolution(416).ok());   // Multiple of 32.
+  EXPECT_FALSE(yolo.ValidateResolution(640).ok());  // Above YOLO's 608 max.
+}
+
+TEST(DetectorModelTest, OutputsAreDeterministic) {
+  VideoDataset ds = SmallNight();
+  SimYoloV4 yolo;
+  for (int64_t i = 0; i < 50; ++i) {
+    auto a = yolo.CountDetections(ds, i, 320, ObjectClass::kCar, 1.0);
+    auto b = yolo.CountDetections(ds, i, 320, ObjectClass::kCar, 1.0);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << "frame " << i;
+  }
+}
+
+TEST(DetectorModelTest, OutputsVaryWithResolution) {
+  VideoDataset ds = SmallDetrac();
+  SimYoloV4 yolo;
+  int64_t differing = 0;
+  for (int64_t i = 0; i < 200; ++i) {
+    auto hi = yolo.CountDetections(ds, i, 608, ObjectClass::kCar, 1.0);
+    auto lo = yolo.CountDetections(ds, i, 64, ObjectClass::kCar, 1.0);
+    ASSERT_TRUE(hi.ok());
+    ASSERT_TRUE(lo.ok());
+    if (*hi != *lo) ++differing;
+  }
+  EXPECT_GT(differing, 50);
+}
+
+TEST(DetectorModelTest, LowResolutionSystematicallyUndercounts) {
+  // The non-random nature of the resolution intervention: mean counts drop.
+  VideoDataset ds = SmallDetrac();
+  SimYoloV4 yolo;
+  double total_hi = 0, total_lo = 0;
+  for (int64_t i = 0; i < ds.num_frames(); ++i) {
+    total_hi += *yolo.CountDetections(ds, i, 608, ObjectClass::kCar, 1.0);
+    total_lo += *yolo.CountDetections(ds, i, 128, ObjectClass::kCar, 1.0);
+  }
+  EXPECT_LT(total_lo, 0.75 * total_hi);
+}
+
+TEST(DetectorModelTest, RecallMonotoneInResolutionAwayFromQuirk) {
+  SimYoloV4 yolo;
+  video::GtObject obj;
+  obj.cls = ObjectClass::kCar;
+  obj.apparent_size = 60.0;
+  obj.contrast = 0.8;
+  double prev = 0.0;
+  for (int res : {64, 128, 192, 256, 320}) {
+    double recall = yolo.ObjectRecall(obj, res, 608, 1.0);
+    EXPECT_GE(recall, prev) << "res " << res;
+    prev = recall;
+  }
+  EXPECT_GT(prev, 0.9);  // Large clear object nearly always found.
+}
+
+TEST(DetectorModelTest, ContrastScaleReducesRecall) {
+  SimMaskRcnn mask;
+  video::GtObject obj;
+  obj.cls = ObjectClass::kCar;
+  obj.apparent_size = 30.0;
+  obj.contrast = 0.8;
+  double clean = mask.ObjectRecall(obj, 320, 640, 1.0);
+  double noisy = mask.ObjectRecall(obj, 320, 640, 0.5);
+  EXPECT_LT(noisy, clean);
+}
+
+TEST(DetectorModelTest, MaskRcnnBetterAtSmallObjectsThanYolo) {
+  SimYoloV4 yolo;
+  SimMaskRcnn mask;
+  video::GtObject obj;
+  obj.cls = ObjectClass::kCar;
+  obj.apparent_size = 18.0;
+  obj.contrast = 0.9;
+  EXPECT_GT(mask.ObjectRecall(obj, 320, 640, 1.0), yolo.ObjectRecall(obj, 320, 640, 1.0));
+}
+
+TEST(DetectorModelTest, YoloNightAnomalyAt384) {
+  // Figure 7/8: on night scenes the 384px output deviates more than 320px.
+  VideoDataset ds = SmallNight();
+  SimYoloV4 yolo;
+  double avg_608 = 0, avg_384 = 0, avg_320 = 0;
+  for (int64_t i = 0; i < ds.num_frames(); ++i) {
+    avg_608 += *yolo.CountDetections(ds, i, 608, ObjectClass::kCar, 1.0);
+    avg_384 += *yolo.CountDetections(ds, i, 384, ObjectClass::kCar, 1.0);
+    avg_320 += *yolo.CountDetections(ds, i, 320, ObjectClass::kCar, 1.0);
+  }
+  double n = static_cast<double>(ds.num_frames());
+  avg_608 /= n;
+  avg_384 /= n;
+  avg_320 /= n;
+  double err_384 = std::abs(avg_384 - avg_608) / avg_608;
+  double err_320 = std::abs(avg_320 - avg_608) / avg_608;
+  EXPECT_GT(err_384, err_320) << "384 anomaly missing";
+  EXPECT_GT(avg_384, avg_608) << "anomaly should overcount (duplicates)";
+}
+
+TEST(DetectorModelTest, YoloAnomalyAbsentOnDaytimeScenes) {
+  VideoDataset ds = SmallDetrac();
+  SimYoloV4 yolo;
+  double avg_608 = 0, avg_384 = 0, avg_320 = 0;
+  for (int64_t i = 0; i < ds.num_frames(); ++i) {
+    avg_608 += *yolo.CountDetections(ds, i, 608, ObjectClass::kCar, 1.0);
+    avg_384 += *yolo.CountDetections(ds, i, 384, ObjectClass::kCar, 1.0);
+    avg_320 += *yolo.CountDetections(ds, i, 320, ObjectClass::kCar, 1.0);
+  }
+  // Monotone degradation, no overcount spike.
+  EXPECT_LT(avg_384, avg_608 * 1.02);
+  EXPECT_LT(avg_320, avg_384);
+}
+
+TEST(DetectorModelTest, MtcnnOnlyDetectsFaces) {
+  VideoDataset ds = SmallDetrac();
+  SimMtcnn mtcnn;
+  for (int64_t i = 0; i < 100; ++i) {
+    auto cars = mtcnn.CountDetections(ds, i, 640, ObjectClass::kCar, 1.0);
+    ASSERT_TRUE(cars.ok());
+    EXPECT_EQ(*cars, 0);
+    auto persons = mtcnn.CountDetections(ds, i, 640, ObjectClass::kPerson, 1.0);
+    ASSERT_TRUE(persons.ok());
+    EXPECT_EQ(*persons, 0);
+  }
+}
+
+TEST(DetectorModelTest, OutOfRangeFrameFails) {
+  VideoDataset ds = SmallNight();
+  SimYoloV4 yolo;
+  EXPECT_FALSE(yolo.CountDetections(ds, -1, 320, ObjectClass::kCar, 1.0).ok());
+  EXPECT_FALSE(yolo.CountDetections(ds, ds.num_frames(), 320, ObjectClass::kCar, 1.0).ok());
+}
+
+TEST(DetectorModelTest, InvalidResolutionFailsThroughCountDetections) {
+  VideoDataset ds = SmallNight();
+  SimMaskRcnn mask;
+  EXPECT_FALSE(mask.CountDetections(ds, 0, 100, ObjectClass::kCar, 1.0).ok());
+}
+
+TEST(RegistryTest, KnownNames) {
+  for (const std::string& name : RegisteredDetectorNames()) {
+    auto det = MakeDetector(name);
+    ASSERT_TRUE(det.ok()) << name;
+    EXPECT_NE((*det).get(), nullptr);
+  }
+  EXPECT_EQ(RegisteredDetectorNames().size(), 4u);
+}
+
+TEST(RegistryTest, UnknownNameFails) {
+  EXPECT_FALSE(MakeDetector("resnet").ok());
+  EXPECT_FALSE(MakeDetector("").ok());
+  EXPECT_FALSE(MakeDetector("YOLOV4").ok());  // Case-sensitive.
+}
+
+TEST(RegistryTest, SsdIsWorseAtSmallObjects) {
+  SimSsd ssd;
+  SimYoloV4 yolo;
+  EXPECT_EQ(ssd.max_resolution(), 512);
+  video::GtObject obj;
+  obj.cls = ObjectClass::kCar;
+  obj.apparent_size = 20.0;
+  obj.contrast = 0.9;
+  EXPECT_LT(ssd.ObjectRecall(obj, 320, 608, 1.0), yolo.ObjectRecall(obj, 320, 608, 1.0));
+}
+
+TEST(RegistryTest, FactoriesMatchClasses) {
+  auto yolo = MakeDetector("yolov4");
+  ASSERT_TRUE(yolo.ok());
+  EXPECT_EQ((*yolo)->max_resolution(), 608);
+  auto mask = MakeDetector("maskrcnn");
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ((*mask)->max_resolution(), 640);
+}
+
+}  // namespace
+}  // namespace detect
+}  // namespace smokescreen

@@ -1,0 +1,313 @@
+// Property-based tests: parameterized sweeps over seeds, sample fractions,
+// datasets and aggregates, checking the system's core invariants.
+//
+//  P1  Every Smokescreen bound is a valid >= 1-delta upper bound of the
+//      realized error under random interventions.
+//  P2  The bound is (stochastically) non-increasing in the sample fraction.
+//  P3  The repaired bound covers the truth even under systematic bias.
+//  P4  Y_approx's harmonic construction satisfies Theorem 3.1's algebra.
+//  P5  Profiler reuse produces identical outputs to fresh estimation.
+//  P6  Dataset serialization round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/avg_estimator.h"
+#include "core/estimator_api.h"
+#include "core/quantile_estimator.h"
+#include "core/repair.h"
+#include "detect/models.h"
+#include "query/executor.h"
+#include "stats/empirical.h"
+#include "stats/rng.h"
+#include "stats/sampling.h"
+#include "video/presets.h"
+
+namespace smokescreen {
+namespace core {
+namespace {
+
+using video::ObjectClass;
+using video::ScenePreset;
+
+// ---------------------------------------------------------------------------
+// P1: bound coverage over synthetic populations, swept over (lambda, n).
+// ---------------------------------------------------------------------------
+
+struct CoverageParam {
+  double lambda;
+  int64_t sample_size;
+  double delta;
+};
+
+class MeanCoverageProperty : public ::testing::TestWithParam<CoverageParam> {};
+
+TEST_P(MeanCoverageProperty, BoundCoversRealizedError) {
+  const CoverageParam param = GetParam();
+  stats::Rng rng(stats::HashCombine({static_cast<uint64_t>(param.lambda * 100),
+                                     static_cast<uint64_t>(param.sample_size)}));
+  const int64_t kPop = 6000;
+  std::vector<double> population;
+  for (int64_t i = 0; i < kPop; ++i) {
+    population.push_back(static_cast<double>(rng.NextPoisson(param.lambda)));
+  }
+  double mu = 0;
+  for (double v : population) mu += v;
+  mu /= static_cast<double>(kPop);
+  ASSERT_GT(mu, 0.0);
+
+  SmokescreenMeanEstimator est;
+  const int kTrials = 200;
+  int covered = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    auto idx = stats::SampleWithoutReplacement(kPop, param.sample_size, rng);
+    ASSERT_TRUE(idx.ok());
+    std::vector<double> sample;
+    for (int64_t i : *idx) sample.push_back(population[static_cast<size_t>(i)]);
+    auto result = est.EstimateMean(sample, kPop, param.delta);
+    ASSERT_TRUE(result.ok());
+    double true_err = std::abs(result->y_approx - mu) / mu;
+    if (true_err <= result->err_b + 1e-12) ++covered;
+  }
+  // Nominal coverage 1-delta; allow binomial slack on 200 trials.
+  EXPECT_GE(static_cast<double>(covered) / kTrials, 1.0 - param.delta - 0.04)
+      << "lambda=" << param.lambda << " n=" << param.sample_size;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MeanCoverageProperty,
+    ::testing::Values(CoverageParam{0.5, 30, 0.05}, CoverageParam{0.5, 100, 0.05},
+                      CoverageParam{2.0, 30, 0.05}, CoverageParam{2.0, 300, 0.05},
+                      CoverageParam{8.0, 50, 0.05}, CoverageParam{8.0, 500, 0.05},
+                      CoverageParam{2.0, 100, 0.10}, CoverageParam{2.0, 100, 0.01}));
+
+// ---------------------------------------------------------------------------
+// P2: monotonicity of the average bound in the sample fraction.
+// ---------------------------------------------------------------------------
+
+class MonotonicityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MonotonicityProperty, AverageBoundShrinksWithFraction) {
+  stats::Rng rng(GetParam());
+  const int64_t kPop = 4000;
+  std::vector<double> population;
+  for (int64_t i = 0; i < kPop; ++i) {
+    population.push_back(static_cast<double>(rng.NextPoisson(3.0)));
+  }
+  SmokescreenMeanEstimator est;
+  double prev_avg = std::numeric_limits<double>::infinity();
+  for (int64_t n : {40, 160, 640, 2560}) {
+    double total = 0;
+    const int kTrials = 30;
+    for (int t = 0; t < kTrials; ++t) {
+      auto idx = stats::SampleWithoutReplacement(kPop, n, rng);
+      ASSERT_TRUE(idx.ok());
+      std::vector<double> sample;
+      for (int64_t i : *idx) sample.push_back(population[static_cast<size_t>(i)]);
+      auto result = est.EstimateMean(sample, kPop, 0.05);
+      ASSERT_TRUE(result.ok());
+      total += result->err_b;
+    }
+    double avg = total / kTrials;
+    EXPECT_LT(avg, prev_avg) << "n=" << n;
+    prev_avg = avg;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityProperty, ::testing::Values(11u, 22u, 33u, 44u));
+
+// ---------------------------------------------------------------------------
+// P3: repaired bounds stay valid under adversarial systematic bias.
+// ---------------------------------------------------------------------------
+
+struct BiasParam {
+  double bias_factor;  // Multiplicative distortion applied to sampled outputs.
+  uint64_t seed;
+};
+
+class RepairProperty : public ::testing::TestWithParam<BiasParam> {};
+
+TEST_P(RepairProperty, RepairedBoundSurvivesSystematicBias) {
+  const BiasParam param = GetParam();
+  stats::Rng rng(param.seed);
+  const int64_t kPop = 5000;
+  std::vector<double> population;
+  for (int64_t i = 0; i < kPop; ++i) {
+    population.push_back(static_cast<double>(rng.NextPoisson(4.0)));
+  }
+  double mu = 0;
+  for (double v : population) mu += v;
+  mu /= static_cast<double>(kPop);
+
+  query::QuerySpec spec;
+  spec.aggregate = query::AggregateFunction::kAvg;
+
+  SmokescreenMeanEstimator est;
+  const int kTrials = 60;
+  int covered = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    // Degraded sample: systematically biased outputs (like low resolution).
+    auto idx = stats::SampleWithoutReplacement(kPop, 250, rng);
+    ASSERT_TRUE(idx.ok());
+    std::vector<double> degraded_sample;
+    for (int64_t i : *idx) {
+      degraded_sample.push_back(population[static_cast<size_t>(i)] * param.bias_factor);
+    }
+    auto degraded_est = est.EstimateMean(degraded_sample, kPop, 0.05);
+    ASSERT_TRUE(degraded_est.ok());
+
+    // Correction set: unbiased outputs.
+    auto v_idx = stats::SampleWithoutReplacement(kPop, 250, rng);
+    ASSERT_TRUE(v_idx.ok());
+    CorrectionSet correction;
+    for (int64_t i : *v_idx) correction.outputs.push_back(population[static_cast<size_t>(i)]);
+    correction.size = 250;
+    correction.population = kPop;
+    auto v_est = est.EstimateMean(correction.outputs, kPop, 0.05);
+    ASSERT_TRUE(v_est.ok());
+    correction.estimate = *v_est;
+
+    EstimationResult degraded;
+    degraded.estimate = *degraded_est;
+    auto repaired = RepairErrorBound(spec, degraded, correction);
+    ASSERT_TRUE(repaired.ok());
+    double true_err = std::abs(degraded_est->y_approx - mu) / mu;
+    if (true_err <= *repaired + 1e-12) ++covered;
+  }
+  EXPECT_GE(static_cast<double>(covered) / kTrials, 0.95)
+      << "bias=" << param.bias_factor;
+}
+
+INSTANTIATE_TEST_SUITE_P(BiasSweep, RepairProperty,
+                         ::testing::Values(BiasParam{0.3, 1}, BiasParam{0.6, 2},
+                                           BiasParam{0.9, 3}, BiasParam{1.2, 4},
+                                           BiasParam{2.0, 5}));
+
+// ---------------------------------------------------------------------------
+// P4: Theorem 3.1 algebra holds for every interval.
+// ---------------------------------------------------------------------------
+
+class HarmonicProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HarmonicProperty, TheoremAlgebraHolds) {
+  stats::Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    double lb = rng.NextDouble() * 5.0;
+    double ub = lb + rng.NextDouble() * 5.0 + 1e-9;
+    Estimate est = SmokescreenMeanEstimator::FromBounds(lb, ub, 1.0);
+    if (lb <= 0.0) {
+      EXPECT_EQ(est.err_b, 1.0);
+      continue;
+    }
+    // |Y| = (1+err)*LB = (1-err)*UB, and err in [0, 1).
+    EXPECT_NEAR(est.y_approx, (1.0 + est.err_b) * lb, 1e-9);
+    EXPECT_NEAR(est.y_approx, (1.0 - est.err_b) * ub, 1e-9);
+    EXPECT_GE(est.err_b, 0.0);
+    EXPECT_LT(est.err_b, 1.0);
+    // For any mu in [LB, UB], |Y-mu|/mu <= err_b.
+    for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      double mu = lb + frac * (ub - lb);
+      EXPECT_LE(std::abs(est.y_approx - mu) / mu, est.err_b + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HarmonicProperty, ::testing::Values(101u, 202u, 303u));
+
+// ---------------------------------------------------------------------------
+// P5: quantile bound coverage swept over r and aggregates.
+// ---------------------------------------------------------------------------
+
+struct QuantileParam {
+  double r;
+  bool is_max;
+  int64_t sample_size;
+};
+
+class QuantileCoverageProperty : public ::testing::TestWithParam<QuantileParam> {};
+
+TEST_P(QuantileCoverageProperty, RankErrorCovered) {
+  const QuantileParam param = GetParam();
+  stats::Rng rng(stats::HashCombine({static_cast<uint64_t>(param.r * 1000),
+                                     static_cast<uint64_t>(param.sample_size)}));
+  const int64_t kPop = 6000;
+  std::vector<double> population;
+  for (int64_t i = 0; i < kPop; ++i) {
+    population.push_back(static_cast<double>(rng.NextPoisson(7.0)));
+  }
+  auto pop_dist = stats::EmpiricalDistribution::Create(population);
+  ASSERT_TRUE(pop_dist.ok());
+  double rank_true = pop_dist->RankFraction(pop_dist->Quantile(param.r));
+
+  SmokescreenQuantileEstimator est;
+  const int kTrials = 150;
+  int covered = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    auto idx = stats::SampleWithoutReplacement(kPop, param.sample_size, rng);
+    ASSERT_TRUE(idx.ok());
+    std::vector<double> sample;
+    for (int64_t i : *idx) sample.push_back(population[static_cast<size_t>(i)]);
+    auto result = est.EstimateQuantile(sample, kPop, param.r, param.is_max, 0.05);
+    ASSERT_TRUE(result.ok());
+    double rank_approx = pop_dist->RankFraction(result->y_approx);
+    double true_err = std::abs(rank_approx - rank_true) / rank_true;
+    if (true_err <= result->err_b + 1e-12) ++covered;
+  }
+  EXPECT_GE(static_cast<double>(covered) / kTrials, 0.93)
+      << "r=" << param.r << " n=" << param.sample_size;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantileCoverageProperty,
+                         ::testing::Values(QuantileParam{0.99, true, 200},
+                                           QuantileParam{0.99, true, 800},
+                                           QuantileParam{0.95, true, 200},
+                                           QuantileParam{0.01, false, 200},
+                                           QuantileParam{0.05, false, 400}));
+
+// ---------------------------------------------------------------------------
+// P6: end-to-end determinism of ResultErrorEst given the same rng seed, and
+// reuse-vs-fresh equality of cached outputs.
+// ---------------------------------------------------------------------------
+
+class PipelineDeterminismProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelineDeterminismProperty, SameSeedSameEstimate) {
+  auto ds = video::MakePresetScaled(ScenePreset::kNightStreet, 800);
+  ds.status().CheckOk();
+  detect::SimYoloV4 yolo;
+  detect::SimMtcnn mtcnn;
+  auto prior = detect::ClassPriorIndex::Build(*ds, yolo, mtcnn);
+  prior.status().CheckOk();
+
+  query::QuerySpec spec;
+  spec.aggregate = query::AggregateFunction::kAvg;
+  degrade::InterventionSet iv;
+  iv.sample_fraction = 0.2;
+  iv.resolution = 320;
+
+  query::FrameOutputSource source_a(*ds, yolo, ObjectClass::kCar);
+  query::FrameOutputSource source_b(*ds, yolo, ObjectClass::kCar);
+  stats::Rng rng_a(GetParam()), rng_b(GetParam());
+  auto a = ResultErrorEst(source_a, *prior, spec, iv, 0.05, rng_a);
+  auto b = ResultErrorEst(source_b, *prior, spec, iv, 0.05, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->estimate.y_approx, b->estimate.y_approx);
+  EXPECT_EQ(a->estimate.err_b, b->estimate.err_b);
+  EXPECT_EQ(a->sample_outputs, b->sample_outputs);
+
+  // Cached re-read gives identical outputs (reuse correctness).
+  auto outputs_again = source_a.Outputs(spec, {0, 1, 2, 3}, 320, 1.0);
+  auto outputs_fresh = source_b.Outputs(spec, {0, 1, 2, 3}, 320, 1.0);
+  ASSERT_TRUE(outputs_again.ok());
+  ASSERT_TRUE(outputs_fresh.ok());
+  EXPECT_EQ(*outputs_again, *outputs_fresh);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineDeterminismProperty,
+                         ::testing::Values(1u, 7u, 1234567u));
+
+}  // namespace
+}  // namespace core
+}  // namespace smokescreen

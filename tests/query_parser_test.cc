@@ -1,0 +1,117 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace smokescreen {
+namespace query {
+namespace {
+
+TEST(ParserTest, MinimalAvgQuery) {
+  auto parsed = ParseQuery("SELECT AVG(car) FROM night-street");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->spec.aggregate, AggregateFunction::kAvg);
+  EXPECT_EQ(parsed->spec.target_class, video::ObjectClass::kCar);
+  EXPECT_EQ(parsed->dataset, "night-street");
+  EXPECT_EQ(parsed->model, "yolov4");  // Default.
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  auto parsed = ParseQuery("select avg(car) from ua-detrac using maskrcnn");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->spec.aggregate, AggregateFunction::kAvg);
+  EXPECT_EQ(parsed->model, "maskrcnn");
+}
+
+TEST(ParserTest, AllAggregatesParse) {
+  for (const char* agg : {"AVG", "SUM", "COUNT", "MAX", "MIN", "VAR"}) {
+    std::string q = std::string("SELECT ") + agg + "(car) FROM ua-detrac";
+    auto parsed = ParseQuery(q);
+    ASSERT_TRUE(parsed.ok()) << q << ": " << parsed.status().ToString();
+    EXPECT_STREQ(AggregateFunctionName(parsed->spec.aggregate), agg);
+  }
+}
+
+TEST(ParserTest, CountPredicate) {
+  auto parsed = ParseQuery("SELECT COUNT(car >= 8) FROM ua-detrac");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->spec.aggregate, AggregateFunction::kCount);
+  EXPECT_EQ(parsed->spec.count_threshold, 8);
+}
+
+TEST(ParserTest, PredicateWithoutSpaces) {
+  auto parsed = ParseQuery("SELECT COUNT(car>=3) FROM x");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->spec.count_threshold, 3);
+}
+
+TEST(ParserTest, PredicateOnlyValidForCount) {
+  auto parsed = ParseQuery("SELECT AVG(car >= 3) FROM x");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("COUNT"), std::string::npos);
+}
+
+TEST(ParserTest, MaxWithQuantile) {
+  auto parsed = ParseQuery("SELECT MAX(car) FROM ua-detrac WITH QUANTILE 0.95");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NEAR(parsed->spec.EffectiveQuantileR(), 0.95, 1e-9);
+}
+
+TEST(ParserTest, QuantileOnlyForExtremes) {
+  EXPECT_FALSE(ParseQuery("SELECT AVG(car) FROM x WITH QUANTILE 0.9").ok());
+}
+
+TEST(ParserTest, UsingAndWithInEitherOrder) {
+  auto a = ParseQuery("SELECT MIN(car) FROM x USING maskrcnn WITH QUANTILE 0.05");
+  auto b = ParseQuery("SELECT MIN(car) FROM x WITH QUANTILE 0.05 USING maskrcnn");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->model, b->model);
+  EXPECT_NEAR(a->spec.quantile_r, b->spec.quantile_r, 1e-12);
+}
+
+TEST(ParserTest, PersonAndFaceClasses) {
+  auto person = ParseQuery("SELECT AVG(person) FROM x");
+  ASSERT_TRUE(person.ok());
+  EXPECT_EQ(person->spec.target_class, video::ObjectClass::kPerson);
+  auto face = ParseQuery("SELECT COUNT(face) FROM x");
+  ASSERT_TRUE(face.ok());
+  EXPECT_EQ(face->spec.target_class, video::ObjectClass::kFace);
+}
+
+TEST(ParserTest, SyntaxErrorsAreRejectedWithMessages) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT").ok());
+  EXPECT_FALSE(ParseQuery("FETCH AVG(car) FROM x").ok());
+  EXPECT_FALSE(ParseQuery("SELECT MEDIAN(car) FROM x").ok());      // Unknown aggregate.
+  EXPECT_FALSE(ParseQuery("SELECT AVG(bicycle) FROM x").ok());     // Unknown class.
+  EXPECT_FALSE(ParseQuery("SELECT AVG(car FROM x").ok());          // Missing ')'.
+  EXPECT_FALSE(ParseQuery("SELECT AVG(car) x").ok());              // Missing FROM.
+  EXPECT_FALSE(ParseQuery("SELECT AVG(car) FROM").ok());           // Missing dataset.
+  EXPECT_FALSE(ParseQuery("SELECT AVG(car) FROM x USING").ok());   // Missing model.
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(car >= abc) FROM x").ok());
+  EXPECT_FALSE(ParseQuery("SELECT MAX(car) FROM x WITH QUANTILE two").ok());
+  EXPECT_FALSE(ParseQuery("SELECT MAX(car) FROM x WITH LIMIT 5").ok());
+  EXPECT_FALSE(ParseQuery("SELECT AVG(car) FROM x GARBAGE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT AVG(car) FROM x; DROP TABLE").ok());
+}
+
+TEST(ParserTest, SemanticValidationApplies) {
+  // Quantile outside (0,1) fails QuerySpec validation.
+  EXPECT_FALSE(ParseQuery("SELECT MAX(car) FROM x WITH QUANTILE 1.5").ok());
+  // COUNT threshold must be >= 1.
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(car >= 0) FROM x").ok());
+}
+
+TEST(ParserTest, WhitespaceIsFlexible) {
+  auto parsed = ParseQuery("  SELECT   COUNT ( car   >=  2 )   FROM   ua-detrac  ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->spec.count_threshold, 2);
+}
+
+TEST(ParserTest, GreaterWithoutEqualsRejected) {
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(car > 2) FROM x").ok());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace smokescreen

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/models.h"
+#include "query/aggregate.h"
+#include "query/executor.h"
+#include "query/output_source.h"
+#include "query/query_spec.h"
+#include "video/presets.h"
+
+namespace smokescreen {
+namespace query {
+namespace {
+
+using video::ObjectClass;
+using video::ScenePreset;
+
+TEST(AggregateTest, NamesRoundTrip) {
+  for (auto fn : {AggregateFunction::kAvg, AggregateFunction::kSum, AggregateFunction::kCount,
+                  AggregateFunction::kMax, AggregateFunction::kMin}) {
+    auto parsed = AggregateFunctionFromName(AggregateFunctionName(fn));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, fn);
+  }
+  EXPECT_FALSE(AggregateFunctionFromName("MEDIAN").ok());
+  auto lower = AggregateFunctionFromName("avg");
+  ASSERT_TRUE(lower.ok());
+  EXPECT_EQ(*lower, AggregateFunction::kAvg);
+}
+
+TEST(AggregateTest, FamilyClassification) {
+  EXPECT_TRUE(IsMeanFamily(AggregateFunction::kAvg));
+  EXPECT_TRUE(IsMeanFamily(AggregateFunction::kSum));
+  EXPECT_TRUE(IsMeanFamily(AggregateFunction::kCount));
+  EXPECT_FALSE(IsMeanFamily(AggregateFunction::kMax));
+  EXPECT_FALSE(IsMeanFamily(AggregateFunction::kMin));
+}
+
+TEST(AggregateTest, DefaultQuantiles) {
+  EXPECT_EQ(DefaultQuantileR(AggregateFunction::kMax), 0.99);
+  EXPECT_EQ(DefaultQuantileR(AggregateFunction::kMin), 0.01);
+  EXPECT_EQ(DefaultQuantileR(AggregateFunction::kAvg), 0.0);
+}
+
+TEST(AggregateTest, ComputeAggregateValues) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_EQ(*ComputeAggregate(AggregateFunction::kAvg, v, 0), 2.5);
+  EXPECT_EQ(*ComputeAggregate(AggregateFunction::kSum, v, 0), 10.0);
+  EXPECT_EQ(*ComputeAggregate(AggregateFunction::kCount, v, 0), 10.0);
+  EXPECT_EQ(*ComputeAggregate(AggregateFunction::kMax, v, 0.99), 4.0);
+  EXPECT_EQ(*ComputeAggregate(AggregateFunction::kMin, v, 0.01), 1.0);
+}
+
+TEST(AggregateTest, ComputeAggregateRejectsBadInput) {
+  EXPECT_FALSE(ComputeAggregate(AggregateFunction::kAvg, {}, 0).ok());
+  EXPECT_FALSE(ComputeAggregate(AggregateFunction::kMax, {1.0}, 0.0).ok());
+  EXPECT_FALSE(ComputeAggregate(AggregateFunction::kMax, {1.0}, 1.5).ok());
+}
+
+TEST(QuerySpecTest, TransformOutput) {
+  QuerySpec avg;
+  avg.aggregate = AggregateFunction::kAvg;
+  EXPECT_EQ(avg.TransformOutput(5), 5.0);
+
+  QuerySpec count;
+  count.aggregate = AggregateFunction::kCount;
+  count.count_threshold = 3;
+  EXPECT_EQ(count.TransformOutput(2), 0.0);
+  EXPECT_EQ(count.TransformOutput(3), 1.0);
+  EXPECT_EQ(count.TransformOutput(10), 1.0);
+}
+
+TEST(QuerySpecTest, Validation) {
+  QuerySpec spec;
+  EXPECT_TRUE(spec.Validate().ok());
+  spec.aggregate = AggregateFunction::kCount;
+  spec.count_threshold = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = QuerySpec{};
+  spec.aggregate = AggregateFunction::kMax;
+  spec.quantile_r = 1.0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec.quantile_r = 0.99;
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+TEST(QuerySpecTest, EffectiveQuantileDefaults) {
+  QuerySpec spec;
+  spec.aggregate = AggregateFunction::kMax;
+  EXPECT_EQ(spec.EffectiveQuantileR(), 0.99);
+  spec.quantile_r = 0.95;
+  EXPECT_EQ(spec.EffectiveQuantileR(), 0.95);
+}
+
+TEST(QuerySpecTest, ToString) {
+  QuerySpec spec;
+  spec.aggregate = AggregateFunction::kCount;
+  spec.count_threshold = 2;
+  EXPECT_EQ(spec.ToString(), "COUNT(car>=2)");
+  spec.aggregate = AggregateFunction::kAvg;
+  EXPECT_EQ(spec.ToString(), "AVG(car)");
+}
+
+class OutputSourceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ds = video::MakePresetScaled(ScenePreset::kNightStreet, 600);
+    ds.status().CheckOk();
+    dataset_ = std::make_unique<video::VideoDataset>(std::move(ds).ValueOrDie());
+    source_ = std::make_unique<FrameOutputSource>(*dataset_, yolo_, ObjectClass::kCar);
+  }
+
+  detect::SimYoloV4 yolo_;
+  std::unique_ptr<video::VideoDataset> dataset_;
+  std::unique_ptr<FrameOutputSource> source_;
+};
+
+TEST_F(OutputSourceTest, CountsInvocationsAndCacheHits) {
+  source_->ResetCounters();
+  ASSERT_TRUE(source_->RawCount(0, 320).ok());
+  EXPECT_EQ(source_->model_invocations(), 1);
+  EXPECT_EQ(source_->cache_hits(), 0);
+  ASSERT_TRUE(source_->RawCount(0, 320).ok());
+  EXPECT_EQ(source_->model_invocations(), 1);
+  EXPECT_EQ(source_->cache_hits(), 1);
+  // Different resolution misses.
+  ASSERT_TRUE(source_->RawCount(0, 416).ok());
+  EXPECT_EQ(source_->model_invocations(), 2);
+}
+
+TEST_F(OutputSourceTest, CachedValueMatchesDetector) {
+  auto first = source_->RawCount(7, 320);
+  auto direct = yolo_.CountDetections(*dataset_, 7, 320, ObjectClass::kCar, 1.0);
+  auto again = source_->RawCount(7, 320);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*first, *direct);
+  EXPECT_EQ(*again, *direct);
+}
+
+TEST_F(OutputSourceTest, OutputsRespectQueryTransform) {
+  QuerySpec count;
+  count.aggregate = AggregateFunction::kCount;
+  count.count_threshold = 1;
+  auto outputs = source_->Outputs(count, {0, 1, 2, 3, 4}, 608);
+  ASSERT_TRUE(outputs.ok());
+  for (double v : *outputs) {
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+  }
+}
+
+TEST_F(OutputSourceTest, AllOutputsCoversDataset) {
+  QuerySpec avg;
+  auto outputs = source_->AllOutputs(avg, 608);
+  ASSERT_TRUE(outputs.ok());
+  EXPECT_EQ(outputs->size(), static_cast<size_t>(dataset_->num_frames()));
+}
+
+TEST_F(OutputSourceTest, ContrastScaleChangesCacheKey) {
+  source_->ResetCounters();
+  ASSERT_TRUE(source_->RawCount(0, 320, 1.0).ok());
+  ASSERT_TRUE(source_->RawCount(0, 320, 0.5).ok());
+  EXPECT_EQ(source_->model_invocations(), 2);
+}
+
+TEST_F(OutputSourceTest, SkippingScanCoversDatasetAndSaves) {
+  QuerySpec avg;
+  query::FrameOutputSource fresh(*dataset_, yolo_, ObjectClass::kCar);
+  auto scan = fresh.AllOutputsWithSkipping(avg, 608);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->outputs.size(), static_cast<size_t>(dataset_->num_frames()));
+  EXPECT_GE(scan->skipped, 0);
+  EXPECT_LT(scan->skipped, dataset_->num_frames());
+  // The invocation count reflects the skipping.
+  EXPECT_EQ(fresh.model_invocations() + scan->skipped, dataset_->num_frames());
+  // Skipped outputs exactly reproduce the exact scan wherever the target
+  // track set was unchanged; overall deviation must be small.
+  auto exact = fresh.AllOutputs(avg, 608);
+  ASSERT_TRUE(exact.ok());
+  double sum_exact = 0, sum_skipped = 0;
+  for (size_t i = 0; i < exact->size(); ++i) {
+    sum_exact += (*exact)[i];
+    sum_skipped += scan->outputs[i];
+  }
+  if (sum_exact > 0) {
+    EXPECT_LT(std::abs(sum_skipped - sum_exact) / sum_exact, 0.05);
+  }
+}
+
+TEST_F(OutputSourceTest, GroundTruthMatchesManualAggregate) {
+  QuerySpec avg;
+  auto gt = ComputeGroundTruth(*source_, avg);
+  ASSERT_TRUE(gt.ok());
+  double manual = 0;
+  for (double v : gt->outputs) manual += v;
+  manual /= static_cast<double>(gt->outputs.size());
+  EXPECT_NEAR(gt->y_true, manual, 1e-12);
+  EXPECT_EQ(gt->outputs.size(), static_cast<size_t>(dataset_->num_frames()));
+}
+
+TEST_F(OutputSourceTest, GroundTruthResolutionOverride) {
+  QuerySpec avg;
+  auto hi = ComputeGroundTruth(*source_, avg);
+  auto lo = ComputeGroundTruth(*source_, avg, 128);
+  ASSERT_TRUE(hi.ok());
+  ASSERT_TRUE(lo.ok());
+  EXPECT_LT(lo->y_true, hi->y_true);  // Systematic undercount at 128px.
+}
+
+TEST_F(OutputSourceTest, GroundTruthMaxUsesQuantile) {
+  QuerySpec max;
+  max.aggregate = AggregateFunction::kMax;
+  auto gt = ComputeGroundTruth(*source_, max);
+  ASSERT_TRUE(gt.ok());
+  // 0.99-quantile is at most the true maximum.
+  double true_max = *std::max_element(gt->outputs.begin(), gt->outputs.end());
+  EXPECT_LE(gt->y_true, true_max);
+}
+
+TEST(RelativeErrorTest, Basics) {
+  EXPECT_NEAR(RelativeError(11.0, 10.0), 0.1, 1e-12);
+  EXPECT_NEAR(RelativeError(9.0, 10.0), 0.1, 1e-12);
+  EXPECT_EQ(RelativeError(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(RelativeError(1.0, 0.0)));
+  EXPECT_NEAR(RelativeError(-11.0, -10.0), 0.1, 1e-12);
+}
+
+TEST(RankRelativeErrorTest, MatchesHandComputation) {
+  // Outputs 1..10; rank fraction of v is cumfreq(v).
+  std::vector<double> outputs;
+  for (int i = 1; i <= 10; ++i) outputs.push_back(i);
+  // truth=9 (rank 0.9), approx=10 (rank 1.0) -> |1.0-0.9|/0.9.
+  auto err = RankRelativeError(outputs, 10.0, 9.0);
+  ASSERT_TRUE(err.ok());
+  EXPECT_NEAR(*err, 0.1 / 0.9, 1e-9);
+  // Same value -> zero error.
+  auto same = RankRelativeError(outputs, 9.0, 9.0);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(*same, 0.0);
+}
+
+TEST(RankRelativeErrorTest, ApproxBetweenValuesUsesFloorRank) {
+  std::vector<double> outputs{1, 2, 3, 4};
+  auto err = RankRelativeError(outputs, 2.5, 2.0);
+  ASSERT_TRUE(err.ok());
+  EXPECT_NEAR(*err, 0.0, 1e-12);  // 2.5 floors to rank of 2.
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace smokescreen

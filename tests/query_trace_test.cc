@@ -1,0 +1,131 @@
+#include "query/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "detect/models.h"
+#include "video/presets.h"
+
+namespace smokescreen {
+namespace query {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ds = video::MakePresetScaled(video::ScenePreset::kNightStreet, 300);
+    ds.status().CheckOk();
+    dataset_ = std::make_unique<video::VideoDataset>(std::move(ds).ValueOrDie());
+    source_ = std::make_unique<FrameOutputSource>(*dataset_, yolo_, video::ObjectClass::kCar);
+  }
+
+  detect::SimYoloV4 yolo_;
+  std::unique_ptr<video::VideoDataset> dataset_;
+  std::unique_ptr<FrameOutputSource> source_;
+};
+
+TEST_F(TraceTest, RecordCapturesDetectorOutputs) {
+  auto trace = OutputTrace::Record(*source_, {320, 608});
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_frames(), 300);
+  EXPECT_EQ(trace->resolutions(), (std::vector<int>{320, 608}));
+  EXPECT_EQ(trace->dataset_name(), dataset_->name());
+  EXPECT_EQ(trace->detector_name(), "SimYoloV4");
+
+  auto counts = trace->CountsAt(320);
+  ASSERT_TRUE(counts.ok());
+  for (int64_t i = 0; i < 20; ++i) {
+    auto direct = yolo_.CountDetections(*dataset_, i, 320, video::ObjectClass::kCar, 1.0);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ((**counts)[static_cast<size_t>(i)], *direct) << "frame " << i;
+  }
+}
+
+TEST_F(TraceTest, RecordValidatesResolutions) {
+  EXPECT_FALSE(OutputTrace::Record(*source_, {}).ok());
+  EXPECT_FALSE(OutputTrace::Record(*source_, {100}).ok());   // Not stride-aligned.
+  EXPECT_FALSE(OutputTrace::Record(*source_, {1024}).ok());  // Above max.
+}
+
+TEST_F(TraceTest, MissingResolutionFails) {
+  auto trace = OutputTrace::Record(*source_, {320});
+  ASSERT_TRUE(trace.ok());
+  EXPECT_FALSE(trace->CountsAt(608).ok());
+}
+
+TEST_F(TraceTest, OutputsApplyQueryTransform) {
+  auto trace = OutputTrace::Record(*source_, {608});
+  ASSERT_TRUE(trace.ok());
+  QuerySpec count;
+  count.aggregate = AggregateFunction::kCount;
+  count.count_threshold = 1;
+  auto outputs = trace->Outputs(count, 608);
+  ASSERT_TRUE(outputs.ok());
+  for (double v : *outputs) EXPECT_TRUE(v == 0.0 || v == 1.0);
+}
+
+TEST_F(TraceTest, SaveLoadRoundTrip) {
+  auto trace = OutputTrace::Record(*source_, {320, 608});
+  ASSERT_TRUE(trace.ok());
+  std::string path = testing::TempDir() + "/smk_trace_roundtrip.csv";
+  ASSERT_TRUE(trace->SaveTo(path).ok());
+
+  auto loaded = OutputTrace::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_frames(), trace->num_frames());
+  EXPECT_EQ(loaded->resolutions(), trace->resolutions());
+  EXPECT_EQ(loaded->dataset_name(), trace->dataset_name());
+  for (int resolution : {320, 608}) {
+    auto original = trace->CountsAt(resolution);
+    auto replayed = loaded->CountsAt(resolution);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(replayed.ok());
+    EXPECT_EQ(**original, **replayed) << "resolution " << resolution;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, LoadRejectsCorruptFiles) {
+  std::string path = testing::TempDir() + "/smk_trace_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "frame,res320\n0,1\n";  // Missing magic.
+  }
+  EXPECT_FALSE(OutputTrace::LoadFrom(path).ok());
+  {
+    std::ofstream out(path);
+    out << "#smokescreen-trace v1\nframe,res320\n0,1,2\n";  // Arity mismatch.
+  }
+  EXPECT_FALSE(OutputTrace::LoadFrom(path).ok());
+  {
+    std::ofstream out(path);
+    out << "#smokescreen-trace v1\nframe\n";  // No resolution columns.
+  }
+  EXPECT_FALSE(OutputTrace::LoadFrom(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(OutputTrace::LoadFrom("/nonexistent/trace.csv").ok());
+}
+
+TEST_F(TraceTest, ReplayedOutputsMatchLiveEstimation) {
+  // Estimating from a replayed trace must equal estimating live.
+  auto trace = OutputTrace::Record(*source_, {608});
+  ASSERT_TRUE(trace.ok());
+  std::string path = testing::TempDir() + "/smk_trace_replay.csv";
+  ASSERT_TRUE(trace->SaveTo(path).ok());
+  auto loaded = OutputTrace::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok());
+
+  QuerySpec avg;
+  auto live = source_->AllOutputs(avg, 608);
+  auto replay = loaded->Outputs(avg, 608);
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(*live, *replay);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace smokescreen

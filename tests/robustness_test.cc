@@ -1,0 +1,231 @@
+// Robustness / failure-injection tests: randomized and adversarial inputs
+// must surface as Status errors (or be handled), never as crashes, hangs, or
+// silently wrong results. The Status/Result discipline of the codebase is
+// exactly what these exercise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "baselines/mean_baselines.h"
+#include "baselines/stein.h"
+#include "core/avg_estimator.h"
+#include "core/quantile_estimator.h"
+#include "core/var_estimator.h"
+#include "degrade/intervention.h"
+#include "query/parser.h"
+#include "stats/normal.h"
+#include "stats/rng.h"
+#include "video/scene_simulator.h"
+
+namespace smokescreen {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Randomized estimator inputs: arbitrary finite samples never crash and
+// always yield finite-or-documented outputs.
+// ---------------------------------------------------------------------------
+
+class EstimatorFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EstimatorFuzzTest, RandomSamplesNeverCrash) {
+  stats::Rng rng(GetParam());
+  core::SmokescreenMeanEstimator mean_est;
+  core::SmokescreenQuantileEstimator quantile_est;
+  core::SmokescreenVarianceEstimator var_est;
+  baselines::EbgsEstimator ebgs;
+  baselines::HoeffdingEstimator hoeffding;
+  baselines::HoeffdingSerflingEstimator hs;
+  baselines::CltEstimator clt;
+  baselines::CltTEstimator clt_t;
+  baselines::SteinQuantileEstimator stein;
+
+  for (int iter = 0; iter < 200; ++iter) {
+    int64_t n = 1 + static_cast<int64_t>(rng.NextBounded(50));
+    int64_t population = n + static_cast<int64_t>(rng.NextBounded(10000));
+    double scale = std::exp(rng.NextGaussian() * 3.0);  // Wild magnitudes.
+    std::vector<double> sample;
+    for (int64_t i = 0; i < n; ++i) {
+      double v = rng.NextGaussian() * scale;
+      if (rng.NextBernoulli(0.3)) v = std::abs(v);
+      if (rng.NextBernoulli(0.2)) v = 0.0;
+      sample.push_back(v);
+    }
+    double delta = 0.001 + rng.NextDouble() * 0.5;
+    double r = rng.NextBernoulli(0.5) ? 0.99 : 0.01;
+
+    auto check_mean = [&](core::MeanEstimator& est) {
+      auto result = est.EstimateMean(sample, population, delta);
+      if (result.ok()) {
+        EXPECT_FALSE(std::isnan(result->y_approx)) << est.name();
+        EXPECT_FALSE(std::isnan(result->err_b)) << est.name();
+        EXPECT_GE(result->err_b, 0.0) << est.name();
+      }
+    };
+    check_mean(mean_est);
+    check_mean(ebgs);
+    check_mean(hoeffding);
+    check_mean(hs);
+    check_mean(clt);
+    check_mean(clt_t);
+
+    auto quantile = quantile_est.EstimateQuantile(sample, population, r, r > 0.5, delta);
+    if (quantile.ok()) {
+      EXPECT_FALSE(std::isnan(quantile->err_b));
+      EXPECT_GE(quantile->err_b, 0.0);
+    }
+    auto stein_result = stein.EstimateQuantile(sample, population, r, r > 0.5, delta);
+    if (stein_result.ok()) {
+      EXPECT_GE(stein_result->err_b, 0.0);
+    }
+
+    auto variance = var_est.EstimateVariance(sample, population, delta);
+    if (variance.ok()) {
+      EXPECT_GE(variance->y_approx, 0.0);
+      EXPECT_GE(variance->err_b, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimatorFuzzTest, ::testing::Values(1u, 2u, 3u, 4u));
+
+// ---------------------------------------------------------------------------
+// Randomized query strings: the parser must reject or accept, never crash.
+// ---------------------------------------------------------------------------
+
+TEST(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  const std::vector<std::string> vocab = {
+      "SELECT", "FROM",  "USING", "WITH", "QUANTILE", "AVG", "MAX",  "COUNT",
+      "(",      ")",     ">=",    "car",  "person",   "0.5", "8",    "x",
+      "",       "  ",    "-",     "_",    "yolov4",   "VAR", ">=abc"};
+  stats::Rng rng(99);
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string text;
+    int tokens = 1 + static_cast<int>(rng.NextBounded(10));
+    for (int t = 0; t < tokens; ++t) {
+      text += vocab[rng.NextBounded(vocab.size())];
+      text += ' ';
+    }
+    auto parsed = query::ParseQuery(text);  // ok() or error; never crashes.
+    if (parsed.ok()) {
+      EXPECT_TRUE(parsed->spec.Validate().ok()) << text;
+    }
+  }
+}
+
+TEST(ParserFuzzTest, GarbageCharactersRejected) {
+  for (const char* text : {"SELECT AVG(car) FROM x;", "SELECT * FROM x", "@#$%",
+                           "SELECT AVG(car) FROM x\n\n WITH", "((((((((("}) {
+    EXPECT_FALSE(query::ParseQuery(text).ok()) << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized intervention sets: Validate() catches everything malformed.
+// ---------------------------------------------------------------------------
+
+TEST(InterventionFuzzTest, ValidationPartitionsInputSpace) {
+  stats::Rng rng(7);
+  int valid = 0, invalid = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    degrade::InterventionSet iv;
+    iv.sample_fraction = rng.NextGaussian();  // Often out of (0,1].
+    iv.resolution = static_cast<int>(rng.NextBounded(1400)) - 100;
+    iv.contrast_scale = rng.NextDouble() * 1.5;
+    if (rng.NextBernoulli(0.5)) iv.restricted.Add(video::ObjectClass::kPerson);
+
+    util::Status status = iv.Validate();
+    bool expect_valid = iv.sample_fraction > 0.0 && iv.sample_fraction <= 1.0 &&
+                        iv.resolution >= 0 && iv.contrast_scale > 0.0 &&
+                        iv.contrast_scale <= 1.0;
+    EXPECT_EQ(status.ok(), expect_valid) << iv.ToString();
+    (status.ok() ? valid : invalid) += 1;
+  }
+  EXPECT_GT(valid, 50);
+  EXPECT_GT(invalid, 50);
+}
+
+// ---------------------------------------------------------------------------
+// Scene configs: random parameters either validate and simulate, or fail
+// cleanly — simulation of a validated config never fails.
+// ---------------------------------------------------------------------------
+
+TEST(SceneConfigFuzzTest, ValidatedConfigsAlwaysSimulate) {
+  stats::Rng rng(13);
+  int simulated = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    video::SceneConfig cfg;
+    cfg.seed = rng.NextUint64();
+    cfg.num_frames = static_cast<int64_t>(rng.NextBounded(400)) + 1;
+    cfg.num_sequences = static_cast<int>(rng.NextBounded(6));  // May be 0 -> invalid.
+    cfg.car_rate = rng.NextGaussian() * 0.5;                   // May be negative.
+    cfg.car_dwell_mean = rng.NextDouble() * 20.0;              // May be < 1.
+    cfg.person_rate = rng.NextDouble() * 0.1;
+    cfg.person_dwell_mean = 1.0 + rng.NextDouble() * 20.0;
+    cfg.face_visible_prob = rng.NextDouble() * 1.4;            // May exceed 1.
+    cfg.burstiness = rng.NextDouble() * 1.2;                   // May reach 1.
+    cfg.scene_contrast_mean = rng.NextDouble() * 1.1;
+
+    auto result = video::SimulateScene(cfg);
+    if (cfg.Validate().ok()) {
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result->num_frames(), cfg.num_frames);
+      ++simulated;
+    } else {
+      EXPECT_FALSE(result.ok());
+    }
+  }
+  EXPECT_GT(simulated, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Student-t quantiles: sane across the parameter grid.
+// ---------------------------------------------------------------------------
+
+TEST(StudentTTest, MatchesTableValues) {
+  EXPECT_NEAR(stats::StudentTQuantile(0.975, 3), 3.182, 0.05);
+  EXPECT_NEAR(stats::StudentTQuantile(0.975, 5), 2.571, 0.02);
+  EXPECT_NEAR(stats::StudentTQuantile(0.975, 10), 2.228, 0.01);
+  EXPECT_NEAR(stats::StudentTQuantile(0.975, 30), 2.042, 0.005);
+  EXPECT_NEAR(stats::StudentTQuantile(0.95, 10), 1.812, 0.01);
+}
+
+TEST(StudentTTest, ApproachesNormalAsDofGrows) {
+  double z = stats::StdNormalQuantile(0.975);
+  EXPECT_NEAR(stats::StudentTQuantile(0.975, 100000), z, 1e-3);
+}
+
+TEST(StudentTTest, WiderThanNormalAtSmallDof) {
+  for (int64_t dof : {3, 5, 10, 30}) {
+    EXPECT_GT(stats::StudentTQuantile(0.975, dof), stats::StdNormalQuantile(0.975)) << dof;
+  }
+}
+
+TEST(StudentTTest, SymmetricAroundMedian) {
+  EXPECT_NEAR(stats::StudentTQuantile(0.5, 7), 0.0, 1e-9);
+  EXPECT_NEAR(stats::StudentTQuantile(0.9, 7), -stats::StudentTQuantile(0.1, 7), 1e-9);
+}
+
+TEST(CltTBaselineTest, WiderThanPlainCltAtSmallSamples) {
+  std::vector<double> sample;
+  stats::Rng rng(3);
+  for (int i = 0; i < 8; ++i) sample.push_back(static_cast<double>(rng.NextPoisson(5.0)));
+  baselines::CltEstimator clt;
+  baselines::CltTEstimator clt_t;
+  auto plain = clt.EstimateMean(sample, 10000, 0.05);
+  auto t_based = clt_t.EstimateMean(sample, 10000, 0.05);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(t_based.ok());
+  if (std::isfinite(plain->err_b) && std::isfinite(t_based->err_b)) {
+    EXPECT_GT(t_based->err_b, plain->err_b);
+  }
+}
+
+TEST(CltTBaselineTest, RejectsSingleSample) {
+  baselines::CltTEstimator clt_t;
+  EXPECT_FALSE(clt_t.EstimateMean({1.0}, 100, 0.05).ok());
+}
+
+}  // namespace
+}  // namespace smokescreen

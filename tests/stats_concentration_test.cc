@@ -1,0 +1,166 @@
+#include "stats/concentration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+#include "stats/sampling.h"
+
+namespace smokescreen {
+namespace stats {
+namespace {
+
+TEST(HoeffdingTest, MatchesClosedForm) {
+  // R * sqrt(ln(2/delta) / (2n)).
+  double expected = 2.0 * std::sqrt(std::log(2.0 / 0.05) / (2.0 * 100.0));
+  EXPECT_NEAR(HoeffdingRadius(2.0, 100, 0.05), expected, 1e-12);
+}
+
+TEST(HoeffdingTest, ZeroRangeGivesZeroRadius) {
+  EXPECT_EQ(HoeffdingRadius(0.0, 10, 0.05), 0.0);
+}
+
+TEST(HoeffdingTest, ShrinksWithN) {
+  EXPECT_GT(HoeffdingRadius(1.0, 10, 0.05), HoeffdingRadius(1.0, 100, 0.05));
+}
+
+TEST(HoeffdingTest, GrowsWithConfidence) {
+  EXPECT_GT(HoeffdingRadius(1.0, 50, 0.01), HoeffdingRadius(1.0, 50, 0.10));
+}
+
+TEST(HoeffdingSerflingRhoTest, MatchesDefinition) {
+  // rho_n = min{1 - (n-1)/N, (1-n/N)(1+1/n)}.
+  int64_t n = 30, N = 100;
+  double a = 1.0 - 29.0 / 100.0;
+  double b = (1.0 - 30.0 / 100.0) * (1.0 + 1.0 / 30.0);
+  EXPECT_NEAR(HoeffdingSerflingRho(n, N), std::min(a, b), 1e-12);
+}
+
+TEST(HoeffdingSerflingRhoTest, AtMostOne) {
+  for (int64_t n = 1; n <= 100; n += 7) {
+    EXPECT_LE(HoeffdingSerflingRho(n, 100), 1.0 + 1e-12);
+    EXPECT_GT(HoeffdingSerflingRho(n, 100), 0.0);
+  }
+}
+
+TEST(HoeffdingSerflingRhoTest, VanishesNearFullSample) {
+  // Sampling nearly everything leaves almost no uncertainty.
+  EXPECT_LT(HoeffdingSerflingRho(99, 100), 0.03);
+  EXPECT_NEAR(HoeffdingSerflingRho(100, 100), 0.0, 0.011);
+}
+
+TEST(HoeffdingSerflingTest, TighterThanHoeffdingForLargeFractions) {
+  // At 50%+ sample fraction the without-replacement correction must help.
+  double hs = HoeffdingSerflingRadius(1.0, 500, 1000, 0.05);
+  double h = HoeffdingRadius(1.0, 500, 0.05);
+  EXPECT_LT(hs, h);
+}
+
+TEST(HoeffdingSerflingTest, NearHoeffdingForTinyFractions) {
+  // At f -> 0 the correction disappears (rho -> 1).
+  double hs = HoeffdingSerflingRadius(1.0, 10, 1000000, 0.05);
+  double h = HoeffdingRadius(1.0, 10, 0.05);
+  EXPECT_NEAR(hs / h, 1.0, 0.01);
+}
+
+TEST(EmpiricalBernsteinTest, MatchesClosedForm) {
+  double stddev = 0.5, range = 3.0, delta = 0.05;
+  int64_t n = 200;
+  double log_term = std::log(3.0 / delta);
+  double expected = stddev * std::sqrt(2.0 * log_term / n) + 3.0 * range * log_term / n;
+  EXPECT_NEAR(EmpiricalBernsteinRadius(stddev, range, n, delta), expected, 1e-12);
+}
+
+TEST(EmpiricalBernsteinTest, BeatsHoeffdingOnLowVariance) {
+  // Small stddev relative to range: variance-adaptive bound wins at large n.
+  double eb = EmpiricalBernsteinRadius(0.05, 1.0, 10000, 0.05);
+  double h = HoeffdingRadius(1.0, 10000, 0.05);
+  EXPECT_LT(eb, h);
+}
+
+TEST(EbgsDeltaTest, ScheduleSumsToAtMostDelta) {
+  // sum_t c/t^1.1 <= delta for c = delta*(p-1)/p, since sum 1/t^1.1 <= p/(p-1).
+  double total = 0.0;
+  for (int64_t t = 1; t <= 2000000; ++t) total += EbgsDeltaAtStep(0.05, t);
+  EXPECT_LE(total, 0.05 + 1e-6);
+  EXPECT_GT(total, 0.02);  // Not wastefully small either.
+}
+
+TEST(EbgsDeltaTest, DecreasingInT) {
+  EXPECT_GT(EbgsDeltaAtStep(0.05, 1), EbgsDeltaAtStep(0.05, 2));
+  EXPECT_GT(EbgsDeltaAtStep(0.05, 100), EbgsDeltaAtStep(0.05, 1000));
+}
+
+TEST(CltTest, MatchesClosedForm) {
+  // z_{0.975} * s / sqrt(n).
+  double expected = 1.959963984540054 * 0.8 / std::sqrt(64.0);
+  EXPECT_NEAR(CltRadius(0.8, 64, 0.05), expected, 1e-7);
+}
+
+TEST(CltTest, NarrowerThanHoeffdingUsually) {
+  // With stddev << range the CLT radius is far smaller (and unsafely so at
+  // small n — that is the point of Figure 5).
+  EXPECT_LT(CltRadius(0.3, 100, 0.05), HoeffdingRadius(2.0, 100, 0.05));
+}
+
+// Empirical coverage: the Hoeffding–Serfling radius must cover the true mean
+// in well over 95% of without-replacement draws.
+TEST(CoverageTest, HoeffdingSerflingCoversTrueMean) {
+  Rng rng(321);
+  // A skewed bounded population.
+  std::vector<double> population;
+  for (int i = 0; i < 2000; ++i) {
+    population.push_back(rng.NextBernoulli(0.2) ? rng.NextDouble() * 8.0 : rng.NextDouble());
+  }
+  double mu = 0.0;
+  for (double v : population) mu += v;
+  mu /= static_cast<double>(population.size());
+
+  const int kTrials = 400;
+  const int64_t kN = 100;
+  int covered = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    auto idx = SampleWithoutReplacement(static_cast<int64_t>(population.size()), kN, rng);
+    ASSERT_TRUE(idx.ok());
+    std::vector<double> sample;
+    for (int64_t i : *idx) sample.push_back(population[static_cast<size_t>(i)]);
+    auto s = Summarize(sample);
+    ASSERT_TRUE(s.ok());
+    double radius = HoeffdingSerflingRadius(s->range, kN,
+                                            static_cast<int64_t>(population.size()), 0.05);
+    if (std::abs(s->mean - mu) <= radius) ++covered;
+  }
+  EXPECT_GE(static_cast<double>(covered) / kTrials, 0.95);
+}
+
+// CLT coverage is NOT guaranteed; with a spiky population and a small sample
+// it should visibly under-cover relative to its nominal 95%.
+TEST(CoverageTest, CltCanUnderCoverOnSpikyPopulations) {
+  Rng rng(654);
+  std::vector<double> population(5000, 0.0);
+  for (int i = 0; i < 50; ++i) population[static_cast<size_t>(rng.NextBounded(5000))] = 100.0;
+  double mu = 0.0;
+  for (double v : population) mu += v;
+  mu /= static_cast<double>(population.size());
+
+  const int kTrials = 500;
+  const int64_t kN = 20;
+  int covered = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    auto idx = SampleWithoutReplacement(5000, kN, rng);
+    ASSERT_TRUE(idx.ok());
+    std::vector<double> sample;
+    for (int64_t i : *idx) sample.push_back(population[static_cast<size_t>(i)]);
+    auto s = Summarize(sample);
+    ASSERT_TRUE(s.ok());
+    double radius = CltRadius(s->stddev, kN, 0.05);
+    if (std::abs(s->mean - mu) <= radius) ++covered;
+  }
+  EXPECT_LT(static_cast<double>(covered) / kTrials, 0.90);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace smokescreen

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/hypergeometric.h"
+#include "stats/normal.h"
+
+namespace smokescreen {
+namespace stats {
+namespace {
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(StdNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StdNormalCdf(1.0), 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(StdNormalCdf(-1.0), 0.15865525393145705, 1e-9);
+  EXPECT_NEAR(StdNormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(StdNormalCdf(-2.575829303548901), 0.005, 1e-9);
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(StdNormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(StdNormalQuantile(0.975), 1.959963984540054, 1e-7);
+  EXPECT_NEAR(StdNormalQuantile(0.995), 2.575829303548901, 1e-7);
+  EXPECT_NEAR(StdNormalQuantile(0.84134474606854293), 1.0, 1e-7);
+  EXPECT_NEAR(StdNormalQuantile(0.05), -1.6448536269514722, 1e-7);
+}
+
+TEST(NormalTest, QuantileIsInverseOfCdf) {
+  for (double p = 0.001; p < 1.0; p += 0.0237) {
+    EXPECT_NEAR(StdNormalCdf(StdNormalQuantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(NormalTest, QuantileTails) {
+  EXPECT_NEAR(StdNormalQuantile(1e-6), -4.753424, 1e-4);
+  EXPECT_NEAR(StdNormalQuantile(1.0 - 1e-6), 4.753424, 1e-4);
+}
+
+TEST(NormalTest, ZScoreUpperTail) {
+  // P(Z > z) = 0.025 -> z = 1.96.
+  EXPECT_NEAR(ZScoreUpperTail(0.025), 1.959963984540054, 1e-7);
+  EXPECT_NEAR(ZScoreUpperTail(0.05), 1.6448536269514722, 1e-7);
+  EXPECT_NEAR(ZScoreUpperTail(0.5), 0.0, 1e-9);
+}
+
+TEST(HypergeometricTest, MeanAndVariance) {
+  HypergeometricParams p{/*population=*/100, /*successes=*/30, /*draws=*/20};
+  EXPECT_NEAR(HypergeometricMean(p), 6.0, 1e-12);
+  // n*f*(1-f)*(N-n)/(N-1) = 20*0.3*0.7*(80/99).
+  EXPECT_NEAR(HypergeometricVariance(p), 20 * 0.3 * 0.7 * 80.0 / 99.0, 1e-12);
+}
+
+TEST(HypergeometricTest, DegenerateVariance) {
+  EXPECT_EQ(HypergeometricVariance({1, 1, 1}), 0.0);
+  // Sampling everything: no variance.
+  EXPECT_NEAR(HypergeometricVariance({50, 10, 50}), 0.0, 1e-12);
+}
+
+TEST(HypergeometricTest, PmfSumsToOne) {
+  HypergeometricParams p{60, 25, 15};
+  double total = 0.0;
+  for (int64_t k = 0; k <= 15; ++k) {
+    auto pmf = HypergeometricPmf(p, k);
+    ASSERT_TRUE(pmf.ok());
+    total += *pmf;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(HypergeometricTest, PmfKnownValue) {
+  // P(X=2) for N=10, K=4, n=3: C(4,2)*C(6,1)/C(10,3) = 6*6/120 = 0.3.
+  auto pmf = HypergeometricPmf({10, 4, 3}, 2);
+  ASSERT_TRUE(pmf.ok());
+  EXPECT_NEAR(*pmf, 0.3, 1e-12);
+}
+
+TEST(HypergeometricTest, PmfOutOfSupportIsZero) {
+  auto below = HypergeometricPmf({10, 4, 3}, -1);
+  ASSERT_TRUE(below.ok());
+  EXPECT_EQ(*below, 0.0);
+  auto above = HypergeometricPmf({10, 4, 3}, 4);
+  ASSERT_TRUE(above.ok());
+  EXPECT_EQ(*above, 0.0);
+}
+
+TEST(HypergeometricTest, PmfRejectsBadParams) {
+  EXPECT_FALSE(HypergeometricPmf({10, 11, 3}, 1).ok());
+  EXPECT_FALSE(HypergeometricPmf({10, 4, 11}, 1).ok());
+  EXPECT_FALSE(HypergeometricPmf({-1, 0, 0}, 0).ok());
+}
+
+TEST(HypergeometricTest, NormalApproxTracksExactCdf) {
+  HypergeometricParams p{2000, 800, 300};
+  // Compare approximate and exact CDF at several points.
+  for (int64_t k : {100, 110, 120, 130, 140}) {
+    double exact = 0.0;
+    for (int64_t j = 0; j <= k; ++j) exact += *HypergeometricPmf(p, j);
+    double approx = HypergeometricCdfNormalApprox(p, k);
+    EXPECT_NEAR(approx, exact, 0.01) << "k=" << k;
+  }
+}
+
+TEST(SampledFrequencyVarianceTest, MatchesFormula) {
+  // F(1-F)(N-n)/(n(N-1)).
+  EXPECT_NEAR(SampledFrequencyVariance(0.3, 100, 20), 0.3 * 0.7 * 80.0 / (20.0 * 99.0), 1e-12);
+  EXPECT_EQ(SampledFrequencyVariance(0.3, 1, 1), 0.0);
+  EXPECT_EQ(SampledFrequencyVariance(0.3, 100, 0), 0.0);
+}
+
+TEST(SampledFrequencyVarianceTest, ZeroWhenSamplingEverything) {
+  EXPECT_NEAR(SampledFrequencyVariance(0.5, 100, 100), 0.0, 1e-12);
+}
+
+TEST(FinitePopulationFactorTest, MatchesFormulaAndVanishesAtFullSample) {
+  EXPECT_NEAR(FinitePopulationFactor(100, 20), std::sqrt(80.0 / (20.0 * 99.0)), 1e-12);
+  EXPECT_NEAR(FinitePopulationFactor(100, 100), 0.0, 1e-12);
+  EXPECT_EQ(FinitePopulationFactor(1, 1), 0.0);
+}
+
+TEST(FinitePopulationFactorTest, ConsistentWithSampledFrequencyVariance) {
+  double f = 0.37;
+  double fpc = FinitePopulationFactor(500, 60);
+  EXPECT_NEAR(fpc * fpc * f * (1 - f), SampledFrequencyVariance(f, 500, 60), 1e-12);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace smokescreen

@@ -1,0 +1,171 @@
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace smokescreen {
+namespace stats {
+namespace {
+
+TEST(SplitMix64Test, AdvancesState) {
+  uint64_t s = 1;
+  uint64_t a = SplitMix64(s);
+  uint64_t b = SplitMix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(HashCombineTest, DeterministicAcrossCalls) {
+  EXPECT_EQ(HashCombine({1, 2, 3}), HashCombine({1, 2, 3}));
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  EXPECT_NE(HashCombine({1, 2}), HashCombine({2, 1}));
+}
+
+TEST(HashCombineTest, LengthSensitive) {
+  EXPECT_NE(HashCombine({1}), HashCombine({1, 0}));
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextUint64() != b.NextUint64()) ++differing;
+  }
+  EXPECT_GT(differing, 30);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextBoundedIsApproximatelyUniform) {
+  Rng rng(9);
+  const uint64_t kBound = 10;
+  const int kN = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kN; ++i) ++counts[rng.NextBounded(kBound)];
+  for (uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(static_cast<double>(counts[v]) / kN, 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(13);
+  const int kN = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kN; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.02);
+}
+
+TEST(RngTest, PoissonMeanMatchesLambdaSmall) {
+  Rng rng(17);
+  const double kLambda = 2.5;
+  const int kN = 100000;
+  double sum = 0;
+  for (int i = 0; i < kN; ++i) sum += rng.NextPoisson(kLambda);
+  EXPECT_NEAR(sum / kN, kLambda, 0.05);
+}
+
+TEST(RngTest, PoissonMeanMatchesLambdaLarge) {
+  Rng rng(19);
+  const double kLambda = 80.0;  // Exercises the normal-approximation branch.
+  const int kN = 50000;
+  double sum = 0;
+  for (int i = 0; i < kN; ++i) sum += rng.NextPoisson(kLambda);
+  EXPECT_NEAR(sum / kN, kLambda, 0.5);
+}
+
+TEST(RngTest, PoissonZeroLambdaIsZero) {
+  Rng rng(23);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0);
+  EXPECT_EQ(rng.NextPoisson(-1.0), 0);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(29);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  EXPECT_FALSE(rng.NextBernoulli(-0.5));
+  EXPECT_TRUE(rng.NextBernoulli(1.5));
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(31);
+  const int kN = 100000;
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(StatelessTest, UniformDeterministicInWords) {
+  EXPECT_EQ(StatelessUniform({1, 2, 3}), StatelessUniform({1, 2, 3}));
+  EXPECT_NE(StatelessUniform({1, 2, 3}), StatelessUniform({1, 2, 4}));
+}
+
+TEST(StatelessTest, UniformInUnitInterval) {
+  for (uint64_t i = 0; i < 1000; ++i) {
+    double u = StatelessUniform({i, 42});
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(StatelessTest, BernoulliFrequency) {
+  int hits = 0;
+  const int kN = 50000;
+  for (uint64_t i = 0; i < kN; ++i) hits += StatelessBernoulli(0.25, {i, 7}) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.25, 0.01);
+}
+
+TEST(StatelessTest, PoissonDeterministicAndCalibrated) {
+  EXPECT_EQ(StatelessPoisson(3.0, {5, 6}), StatelessPoisson(3.0, {5, 6}));
+  double sum = 0;
+  const int kN = 50000;
+  for (uint64_t i = 0; i < kN; ++i) sum += StatelessPoisson(1.5, {i});
+  EXPECT_NEAR(sum / kN, 1.5, 0.05);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace smokescreen

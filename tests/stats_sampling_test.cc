@@ -1,0 +1,160 @@
+#include "stats/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace smokescreen {
+namespace stats {
+namespace {
+
+TEST(SampleWithoutReplacementTest, ProducesDistinctIndicesInRange) {
+  Rng rng(1);
+  auto result = SampleWithoutReplacement(100, 30, rng);
+  ASSERT_TRUE(result.ok());
+  std::set<int64_t> seen(result->begin(), result->end());
+  EXPECT_EQ(seen.size(), 30u);
+  EXPECT_GE(*seen.begin(), 0);
+  EXPECT_LT(*seen.rbegin(), 100);
+}
+
+TEST(SampleWithoutReplacementTest, FullPopulationIsPermutation) {
+  Rng rng(2);
+  auto result = SampleWithoutReplacement(50, 50, rng);
+  ASSERT_TRUE(result.ok());
+  std::vector<int64_t> sorted = *result;
+  std::sort(sorted.begin(), sorted.end());
+  for (int64_t i = 0; i < 50; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(SampleWithoutReplacementTest, ZeroSample) {
+  Rng rng(3);
+  auto result = SampleWithoutReplacement(10, 0, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(SampleWithoutReplacementTest, RejectsOversample) {
+  Rng rng(4);
+  EXPECT_FALSE(SampleWithoutReplacement(5, 6, rng).ok());
+}
+
+TEST(SampleWithoutReplacementTest, RejectsNegative) {
+  Rng rng(5);
+  EXPECT_FALSE(SampleWithoutReplacement(-1, 0, rng).ok());
+  EXPECT_FALSE(SampleWithoutReplacement(5, -1, rng).ok());
+}
+
+TEST(SampleWithoutReplacementTest, MarginalInclusionIsUniform) {
+  // Each index should be included with probability n/N.
+  const int64_t kPop = 20, kSample = 5;
+  const int kTrials = 20000;
+  std::vector<int> inclusion(kPop, 0);
+  Rng rng(6);
+  for (int t = 0; t < kTrials; ++t) {
+    auto result = SampleWithoutReplacement(kPop, kSample, rng);
+    ASSERT_TRUE(result.ok());
+    for (int64_t idx : *result) ++inclusion[static_cast<size_t>(idx)];
+  }
+  double expected = static_cast<double>(kSample) / kPop;
+  for (int64_t i = 0; i < kPop; ++i) {
+    EXPECT_NEAR(static_cast<double>(inclusion[static_cast<size_t>(i)]) / kTrials, expected, 0.02)
+        << "index " << i;
+  }
+}
+
+TEST(SampleWithoutReplacementTest, FirstDrawIsUniform) {
+  // The draw-order property: position 0 of the result is uniform over [0,N).
+  const int64_t kPop = 10;
+  const int kTrials = 50000;
+  std::vector<int> first(kPop, 0);
+  Rng rng(7);
+  for (int t = 0; t < kTrials; ++t) {
+    auto result = SampleWithoutReplacement(kPop, 3, rng);
+    ASSERT_TRUE(result.ok());
+    ++first[static_cast<size_t>((*result)[0])];
+  }
+  for (int64_t i = 0; i < kPop; ++i) {
+    EXPECT_NEAR(static_cast<double>(first[static_cast<size_t>(i)]) / kTrials, 0.1, 0.01);
+  }
+}
+
+TEST(SampleWithoutReplacementSortedTest, SortedDistinctInRange) {
+  Rng rng(8);
+  auto result = SampleWithoutReplacementSorted(1000, 100, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 100u);
+  EXPECT_TRUE(std::is_sorted(result->begin(), result->end()));
+  EXPECT_TRUE(std::adjacent_find(result->begin(), result->end()) == result->end());
+  EXPECT_GE(result->front(), 0);
+  EXPECT_LT(result->back(), 1000);
+}
+
+TEST(SampleWithoutReplacementSortedTest, ExactCountEvenInTail) {
+  // Selection sampling must always deliver exactly n items.
+  Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto result = SampleWithoutReplacementSorted(37, 36, rng);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->size(), 36u);
+  }
+}
+
+TEST(SampleWithoutReplacementSortedTest, MarginalInclusionIsUniform) {
+  const int64_t kPop = 15, kSample = 4;
+  const int kTrials = 20000;
+  std::vector<int> inclusion(kPop, 0);
+  Rng rng(10);
+  for (int t = 0; t < kTrials; ++t) {
+    auto result = SampleWithoutReplacementSorted(kPop, kSample, rng);
+    ASSERT_TRUE(result.ok());
+    for (int64_t idx : *result) ++inclusion[static_cast<size_t>(idx)];
+  }
+  double expected = static_cast<double>(kSample) / kPop;
+  for (int64_t i = 0; i < kPop; ++i) {
+    EXPECT_NEAR(static_cast<double>(inclusion[static_cast<size_t>(i)]) / kTrials, expected, 0.02);
+  }
+}
+
+TEST(FractionToCountTest, RoundsAndClamps) {
+  EXPECT_EQ(FractionToCount(1000, 0.1), 100);
+  EXPECT_EQ(FractionToCount(1000, 1.0), 1000);
+  EXPECT_EQ(FractionToCount(1000, 2.0), 1000);
+  EXPECT_EQ(FractionToCount(1000, 0.0), 0);
+  EXPECT_EQ(FractionToCount(1000, -0.5), 0);
+  EXPECT_EQ(FractionToCount(0, 0.5), 0);
+}
+
+TEST(FractionToCountTest, AtLeastOneForPositiveFraction) {
+  EXPECT_EQ(FractionToCount(1000, 0.0001), 1);
+  EXPECT_EQ(FractionToCount(3, 0.001), 1);
+}
+
+TEST(ShuffleTest, PreservesElements) {
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  Rng rng(11);
+  Shuffle(v, rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(ShuffleTest, PositionDistributionIsUniform) {
+  const int kTrials = 30000;
+  std::vector<int> at_zero(4, 0);
+  Rng rng(12);
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<int> v{0, 1, 2, 3};
+    Shuffle(v, rng);
+    ++at_zero[static_cast<size_t>(v[0])];
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(at_zero[static_cast<size_t>(i)]) / kTrials, 0.25, 0.015);
+  }
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace smokescreen

@@ -1,0 +1,110 @@
+#include "util/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace smokescreen {
+namespace util {
+namespace {
+
+PlotSeries LinearSeries(const std::string& label, char glyph) {
+  PlotSeries s;
+  s.label = label;
+  s.glyph = glyph;
+  for (int i = 0; i <= 10; ++i) {
+    s.points.emplace_back(i, 2.0 * i);
+  }
+  return s;
+}
+
+TEST(AsciiPlotTest, RendersSeriesGlyphAndLabels) {
+  auto plot = RenderAsciiPlot({LinearSeries("load", '*')}, PlotOptions{});
+  ASSERT_TRUE(plot.ok());
+  EXPECT_NE(plot->find('*'), std::string::npos);
+  EXPECT_NE(plot->find("load"), std::string::npos);
+  EXPECT_NE(plot->find('|'), std::string::npos);  // Y axis.
+  EXPECT_NE(plot->find('+'), std::string::npos);  // Origin.
+}
+
+TEST(AsciiPlotTest, MultipleSeriesKeepDistinctGlyphs) {
+  PlotSeries flat;
+  flat.label = "flat";
+  flat.glyph = 'o';
+  for (int i = 0; i <= 10; ++i) flat.points.emplace_back(i, 5.0);
+  auto plot = RenderAsciiPlot({LinearSeries("rising", '*'), flat}, PlotOptions{});
+  ASSERT_TRUE(plot.ok());
+  EXPECT_NE(plot->find('*'), std::string::npos);
+  EXPECT_NE(plot->find('o'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, EmptySeriesFails) {
+  EXPECT_FALSE(RenderAsciiPlot({}, PlotOptions{}).ok());
+  PlotSeries empty;
+  EXPECT_FALSE(RenderAsciiPlot({empty}, PlotOptions{}).ok());
+}
+
+TEST(AsciiPlotTest, NonFinitePointsAreSkipped) {
+  PlotSeries s;
+  s.label = "spiky";
+  s.points.emplace_back(0.0, 1.0);
+  s.points.emplace_back(1.0, std::numeric_limits<double>::infinity());
+  s.points.emplace_back(2.0, 3.0);
+  auto plot = RenderAsciiPlot({s}, PlotOptions{});
+  ASSERT_TRUE(plot.ok());
+}
+
+TEST(AsciiPlotTest, AllNonFiniteFails) {
+  PlotSeries s;
+  s.label = "nan";
+  s.points.emplace_back(std::numeric_limits<double>::quiet_NaN(), 1.0);
+  EXPECT_FALSE(RenderAsciiPlot({s}, PlotOptions{}).ok());
+}
+
+TEST(AsciiPlotTest, TinyCanvasRejected) {
+  PlotOptions opts;
+  opts.width = 3;
+  EXPECT_FALSE(RenderAsciiPlot({LinearSeries("x", '*')}, opts).ok());
+  opts = PlotOptions{};
+  opts.height = 2;
+  EXPECT_FALSE(RenderAsciiPlot({LinearSeries("x", '*')}, opts).ok());
+}
+
+TEST(AsciiPlotTest, SinglePointWorks) {
+  PlotSeries s;
+  s.label = "dot";
+  s.points.emplace_back(1.0, 1.0);
+  auto plot = RenderAsciiPlot({s}, PlotOptions{});
+  ASSERT_TRUE(plot.ok());
+  EXPECT_NE(plot->find('*'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, FixedYRangeClampsValues) {
+  PlotOptions opts;
+  opts.y_min = 0.0;
+  opts.y_max = 1.0;
+  PlotSeries s;
+  s.label = "over";
+  s.points.emplace_back(0.0, 0.5);
+  s.points.emplace_back(1.0, 100.0);  // Clamped to the top row.
+  auto plot = RenderAsciiPlot({s}, opts);
+  ASSERT_TRUE(plot.ok());
+  // The axis labels reflect the fixed range, not the data.
+  EXPECT_NE(plot->find("1.000"), std::string::npos);
+  EXPECT_EQ(plot->find("100.0"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, InterpolatesBetweenPoints) {
+  PlotSeries s;
+  s.label = "line";
+  s.points.emplace_back(0.0, 0.0);
+  s.points.emplace_back(10.0, 10.0);
+  auto plot = RenderAsciiPlot({s}, PlotOptions{});
+  ASSERT_TRUE(plot.ok());
+  EXPECT_NE(plot->find('.'), std::string::npos);  // Interpolation dots.
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace smokescreen

@@ -1,0 +1,131 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace smokescreen {
+namespace util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("oor").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("nf").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("ae").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("fp").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IoError("io").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::NotImplemented("ni").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("in").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::IoError("disk");
+  EXPECT_EQ(os.str(), "IoError: disk");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IoError("x"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueOnSuccess) {
+  Result<int> r(7);
+  EXPECT_EQ(r.ValueOr(-1), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, OkStatusConstructionBecomesInternalError) {
+  // A Result must never claim success without a value.
+  Result<int> r(Status::OK());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Status FailingOperation() { return Status::IoError("boom"); }
+Status SucceedingOperation() { return Status::OK(); }
+
+Status ChainWithMacro(bool fail) {
+  SMK_RETURN_IF_ERROR(SucceedingOperation());
+  if (fail) {
+    SMK_RETURN_IF_ERROR(FailingOperation());
+  }
+  return Status::OK();
+}
+
+TEST(MacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(ChainWithMacro(false).ok());
+  EXPECT_EQ(ChainWithMacro(true).code(), StatusCode::kIoError);
+}
+
+Result<int> ProduceValue(bool fail) {
+  if (fail) return Status::InvalidArgument("no value");
+  return 10;
+}
+
+Result<int> ConsumeWithMacro(bool fail) {
+  SMK_ASSIGN_OR_RETURN(int v, ProduceValue(fail));
+  return v * 2;
+}
+
+TEST(MacroTest, AssignOrReturnBindsValue) {
+  Result<int> ok = ConsumeWithMacro(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 20);
+}
+
+TEST(MacroTest, AssignOrReturnPropagatesError) {
+  Result<int> err = ConsumeWithMacro(true);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace smokescreen

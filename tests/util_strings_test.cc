@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv_writer.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace smokescreen {
+namespace util {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  EXPECT_EQ(Split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(SplitTest, NoDelimiterYieldsWholeString) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("inner space kept"), "inner space kept");
+}
+
+TEST(PrefixSuffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("smokescreen", "smoke"));
+  EXPECT_FALSE(StartsWith("smoke", "smokescreen"));
+  EXPECT_TRUE(EndsWith("profile.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", "profile.csv"));
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.123456, 4), "0.1235");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.1418), "14.18%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"a", "long_header"});
+  t.AddRow(std::vector<std::string>{"xxxx", "1"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("a     long_header"), std::string::npos);
+  EXPECT_NE(out.find("xxxx"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow(std::vector<std::string>{"1"});
+  std::ostringstream os;
+  t.Print(os);  // Must not crash; missing cells become empty.
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, DoubleRowsAreFormatted) {
+  TablePrinter t({"x", "y"});
+  t.AddRow(std::vector<double>{0.5, 1.25});
+  EXPECT_NE(t.ToCsv().find("0.5000,1.2500"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ToCsvHasHeaderAndRows) {
+  TablePrinter t({"h1", "h2"});
+  t.AddRow(std::vector<std::string>{"v1", "v2"});
+  EXPECT_EQ(t.ToCsv(), "h1,h2\nv1,v2\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialFields) {
+  EXPECT_EQ(CsvWriter::QuoteField("plain"), "plain");
+  EXPECT_EQ(CsvWriter::QuoteField("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::QuoteField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::QuoteField("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, WritesFileWithHeaderAndRows) {
+  std::string path = testing::TempDir() + "/smk_csv_test.csv";
+  {
+    CsvWriter w;
+    ASSERT_TRUE(w.Open(path, {"col1", "col2"}).ok());
+    ASSERT_TRUE(w.WriteRow(std::vector<std::string>{"a", "b"}).ok());
+    ASSERT_TRUE(w.WriteRow(std::vector<double>{1.5, 2.5}).ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "col1,col2\na,b\n1.500000,2.500000\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, RejectsArityMismatch) {
+  std::string path = testing::TempDir() + "/smk_csv_arity.csv";
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path, {"one"}).ok());
+  EXPECT_FALSE(w.WriteRow(std::vector<std::string>{"a", "b"}).ok());
+  ASSERT_TRUE(w.Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WriteBeforeOpenFails) {
+  CsvWriter w;
+  EXPECT_EQ(w.WriteRow({"x"}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CsvWriterTest, DoubleOpenFails) {
+  std::string path = testing::TempDir() + "/smk_csv_dopen.csv";
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path, {"c"}).ok());
+  EXPECT_FALSE(w.Open(path, {"c"}).ok());
+  ASSERT_TRUE(w.Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  (void)sink;
+  EXPECT_GE(t.ElapsedMicros(), 0);
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+}
+
+TEST(AccumulatingTimerTest, AccumulatesIntervals) {
+  AccumulatingTimer acc;
+  EXPECT_EQ(acc.TotalMicros(), 0);
+  acc.Start();
+  acc.Stop();
+  acc.Start();
+  acc.Stop();
+  EXPECT_GE(acc.TotalMicros(), 0);
+  acc.Reset();
+  EXPECT_EQ(acc.TotalMicros(), 0);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace smokescreen
