@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_bound_ingredients"
+  "../bench/abl_bound_ingredients.pdb"
+  "CMakeFiles/abl_bound_ingredients.dir/abl_bound_ingredients.cc.o"
+  "CMakeFiles/abl_bound_ingredients.dir/abl_bound_ingredients.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bound_ingredients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

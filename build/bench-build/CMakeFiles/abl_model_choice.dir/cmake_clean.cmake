@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_model_choice"
+  "../bench/abl_model_choice.pdb"
+  "CMakeFiles/abl_model_choice.dir/abl_model_choice.cc.o"
+  "CMakeFiles/abl_model_choice.dir/abl_model_choice.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_model_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_reuse_earlystop"
+  "../bench/abl_reuse_earlystop.pdb"
+  "CMakeFiles/abl_reuse_earlystop.dir/abl_reuse_earlystop.cc.o"
+  "CMakeFiles/abl_reuse_earlystop.dir/abl_reuse_earlystop.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reuse_earlystop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/calib_check"
+  "../bench/calib_check.pdb"
+  "CMakeFiles/calib_check.dir/calib_check.cc.o"
+  "CMakeFiles/calib_check.dir/calib_check.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calib_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

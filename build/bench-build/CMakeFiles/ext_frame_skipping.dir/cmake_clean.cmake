@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_frame_skipping"
+  "../bench/ext_frame_skipping.pdb"
+  "CMakeFiles/ext_frame_skipping.dir/ext_frame_skipping.cc.o"
+  "CMakeFiles/ext_frame_skipping.dir/ext_frame_skipping.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_frame_skipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

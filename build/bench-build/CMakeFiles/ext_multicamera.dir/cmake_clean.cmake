@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_multicamera"
+  "../bench/ext_multicamera.pdb"
+  "CMakeFiles/ext_multicamera.dir/ext_multicamera.cc.o"
+  "CMakeFiles/ext_multicamera.dir/ext_multicamera.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multicamera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_noise_compression"
+  "../bench/ext_noise_compression.pdb"
+  "CMakeFiles/ext_noise_compression.dir/ext_noise_compression.cc.o"
+  "CMakeFiles/ext_noise_compression.dir/ext_noise_compression.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_noise_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

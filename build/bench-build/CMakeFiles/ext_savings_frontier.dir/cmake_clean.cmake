@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_savings_frontier"
+  "../bench/ext_savings_frontier.pdb"
+  "CMakeFiles/ext_savings_frontier.dir/ext_savings_frontier.cc.o"
+  "CMakeFiles/ext_savings_frontier.dir/ext_savings_frontier.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_savings_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

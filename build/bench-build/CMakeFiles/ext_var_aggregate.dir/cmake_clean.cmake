@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_var_aggregate"
+  "../bench/ext_var_aggregate.pdb"
+  "CMakeFiles/ext_var_aggregate.dir/ext_var_aggregate.cc.o"
+  "CMakeFiles/ext_var_aggregate.dir/ext_var_aggregate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_var_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

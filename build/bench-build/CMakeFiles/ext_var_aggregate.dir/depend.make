@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_var_aggregate.
+# This may be replaced when dependencies are built.

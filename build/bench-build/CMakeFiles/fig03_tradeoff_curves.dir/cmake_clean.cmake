@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_tradeoff_curves"
+  "../bench/fig03_tradeoff_curves.pdb"
+  "CMakeFiles/fig03_tradeoff_curves.dir/fig03_tradeoff_curves.cc.o"
+  "CMakeFiles/fig03_tradeoff_curves.dir/fig03_tradeoff_curves.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_tradeoff_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_error_bounds"
+  "../bench/fig04_error_bounds.pdb"
+  "CMakeFiles/fig04_error_bounds.dir/fig04_error_bounds.cc.o"
+  "CMakeFiles/fig04_error_bounds.dir/fig04_error_bounds.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_error_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_error_bounds.
+# This may be replaced when dependencies are built.

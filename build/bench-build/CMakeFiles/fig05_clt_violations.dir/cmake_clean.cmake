@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_clt_violations"
+  "../bench/fig05_clt_violations.pdb"
+  "CMakeFiles/fig05_clt_violations.dir/fig05_clt_violations.cc.o"
+  "CMakeFiles/fig05_clt_violations.dir/fig05_clt_violations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_clt_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_correction_set"
+  "../bench/fig06_correction_set.pdb"
+  "CMakeFiles/fig06_correction_set.dir/fig06_correction_set.cc.o"
+  "CMakeFiles/fig06_correction_set.dir/fig06_correction_set.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_correction_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_yolo_anomaly"
+  "../bench/fig07_yolo_anomaly.pdb"
+  "CMakeFiles/fig07_yolo_anomaly.dir/fig07_yolo_anomaly.cc.o"
+  "CMakeFiles/fig07_yolo_anomaly.dir/fig07_yolo_anomaly.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_yolo_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_correction_size"
+  "../bench/fig09_correction_size.pdb"
+  "CMakeFiles/fig09_correction_size.dir/fig09_correction_size.cc.o"
+  "CMakeFiles/fig09_correction_size.dir/fig09_correction_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_correction_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_profile_similarity"
+  "../bench/fig10_profile_similarity.pdb"
+  "CMakeFiles/fig10_profile_similarity.dir/fig10_profile_similarity.cc.o"
+  "CMakeFiles/fig10_profile_similarity.dir/fig10_profile_similarity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_profile_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/headline_claims"
+  "../bench/headline_claims.pdb"
+  "CMakeFiles/headline_claims.dir/headline_claims.cc.o"
+  "CMakeFiles/headline_claims.dir/headline_claims.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_estimators"
+  "../bench/micro_estimators.pdb"
+  "CMakeFiles/micro_estimators.dir/micro_estimators.cc.o"
+  "CMakeFiles/micro_estimators.dir/micro_estimators.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec531_profile_time"
+  "../bench/sec531_profile_time.pdb"
+  "CMakeFiles/sec531_profile_time.dir/sec531_profile_time.cc.o"
+  "CMakeFiles/sec531_profile_time.dir/sec531_profile_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec531_profile_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

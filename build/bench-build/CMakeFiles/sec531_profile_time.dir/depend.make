@@ -1,0 +1,2 @@
+# Empty dependencies file for sec531_profile_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_novelty_matrix"
+  "../bench/tab01_novelty_matrix.pdb"
+  "CMakeFiles/tab01_novelty_matrix.dir/tab01_novelty_matrix.cc.o"
+  "CMakeFiles/tab01_novelty_matrix.dir/tab01_novelty_matrix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_novelty_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similar_video_transfer.dir/similar_video_transfer.cpp.o"
+  "CMakeFiles/similar_video_transfer.dir/similar_video_transfer.cpp.o.d"
+  "similar_video_transfer"
+  "similar_video_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similar_video_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smokescreen_cli.dir/smokescreen_cli.cpp.o"
+  "CMakeFiles/smokescreen_cli.dir/smokescreen_cli.cpp.o.d"
+  "smokescreen_cli"
+  "smokescreen_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smokescreen_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_planning.dir/traffic_planning.cpp.o"
+  "CMakeFiles/traffic_planning.dir/traffic_planning.cpp.o.d"
+  "traffic_planning"
+  "traffic_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

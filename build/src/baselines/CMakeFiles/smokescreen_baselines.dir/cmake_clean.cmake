@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smokescreen_baselines.dir/mean_baselines.cc.o"
+  "CMakeFiles/smokescreen_baselines.dir/mean_baselines.cc.o.d"
+  "CMakeFiles/smokescreen_baselines.dir/stein.cc.o"
+  "CMakeFiles/smokescreen_baselines.dir/stein.cc.o.d"
+  "libsmokescreen_baselines.a"
+  "libsmokescreen_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smokescreen_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smokescreen_camera.dir/camera.cc.o"
+  "CMakeFiles/smokescreen_camera.dir/camera.cc.o.d"
+  "CMakeFiles/smokescreen_camera.dir/central_system.cc.o"
+  "CMakeFiles/smokescreen_camera.dir/central_system.cc.o.d"
+  "CMakeFiles/smokescreen_camera.dir/network_link.cc.o"
+  "CMakeFiles/smokescreen_camera.dir/network_link.cc.o.d"
+  "libsmokescreen_camera.a"
+  "libsmokescreen_camera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smokescreen_camera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

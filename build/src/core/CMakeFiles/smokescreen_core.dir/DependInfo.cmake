@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admin_session.cc" "src/core/CMakeFiles/smokescreen_core.dir/admin_session.cc.o" "gcc" "src/core/CMakeFiles/smokescreen_core.dir/admin_session.cc.o.d"
+  "/root/repo/src/core/avg_estimator.cc" "src/core/CMakeFiles/smokescreen_core.dir/avg_estimator.cc.o" "gcc" "src/core/CMakeFiles/smokescreen_core.dir/avg_estimator.cc.o.d"
+  "/root/repo/src/core/candidate_design.cc" "src/core/CMakeFiles/smokescreen_core.dir/candidate_design.cc.o" "gcc" "src/core/CMakeFiles/smokescreen_core.dir/candidate_design.cc.o.d"
+  "/root/repo/src/core/combine.cc" "src/core/CMakeFiles/smokescreen_core.dir/combine.cc.o" "gcc" "src/core/CMakeFiles/smokescreen_core.dir/combine.cc.o.d"
+  "/root/repo/src/core/estimator_api.cc" "src/core/CMakeFiles/smokescreen_core.dir/estimator_api.cc.o" "gcc" "src/core/CMakeFiles/smokescreen_core.dir/estimator_api.cc.o.d"
+  "/root/repo/src/core/online_monitor.cc" "src/core/CMakeFiles/smokescreen_core.dir/online_monitor.cc.o" "gcc" "src/core/CMakeFiles/smokescreen_core.dir/online_monitor.cc.o.d"
+  "/root/repo/src/core/profile_io.cc" "src/core/CMakeFiles/smokescreen_core.dir/profile_io.cc.o" "gcc" "src/core/CMakeFiles/smokescreen_core.dir/profile_io.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/smokescreen_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/smokescreen_core.dir/profiler.cc.o.d"
+  "/root/repo/src/core/quantile_estimator.cc" "src/core/CMakeFiles/smokescreen_core.dir/quantile_estimator.cc.o" "gcc" "src/core/CMakeFiles/smokescreen_core.dir/quantile_estimator.cc.o.d"
+  "/root/repo/src/core/repair.cc" "src/core/CMakeFiles/smokescreen_core.dir/repair.cc.o" "gcc" "src/core/CMakeFiles/smokescreen_core.dir/repair.cc.o.d"
+  "/root/repo/src/core/tradeoff.cc" "src/core/CMakeFiles/smokescreen_core.dir/tradeoff.cc.o" "gcc" "src/core/CMakeFiles/smokescreen_core.dir/tradeoff.cc.o.d"
+  "/root/repo/src/core/var_estimator.cc" "src/core/CMakeFiles/smokescreen_core.dir/var_estimator.cc.o" "gcc" "src/core/CMakeFiles/smokescreen_core.dir/var_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/degrade/CMakeFiles/smokescreen_degrade.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/smokescreen_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/smokescreen_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/smokescreen_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/smokescreen_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smokescreen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

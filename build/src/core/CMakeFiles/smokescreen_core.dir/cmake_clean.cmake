@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smokescreen_core.dir/admin_session.cc.o"
+  "CMakeFiles/smokescreen_core.dir/admin_session.cc.o.d"
+  "CMakeFiles/smokescreen_core.dir/avg_estimator.cc.o"
+  "CMakeFiles/smokescreen_core.dir/avg_estimator.cc.o.d"
+  "CMakeFiles/smokescreen_core.dir/candidate_design.cc.o"
+  "CMakeFiles/smokescreen_core.dir/candidate_design.cc.o.d"
+  "CMakeFiles/smokescreen_core.dir/combine.cc.o"
+  "CMakeFiles/smokescreen_core.dir/combine.cc.o.d"
+  "CMakeFiles/smokescreen_core.dir/estimator_api.cc.o"
+  "CMakeFiles/smokescreen_core.dir/estimator_api.cc.o.d"
+  "CMakeFiles/smokescreen_core.dir/online_monitor.cc.o"
+  "CMakeFiles/smokescreen_core.dir/online_monitor.cc.o.d"
+  "CMakeFiles/smokescreen_core.dir/profile_io.cc.o"
+  "CMakeFiles/smokescreen_core.dir/profile_io.cc.o.d"
+  "CMakeFiles/smokescreen_core.dir/profiler.cc.o"
+  "CMakeFiles/smokescreen_core.dir/profiler.cc.o.d"
+  "CMakeFiles/smokescreen_core.dir/quantile_estimator.cc.o"
+  "CMakeFiles/smokescreen_core.dir/quantile_estimator.cc.o.d"
+  "CMakeFiles/smokescreen_core.dir/repair.cc.o"
+  "CMakeFiles/smokescreen_core.dir/repair.cc.o.d"
+  "CMakeFiles/smokescreen_core.dir/tradeoff.cc.o"
+  "CMakeFiles/smokescreen_core.dir/tradeoff.cc.o.d"
+  "CMakeFiles/smokescreen_core.dir/var_estimator.cc.o"
+  "CMakeFiles/smokescreen_core.dir/var_estimator.cc.o.d"
+  "libsmokescreen_core.a"
+  "libsmokescreen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smokescreen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

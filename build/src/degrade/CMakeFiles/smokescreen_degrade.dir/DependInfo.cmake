@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/degrade/cost_model.cc" "src/degrade/CMakeFiles/smokescreen_degrade.dir/cost_model.cc.o" "gcc" "src/degrade/CMakeFiles/smokescreen_degrade.dir/cost_model.cc.o.d"
+  "/root/repo/src/degrade/degraded_view.cc" "src/degrade/CMakeFiles/smokescreen_degrade.dir/degraded_view.cc.o" "gcc" "src/degrade/CMakeFiles/smokescreen_degrade.dir/degraded_view.cc.o.d"
+  "/root/repo/src/degrade/intervention.cc" "src/degrade/CMakeFiles/smokescreen_degrade.dir/intervention.cc.o" "gcc" "src/degrade/CMakeFiles/smokescreen_degrade.dir/intervention.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detect/CMakeFiles/smokescreen_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/smokescreen_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/smokescreen_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smokescreen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

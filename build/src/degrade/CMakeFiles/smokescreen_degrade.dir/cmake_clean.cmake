@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smokescreen_degrade.dir/cost_model.cc.o"
+  "CMakeFiles/smokescreen_degrade.dir/cost_model.cc.o.d"
+  "CMakeFiles/smokescreen_degrade.dir/degraded_view.cc.o"
+  "CMakeFiles/smokescreen_degrade.dir/degraded_view.cc.o.d"
+  "CMakeFiles/smokescreen_degrade.dir/intervention.cc.o"
+  "CMakeFiles/smokescreen_degrade.dir/intervention.cc.o.d"
+  "libsmokescreen_degrade.a"
+  "libsmokescreen_degrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smokescreen_degrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

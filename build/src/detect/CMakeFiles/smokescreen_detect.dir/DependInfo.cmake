@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/class_prior_index.cc" "src/detect/CMakeFiles/smokescreen_detect.dir/class_prior_index.cc.o" "gcc" "src/detect/CMakeFiles/smokescreen_detect.dir/class_prior_index.cc.o.d"
+  "/root/repo/src/detect/detector.cc" "src/detect/CMakeFiles/smokescreen_detect.dir/detector.cc.o" "gcc" "src/detect/CMakeFiles/smokescreen_detect.dir/detector.cc.o.d"
+  "/root/repo/src/detect/models.cc" "src/detect/CMakeFiles/smokescreen_detect.dir/models.cc.o" "gcc" "src/detect/CMakeFiles/smokescreen_detect.dir/models.cc.o.d"
+  "/root/repo/src/detect/registry.cc" "src/detect/CMakeFiles/smokescreen_detect.dir/registry.cc.o" "gcc" "src/detect/CMakeFiles/smokescreen_detect.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/video/CMakeFiles/smokescreen_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/smokescreen_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smokescreen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

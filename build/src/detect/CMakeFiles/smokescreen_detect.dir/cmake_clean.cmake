@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smokescreen_detect.dir/class_prior_index.cc.o"
+  "CMakeFiles/smokescreen_detect.dir/class_prior_index.cc.o.d"
+  "CMakeFiles/smokescreen_detect.dir/detector.cc.o"
+  "CMakeFiles/smokescreen_detect.dir/detector.cc.o.d"
+  "CMakeFiles/smokescreen_detect.dir/models.cc.o"
+  "CMakeFiles/smokescreen_detect.dir/models.cc.o.d"
+  "CMakeFiles/smokescreen_detect.dir/registry.cc.o"
+  "CMakeFiles/smokescreen_detect.dir/registry.cc.o.d"
+  "libsmokescreen_detect.a"
+  "libsmokescreen_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smokescreen_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/aggregate.cc" "src/query/CMakeFiles/smokescreen_query.dir/aggregate.cc.o" "gcc" "src/query/CMakeFiles/smokescreen_query.dir/aggregate.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/query/CMakeFiles/smokescreen_query.dir/executor.cc.o" "gcc" "src/query/CMakeFiles/smokescreen_query.dir/executor.cc.o.d"
+  "/root/repo/src/query/output_source.cc" "src/query/CMakeFiles/smokescreen_query.dir/output_source.cc.o" "gcc" "src/query/CMakeFiles/smokescreen_query.dir/output_source.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/smokescreen_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/smokescreen_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/query_spec.cc" "src/query/CMakeFiles/smokescreen_query.dir/query_spec.cc.o" "gcc" "src/query/CMakeFiles/smokescreen_query.dir/query_spec.cc.o.d"
+  "/root/repo/src/query/trace.cc" "src/query/CMakeFiles/smokescreen_query.dir/trace.cc.o" "gcc" "src/query/CMakeFiles/smokescreen_query.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detect/CMakeFiles/smokescreen_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/smokescreen_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/smokescreen_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smokescreen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smokescreen_query.dir/aggregate.cc.o"
+  "CMakeFiles/smokescreen_query.dir/aggregate.cc.o.d"
+  "CMakeFiles/smokescreen_query.dir/executor.cc.o"
+  "CMakeFiles/smokescreen_query.dir/executor.cc.o.d"
+  "CMakeFiles/smokescreen_query.dir/output_source.cc.o"
+  "CMakeFiles/smokescreen_query.dir/output_source.cc.o.d"
+  "CMakeFiles/smokescreen_query.dir/parser.cc.o"
+  "CMakeFiles/smokescreen_query.dir/parser.cc.o.d"
+  "CMakeFiles/smokescreen_query.dir/query_spec.cc.o"
+  "CMakeFiles/smokescreen_query.dir/query_spec.cc.o.d"
+  "CMakeFiles/smokescreen_query.dir/trace.cc.o"
+  "CMakeFiles/smokescreen_query.dir/trace.cc.o.d"
+  "libsmokescreen_query.a"
+  "libsmokescreen_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smokescreen_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/concentration.cc" "src/stats/CMakeFiles/smokescreen_stats.dir/concentration.cc.o" "gcc" "src/stats/CMakeFiles/smokescreen_stats.dir/concentration.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/smokescreen_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/smokescreen_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/empirical.cc" "src/stats/CMakeFiles/smokescreen_stats.dir/empirical.cc.o" "gcc" "src/stats/CMakeFiles/smokescreen_stats.dir/empirical.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/smokescreen_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/smokescreen_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/hypergeometric.cc" "src/stats/CMakeFiles/smokescreen_stats.dir/hypergeometric.cc.o" "gcc" "src/stats/CMakeFiles/smokescreen_stats.dir/hypergeometric.cc.o.d"
+  "/root/repo/src/stats/normal.cc" "src/stats/CMakeFiles/smokescreen_stats.dir/normal.cc.o" "gcc" "src/stats/CMakeFiles/smokescreen_stats.dir/normal.cc.o.d"
+  "/root/repo/src/stats/rng.cc" "src/stats/CMakeFiles/smokescreen_stats.dir/rng.cc.o" "gcc" "src/stats/CMakeFiles/smokescreen_stats.dir/rng.cc.o.d"
+  "/root/repo/src/stats/sampling.cc" "src/stats/CMakeFiles/smokescreen_stats.dir/sampling.cc.o" "gcc" "src/stats/CMakeFiles/smokescreen_stats.dir/sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/smokescreen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

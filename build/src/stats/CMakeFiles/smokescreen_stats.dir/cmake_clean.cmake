@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smokescreen_stats.dir/concentration.cc.o"
+  "CMakeFiles/smokescreen_stats.dir/concentration.cc.o.d"
+  "CMakeFiles/smokescreen_stats.dir/descriptive.cc.o"
+  "CMakeFiles/smokescreen_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/smokescreen_stats.dir/empirical.cc.o"
+  "CMakeFiles/smokescreen_stats.dir/empirical.cc.o.d"
+  "CMakeFiles/smokescreen_stats.dir/histogram.cc.o"
+  "CMakeFiles/smokescreen_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/smokescreen_stats.dir/hypergeometric.cc.o"
+  "CMakeFiles/smokescreen_stats.dir/hypergeometric.cc.o.d"
+  "CMakeFiles/smokescreen_stats.dir/normal.cc.o"
+  "CMakeFiles/smokescreen_stats.dir/normal.cc.o.d"
+  "CMakeFiles/smokescreen_stats.dir/rng.cc.o"
+  "CMakeFiles/smokescreen_stats.dir/rng.cc.o.d"
+  "CMakeFiles/smokescreen_stats.dir/sampling.cc.o"
+  "CMakeFiles/smokescreen_stats.dir/sampling.cc.o.d"
+  "libsmokescreen_stats.a"
+  "libsmokescreen_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smokescreen_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smokescreen_util.dir/ascii_plot.cc.o"
+  "CMakeFiles/smokescreen_util.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/smokescreen_util.dir/csv_writer.cc.o"
+  "CMakeFiles/smokescreen_util.dir/csv_writer.cc.o.d"
+  "CMakeFiles/smokescreen_util.dir/logging.cc.o"
+  "CMakeFiles/smokescreen_util.dir/logging.cc.o.d"
+  "CMakeFiles/smokescreen_util.dir/status.cc.o"
+  "CMakeFiles/smokescreen_util.dir/status.cc.o.d"
+  "CMakeFiles/smokescreen_util.dir/string_util.cc.o"
+  "CMakeFiles/smokescreen_util.dir/string_util.cc.o.d"
+  "CMakeFiles/smokescreen_util.dir/table_printer.cc.o"
+  "CMakeFiles/smokescreen_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/smokescreen_util.dir/timer.cc.o"
+  "CMakeFiles/smokescreen_util.dir/timer.cc.o.d"
+  "libsmokescreen_util.a"
+  "libsmokescreen_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smokescreen_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

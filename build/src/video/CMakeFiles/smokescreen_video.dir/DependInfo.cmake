@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/dataset.cc" "src/video/CMakeFiles/smokescreen_video.dir/dataset.cc.o" "gcc" "src/video/CMakeFiles/smokescreen_video.dir/dataset.cc.o.d"
+  "/root/repo/src/video/presets.cc" "src/video/CMakeFiles/smokescreen_video.dir/presets.cc.o" "gcc" "src/video/CMakeFiles/smokescreen_video.dir/presets.cc.o.d"
+  "/root/repo/src/video/scene_simulator.cc" "src/video/CMakeFiles/smokescreen_video.dir/scene_simulator.cc.o" "gcc" "src/video/CMakeFiles/smokescreen_video.dir/scene_simulator.cc.o.d"
+  "/root/repo/src/video/types.cc" "src/video/CMakeFiles/smokescreen_video.dir/types.cc.o" "gcc" "src/video/CMakeFiles/smokescreen_video.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/smokescreen_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/smokescreen_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smokescreen_video.dir/dataset.cc.o"
+  "CMakeFiles/smokescreen_video.dir/dataset.cc.o.d"
+  "CMakeFiles/smokescreen_video.dir/presets.cc.o"
+  "CMakeFiles/smokescreen_video.dir/presets.cc.o.d"
+  "CMakeFiles/smokescreen_video.dir/scene_simulator.cc.o"
+  "CMakeFiles/smokescreen_video.dir/scene_simulator.cc.o.d"
+  "CMakeFiles/smokescreen_video.dir/types.cc.o"
+  "CMakeFiles/smokescreen_video.dir/types.cc.o.d"
+  "libsmokescreen_video.a"
+  "libsmokescreen_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smokescreen_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

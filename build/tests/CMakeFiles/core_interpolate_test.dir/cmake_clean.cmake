@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_interpolate_test.dir/core_interpolate_test.cc.o"
+  "CMakeFiles/core_interpolate_test.dir/core_interpolate_test.cc.o.d"
+  "core_interpolate_test"
+  "core_interpolate_test.pdb"
+  "core_interpolate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_interpolate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

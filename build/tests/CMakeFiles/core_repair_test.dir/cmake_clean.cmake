@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_repair_test.dir/core_repair_test.cc.o"
+  "CMakeFiles/core_repair_test.dir/core_repair_test.cc.o.d"
+  "core_repair_test"
+  "core_repair_test.pdb"
+  "core_repair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_repair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

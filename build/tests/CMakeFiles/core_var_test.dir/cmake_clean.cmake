@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_var_test.dir/core_var_test.cc.o"
+  "CMakeFiles/core_var_test.dir/core_var_test.cc.o.d"
+  "core_var_test"
+  "core_var_test.pdb"
+  "core_var_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_var_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

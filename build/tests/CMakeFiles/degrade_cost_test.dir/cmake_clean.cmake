@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degrade_cost_test.dir/degrade_cost_test.cc.o"
+  "CMakeFiles/degrade_cost_test.dir/degrade_cost_test.cc.o.d"
+  "degrade_cost_test"
+  "degrade_cost_test.pdb"
+  "degrade_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degrade_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_detector_test.dir/detect_detector_test.cc.o"
+  "CMakeFiles/detect_detector_test.dir/detect_detector_test.cc.o.d"
+  "detect_detector_test"
+  "detect_detector_test.pdb"
+  "detect_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_prior_test.dir/detect_prior_test.cc.o"
+  "CMakeFiles/detect_prior_test.dir/detect_prior_test.cc.o.d"
+  "detect_prior_test"
+  "detect_prior_test.pdb"
+  "detect_prior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_prior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_concentration_test.dir/stats_concentration_test.cc.o"
+  "CMakeFiles/stats_concentration_test.dir/stats_concentration_test.cc.o.d"
+  "stats_concentration_test"
+  "stats_concentration_test.pdb"
+  "stats_concentration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_concentration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

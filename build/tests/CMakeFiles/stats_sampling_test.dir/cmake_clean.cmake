@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_sampling_test.dir/stats_sampling_test.cc.o"
+  "CMakeFiles/stats_sampling_test.dir/stats_sampling_test.cc.o.d"
+  "stats_sampling_test"
+  "stats_sampling_test.pdb"
+  "stats_sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_dataset_test.dir/video_dataset_test.cc.o"
+  "CMakeFiles/video_dataset_test.dir/video_dataset_test.cc.o.d"
+  "video_dataset_test"
+  "video_dataset_test.pdb"
+  "video_dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

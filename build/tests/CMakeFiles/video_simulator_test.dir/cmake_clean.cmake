@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_simulator_test.dir/video_simulator_test.cc.o"
+  "CMakeFiles/video_simulator_test.dir/video_simulator_test.cc.o.d"
+  "video_simulator_test"
+  "video_simulator_test.pdb"
+  "video_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
