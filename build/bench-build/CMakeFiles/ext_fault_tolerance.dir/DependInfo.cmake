@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_fault_tolerance.cc" "bench-build/CMakeFiles/ext_fault_tolerance.dir/ext_fault_tolerance.cc.o" "gcc" "bench-build/CMakeFiles/ext_fault_tolerance.dir/ext_fault_tolerance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/camera/CMakeFiles/smokescreen_camera.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smokescreen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/smokescreen_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/smokescreen_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/degrade/CMakeFiles/smokescreen_degrade.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/smokescreen_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/smokescreen_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/smokescreen_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smokescreen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

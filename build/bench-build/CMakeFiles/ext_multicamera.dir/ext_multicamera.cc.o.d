@@ -180,13 +180,15 @@ bench-build/CMakeFiles/ext_multicamera.dir/ext_multicamera.cc.o: \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/camera/network_link.h \
- /root/repo/src/degrade/degraded_view.h \
- /root/repo/src/degrade/intervention.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/camera/fault_injector.h \
+ /root/repo/src/camera/network_link.h /root/repo/src/util/status.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/video/types.h \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/stats/rng.h \
+ /root/repo/src/degrade/degraded_view.h \
+ /root/repo/src/degrade/intervention.h /root/repo/src/video/types.h \
  /root/repo/src/detect/class_prior_index.h \
  /root/repo/src/detect/detector.h /usr/include/c++/12/array \
  /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
@@ -229,20 +231,21 @@ bench-build/CMakeFiles/ext_multicamera.dir/ext_multicamera.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/video/dataset.h \
- /root/repo/src/stats/rng.h /root/repo/src/camera/central_system.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/camera/central_system.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/combine.h \
- /root/repo/src/core/estimate.h /root/repo/src/query/output_source.h \
+ /root/repo/src/core/estimate.h /root/repo/src/core/online_monitor.h \
+ /root/repo/src/query/query_spec.h /root/repo/src/query/aggregate.h \
+ /root/repo/src/stats/descriptive.h /root/repo/src/query/output_source.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/query/query_spec.h /root/repo/src/query/aggregate.h \
- /root/repo/bench/bench_common.h /root/repo/src/core/estimator_api.h \
- /root/repo/src/core/repair.h /root/repo/src/detect/models.h \
- /root/repo/src/detect/registry.h /root/repo/src/query/executor.h \
- /root/repo/src/video/presets.h /root/repo/src/video/scene_simulator.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/bench/bench_common.h \
+ /root/repo/src/core/estimator_api.h /root/repo/src/core/repair.h \
+ /root/repo/src/detect/models.h /root/repo/src/detect/registry.h \
+ /root/repo/src/query/executor.h /root/repo/src/video/presets.h \
+ /root/repo/src/video/scene_simulator.h \
  /root/repo/src/core/avg_estimator.h /root/repo/src/util/string_util.h \
  /root/repo/src/util/table_printer.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/camera/camera.cc" "src/camera/CMakeFiles/smokescreen_camera.dir/camera.cc.o" "gcc" "src/camera/CMakeFiles/smokescreen_camera.dir/camera.cc.o.d"
   "/root/repo/src/camera/central_system.cc" "src/camera/CMakeFiles/smokescreen_camera.dir/central_system.cc.o" "gcc" "src/camera/CMakeFiles/smokescreen_camera.dir/central_system.cc.o.d"
+  "/root/repo/src/camera/fault_injector.cc" "src/camera/CMakeFiles/smokescreen_camera.dir/fault_injector.cc.o" "gcc" "src/camera/CMakeFiles/smokescreen_camera.dir/fault_injector.cc.o.d"
   "/root/repo/src/camera/network_link.cc" "src/camera/CMakeFiles/smokescreen_camera.dir/network_link.cc.o" "gcc" "src/camera/CMakeFiles/smokescreen_camera.dir/network_link.cc.o.d"
   )
 

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/smokescreen_camera.dir/camera.cc.o.d"
   "CMakeFiles/smokescreen_camera.dir/central_system.cc.o"
   "CMakeFiles/smokescreen_camera.dir/central_system.cc.o.d"
+  "CMakeFiles/smokescreen_camera.dir/fault_injector.cc.o"
+  "CMakeFiles/smokescreen_camera.dir/fault_injector.cc.o.d"
   "CMakeFiles/smokescreen_camera.dir/network_link.cc.o"
   "CMakeFiles/smokescreen_camera.dir/network_link.cc.o.d"
   "libsmokescreen_camera.a"

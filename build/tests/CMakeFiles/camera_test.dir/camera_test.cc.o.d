@@ -293,8 +293,10 @@ tests/CMakeFiles/camera_test.dir/camera_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -315,14 +317,15 @@ tests/CMakeFiles/camera_test.dir/camera_test.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/camera/camera.h \
- /root/repo/src/camera/network_link.h \
- /root/repo/src/degrade/degraded_view.h \
- /root/repo/src/degrade/intervention.h /root/repo/src/util/status.h \
- /root/repo/src/video/types.h /root/repo/src/detect/class_prior_index.h \
+ /root/repo/src/camera/fault_injector.h \
+ /root/repo/src/camera/network_link.h /root/repo/src/util/status.h \
+ /root/repo/src/stats/rng.h /root/repo/src/degrade/degraded_view.h \
+ /root/repo/src/degrade/intervention.h /root/repo/src/video/types.h \
+ /root/repo/src/detect/class_prior_index.h \
  /root/repo/src/detect/detector.h /root/repo/src/video/dataset.h \
- /root/repo/src/stats/rng.h /root/repo/src/camera/central_system.h \
- /root/repo/src/core/combine.h /root/repo/src/core/estimate.h \
- /root/repo/src/query/output_source.h /root/repo/src/query/query_spec.h \
- /root/repo/src/query/aggregate.h /root/repo/src/detect/models.h \
- /root/repo/src/query/executor.h /root/repo/src/video/presets.h \
- /root/repo/src/video/scene_simulator.h
+ /root/repo/src/camera/central_system.h /root/repo/src/core/combine.h \
+ /root/repo/src/core/estimate.h /root/repo/src/core/online_monitor.h \
+ /root/repo/src/query/query_spec.h /root/repo/src/query/aggregate.h \
+ /root/repo/src/stats/descriptive.h /root/repo/src/query/output_source.h \
+ /root/repo/src/detect/models.h /root/repo/src/query/executor.h \
+ /root/repo/src/video/presets.h /root/repo/src/video/scene_simulator.h

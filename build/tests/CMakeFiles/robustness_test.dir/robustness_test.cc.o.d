@@ -317,11 +317,17 @@ tests/CMakeFiles/robustness_test.dir/robustness_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/baselines/mean_baselines.h /root/repo/src/core/estimate.h \
  /root/repo/src/util/status.h /root/repo/src/baselines/stein.h \
- /root/repo/src/core/avg_estimator.h \
- /root/repo/src/core/quantile_estimator.h \
- /root/repo/src/core/var_estimator.h \
+ /root/repo/src/camera/camera.h /root/repo/src/camera/fault_injector.h \
+ /root/repo/src/camera/network_link.h /root/repo/src/stats/rng.h \
+ /root/repo/src/degrade/degraded_view.h \
  /root/repo/src/degrade/intervention.h /root/repo/src/video/types.h \
- /root/repo/src/query/parser.h /root/repo/src/query/query_spec.h \
- /root/repo/src/query/aggregate.h /root/repo/src/stats/normal.h \
- /root/repo/src/stats/rng.h /root/repo/src/video/scene_simulator.h \
- /root/repo/src/video/dataset.h
+ /root/repo/src/detect/class_prior_index.h \
+ /root/repo/src/detect/detector.h /root/repo/src/video/dataset.h \
+ /root/repo/src/camera/central_system.h /root/repo/src/core/combine.h \
+ /root/repo/src/core/online_monitor.h /root/repo/src/query/query_spec.h \
+ /root/repo/src/query/aggregate.h /root/repo/src/stats/descriptive.h \
+ /root/repo/src/query/output_source.h /root/repo/src/core/avg_estimator.h \
+ /root/repo/src/core/quantile_estimator.h \
+ /root/repo/src/core/var_estimator.h /root/repo/src/detect/models.h \
+ /root/repo/src/query/parser.h /root/repo/src/stats/normal.h \
+ /root/repo/src/video/presets.h /root/repo/src/video/scene_simulator.h

@@ -8,7 +8,10 @@
 //      keeps a running Algorithm-1 estimate and checks consistency with the
 //      profiled answer;
 //   3. when traffic patterns change (here: a simulated event week with far
-//      denser traffic), the monitor flags drift — the cue to re-profile.
+//      denser traffic), the monitor flags drift — the cue to re-profile;
+//   4. after re-profiling on the drifted traffic, OnlineMonitor::Reset
+//      clears the stale stream and monitoring resumes against the fresh
+//      reference — the recovery half of the loop.
 
 #include <cstdio>
 
@@ -118,9 +121,58 @@ int main() {
     RunWeek(cfg.name.c_str(), *video, *prior, yolo, spec, iv, profiled->estimate.y_approx, rng);
   }
 
+  // Week 4: the festival persists. Re-profile on the drifted traffic, Reset
+  // a monitor that had been fed the stale stream, and verify consistency is
+  // restored against the fresh reference.
+  {
+    video::SceneConfig festival = base;
+    festival.car_rate *= 3.0;
+    festival.name = "week3-festival";
+    festival.seed = 9003;
+    auto week3 = video::SimulateScene(festival);
+    week3.status().CheckOk();
+    auto prior3 = detect::ClassPriorIndex::Build(*week3, yolo, mtcnn);
+    prior3.status().CheckOk();
+    query::FrameOutputSource source3(*week3, yolo, video::ObjectClass::kCar);
+    auto reprofiled = core::ResultErrorEst(source3, *prior3, spec, iv, 0.05, rng);
+    reprofiled.status().CheckOk();
+    std::printf("\nre-profiled on week3: AVG=%.3f (bound %.2f%%)\n",
+                reprofiled->estimate.y_approx, reprofiled->estimate.err_b * 100.0);
+
+    // One long-lived monitor: poisoned by the stale week-0-calibrated view,
+    // Reset, then fed week 4 of festival traffic.
+    video::SceneConfig cfg4 = festival;
+    cfg4.name = "week4-festival";
+    cfg4.seed = 9004;
+    auto week4 = video::SimulateScene(cfg4);
+    week4.status().CheckOk();
+    auto prior4 = detect::ClassPriorIndex::Build(*week4, yolo, mtcnn);
+    prior4.status().CheckOk();
+    auto monitor = core::OnlineMonitor::Create(spec, week4->num_frames(), 0.05);
+    monitor.status().CheckOk();
+    monitor->Observe(0.0);  // Residue from before the reset.
+    monitor->Reset();
+
+    query::FrameOutputSource source4(*week4, yolo, video::ObjectClass::kCar);
+    auto view4 = degrade::DegradedView::Create(*week4, *prior4, iv, yolo.max_resolution(), rng);
+    view4.status().CheckOk();
+    auto outputs4 = source4.Outputs(spec, view4->sampled_frames(), view4->resolution());
+    outputs4.status().CheckOk();
+    monitor->ObserveAll(*outputs4);
+    auto consistent = monitor->IsConsistentWith(reprofiled->estimate.y_approx, 0.25);
+    consistent.status().CheckOk();
+    auto estimate = monitor->CurrentEstimate();
+    estimate.status().CheckOk();
+    std::printf("%-22s streamed %5zu frames: estimate %.3f (bound %.2f%%), re-profiled %.3f -> %s\n",
+                "week4-festival", outputs4->size(), estimate->y_approx,
+                estimate->err_b * 100.0, reprofiled->estimate.y_approx,
+                *consistent ? "consistent (recovered)" : "STILL DRIFTING");
+  }
+
   std::printf(
       "\nThe profiled answer stays valid while traffic looks like the\n"
       "profiled week; the event week trips the drift check, telling the\n"
-      "administrator to regenerate the profile before trusting new answers.\n");
+      "administrator to regenerate the profile — and after re-profiling,\n"
+      "a Reset monitor confirms the new reference fits the new traffic.\n");
   return 0;
 }

@@ -1,11 +1,30 @@
 #include "camera/camera.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace smokescreen {
 namespace camera {
 
 using util::Result;
+using util::Status;
+
+double CameraBatch::DeliveryFraction() const {
+  if (attempted_frames <= 0) return 1.0;
+  return static_cast<double>(delivered_frames()) / static_cast<double>(attempted_frames);
+}
+
+Status TransmitPolicy::Validate() const {
+  if (max_attempts < 1) return Status::InvalidArgument("max_attempts must be >= 1");
+  if (backoff_base_sec < 0.0) {
+    return Status::InvalidArgument("backoff_base_sec must be non-negative");
+  }
+  if (!(batch_deadline_sec > 0.0)) {
+    return Status::InvalidArgument("batch_deadline_sec must be positive");
+  }
+  return Status::OK();
+}
 
 Camera::Camera(CameraConfig config, const video::VideoDataset& feed,
                const detect::ClassPriorIndex& prior, int model_max_resolution)
@@ -18,7 +37,7 @@ int64_t Camera::FrameBytes() const {
   return std::max<int64_t>(1, static_cast<int64_t>(std::llround(bytes)));
 }
 
-Result<CameraBatch> Camera::CaptureAndTransmit(NetworkLink& link, stats::Rng& rng) const {
+Result<CameraBatch> Camera::MakeBatchSkeleton(stats::Rng& rng) const {
   SMK_ASSIGN_OR_RETURN(degrade::DegradedView view,
                        degrade::DegradedView::Create(feed_, prior_, config_.interventions,
                                                      model_max_resolution_, rng));
@@ -29,12 +48,71 @@ Result<CameraBatch> Camera::CaptureAndTransmit(NetworkLink& link, stats::Rng& rn
   batch.original_population = view.original_population();
   batch.resolution = view.resolution();
   batch.contrast_scale = view.contrast_scale();
+  batch.attempted_frames = static_cast<int64_t>(batch.frame_indices.size());
+  return batch;
+}
 
+Result<CameraBatch> Camera::CaptureAndTransmit(NetworkLink& link, stats::Rng& rng) const {
+  SMK_ASSIGN_OR_RETURN(CameraBatch batch, MakeBatchSkeleton(rng));
   int64_t frame_bytes = FrameBytes();
   for (size_t i = 0; i < batch.frame_indices.size(); ++i) {
     link.TransmitFrame(frame_bytes);
   }
   batch.total_bytes = frame_bytes * static_cast<int64_t>(batch.frame_indices.size());
+  return batch;
+}
+
+Result<CameraBatch> Camera::CaptureAndTransmit(FaultInjector& injector, NetworkLink& link,
+                                               stats::Rng& rng,
+                                               const TransmitPolicy& policy) const {
+  SMK_RETURN_IF_ERROR(policy.Validate());
+  SMK_ASSIGN_OR_RETURN(CameraBatch batch, MakeBatchSkeleton(rng));
+
+  std::vector<int64_t> sampled = std::move(batch.frame_indices);
+  batch.frame_indices.clear();
+  batch.frame_indices.reserve(sampled.size());
+
+  const int64_t frame_bytes = FrameBytes();
+  double elapsed = 0.0;
+  bool deadline_hit = false;
+  for (int64_t frame : sampled) {
+    if (deadline_hit) {
+      // Deadline exhausted: the remaining frames are never put on the radio.
+      ++batch.frames_lost;
+      continue;
+    }
+    bool delivered = false;
+    for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+      if (attempt > 0) {
+        // Exponential backoff, exponent capped to keep the shift sane.
+        double backoff =
+            policy.backoff_base_sec * static_cast<double>(int64_t{1} << std::min(attempt - 1, 40));
+        elapsed += backoff;
+        if (elapsed >= policy.batch_deadline_sec) {
+          deadline_hit = true;
+          break;
+        }
+        ++batch.retransmissions;
+      }
+      TransmitResult attempt_result = injector.TransmitFrame(link, frame_bytes, attempt > 0);
+      elapsed += attempt_result.latency_sec;
+      batch.total_bytes += frame_bytes;
+      // A frame delivered right at the deadline still counts, but the batch
+      // stops transmitting either way.
+      if (elapsed >= policy.batch_deadline_sec) deadline_hit = true;
+      if (attempt_result.outcome == TransmitOutcome::kDelivered) {
+        delivered = true;
+        break;
+      }
+      if (deadline_hit) break;
+    }
+    if (delivered) {
+      batch.frame_indices.push_back(frame);
+    } else {
+      ++batch.frames_lost;
+    }
+  }
+  batch.transmit_seconds = elapsed;
   return batch;
 }
 

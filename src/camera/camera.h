@@ -7,13 +7,21 @@
 // image removal, random frame sampling and resolution reduction, accounts
 // every transmitted byte on the NetworkLink, and hands the central system a
 // batch descriptor from which estimation can proceed.
+//
+// The fault-aware overload pushes every frame through a FaultInjector and
+// retries failures under a TransmitPolicy (bounded attempts, exponential
+// backoff, per-batch deadline). Frames that stay undelivered are dropped
+// from the batch — the batch records attempted vs delivered counts so the
+// central system can degrade gracefully instead of crashing or lying.
 
 #ifndef SMOKESCREEN_CAMERA_CAMERA_H_
 #define SMOKESCREEN_CAMERA_CAMERA_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
+#include "camera/fault_injector.h"
 #include "camera/network_link.h"
 #include "degrade/degraded_view.h"
 #include "degrade/intervention.h"
@@ -28,7 +36,10 @@ namespace camera {
 /// What one camera ships to the central system for one capture window.
 struct CameraBatch {
   int camera_id = 0;
-  /// Frames actually transmitted (indices into the camera's own feed).
+  /// Frames actually DELIVERED (indices into the camera's own feed). Under
+  /// fault injection this may be a strict subset of the sampled frames;
+  /// because the sample was uniform and loss is content-independent, the
+  /// survivors are still a uniform sample of the eligible population.
   std::vector<int64_t> frame_indices;
   /// Population the sample was drawn from (survivors of image removal).
   int64_t eligible_population = 0;
@@ -36,7 +47,37 @@ struct CameraBatch {
   int64_t original_population = 0;
   int resolution = 0;
   double contrast_scale = 1.0;
+  /// Radio-side bytes, including retransmissions and undelivered frames.
   int64_t total_bytes = 0;
+
+  // --- Delivery accounting (fault-aware path; clean path sets attempted ==
+  // delivered and zeros the rest) -------------------------------------------
+  /// Frames the camera sampled and tried to send.
+  int64_t attempted_frames = 0;
+  /// Frames that never arrived usable despite the retry policy.
+  int64_t frames_lost = 0;
+  /// Extra transmission attempts beyond the first, across all frames.
+  int64_t retransmissions = 0;
+  /// Wall-clock spent transmitting (channel latency + retry backoff).
+  double transmit_seconds = 0.0;
+
+  int64_t delivered_frames() const { return static_cast<int64_t>(frame_indices.size()); }
+  /// Delivered fraction of the attempted sample (1.0 for an empty batch).
+  double DeliveryFraction() const;
+};
+
+/// Bounded-retry policy for one capture window's transmission.
+struct TransmitPolicy {
+  /// Attempts per frame (>= 1); 1 means no retries.
+  int max_attempts = 3;
+  /// Backoff before retry k (k >= 1) is backoff_base_sec * 2^(k-1).
+  double backoff_base_sec = 0.01;
+  /// Give up on the whole batch once cumulative transmit time (latency +
+  /// backoff) exceeds this; remaining frames count as lost without spending
+  /// radio energy on them.
+  double batch_deadline_sec = std::numeric_limits<double>::infinity();
+
+  util::Status Validate() const;
 };
 
 struct CameraConfig {
@@ -62,10 +103,22 @@ class Camera {
   int64_t FrameBytes() const;
 
   /// Applies the interventions to the whole feed and transmits the surviving
-  /// sample over `link`. Randomness (frame sampling) comes from `rng`.
+  /// sample over `link` (perfect channel). Randomness (frame sampling) comes
+  /// from `rng`.
   util::Result<CameraBatch> CaptureAndTransmit(NetworkLink& link, stats::Rng& rng) const;
 
+  /// Fault-aware capture: every frame goes through `injector`; failed
+  /// attempts are retried per `policy`. Frames still undelivered when the
+  /// attempt budget or batch deadline runs out are dropped from the batch
+  /// and tallied in `frames_lost`. Never fails on loss alone — a fully
+  /// blacked-out camera returns an OK batch with zero delivered frames.
+  util::Result<CameraBatch> CaptureAndTransmit(FaultInjector& injector, NetworkLink& link,
+                                               stats::Rng& rng,
+                                               const TransmitPolicy& policy = {}) const;
+
  private:
+  util::Result<CameraBatch> MakeBatchSkeleton(stats::Rng& rng) const;
+
   CameraConfig config_;
   const video::VideoDataset& feed_;
   const detect::ClassPriorIndex& prior_;

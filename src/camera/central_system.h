@@ -7,6 +7,21 @@
 // (core/combine.h): camera k's interval gets weight N_k / sum N and failure
 // budget delta / num_cameras.
 //
+// Fault tolerance: real uplinks lose frames and whole cameras. A lost frame
+// only SHRINKS the delivered sample — the frames were sampled uniformly and
+// channel faults are content-independent, so the survivors are still a
+// uniform sample and Algorithm 1 over them stays valid with an honestly
+// wider bound. Ingest therefore accepts partial batches (recording
+// attempted vs delivered counts), each feed carries a health state
+// (live / stale / no data), and CityWideEstimate comes in two flavors:
+//   * the legacy all-feeds overload, which now REFUSES to answer (Status
+//     error) unless every registered feed is live — it will not silently
+//     return a number that pretends dead cameras don't exist;
+//   * the PartialPolicy overload, which answers over the live feeds only,
+//     reallocates the failure budget delta / num_live, and reports the
+//     coverage (live fraction of the city's frame population) in
+//     core::CombinedEstimate.
+//
 // Mean-family aggregates (AVG/SUM/COUNT) only: stratified combination of
 // extreme quantiles is not sound without cross-camera distribution access.
 
@@ -15,11 +30,13 @@
 
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "camera/camera.h"
 #include "core/combine.h"
 #include "core/estimate.h"
+#include "core/online_monitor.h"
 #include "detect/detector.h"
 #include "query/output_source.h"
 #include "query/query_spec.h"
@@ -27,6 +44,28 @@
 
 namespace smokescreen {
 namespace camera {
+
+/// Lifecycle of one registered feed.
+enum class FeedHealth {
+  kNoData = 0,  // Registered, nothing usable ingested yet (or reinstated).
+  kLive,        // Latest batch ingested and trusted.
+  kStale,       // Demoted: delivered nothing, went overdue, or failed the
+                // drift check. Excluded from estimates until reinstated and
+                // re-ingested.
+};
+
+const char* FeedHealthName(FeedHealth health);
+
+/// How CityWideEstimate(PartialPolicy) treats an incomplete deployment.
+struct PartialPolicy {
+  /// Minimum live feeds required to answer at all.
+  int64_t min_live_feeds = 1;
+  /// Minimum coverage (live fraction of the city's frame population) in
+  /// [0,1]; below it the partial answer is refused as too unrepresentative.
+  double min_coverage = 0.0;
+
+  util::Status Validate() const;
+};
 
 class CentralSystem {
  public:
@@ -38,19 +77,54 @@ class CentralSystem {
   /// system. Error when the id is already registered.
   util::Status AddFeed(const Camera& cam, const detect::Detector& model);
 
-  /// Ingests one transmitted batch: runs the UDF over the batch's frames and
-  /// stores the outputs for estimation. Error for unknown camera ids or
-  /// empty batches. Re-ingesting a camera's batch replaces the previous one.
+  /// Ingests one transmitted batch: runs the UDF over the delivered frames
+  /// and stores the outputs for estimation. Error for unknown camera ids or
+  /// batches that attempted nothing. A batch that attempted frames but
+  /// delivered none (blackout) is accepted and demotes the feed to stale.
+  /// Re-ingesting a camera's batch replaces the previous one with a logged
+  /// warning (common and expected under retrying transports).
   util::Status Ingest(const CameraBatch& batch);
 
-  /// Number of feeds that have delivered a batch.
+  /// Number of feeds currently live (ingested and trusted).
   int64_t feeds_with_data() const;
+  int64_t feeds_registered() const { return static_cast<int64_t>(feeds_.size()); }
 
-  /// Algorithm-1 estimate for one camera (mean scale).
+  /// Health of one feed; NotFound for unknown ids.
+  util::Result<FeedHealth> feed_health(int camera_id) const;
+  /// Batches ever ingested for one feed (including replaced and empty ones).
+  util::Result<int64_t> batches_ingested(int camera_id) const;
+  /// Attempted/delivered frame counts from the feed's latest batch.
+  util::Result<std::pair<int64_t, int64_t>> feed_delivery(int camera_id) const;
+
+  // --- Health transitions ---------------------------------------------------
+  /// Demotes a feed whose batch has not arrived in time to stale.
+  util::Status MarkFeedOverdue(int camera_id);
+  /// Runs the feed's drift check (core::OnlineMonitor) against the profiled
+  /// reference answer (aggregate scale). Returns whether the feed is
+  /// consistent; on inconsistency the feed is demoted to stale as a side
+  /// effect. Error when the feed has no ingested data.
+  util::Result<bool> CheckFeedDrift(int camera_id, double reference_answer,
+                                    double slack = 0.0);
+  /// Clears a stale feed back to kNoData after re-profiling; it rejoins the
+  /// estimate at its next ingested batch.
+  util::Status ReinstateFeed(int camera_id);
+
+  /// Algorithm-1 estimate for one camera (mean scale), over whatever its
+  /// latest batch delivered.
   util::Result<core::Estimate> CameraEstimate(int camera_id) const;
 
-  /// Stratified city-wide estimate over all ingested feeds.
+  /// Strict city-wide estimate: every registered feed must be live. Returns
+  /// FailedPrecondition naming the first non-live feed otherwise — use the
+  /// PartialPolicy overload for an explicit partial answer.
   util::Result<core::CombinedEstimate> CityWideEstimate() const;
+
+  /// Partial city-wide estimate over the live feeds only. Each live feed
+  /// gets failure budget delta / num_live; the result's `coverage` reports
+  /// the live fraction of the city's frame population, and `strata_total`
+  /// the number of registered feeds. FailedPrecondition when fewer than
+  /// `policy.min_live_feeds` feeds are live or coverage falls below
+  /// `policy.min_coverage`.
+  util::Result<core::CombinedEstimate> CityWideEstimate(const PartialPolicy& policy) const;
 
  private:
   CentralSystem(const query::QuerySpec& spec, double delta) : spec_(spec), delta_(delta) {}
@@ -60,9 +134,18 @@ class CentralSystem {
     std::unique_ptr<query::FrameOutputSource> source;
     // Filled by Ingest():
     bool has_batch = false;
+    FeedHealth health = FeedHealth::kNoData;
     std::vector<double> outputs;
     int64_t eligible_population = 0;
+    int64_t batches_ingested = 0;
+    int64_t attempted_frames = 0;
+    int64_t delivered_frames = 0;
+    // Streams the latest batch's outputs for the drift check.
+    std::unique_ptr<core::OnlineMonitor> monitor;
   };
+
+  util::Result<core::CombinedEstimate> CombineFeeds(
+      const std::vector<const Feed*>& included) const;
 
   query::QuerySpec spec_;
   double delta_;

@@ -3,9 +3,34 @@
 namespace smokescreen {
 namespace camera {
 
-void NetworkLink::TransmitFrame(int64_t bytes) {
+using util::Result;
+using util::Status;
+
+Status NetworkLinkConfig::Validate() const {
+  if (bandwidth_bytes_per_sec < 0.0) {
+    return Status::InvalidArgument("bandwidth_bytes_per_sec must be non-negative");
+  }
+  if (energy_joules_per_byte < 0.0) {
+    return Status::InvalidArgument("energy_joules_per_byte must be non-negative");
+  }
+  if (energy_joules_per_frame < 0.0) {
+    return Status::InvalidArgument("energy_joules_per_frame must be non-negative");
+  }
+  return Status::OK();
+}
+
+Result<NetworkLink> NetworkLink::Create(NetworkLinkConfig config) {
+  SMK_RETURN_IF_ERROR(config.Validate());
+  return NetworkLink(config);
+}
+
+void NetworkLink::TransmitFrame(int64_t bytes, bool is_retransmission) {
   total_bytes_ += bytes;
   ++total_frames_;
+  if (is_retransmission) {
+    retransmitted_bytes_ += bytes;
+    ++retransmitted_frames_;
+  }
 }
 
 double NetworkLink::BusySeconds() const {
@@ -18,9 +43,16 @@ double NetworkLink::EnergyJoules() const {
          static_cast<double>(total_frames_) * config_.energy_joules_per_frame;
 }
 
+double NetworkLink::RetransmitEnergyJoules() const {
+  return static_cast<double>(retransmitted_bytes_) * config_.energy_joules_per_byte +
+         static_cast<double>(retransmitted_frames_) * config_.energy_joules_per_frame;
+}
+
 void NetworkLink::Reset() {
   total_bytes_ = 0;
   total_frames_ = 0;
+  retransmitted_bytes_ = 0;
+  retransmitted_frames_ = 0;
 }
 
 }  // namespace camera

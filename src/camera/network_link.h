@@ -3,12 +3,17 @@
 // The paper's §1 motivates degradation partly with transmission constraints
 // (wireless sensor networks' low bandwidth, energy budgets). NetworkLink
 // tallies what a camera actually sends so deployments can verify that the
-// chosen degradation meets those constraints.
+// chosen degradation meets those constraints. Under the fault-injection
+// layer the same tallies expose the *overhead of recovery*: retransmitted
+// frames/bytes are tracked separately so the energy cost of a retry policy
+// is directly observable.
 
 #ifndef SMOKESCREEN_CAMERA_NETWORK_LINK_H_
 #define SMOKESCREEN_CAMERA_NETWORK_LINK_H_
 
 #include <cstdint>
+
+#include "util/status.h"
 
 namespace smokescreen {
 namespace camera {
@@ -20,17 +25,31 @@ struct NetworkLinkConfig {
   double energy_joules_per_byte = 1.0e-7;
   /// Fixed per-frame overhead (wakeup, headers).
   double energy_joules_per_frame = 1.0e-3;
+
+  /// Rejects negative bandwidth/energy values (a negative bandwidth would
+  /// silently zero BusySeconds; negative energies make EnergyJoules garbage).
+  util::Status Validate() const;
 };
 
 class NetworkLink {
  public:
+  /// Validated construction; InvalidArgument on negative config values.
+  /// Prefer this over the raw constructor.
+  static util::Result<NetworkLink> Create(NetworkLinkConfig config);
+
+  /// Legacy unchecked constructor (kept for call sites that build from
+  /// compile-time-known configs); garbage in, garbage accounting out.
   explicit NetworkLink(NetworkLinkConfig config) : config_(config) {}
 
-  /// Records the transmission of one frame of `bytes` bytes.
-  void TransmitFrame(int64_t bytes);
+  /// Records the transmission of one frame of `bytes` bytes. When
+  /// `is_retransmission` is set, the frame additionally counts toward the
+  /// retransmission tallies (it is always part of the totals).
+  void TransmitFrame(int64_t bytes, bool is_retransmission = false);
 
   int64_t total_bytes() const { return total_bytes_; }
   int64_t total_frames() const { return total_frames_; }
+  int64_t retransmitted_bytes() const { return retransmitted_bytes_; }
+  int64_t retransmitted_frames() const { return retransmitted_frames_; }
 
   /// Time the link spends busy, at the configured bandwidth.
   double BusySeconds() const;
@@ -38,12 +57,18 @@ class NetworkLink {
   /// Total radio energy spent.
   double EnergyJoules() const;
 
+  /// Radio energy spent on retransmissions alone (the recovery overhead a
+  /// retry policy buys its delivered-sample fraction with).
+  double RetransmitEnergyJoules() const;
+
   void Reset();
 
  private:
   NetworkLinkConfig config_;
   int64_t total_bytes_ = 0;
   int64_t total_frames_ = 0;
+  int64_t retransmitted_bytes_ = 0;
+  int64_t retransmitted_frames_ = 0;
 };
 
 }  // namespace camera

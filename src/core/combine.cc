@@ -37,6 +37,8 @@ Result<CombinedEstimate> CombineMeanEstimates(const std::vector<StratumInterval>
     ub += weight * stratum.ub;
   }
   combined.estimate = SmokescreenMeanEstimator::FromBounds(lb, ub, /*sign=*/1.0);
+  combined.strata_combined = static_cast<int64_t>(strata.size());
+  combined.strata_total = combined.strata_combined;
   return combined;
 }
 

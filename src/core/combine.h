@@ -34,8 +34,21 @@ struct CombinedEstimate {
   Estimate estimate;
   /// Total failure budget: sum of the strata deltas.
   double total_delta = 0.0;
-  /// Total population covered.
+  /// Total population covered by the combined strata.
   int64_t total_population = 0;
+
+  // --- Partial-answer reporting (graceful degradation) ----------------------
+  /// Fraction of the full deployment's frame population contributed by the
+  /// strata actually combined. 1.0 when every registered feed participated;
+  /// < 1.0 for a partial answer over the surviving feeds. Set by the caller
+  /// that knows the full population (e.g. camera::CentralSystem); defaults
+  /// to full coverage.
+  double coverage = 1.0;
+  /// Strata that went into the combination (== strata.size()).
+  int64_t strata_combined = 0;
+  /// Strata the deployment *has* (registered feeds); equals strata_combined
+  /// for a full answer. Set by the caller; defaults to strata_combined.
+  int64_t strata_total = 0;
 };
 
 /// Combines per-stratum intervals into one estimate. Error when empty, when

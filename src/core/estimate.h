@@ -10,6 +10,7 @@
 #ifndef SMOKESCREEN_CORE_ESTIMATE_H_
 #define SMOKESCREEN_CORE_ESTIMATE_H_
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -25,6 +26,15 @@ struct Estimate {
   double y_approx = 0.0;
   double err_b = 0.0;
 };
+
+/// True when `truth` lies inside the estimate's certified relative-error
+/// interval, i.e. |y_approx - truth| <= err_b * |truth|. This is the check
+/// every coverage experiment and fault-tolerance test performs; a zero truth
+/// is covered only by a zero answer (relative error is undefined there).
+inline bool CoversTruth(const Estimate& estimate, double truth) {
+  if (truth == 0.0) return estimate.y_approx == 0.0;
+  return std::abs(estimate.y_approx - truth) <= estimate.err_b * std::abs(truth);
+}
 
 /// Estimators for AVG (and, after scaling by N, SUM and COUNT).
 class MeanEstimator {

@@ -28,6 +28,12 @@ Result<OnlineMonitor> OnlineMonitor::Create(const query::QuerySpec& spec,
 
 void OnlineMonitor::Observe(double output) { accumulator_.Add(output); }
 
+void OnlineMonitor::ObserveAll(const std::vector<double>& outputs) {
+  for (double output : outputs) accumulator_.Add(output);
+}
+
+void OnlineMonitor::Reset() { accumulator_ = stats::WelfordAccumulator(); }
+
 Result<Estimate> OnlineMonitor::CurrentEstimate() const {
   if (accumulator_.count() == 0) return Status::FailedPrecondition("no outputs observed yet");
   int64_t n = std::min(accumulator_.count(), population_);

@@ -34,6 +34,14 @@ class OnlineMonitor {
   /// Feeds one frame-level output (already query-transformed).
   void Observe(double output);
 
+  /// Feeds a whole batch of outputs (a camera batch arriving at once).
+  void ObserveAll(const std::vector<double>& outputs);
+
+  /// Forgets everything observed so far. Used when a feed is re-profiled
+  /// after drift or an outage: the stale stream must not contaminate the
+  /// fresh one's interval.
+  void Reset();
+
   int64_t count() const { return accumulator_.count(); }
 
   /// Current Algorithm-1 estimate/bound from the streamed prefix. Error when

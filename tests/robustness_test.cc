@@ -7,16 +7,23 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <vector>
 
 #include "baselines/mean_baselines.h"
 #include "baselines/stein.h"
+#include "camera/camera.h"
+#include "camera/central_system.h"
+#include "camera/fault_injector.h"
 #include "core/avg_estimator.h"
 #include "core/quantile_estimator.h"
 #include "core/var_estimator.h"
 #include "degrade/intervention.h"
+#include "detect/models.h"
 #include "query/parser.h"
 #include "stats/normal.h"
 #include "stats/rng.h"
+#include "video/presets.h"
 #include "video/scene_simulator.h"
 
 namespace smokescreen {
@@ -225,6 +232,231 @@ TEST(CltTBaselineTest, WiderThanPlainCltAtSmallSamples) {
 TEST(CltTBaselineTest, RejectsSingleSample) {
   baselines::CltTEstimator clt_t;
   EXPECT_FALSE(clt_t.EstimateMean({1.0}, 100, 0.05).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Deployment fault tolerance: seeded loss/blackout scenarios. The survivors
+// of channel faults are still a uniform sample (loss is content-
+// independent), so estimates over them must stay inside their widened
+// bounds; dead deployments must fail with a Status, never UB.
+// ---------------------------------------------------------------------------
+
+class FaultScenarioTest : public ::testing::Test {
+ protected:
+  // Three homogeneous cameras over the same feed: identical per-camera
+  // truth, so a partial answer over any survivor subset estimates the same
+  // city-wide quantity and its interval must cover the clean answer.
+  void SetUp() override {
+    auto feed = video::MakePresetScaled(video::ScenePreset::kUaDetrac, 1500);
+    feed.status().CheckOk();
+    feed_ = std::make_unique<video::VideoDataset>(std::move(feed).ValueOrDie());
+    auto prior = detect::ClassPriorIndex::Build(*feed_, yolo_, mtcnn_);
+    prior.status().CheckOk();
+    prior_ = std::make_unique<detect::ClassPriorIndex>(std::move(prior).ValueOrDie());
+    spec_.aggregate = query::AggregateFunction::kAvg;
+    for (int id = 1; id <= 3; ++id) {
+      camera::CameraConfig config;
+      config.camera_id = id;
+      config.interventions.sample_fraction = 0.25;
+      cameras_.push_back(
+          std::make_unique<camera::Camera>(config, *feed_, *prior_, 608));
+    }
+  }
+
+  util::Result<camera::CentralSystem> MakeCentral() {
+    auto central = camera::CentralSystem::Create(spec_, 0.05);
+    if (!central.ok()) return central;
+    for (const auto& cam : cameras_) {
+      SMK_RETURN_IF_ERROR(central->AddFeed(*cam, yolo_));
+    }
+    return central;
+  }
+
+  detect::SimYoloV4 yolo_;
+  detect::SimMtcnn mtcnn_;
+  query::QuerySpec spec_;
+  std::unique_ptr<video::VideoDataset> feed_;
+  std::unique_ptr<detect::ClassPriorIndex> prior_;
+  std::vector<std::unique_ptr<camera::Camera>> cameras_;
+};
+
+// The headline scenario: ~20% bursty frame loss on two cameras plus a full
+// blackout of the third. The partial-policy answer must be valid (interval
+// contains the clean-pipeline answer) with coverage < 1, and the legacy
+// all-feeds path must refuse with a Status error instead of answering.
+TEST_F(FaultScenarioTest, BurstyLossPlusBlackoutKeepsBoundsSound) {
+  // Clean pipeline reference.
+  auto clean_central = MakeCentral();
+  ASSERT_TRUE(clean_central.ok());
+  stats::Rng clean_rng(1001);
+  camera::NetworkLink clean_link(camera::NetworkLinkConfig{});
+  for (const auto& cam : cameras_) {
+    auto batch = cam->CaptureAndTransmit(clean_link, clean_rng);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE(clean_central->Ingest(*batch).ok());
+  }
+  auto clean = clean_central->CityWideEstimate();
+  ASSERT_TRUE(clean.ok());
+  EXPECT_NEAR(clean->coverage, 1.0, 1e-12);
+
+  // Faulty pipeline: Gilbert–Elliott ~20% loss on cameras 1-2, camera 3
+  // blacked out for the whole window.
+  auto central = MakeCentral();
+  ASSERT_TRUE(central.ok());
+  stats::Rng rng(1002);
+  camera::NetworkLink link(camera::NetworkLinkConfig{});
+  camera::TransmitPolicy policy;
+  policy.max_attempts = 1;  // No retries: the loss rate hits the sample.
+
+  camera::FaultProfile bursty;
+  bursty.loss_prob = 0.05;
+  bursty.p_good_to_bad = 0.1;
+  bursty.p_bad_to_good = 0.3;
+  bursty.bad_loss_prob = 0.8;  // Stationary loss ~ 0.25*0.8 + 0.75*0.05.
+  camera::FaultProfile dead;
+  dead.blackouts.push_back(camera::FaultProfile::Blackout::Forever());
+
+  for (size_t i = 0; i < cameras_.size(); ++i) {
+    camera::FaultProfile profile = (i == 2) ? dead : bursty;
+    profile.seed = 2000 + i;
+    auto injector = camera::FaultInjector::Create(profile);
+    ASSERT_TRUE(injector.ok());
+    auto batch = cameras_[i]->CaptureAndTransmit(*injector, link, rng, policy);
+    ASSERT_TRUE(batch.ok());
+    if (i == 2) {
+      EXPECT_EQ(batch->delivered_frames(), 0);
+    } else {
+      EXPECT_GT(batch->frames_lost, 0);
+      EXPECT_LT(batch->DeliveryFraction(), 0.95);
+      EXPECT_GT(batch->DeliveryFraction(), 0.6);
+    }
+    ASSERT_TRUE(central->Ingest(*batch).ok());
+  }
+  EXPECT_EQ(central->feeds_with_data(), 2);
+  EXPECT_EQ(*central->feed_health(3), camera::FeedHealth::kStale);
+
+  // Legacy all-feeds path: a Status error, not a silently wrong number.
+  auto strict = central->CityWideEstimate();
+  EXPECT_EQ(strict.status().code(), util::StatusCode::kFailedPrecondition);
+
+  // Partial path: valid answer over survivors, honest coverage.
+  auto partial = central->CityWideEstimate(camera::PartialPolicy{});
+  ASSERT_TRUE(partial.ok());
+  EXPECT_LT(partial->coverage, 1.0);
+  EXPECT_NEAR(partial->coverage, 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(partial->strata_combined, 2);
+  EXPECT_EQ(partial->strata_total, 3);
+  // The failure budget is reallocated over the live feeds only.
+  EXPECT_NEAR(partial->total_delta, 0.05, 1e-9);
+  // Soundness: the partial interval contains the clean-pipeline answer, at
+  // the price of a wider bound than the full three-camera combination.
+  EXPECT_TRUE(core::CoversTruth(partial->estimate, clean->estimate.y_approx))
+      << "partial " << partial->estimate.y_approx << " +- "
+      << partial->estimate.err_b << " vs clean " << clean->estimate.y_approx;
+  EXPECT_GT(partial->estimate.err_b, 0.0);
+}
+
+TEST_F(FaultScenarioTest, LossWidensBoundsButKeepsValidity) {
+  // Same seed stream, increasing loss: the delivered sample shrinks and the
+  // certified bound must widen, while every estimate stays finite and sane.
+  double previous_bound = 0.0;
+  for (double loss : {0.0, 0.2, 0.5}) {
+    auto central = MakeCentral();
+    ASSERT_TRUE(central.ok());
+    stats::Rng rng(77);  // Identical sampling randomness per loss level.
+    camera::NetworkLink link(camera::NetworkLinkConfig{});
+    camera::TransmitPolicy policy;
+    policy.max_attempts = 1;
+    camera::FaultProfile profile;
+    profile.loss_prob = loss;
+    profile.seed = 4242;
+    for (const auto& cam : cameras_) {
+      auto injector = camera::FaultInjector::Create(profile);
+      ASSERT_TRUE(injector.ok());
+      auto batch = cam->CaptureAndTransmit(*injector, link, rng, policy);
+      ASSERT_TRUE(batch.ok());
+      ASSERT_TRUE(central->Ingest(*batch).ok());
+    }
+    auto city = central->CityWideEstimate(camera::PartialPolicy{});
+    ASSERT_TRUE(city.ok());
+    EXPECT_FALSE(std::isnan(city->estimate.y_approx));
+    EXPECT_GE(city->estimate.err_b, previous_bound);
+    previous_bound = city->estimate.err_b;
+  }
+}
+
+TEST_F(FaultScenarioTest, AllFeedsDeadReturnsFailedPrecondition) {
+  auto central = MakeCentral();
+  ASSERT_TRUE(central.ok());
+  stats::Rng rng(88);
+  camera::NetworkLink link(camera::NetworkLinkConfig{});
+  camera::FaultProfile dead;
+  dead.blackouts.push_back(camera::FaultProfile::Blackout::Forever());
+  for (size_t i = 0; i < cameras_.size(); ++i) {
+    dead.seed = 3000 + i;
+    auto injector = camera::FaultInjector::Create(dead);
+    ASSERT_TRUE(injector.ok());
+    auto batch = cameras_[i]->CaptureAndTransmit(*injector, link, rng, camera::TransmitPolicy{});
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE(central->Ingest(*batch).ok());  // Recorded, demoted to stale.
+  }
+  EXPECT_EQ(central->feeds_with_data(), 0);
+  EXPECT_EQ(central->CityWideEstimate().status().code(),
+            util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(central->CityWideEstimate(camera::PartialPolicy{}).status().code(),
+            util::StatusCode::kFailedPrecondition);
+  for (int id = 1; id <= 3; ++id) {
+    EXPECT_EQ(central->CameraEstimate(id).status().code(),
+              util::StatusCode::kFailedPrecondition);
+  }
+}
+
+// Randomized fault profiles: Validate() partitions the space, and every
+// validated profile transmits without crashing while preserving the
+// attempted == delivered + lost invariant.
+TEST(FaultProfileFuzzTest, ValidatedProfilesAlwaysTransmit) {
+  stats::Rng rng(4321);
+  int valid = 0, invalid = 0;
+  for (int iter = 0; iter < 500; ++iter) {
+    camera::FaultProfile profile;
+    profile.loss_prob = rng.NextGaussian() * 0.4 + 0.2;  // Often out of [0,1].
+    profile.p_good_to_bad = rng.NextDouble() * 1.2 - 0.1;
+    profile.p_bad_to_good = rng.NextDouble() * 1.2 - 0.1;
+    profile.bad_loss_prob = rng.NextDouble() * 1.2 - 0.1;
+    profile.corrupt_prob = rng.NextDouble() * 0.6;
+    profile.truncate_prob = rng.NextDouble() * 0.6;
+    profile.latency_per_frame_sec = rng.NextGaussian() * 0.01;
+    profile.stall_prob = rng.NextDouble();
+    profile.stall_sec = rng.NextDouble();
+    profile.seed = rng.NextUint64();
+    if (rng.NextBernoulli(0.3)) {
+      int64_t start = static_cast<int64_t>(rng.NextBounded(100)) - 20;
+      profile.blackouts.push_back({start, start + static_cast<int64_t>(rng.NextBounded(50))});
+    }
+
+    auto injector = camera::FaultInjector::Create(profile);
+    if (!injector.ok()) {
+      EXPECT_EQ(injector.status().code(), util::StatusCode::kInvalidArgument);
+      ++invalid;
+      continue;
+    }
+    ++valid;
+    camera::NetworkLink link(camera::NetworkLinkConfig{});
+    int usable = 0;
+    for (int i = 0; i < 50; ++i) {
+      auto result = injector->TransmitFrame(link, 64);
+      if (result.outcome == camera::TransmitOutcome::kDelivered) {
+        EXPECT_EQ(result.bytes_delivered, 64);
+        ++usable;
+      }
+      EXPECT_GE(result.latency_sec, 0.0);
+    }
+    EXPECT_EQ(injector->attempts(), 50);
+    EXPECT_EQ(injector->delivered(), usable);
+    EXPECT_EQ(link.total_frames(), 50);
+  }
+  EXPECT_GT(valid, 30);
+  EXPECT_GT(invalid, 30);
 }
 
 }  // namespace
