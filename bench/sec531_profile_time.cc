@@ -22,7 +22,20 @@
 
 using namespace smokescreen;
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = 1;  // Serial by default: the paper's timing is single-stream.
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      auto parsed = util::ParseInt(argv[++i]);
+      parsed.status().CheckOk();
+      threads = static_cast<int>(*parsed);
+    } else {
+      std::fprintf(stderr, "usage: sec531_profile_time [--threads N]\n");
+      return 2;
+    }
+  }
+
   std::printf("=== Section 5.3.1: profile generation time ===\n\n");
 
   bench::Workload wl = bench::MakeWorkload(video::ScenePreset::kUaDetrac, "yolov4");
@@ -46,6 +59,7 @@ int main() {
   core::ProfilerOptions opts;
   opts.use_correction_set = false;  // Isolate the candidate-grid invocations.
   opts.early_stop = false;
+  opts.num_threads = threads;
   core::Profiler profiler(*wl.source, *wl.prior, spec, opts);
   stats::Rng rng(531);
 
@@ -53,6 +67,8 @@ int main() {
   auto profile = profiler.Generate(*grid, rng);
   profile.status().CheckOk();
   double total_seconds = total_timer.ElapsedSeconds();
+  // Copy: the replay below overwrites last_report().
+  const core::ProfilerReport report = profiler.last_report();
 
   int64_t invocations = wl.source->model_invocations();
   int64_t expected = 10 * stats::FractionToCount(wl.dataset->num_frames(), 0.04);
@@ -68,6 +84,10 @@ int main() {
   double per_candidate_ms = est_seconds * 1000.0 / static_cast<double>(grid->size());
 
   util::TablePrinter table({"quantity", "value"});
+  table.AddRow({"profiler threads", std::to_string(report.num_threads)});
+  table.AddRow({"hypercube groups", std::to_string(report.num_groups)});
+  table.AddRow({"hypercube stage wall-clock",
+                util::FormatDouble(report.groups_seconds, 3) + " s"});
   table.AddRow({"intervention candidates", std::to_string(grid->size())});
   table.AddRow({"model invocations", std::to_string(invocations)});
   table.AddRow({"expected (paper: 6084 = 4% x 15210 x 10 res)", std::to_string(expected)});

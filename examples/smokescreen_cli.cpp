@@ -23,6 +23,8 @@
 //   --profile-in P     skip generation; choose from a saved profile
 //   --slices           render the three initial cube slices (§3.1) as plots
 //   --seed S           RNG seed                            (default 2026)
+//   --threads N        profiler worker threads; 0 = hardware concurrency
+//                      (default 0; the profile is bit-identical at any N)
 
 #include <cstdio>
 #include <cstdlib>
@@ -61,6 +63,7 @@ struct Flags {
   std::string query_text;
   bool slices = false;
   uint64_t seed = 2026;
+  int threads = 0;  // 0 = hardware concurrency.
 };
 
 util::Result<Flags> ParseFlags(int argc, char** argv) {
@@ -79,10 +82,14 @@ util::Result<Flags> ParseFlags(int argc, char** argv) {
       SMK_ASSIGN_OR_RETURN(flags.aggregate, next());
     } else if (arg == "--frames") {
       SMK_ASSIGN_OR_RETURN(std::string v, next());
-      flags.frames = std::atoll(v.c_str());
+      SMK_ASSIGN_OR_RETURN(flags.frames, util::ParseInt(v));
     } else if (arg == "--max-error") {
       SMK_ASSIGN_OR_RETURN(std::string v, next());
-      flags.max_error = std::atof(v.c_str());
+      SMK_ASSIGN_OR_RETURN(flags.max_error, util::ParseDouble(v));
+    } else if (arg == "--threads") {
+      SMK_ASSIGN_OR_RETURN(std::string v, next());
+      SMK_ASSIGN_OR_RETURN(int64_t threads, util::ParseInt(v));
+      flags.threads = static_cast<int>(threads);
     } else if (arg == "--restrict") {
       SMK_ASSIGN_OR_RETURN(flags.restrict_classes, next());
     } else if (arg == "--profile-out") {
@@ -95,7 +102,8 @@ util::Result<Flags> ParseFlags(int argc, char** argv) {
       flags.slices = true;
     } else if (arg == "--seed") {
       SMK_ASSIGN_OR_RETURN(std::string v, next());
-      flags.seed = std::strtoull(v.c_str(), nullptr, 10);
+      SMK_ASSIGN_OR_RETURN(int64_t seed, util::ParseInt(v));
+      flags.seed = static_cast<uint64_t>(seed);
     } else if (arg == "--help" || arg == "-h") {
       return util::Status::InvalidArgument("help requested");
     } else {
@@ -199,12 +207,21 @@ int Run(Flags flags) {
     core::ProfilerOptions opts;
     opts.use_correction_set = true;
     opts.early_stop = false;
+    opts.num_threads = flags.threads;
     core::Profiler profiler(source, *prior, spec, opts);
     auto generated = profiler.Generate(*grid, rng);
     generated.status().CheckOk();
     profile = *generated;
+    const core::ProfilerReport& report = profiler.last_report();
     std::printf("generated %zu profile points (%lld model invocations)\n",
                 profile.points.size(), static_cast<long long>(source.model_invocations()));
+    std::printf(
+        "profiling stages: correction %.3fs, hypercube %.3fs, total %.3fs\n"
+        "  (%d threads, %lld groups, %lld invocations, %lld cache hits)\n",
+        report.correction_seconds, report.groups_seconds, report.total_seconds,
+        report.num_threads, static_cast<long long>(report.num_groups),
+        static_cast<long long>(report.model_invocations),
+        static_cast<long long>(report.cache_hits));
     if (!flags.profile_out.empty()) {
       core::SaveProfile(profile, flags.profile_out).CheckOk();
       std::printf("profile saved to %s\n", flags.profile_out.c_str());
@@ -265,7 +282,7 @@ int main(int argc, char** argv) {
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n\nusage: smokescreen_cli [--dataset D] [--model M] [--agg A]\n"
                          "  [--frames N] [--max-error X] [--restrict person,face]\n"
-                         "  [--profile-out P | --profile-in P] [--seed S]\n",
+                         "  [--profile-out P | --profile-in P] [--seed S] [--threads N]\n",
                  flags.status().ToString().c_str());
     return 2;
   }

@@ -1,7 +1,7 @@
 #include "core/profile_io.h"
 
-#include <cstdlib>
 #include <fstream>
+#include <limits>
 
 #include "util/string_util.h"
 
@@ -66,9 +66,11 @@ Result<Profile> LoadProfile(const std::string& path) {
     } else if (key == "aggregate") {
       SMK_ASSIGN_OR_RETURN(profile.spec.aggregate, query::AggregateFunctionFromName(value));
     } else if (key == "count_threshold") {
-      profile.spec.count_threshold = std::atoi(value.c_str());
+      // Strict parses: a corrupt header must fail loudly, not load as 0.
+      SMK_ASSIGN_OR_RETURN(int64_t threshold, util::ParseInt(value));
+      profile.spec.count_threshold = static_cast<int>(threshold);
     } else if (key == "quantile_r") {
-      profile.spec.quantile_r = std::atof(value.c_str());
+      SMK_ASSIGN_OR_RETURN(profile.spec.quantile_r, util::ParseDouble(value));
     }
   }
   // Column header.
@@ -83,18 +85,27 @@ Result<Profile> LoadProfile(const std::string& path) {
       return Status::IoError("malformed profile row: " + line);
     }
     ProfilePoint p;
-    p.interventions.sample_fraction = std::atof(cells[0].c_str());
-    p.interventions.resolution = std::atoi(cells[1].c_str());
-    int mask = std::atoi(cells[2].c_str());
+    // Strict parses: atoi/atof would silently turn a corrupt row into
+    // all-zero bounds; any malformed cell now fails the whole load.
+    SMK_ASSIGN_OR_RETURN(p.interventions.sample_fraction, util::ParseDouble(cells[0]));
+    SMK_ASSIGN_OR_RETURN(int64_t resolution, util::ParseInt(cells[1]));
+    if (resolution < 0 || resolution > std::numeric_limits<int>::max()) {
+      return Status::IoError("resolution out of range in row: " + line);
+    }
+    p.interventions.resolution = static_cast<int>(resolution);
+    SMK_ASSIGN_OR_RETURN(int64_t mask, util::ParseInt(cells[2]));
+    if (mask < 0 || mask >= (1 << video::kNumObjectClasses)) {
+      return Status::IoError("restricted mask out of range in row: " + line);
+    }
     for (int i = 0; i < video::kNumObjectClasses; ++i) {
       if (mask & (1 << i)) p.interventions.restricted.Add(static_cast<video::ObjectClass>(i));
     }
-    p.interventions.contrast_scale = std::atof(cells[3].c_str());
-    p.err_bound = std::atof(cells[4].c_str());
-    p.err_uncorrected = std::atof(cells[5].c_str());
-    p.y_approx = std::atof(cells[6].c_str());
+    SMK_ASSIGN_OR_RETURN(p.interventions.contrast_scale, util::ParseDouble(cells[3]));
+    SMK_ASSIGN_OR_RETURN(p.err_bound, util::ParseDouble(cells[4]));
+    SMK_ASSIGN_OR_RETURN(p.err_uncorrected, util::ParseDouble(cells[5]));
+    SMK_ASSIGN_OR_RETURN(p.y_approx, util::ParseDouble(cells[6]));
     p.repaired = cells[7] == "1";
-    p.sample_size = std::atoll(cells[8].c_str());
+    SMK_ASSIGN_OR_RETURN(p.sample_size, util::ParseInt(cells[8]));
     SMK_RETURN_IF_ERROR(p.interventions.Validate());
     profile.points.push_back(p);
   }

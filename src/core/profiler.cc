@@ -5,6 +5,8 @@
 #include <map>
 
 #include "stats/sampling.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace smokescreen {
 namespace core {
@@ -38,6 +40,84 @@ struct GroupKey {
   }
 };
 
+/// Walks one hypercube group: shuffles the group's eligible frames with an
+/// RNG stream derived from (profile_seed, group key) — never from a shared
+/// sequential stream — then estimates each ascending fraction from a nested
+/// prefix of the permutation. Runs on a pool worker; touches only its own
+/// `out` slot and the (thread-safe) output source, so groups are
+/// embarrassingly parallel and the emitted points are identical at any
+/// thread count.
+util::Status GenerateGroupPoints(query::FrameOutputSource& source,
+                                 const detect::ClassPriorIndex& prior,
+                                 const query::QuerySpec& spec, const ProfilerOptions& options,
+                                 const std::optional<CorrectionSet>& correction_set,
+                                 const GroupKey& key, std::vector<InterventionSet>& group,
+                                 uint64_t profile_seed, int model_max,
+                                 int64_t original_population, std::vector<ProfilePoint>* out) {
+  std::sort(group.begin(), group.end(),
+            [](const InterventionSet& a, const InterventionSet& b) {
+              return a.sample_fraction < b.sample_fraction;
+            });
+
+  std::vector<int64_t> eligible = prior.FramesWithoutAny(group.front().restricted);
+  if (eligible.empty()) {
+    return Status::FailedPrecondition("candidate group " + group.front().ToString() +
+                                      " removes every frame");
+  }
+  int64_t eligible_population = static_cast<int64_t>(eligible.size());
+  // One permutation per group; each fraction takes a prefix. The stream is a
+  // pure function of (profile seed, group key), so scheduling order is
+  // irrelevant to the result.
+  stats::Rng group_rng(stats::HashCombine({profile_seed, static_cast<uint64_t>(key.resolution),
+                                           static_cast<uint64_t>(key.restricted_mask),
+                                           static_cast<uint64_t>(key.contrast_bits)}));
+  stats::Shuffle(eligible, group_rng);
+
+  double prev_err = std::numeric_limits<double>::infinity();
+  for (const InterventionSet& candidate : group) {
+    int64_t n = stats::FractionToCount(original_population, candidate.sample_fraction);
+    n = std::min(n, eligible_population);
+    std::vector<int64_t> frames(eligible.begin(), eligible.begin() + n);
+    int resolution = candidate.EffectiveResolution(model_max);
+    SMK_ASSIGN_OR_RETURN(
+        EstimationResult result,
+        EstimateFromFrames(source, spec, frames, eligible_population, original_population,
+                           resolution, candidate.contrast_scale, options.delta));
+
+    ProfilePoint point;
+    point.interventions = candidate;
+    point.y_approx = result.estimate.y_approx;
+    point.err_uncorrected = result.estimate.err_b;
+    point.sample_size = result.sample_size;
+
+    bool purely_random = candidate.restricted.empty() && resolution == model_max &&
+                         candidate.contrast_scale >= 1.0;
+    if (correction_set.has_value()) {
+      SMK_ASSIGN_OR_RETURN(double repaired_err,
+                           RepairErrorBound(spec, result, *correction_set));
+      if (purely_random) {
+        // Random-only: both bounds are valid; keep the tighter.
+        point.err_bound = std::min(point.err_uncorrected, repaired_err);
+        point.repaired = repaired_err < point.err_uncorrected;
+      } else {
+        point.err_bound = repaired_err;
+        point.repaired = true;
+      }
+    } else {
+      point.err_bound = point.err_uncorrected;
+      point.repaired = false;
+    }
+    out->push_back(point);
+
+    if (options.early_stop && std::isfinite(prev_err) &&
+        prev_err - point.err_bound < options.early_stop_tolerance) {
+      break;  // Bound is flattening; skip costlier fractions in this group.
+    }
+    prev_err = point.err_bound;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<Profile> Profiler::Generate(const std::vector<InterventionSet>& candidates,
@@ -45,12 +125,23 @@ Result<Profile> Profiler::Generate(const std::vector<InterventionSet>& candidate
   SMK_RETURN_IF_ERROR(spec_.Validate());
   if (candidates.empty()) return Status::InvalidArgument("no intervention candidates");
 
+  util::Timer total_timer;
+  report_ = ProfilerReport{};
+  const int64_t invocations_before = source_.model_invocations();
+  const int64_t hits_before = source_.cache_hits();
+
   Profile profile;
   profile.spec = spec_;
   profile.dataset_name = source_.dataset().name();
   profile.detector_name = source_.detector().name();
 
+  // Every per-group RNG stream is derived from this one up-front draw, so
+  // the group walk never touches the shared sequential stream and the
+  // profile is independent of worker scheduling.
+  const uint64_t profile_seed = rng.NextUint64();
+
   // Build the correction set once; it corrects every candidate (§3.2.5).
+  util::Timer correction_timer;
   correction_set_.reset();
   if (options_.use_correction_set) {
     int64_t size = options_.correction_set_size;
@@ -64,6 +155,7 @@ Result<Profile> Profiler::Generate(const std::vector<InterventionSet>& candidate
                          BuildCorrectionSet(source_, spec_, size, options_.delta, rng));
     correction_set_ = std::move(correction);
   }
+  report_.correction_seconds = correction_timer.ElapsedSeconds();
 
   // Group candidates by the non-fraction knobs; ascending fractions within a
   // group share one permutation (nested prefixes = maximal output reuse).
@@ -78,64 +170,43 @@ Result<Profile> Profiler::Generate(const std::vector<InterventionSet>& candidate
   const int model_max = source_.detector().max_resolution();
   const int64_t original_population = source_.dataset().num_frames();
 
-  for (auto& [key, group] : groups) {
-    std::sort(group.begin(), group.end(),
-              [](const InterventionSet& a, const InterventionSet& b) {
-                return a.sample_fraction < b.sample_fraction;
-              });
+  // One task per group; every task writes only its own pre-allocated slot,
+  // so appending in canonical (map-ordered) group order afterwards keeps the
+  // profile's point ordering identical to the serial walk.
+  struct GroupResult {
+    std::vector<ProfilePoint> points;
+    util::Status status;
+  };
+  std::vector<std::pair<const GroupKey*, std::vector<InterventionSet>*>> ordered;
+  ordered.reserve(groups.size());
+  for (auto& [key, group] : groups) ordered.emplace_back(&key, &group);
+  std::vector<GroupResult> results(ordered.size());
 
-    std::vector<int64_t> eligible = prior_.FramesWithoutAny(group.front().restricted);
-    if (eligible.empty()) {
-      return Status::FailedPrecondition("candidate group " + group.front().ToString() +
-                                        " removes every frame");
+  util::Timer groups_timer;
+  {
+    util::ThreadPool pool(options_.num_threads);
+    report_.num_threads = pool.num_threads();
+    for (size_t i = 0; i < ordered.size(); ++i) {
+      pool.Submit([this, &ordered, &results, i, profile_seed, model_max, original_population] {
+        results[i].status = GenerateGroupPoints(
+            source_, prior_, spec_, options_, correction_set_, *ordered[i].first,
+            *ordered[i].second, profile_seed, model_max, original_population,
+            &results[i].points);
+      });
     }
-    int64_t eligible_population = static_cast<int64_t>(eligible.size());
-    // One permutation per group; each fraction takes a prefix.
-    stats::Shuffle(eligible, rng);
-
-    double prev_err = std::numeric_limits<double>::infinity();
-    for (const InterventionSet& candidate : group) {
-      int64_t n = stats::FractionToCount(original_population, candidate.sample_fraction);
-      n = std::min(n, eligible_population);
-      std::vector<int64_t> frames(eligible.begin(), eligible.begin() + n);
-      int resolution = candidate.EffectiveResolution(model_max);
-      SMK_ASSIGN_OR_RETURN(
-          EstimationResult result,
-          EstimateFromFrames(source_, spec_, frames, eligible_population, original_population,
-                             resolution, candidate.contrast_scale, options_.delta));
-
-      ProfilePoint point;
-      point.interventions = candidate;
-      point.y_approx = result.estimate.y_approx;
-      point.err_uncorrected = result.estimate.err_b;
-      point.sample_size = result.sample_size;
-
-      bool purely_random = candidate.restricted.empty() && resolution == model_max &&
-                           candidate.contrast_scale >= 1.0;
-      if (correction_set_.has_value()) {
-        SMK_ASSIGN_OR_RETURN(double repaired_err,
-                             RepairErrorBound(spec_, result, *correction_set_));
-        if (purely_random) {
-          // Random-only: both bounds are valid; keep the tighter.
-          point.err_bound = std::min(point.err_uncorrected, repaired_err);
-          point.repaired = repaired_err < point.err_uncorrected;
-        } else {
-          point.err_bound = repaired_err;
-          point.repaired = true;
-        }
-      } else {
-        point.err_bound = point.err_uncorrected;
-        point.repaired = false;
-      }
-      profile.points.push_back(point);
-
-      if (options_.early_stop && std::isfinite(prev_err) &&
-          prev_err - point.err_bound < options_.early_stop_tolerance) {
-        break;  // Bound is flattening; skip costlier fractions in this group.
-      }
-      prev_err = point.err_bound;
-    }
+    pool.Wait();
   }
+  report_.groups_seconds = groups_timer.ElapsedSeconds();
+
+  for (GroupResult& result : results) {
+    SMK_RETURN_IF_ERROR(result.status);
+    for (ProfilePoint& point : result.points) profile.points.push_back(point);
+  }
+
+  report_.num_groups = static_cast<int64_t>(ordered.size());
+  report_.model_invocations = source_.model_invocations() - invocations_before;
+  report_.cache_hits = source_.cache_hits() - hits_before;
+  report_.total_seconds = total_timer.ElapsedSeconds();
   return profile;
 }
 

@@ -10,7 +10,12 @@
 //  * EARLY STOPPING — when the bound improves more slowly than a tolerance
 //    from one fraction candidate to the next, the remaining (higher,
 //    costlier) fractions of the group are skipped; the administrator
-//    interpolates the missing values.
+//    interpolates the missing values;
+//  * PARALLELISM — hypercube groups are fully independent (each has its own
+//    frame permutation and prefix-reuse chain), so Generate() dispatches one
+//    task per group onto a util::ThreadPool. Each group draws its
+//    permutation from an RNG stream seeded by (profile seed, group key), so
+//    the profile is bit-identical at every ProfilerOptions::num_threads.
 // Non-random candidates are repaired with the correction set (§3.2.5); for
 // purely random candidates the tighter of the raw and repaired bounds is
 // kept.
@@ -69,6 +74,30 @@ struct ProfilerOptions {
   bool early_stop = true;
   /// Minimum bound improvement per fraction step to keep going.
   double early_stop_tolerance = 0.005;
+  /// Worker threads for the hypercube-group walk; 0 = hardware concurrency.
+  /// Profiles are bit-identical at every thread count: each group's frame
+  /// permutation comes from its own RNG stream derived from the group key,
+  /// and points are emitted in canonical group order regardless of which
+  /// worker finishes first.
+  int num_threads = 0;
+};
+
+/// Wall-clock and invocation accounting for the last Generate() call
+/// (§5.3.1 reports profiling time split by stage).
+struct ProfilerReport {
+  /// Correction-set sizing + build (sequential; consumes the caller's RNG).
+  double correction_seconds = 0.0;
+  /// The parallel walk over hypercube groups.
+  double groups_seconds = 0.0;
+  double total_seconds = 0.0;
+  /// Cache misses (model invocations) attributable to this Generate().
+  int64_t model_invocations = 0;
+  /// Cache hits (reuse savings) attributable to this Generate().
+  int64_t cache_hits = 0;
+  /// Resolved worker count actually used.
+  int num_threads = 0;
+  /// Number of (resolution, restricted, contrast) hypercube groups.
+  int64_t num_groups = 0;
 };
 
 class Profiler {
@@ -84,12 +113,16 @@ class Profiler {
   /// The correction set built during the last Generate() (if enabled).
   const std::optional<CorrectionSet>& correction_set() const { return correction_set_; }
 
+  /// Stage timings and invocation accounting for the last Generate().
+  const ProfilerReport& last_report() const { return report_; }
+
  private:
   query::FrameOutputSource& source_;
   const detect::ClassPriorIndex& prior_;
   query::QuerySpec spec_;
   ProfilerOptions options_;
   std::optional<CorrectionSet> correction_set_;
+  ProfilerReport report_;
 };
 
 /// §2.3: "missing values should simply be interpolated by the

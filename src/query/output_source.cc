@@ -9,6 +9,21 @@ namespace query {
 
 using util::Result;
 
+size_t FrameOutputSource::CacheKeyHash::operator()(const CacheKey& key) const {
+  return static_cast<size_t>(stats::HashCombine({static_cast<uint64_t>(key.frame),
+                                                 static_cast<uint64_t>(key.resolution),
+                                                 static_cast<uint64_t>(key.contrast_q)}));
+}
+
+FrameOutputSource::CacheKey FrameOutputSource::MakeCacheKey(int64_t frame_index, int resolution,
+                                                            double contrast_scale) {
+  CacheKey key;
+  key.frame = frame_index;
+  key.resolution = resolution;
+  key.contrast_q = std::llround(contrast_scale * 4096.0);
+  return key;
+}
+
 FrameOutputSource::FrameOutputSource(const video::VideoDataset& dataset,
                                      const detect::Detector& detector,
                                      video::ObjectClass target_class)
@@ -16,18 +31,37 @@ FrameOutputSource::FrameOutputSource(const video::VideoDataset& dataset,
 
 Result<int> FrameOutputSource::RawCount(int64_t frame_index, int resolution,
                                         double contrast_scale) {
-  uint64_t key = stats::HashCombine({static_cast<uint64_t>(frame_index),
-                                     static_cast<uint64_t>(resolution),
-                                     static_cast<uint64_t>(std::llround(contrast_scale * 4096.0))});
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++cache_hits_;
-    return it->second;
+  const CacheKey key = MakeCacheKey(frame_index, resolution, contrast_scale);
+  Shard& shard = ShardFor(key);
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    for (;;) {
+      auto it = shard.done.find(key);
+      if (it != shard.done.end()) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+      if (shard.in_flight.find(key) == shard.in_flight.end()) break;
+      // Another thread is invoking the model on this exact key; wait, then
+      // re-check (the computation may have failed, in which case we retry).
+      shard.cv.wait(lock);
+    }
+    shard.in_flight.insert(key);
   }
-  SMK_ASSIGN_OR_RETURN(int count, detector_.CountDetections(dataset_, frame_index, resolution,
-                                                            target_class_, contrast_scale));
-  ++model_invocations_;
-  cache_.emplace(key, count);
+  // The model runs OUTSIDE the shard lock so that concurrent misses on
+  // different keys overlap; the in_flight entry keeps this key
+  // computed-exactly-once.
+  Result<int> count = detector_.CountDetections(dataset_, frame_index, resolution, target_class_,
+                                                contrast_scale);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.in_flight.erase(key);
+    if (count.ok()) {
+      model_invocations_.fetch_add(1, std::memory_order_relaxed);
+      shard.done.emplace(key, *count);
+    }
+  }
+  shard.cv.notify_all();
   return count;
 }
 

@@ -4,12 +4,31 @@
 //  * outputs for frames sampled at a low rate are reused at higher rates
 //    (the §3.3.2 reuse strategy), and
 //  * profile generation can report its model-invocation count (§5.3.1).
+//
+// Thread safety: every public method may be called concurrently. The memo
+// cache is sharded — each shard owns a mutex plus an exact-composite-key
+// hash map — and the invocation/hit counters are atomics. A cache miss
+// invokes the model OUTSIDE the shard lock (misses on different keys
+// overlap); an in-flight set guarantees each key is computed exactly once,
+// so model_invocations() counts distinct computed keys exactly, at any
+// thread count.
+//
+// The cache key is an exact composite (frame, resolution, quantized
+// contrast) triple compared field-by-field. An earlier revision keyed the
+// map by a single 64-bit hash of the triple, so a hash collision silently
+// returned the count of a DIFFERENT frame; the composite key makes aliasing
+// impossible regardless of hash quality (the hash only picks buckets).
 
 #ifndef SMOKESCREEN_QUERY_OUTPUT_SOURCE_H_
 #define SMOKESCREEN_QUERY_OUTPUT_SOURCE_H_
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "detect/detector.h"
@@ -22,6 +41,26 @@ namespace query {
 
 class FrameOutputSource {
  public:
+  /// Exact memo key. Equality compares all three fields, so two distinct
+  /// (frame, resolution, contrast) triples can never share a cache entry,
+  /// even when their hashes collide.
+  struct CacheKey {
+    int64_t frame = 0;
+    int resolution = 0;
+    /// Contrast quantized to 1/4096 steps (the same quantization the
+    /// profiler uses for grouping).
+    int64_t contrast_q = 0;
+
+    bool operator==(const CacheKey& other) const {
+      return frame == other.frame && resolution == other.resolution &&
+             contrast_q == other.contrast_q;
+    }
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& key) const;
+  };
+  static CacheKey MakeCacheKey(int64_t frame_index, int resolution, double contrast_scale);
+
   /// Neither reference may outlive this object.
   FrameOutputSource(const video::VideoDataset& dataset, const detect::Detector& detector,
                     video::ObjectClass target_class);
@@ -58,12 +97,15 @@ class FrameOutputSource {
                                                    double contrast_scale = 1.0);
 
   /// Total UDF invocations that missed the cache (the paper's N_model).
-  int64_t model_invocations() const { return model_invocations_; }
+  /// Exactly the number of distinct keys computed, at any thread count.
+  int64_t model_invocations() const {
+    return model_invocations_.load(std::memory_order_relaxed);
+  }
   /// Invocations answered from the cache (reuse-strategy savings).
-  int64_t cache_hits() const { return cache_hits_; }
+  int64_t cache_hits() const { return cache_hits_.load(std::memory_order_relaxed); }
   void ResetCounters() {
-    model_invocations_ = 0;
-    cache_hits_ = 0;
+    model_invocations_.store(0, std::memory_order_relaxed);
+    cache_hits_.store(0, std::memory_order_relaxed);
   }
 
   const video::VideoDataset& dataset() const { return dataset_; }
@@ -71,14 +113,27 @@ class FrameOutputSource {
   video::ObjectClass target_class() const { return target_class_; }
 
  private:
+  static constexpr int kNumShards = 64;  // Power of two (shard pick masks).
+
+  struct Shard {
+    std::mutex mu;
+    /// Signalled when an in-flight computation lands (or fails).
+    std::condition_variable cv;
+    std::unordered_map<CacheKey, int, CacheKeyHash> done;
+    std::unordered_set<CacheKey, CacheKeyHash> in_flight;
+  };
+
+  Shard& ShardFor(const CacheKey& key) {
+    return shards_[CacheKeyHash{}(key) & static_cast<size_t>(kNumShards - 1)];
+  }
+
   const video::VideoDataset& dataset_;
   const detect::Detector& detector_;
   video::ObjectClass target_class_;
 
-  /// Cache key: frame, resolution, quantized contrast.
-  std::unordered_map<uint64_t, int> cache_;
-  int64_t model_invocations_ = 0;
-  int64_t cache_hits_ = 0;
+  std::array<Shard, kNumShards> shards_;
+  std::atomic<int64_t> model_invocations_{0};
+  std::atomic<int64_t> cache_hits_{0};
 };
 
 }  // namespace query

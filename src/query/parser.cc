@@ -1,7 +1,7 @@
 #include "query/parser.h"
 
 #include <cctype>
-#include <cstdlib>
+#include <limits>
 #include <vector>
 
 #include "util/string_util.h"
@@ -119,7 +119,13 @@ Result<ParsedQuery> ParseQuery(const std::string& text) {
       return Status::InvalidArgument("COUNT predicate threshold must be an integer, got '" +
                                      threshold + "'");
     }
-    parsed.spec.count_threshold = std::atoi(threshold.c_str());
+    // Strict conversion: atoi silently returned 0 (or wrapped) on values it
+    // could not represent; ParseInt errors instead.
+    SMK_ASSIGN_OR_RETURN(int64_t threshold_value, util::ParseInt(threshold));
+    if (threshold_value > std::numeric_limits<int>::max()) {
+      return Status::OutOfRange("COUNT predicate threshold too large: '" + threshold + "'");
+    }
+    parsed.spec.count_threshold = static_cast<int>(threshold_value);
     SMK_RETURN_IF_ERROR(expect(")"));
   } else if (after_class != ")") {
     return Status::InvalidArgument("expected ')' or '>=', got '" + after_class + "'");
@@ -147,7 +153,7 @@ Result<ParsedQuery> ParseQuery(const std::string& text) {
       if (!IsNumber(r_token)) {
         return Status::InvalidArgument("quantile must be a number, got '" + r_token + "'");
       }
-      parsed.spec.quantile_r = std::atof(r_token.c_str());
+      SMK_ASSIGN_OR_RETURN(parsed.spec.quantile_r, util::ParseDouble(r_token));
     } else {
       return Status::InvalidArgument("unexpected token '" + token + "'");
     }

@@ -1,7 +1,7 @@
 #include "query/trace.h"
 
-#include <cstdlib>
 #include <fstream>
+#include <limits>
 
 #include "util/string_util.h"
 
@@ -98,7 +98,12 @@ Result<OutputTrace> OutputTrace::LoadFrom(const std::string& path) {
     if (!util::StartsWith(column, "res")) {
       return Status::IoError("bad trace column: " + column);
     }
-    resolutions.push_back(std::atoi(column.c_str() + 3));
+    // Strict parse: atoi turned a corrupt "resXYZ" column into resolution 0.
+    SMK_ASSIGN_OR_RETURN(int64_t resolution, util::ParseInt(std::string_view(column).substr(3)));
+    if (resolution <= 0 || resolution > std::numeric_limits<int>::max()) {
+      return Status::IoError("bad trace resolution column: " + column);
+    }
+    resolutions.push_back(static_cast<int>(resolution));
   }
   if (resolutions.empty()) return Status::IoError("trace has no resolution columns");
   for (int resolution : resolutions) trace.counts_[resolution] = {};
@@ -110,7 +115,11 @@ Result<OutputTrace> OutputTrace::LoadFrom(const std::string& path) {
       return Status::IoError("malformed trace row: " + line);
     }
     for (size_t c = 0; c < resolutions.size(); ++c) {
-      trace.counts_[resolutions[c]].push_back(std::atoi(cells[c + 1].c_str()));
+      SMK_ASSIGN_OR_RETURN(int64_t count, util::ParseInt(cells[c + 1]));
+      if (count < 0 || count > std::numeric_limits<int>::max()) {
+        return Status::IoError("count out of range in trace row: " + line);
+      }
+      trace.counts_[resolutions[c]].push_back(static_cast<int>(count));
     }
     ++trace.num_frames_;
   }

@@ -1,7 +1,11 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace smokescreen {
 namespace util {
@@ -44,6 +48,36 @@ bool StartsWith(std::string_view s, std::string_view prefix) {
 
 bool EndsWith(std::string_view s, std::string_view suffix) {
   return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+Result<int64_t> ParseInt(std::string_view s) {
+  std::string_view t = Trim(s);
+  if (t.empty()) return Status::InvalidArgument("cannot parse empty string as integer");
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::OutOfRange("integer out of range: '" + std::string(s) + "'");
+  }
+  if (ec != std::errc() || ptr != t.data() + t.size()) {
+    return Status::InvalidArgument("not an integer: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  std::string_view t = Trim(s);
+  if (t.empty()) return Status::InvalidArgument("cannot parse empty string as number");
+  std::string buf(t);  // strtod needs a terminated buffer.
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a number: '" + std::string(s) + "'");
+  }
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    return Status::OutOfRange("number out of range: '" + std::string(s) + "'");
+  }
+  return value;
 }
 
 std::string FormatDouble(double value, int digits) {

@@ -3,9 +3,12 @@
 #ifndef SMOKESCREEN_UTIL_STRING_UTIL_H_
 #define SMOKESCREEN_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/status.h"
 
 namespace smokescreen {
 namespace util {
@@ -21,6 +24,18 @@ std::string_view Trim(std::string_view s);
 
 bool StartsWith(std::string_view s, std::string_view prefix);
 bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict base-10 integer parse. Unlike atoi/atoll — which silently return
+/// 0 on garbage — this errors on empty input, trailing junk ("12x"),
+/// non-integer text, and out-of-range values. Surrounding ASCII whitespace
+/// is tolerated.
+Result<int64_t> ParseInt(std::string_view s);
+
+/// Strict floating-point parse (same contract as ParseInt). Accepts
+/// everything strtod does — including "inf"/"nan", which legitimately
+/// round-trip through profile files for unbounded error bounds — but
+/// rejects empty input, trailing junk ("1.2.3"), and non-numeric text.
+Result<double> ParseDouble(std::string_view s);
 
 /// Formats a double with `digits` significant decimal places ("0.0123").
 std::string FormatDouble(double value, int digits = 4);

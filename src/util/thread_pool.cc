@@ -1,0 +1,67 @@
+#include "util/thread_pool.h"
+
+namespace smokescreen {
+namespace util {
+
+int ThreadPool::ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(ResolveThreadCount(num_threads)) {
+  if (num_threads_ == 1) return;  // Inline mode: Submit() runs tasks directly.
+  workers_.reserve(static_cast<size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // Single-threaded pool: run inline, in submit order.
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++outstanding_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (workers_.empty()) return;  // Inline mode: nothing can be outstanding.
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and every queued task drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace util
+}  // namespace smokescreen

@@ -1,0 +1,70 @@
+// A small fixed-size worker pool for CPU-parallel fan-out of independent
+// tasks (profile hypercube groups, per-camera ingest, bench sweeps).
+//
+// Design goals, in order:
+//  * Determinism support — the pool itself imposes no ordering, so callers
+//    that need bit-identical results across thread counts must make each
+//    task's output independent of scheduling (e.g. per-task RNG streams
+//    derived from stable keys, results written to pre-sized slots).
+//  * Simplicity — submit std::function<void()> tasks, Wait() for quiescence.
+//    No futures, no work stealing, no task priorities.
+//  * Degenerate single-thread mode — a pool resolved to one thread runs
+//    tasks inline at Submit() time (no worker threads at all), which keeps
+//    single-threaded builds/valgrind/TSAN baselines trivial.
+
+#ifndef SMOKESCREEN_UTIL_THREAD_POOL_H_
+#define SMOKESCREEN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smokescreen {
+namespace util {
+
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 resolves to the hardware concurrency (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+  /// Drains already-queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The resolved worker count (>= 1).
+  int num_threads() const { return num_threads_; }
+
+  /// Enqueues a task. With one resolved thread the task runs inline before
+  /// Submit returns. Tasks must not themselves call Submit or Wait on the
+  /// same pool.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// 0 (or negative) -> std::thread::hardware_concurrency(), else the
+  /// requested count; never less than 1.
+  static int ResolveThreadCount(int requested);
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Workers sleep here.
+  std::condition_variable idle_cv_;  // Wait() sleeps here.
+  int64_t outstanding_ = 0;          // Queued + currently running tasks.
+  bool stop_ = false;
+};
+
+}  // namespace util
+}  // namespace smokescreen
+
+#endif  // SMOKESCREEN_UTIL_THREAD_POOL_H_

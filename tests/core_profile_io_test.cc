@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 namespace smokescreen {
 namespace core {
@@ -103,6 +104,57 @@ TEST(ProfileIoTest, MalformedRowFails) {
     out << "0.1,oops\n";
   }
   EXPECT_FALSE(LoadProfile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ProfileIoTest, MalformedNumericCellFails) {
+  // A junk cell must fail the load, not silently parse as zero (the old
+  // atoi/atof behaviour, which turned a corrupt row into all-zero bounds).
+  Profile original = MakeProfile();
+  std::string path = testing::TempDir() + "/smk_profile_badcell.csv";
+  ASSERT_TRUE(SaveProfile(original, path).ok());
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "0.1,320,0,1.0,junk,0.1,17.0,0,100\n";  // err_bound not a number.
+  }
+  EXPECT_FALSE(LoadProfile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ProfileIoTest, MalformedHeaderValueFails) {
+  Profile original = MakeProfile();
+  std::string path = testing::TempDir() + "/smk_profile_badhdr.csv";
+  ASSERT_TRUE(SaveProfile(original, path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  // Corrupt the count_threshold header line.
+  auto pos = content.find("#count_threshold=3");
+  ASSERT_NE(pos, std::string::npos);
+  content.replace(pos, 18, "#count_threshold=x");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+  }
+  EXPECT_FALSE(LoadProfile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ProfileIoTest, OutOfRangeMaskOrResolutionFails) {
+  Profile original = MakeProfile();
+  std::string path = testing::TempDir() + "/smk_profile_range.csv";
+  for (const char* row : {
+           "0.1,-320,0,1.0,0.1,0.1,17.0,0,100\n",         // Negative resolution.
+           "0.1,99999999999999999,0,1.0,0.1,0.1,17.0,0,100\n",  // > INT_MAX.
+           "0.1,320,4096,1.0,0.1,0.1,17.0,0,100\n",       // Mask beyond classes.
+       }) {
+    ASSERT_TRUE(SaveProfile(original, path).ok());
+    {
+      std::ofstream out(path, std::ios::app);
+      out << row;
+    }
+    EXPECT_FALSE(LoadProfile(path).ok()) << row;
+  }
   std::remove(path.c_str());
 }
 

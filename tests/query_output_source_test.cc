@@ -1,0 +1,214 @@
+// FrameOutputSource cache correctness: the exact composite key (collision
+// regression for the old single-64-bit-hash key) and thread safety of the
+// sharded memo under concurrent overlapping access.
+
+#include "query/output_source.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/models.h"
+#include "video/presets.h"
+
+namespace smokescreen {
+namespace query {
+namespace {
+
+using video::ObjectClass;
+using video::ScenePreset;
+
+using CacheKey = FrameOutputSource::CacheKey;
+using CacheKeyHash = FrameOutputSource::CacheKeyHash;
+
+class OutputSourceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ds = video::MakePresetScaled(ScenePreset::kUaDetrac, 400);
+    ds.status().CheckOk();
+    dataset_ = std::make_unique<video::VideoDataset>(std::move(ds).ValueOrDie());
+    source_ = std::make_unique<FrameOutputSource>(*dataset_, yolo_, ObjectClass::kCar);
+  }
+
+  detect::SimYoloV4 yolo_;
+  std::unique_ptr<video::VideoDataset> dataset_;
+  std::unique_ptr<FrameOutputSource> source_;
+};
+
+TEST(CacheKeyTest, EqualityComparesAllFields) {
+  CacheKey a = FrameOutputSource::MakeCacheKey(7, 320, 1.0);
+  EXPECT_EQ(a, FrameOutputSource::MakeCacheKey(7, 320, 1.0));
+  EXPECT_FALSE(a == FrameOutputSource::MakeCacheKey(8, 320, 1.0));
+  EXPECT_FALSE(a == FrameOutputSource::MakeCacheKey(7, 352, 1.0));
+  EXPECT_FALSE(a == FrameOutputSource::MakeCacheKey(7, 320, 0.5));
+}
+
+TEST(CacheKeyTest, ContrastIsQuantizedAt4096Steps) {
+  // Same quantization bucket -> same key (intended sharing) ...
+  EXPECT_EQ(FrameOutputSource::MakeCacheKey(1, 320, 0.5),
+            FrameOutputSource::MakeCacheKey(1, 320, 0.5 + 1e-7));
+  // ... different bucket -> different key.
+  EXPECT_FALSE(FrameOutputSource::MakeCacheKey(1, 320, 0.5) ==
+               FrameOutputSource::MakeCacheKey(1, 320, 0.51));
+}
+
+// The old cache was keyed by a single uint64 hash of the triple, so two
+// triples whose hashes collided silently shared one entry — the detector
+// count of whichever was computed first. The composite key must distinguish
+// entries even under a TOTAL hash collision: with a degenerate hash that
+// maps every key to the same bucket, correctness now rests entirely on
+// exact equality, which is the regression this test pins down.
+TEST(CacheKeyTest, CollidingTriplesCannotAlias) {
+  struct CollidingHash {
+    size_t operator()(const CacheKey&) const { return 0; }  // Worst case.
+  };
+  std::unordered_map<CacheKey, int, CollidingHash> cache;
+  CacheKey a = FrameOutputSource::MakeCacheKey(12, 320, 1.0);
+  CacheKey b = FrameOutputSource::MakeCacheKey(977, 608, 0.75);
+  cache.emplace(a, 3);
+  cache.emplace(b, 9);
+  ASSERT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.at(a), 3);
+  EXPECT_EQ(cache.at(b), 9);
+}
+
+TEST_F(OutputSourceTest, ShardCollidingTriplesReturnDistinctCounts) {
+  // Find two (frame, resolution) pairs that land in the same shard (the
+  // sharded cache picks shards from the low hash bits, 64 shards). Under
+  // shard collision the two keys share one map + mutex; they must still
+  // resolve to their own entries.
+  CacheKey first = FrameOutputSource::MakeCacheKey(0, 320, 1.0);
+  size_t first_shard = CacheKeyHash{}(first) % 64;
+  int64_t colliding_frame = -1;
+  for (int64_t frame = 1; frame < dataset_->num_frames(); ++frame) {
+    CacheKey other = FrameOutputSource::MakeCacheKey(frame, 608, 1.0);
+    if (CacheKeyHash{}(other) % 64 == first_shard) {
+      colliding_frame = frame;
+      break;
+    }
+  }
+  ASSERT_GE(colliding_frame, 0) << "no shard collision in 400 frames x 64 shards";
+
+  auto a = source_->RawCount(0, 320);
+  auto b = source_->RawCount(colliding_frame, 608);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto direct_a = yolo_.CountDetections(*dataset_, 0, 320, ObjectClass::kCar, 1.0);
+  auto direct_b =
+      yolo_.CountDetections(*dataset_, colliding_frame, 608, ObjectClass::kCar, 1.0);
+  EXPECT_EQ(*a, *direct_a);
+  EXPECT_EQ(*b, *direct_b);
+  EXPECT_EQ(source_->model_invocations(), 2);
+}
+
+TEST_F(OutputSourceTest, EveryTripleMatchesDirectDetectorCall) {
+  // Sweep a dense block of triples; each cached answer must equal a fresh
+  // uncached detector call (any aliasing anywhere would mismatch).
+  int64_t distinct = 0;
+  for (int64_t frame = 0; frame < 60; ++frame) {
+    for (int resolution : {320, 608}) {
+      for (double contrast : {1.0, 0.5}) {
+        auto cached = source_->RawCount(frame, resolution, contrast);
+        ASSERT_TRUE(cached.ok());
+        auto direct =
+            yolo_.CountDetections(*dataset_, frame, resolution, ObjectClass::kCar, contrast);
+        ASSERT_TRUE(direct.ok());
+        EXPECT_EQ(*cached, *direct)
+            << "frame " << frame << " res " << resolution << " contrast " << contrast;
+        ++distinct;
+      }
+    }
+  }
+  EXPECT_EQ(source_->model_invocations(), distinct);
+  EXPECT_EQ(source_->cache_hits(), 0);
+}
+
+TEST_F(OutputSourceTest, RepeatLookupsHitCache) {
+  ASSERT_TRUE(source_->RawCount(5, 320).ok());
+  ASSERT_TRUE(source_->RawCount(5, 320).ok());
+  ASSERT_TRUE(source_->RawCount(5, 320).ok());
+  EXPECT_EQ(source_->model_invocations(), 1);
+  EXPECT_EQ(source_->cache_hits(), 2);
+}
+
+TEST_F(OutputSourceTest, ConcurrentHammerKeepsExactAccounting) {
+  // 8 threads hammer heavily-overlapping frame windows at two resolutions.
+  // Afterwards: every cached count must equal the direct detector output,
+  // and the counters must balance exactly — invocations == distinct keys
+  // (each key computed exactly once, never double-counted under races) and
+  // hits == total calls - invocations.
+  constexpr int kThreads = 8;
+  constexpr int64_t kWindow = 200;
+  constexpr int64_t kStride = 10;  // Thread t covers [t*10, t*10 + 200).
+  const std::vector<int> resolutions = {320, 608};
+
+  std::atomic<int64_t> total_calls{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int resolution : resolutions) {
+        for (int64_t frame = t * kStride; frame < t * kStride + kWindow; ++frame) {
+          auto count = source_->RawCount(frame, resolution);
+          total_calls.fetch_add(1);
+          if (!count.ok()) failed.store(true);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_FALSE(failed.load());
+
+  // Distinct keys: union of the 8 windows is [0, 70 + 200) per resolution.
+  std::set<int64_t> frames_touched;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int64_t frame = t * kStride; frame < t * kStride + kWindow; ++frame) {
+      frames_touched.insert(frame);
+    }
+  }
+  const int64_t distinct =
+      static_cast<int64_t>(frames_touched.size() * resolutions.size());
+
+  EXPECT_EQ(source_->model_invocations(), distinct);
+  EXPECT_EQ(source_->cache_hits(), total_calls.load() - distinct);
+
+  // Spot-check correctness of the surviving cache entries.
+  for (int64_t frame : {int64_t{0}, int64_t{37}, int64_t{133}, int64_t{269}}) {
+    for (int resolution : resolutions) {
+      auto cached = source_->RawCount(frame, resolution);
+      auto direct =
+          yolo_.CountDetections(*dataset_, frame, resolution, ObjectClass::kCar, 1.0);
+      ASSERT_TRUE(cached.ok());
+      EXPECT_EQ(*cached, *direct) << "frame " << frame << " res " << resolution;
+    }
+  }
+}
+
+TEST_F(OutputSourceTest, ConcurrentSameKeyComputesExactlyOnce) {
+  // All threads fight over ONE key: the in-flight set must let exactly one
+  // of them invoke the model.
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (!source_->RawCount(11, 320).ok()) failed.store(true);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_FALSE(failed.load());
+  EXPECT_EQ(source_->model_invocations(), 1);
+  EXPECT_EQ(source_->cache_hits(), kThreads * 50 - 1);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace smokescreen

@@ -102,6 +102,14 @@ TEST(ParserTest, SemanticValidationApplies) {
   EXPECT_FALSE(ParseQuery("SELECT COUNT(car >= 0) FROM x").ok());
 }
 
+TEST(ParserTest, HugeCountThresholdRejected) {
+  // atoi silently truncated/overflowed these; the strict parser errors.
+  auto huge = ParseQuery("SELECT COUNT(car >= 99999999999) FROM x");
+  ASSERT_FALSE(huge.ok());
+  EXPECT_EQ(huge.status().code(), util::StatusCode::kOutOfRange);
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(car >= 9223372036854775808) FROM x").ok());
+}
+
 TEST(ParserTest, WhitespaceIsFlexible) {
   auto parsed = ParseQuery("  SELECT   COUNT ( car   >=  2 )   FROM   ua-detrac  ");
   ASSERT_TRUE(parsed.ok());

@@ -108,6 +108,33 @@ TEST_F(TraceTest, LoadRejectsCorruptFiles) {
   EXPECT_FALSE(OutputTrace::LoadFrom("/nonexistent/trace.csv").ok());
 }
 
+TEST_F(TraceTest, LoadRejectsMalformedNumericCells) {
+  // Junk in a resolution column or a count cell must fail the load instead
+  // of silently parsing to 0 (the old atoi behaviour).
+  std::string path = testing::TempDir() + "/smk_trace_badnum.csv";
+  {
+    std::ofstream out(path);
+    out << "#smokescreen-trace v1\nframe,resXYZ\n0,1\n";  // Non-numeric resolution.
+  }
+  EXPECT_FALSE(OutputTrace::LoadFrom(path).ok());
+  {
+    std::ofstream out(path);
+    out << "#smokescreen-trace v1\nframe,res-320\n0,1\n";  // Negative resolution.
+  }
+  EXPECT_FALSE(OutputTrace::LoadFrom(path).ok());
+  {
+    std::ofstream out(path);
+    out << "#smokescreen-trace v1\nframe,res320\n0,junk\n";  // Non-numeric count.
+  }
+  EXPECT_FALSE(OutputTrace::LoadFrom(path).ok());
+  {
+    std::ofstream out(path);
+    out << "#smokescreen-trace v1\nframe,res320\n0,3.5\n";  // Fractional count.
+  }
+  EXPECT_FALSE(OutputTrace::LoadFrom(path).ok());
+  std::remove(path.c_str());
+}
+
 TEST_F(TraceTest, ReplayedOutputsMatchLiveEstimation) {
   // Estimating from a replayed trace must equal estimating live.
   auto trace = OutputTrace::Record(*source_, {608});

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -53,6 +55,66 @@ TEST(FormatTest, FormatDouble) {
 TEST(FormatTest, FormatPercent) {
   EXPECT_EQ(FormatPercent(0.1418), "14.18%");
   EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+TEST(ParseIntTest, ParsesValidIntegers) {
+  auto v = ParseInt("42");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(*ParseInt("-7"), -7);
+  EXPECT_EQ(*ParseInt("0"), 0);
+  EXPECT_EQ(*ParseInt("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(*ParseInt("-9223372036854775808"), INT64_MIN);
+}
+
+TEST(ParseIntTest, TrimsSurroundingWhitespace) {
+  EXPECT_EQ(*ParseInt("  15 \t"), 15);
+}
+
+TEST(ParseIntTest, RejectsMalformedInput) {
+  EXPECT_EQ(ParseInt("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt("   ").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt("12x").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt("x12").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt("4.5").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt("1 2").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt("+").status().code(), StatusCode::kInvalidArgument);
+  // atoi would silently have returned 0 for every one of these.
+}
+
+TEST(ParseIntTest, RejectsOverflow) {
+  EXPECT_EQ(ParseInt("9223372036854775808").status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ParseInt("-9223372036854775809").status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ParseInt("99999999999999999999999").status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ParseDoubleTest, ParsesValidDoubles) {
+  auto v = ParseDouble("0.25");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 0.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1.5e3"), -1500.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("  3 "), 3.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble(".5"), 0.5);
+}
+
+TEST(ParseDoubleTest, AcceptsNonFiniteSpellings) {
+  // Profile bounds can legitimately round-trip as inf.
+  EXPECT_TRUE(std::isinf(*ParseDouble("inf")));
+  EXPECT_TRUE(std::isnan(*ParseDouble("nan")));
+}
+
+TEST(ParseDoubleTest, RejectsMalformedInput) {
+  EXPECT_EQ(ParseDouble("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDouble("abc").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDouble("1.2.3").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDouble("0.5x").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDouble("- 1").status().code(), StatusCode::kInvalidArgument);
+  // atof would silently have returned 0.0 (or a truncated prefix) here.
+}
+
+TEST(ParseDoubleTest, RejectsOverflow) {
+  EXPECT_EQ(ParseDouble("1e999").status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ParseDouble("-1e999").status().code(), StatusCode::kOutOfRange);
 }
 
 TEST(TablePrinterTest, AlignsColumns) {
