@@ -25,9 +25,14 @@
 //   --seed S           RNG seed                            (default 2026)
 //   --threads N        profiler worker threads; 0 = hardware concurrency
 //                      (default 0; the profile is bit-identical at any N)
+//   --batch-size N     cap frames per batched model invocation; 0 = unlimited
+//                      (default 0; results are identical at any N)
+//   --output-store P   warm-start the output cache from P when it exists,
+//                      and save the cache back to P after the run
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <string>
@@ -42,6 +47,7 @@
 #include "detect/models.h"
 #include "detect/registry.h"
 #include "query/executor.h"
+#include "query/output_store.h"
 #include "query/parser.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -63,7 +69,9 @@ struct Flags {
   std::string query_text;
   bool slices = false;
   uint64_t seed = 2026;
-  int threads = 0;  // 0 = hardware concurrency.
+  int threads = 0;         // 0 = hardware concurrency.
+  int64_t batch_size = 0;  // 0 = unlimited.
+  std::string output_store;
 };
 
 util::Result<Flags> ParseFlags(int argc, char** argv) {
@@ -90,6 +98,17 @@ util::Result<Flags> ParseFlags(int argc, char** argv) {
       SMK_ASSIGN_OR_RETURN(std::string v, next());
       SMK_ASSIGN_OR_RETURN(int64_t threads, util::ParseInt(v));
       flags.threads = static_cast<int>(threads);
+    } else if (arg == "--batch-size") {
+      SMK_ASSIGN_OR_RETURN(std::string v, next());
+      SMK_ASSIGN_OR_RETURN(flags.batch_size, util::ParseInt(v));
+      if (flags.batch_size < 0) {
+        return util::Status::InvalidArgument("--batch-size must be >= 0 (0 = unlimited)");
+      }
+    } else if (arg == "--output-store") {
+      SMK_ASSIGN_OR_RETURN(flags.output_store, next());
+      if (flags.output_store.empty()) {
+        return util::Status::InvalidArgument("--output-store path must be non-empty");
+      }
     } else if (arg == "--restrict") {
       SMK_ASSIGN_OR_RETURN(flags.restrict_classes, next());
     } else if (arg == "--profile-out") {
@@ -184,6 +203,29 @@ int Run(Flags flags) {
     spec = profile.spec;
   }
   query::FrameOutputSource source(*dataset, **model, video::ObjectClass::kCar);
+  source.set_max_batch_size(flags.batch_size);
+
+  // Validate the output-store path BEFORE any profiling work: an existing
+  // file must load and match the dataset/model; a fresh path must point into
+  // an existing directory (so the save at the end cannot fail late).
+  if (!flags.output_store.empty()) {
+    std::error_code ec;
+    if (std::filesystem::exists(flags.output_store, ec)) {
+      auto store = query::OutputStore::Load(flags.output_store);
+      store.status().CheckOk();
+      auto loaded = source.Preload(*store);
+      loaded.status().CheckOk();
+      std::printf("warm-started %lld cached outputs from %s\n",
+                  static_cast<long long>(*loaded), flags.output_store.c_str());
+    } else {
+      std::filesystem::path parent = std::filesystem::path(flags.output_store).parent_path();
+      if (!parent.empty() && !std::filesystem::is_directory(parent, ec)) {
+        std::fprintf(stderr, "--output-store: directory %s does not exist\n",
+                     parent.string().c_str());
+        return 2;
+      }
+    }
+  }
   stats::Rng rng(flags.seed);
 
   if (flags.profile_in.empty()) {
@@ -272,6 +314,14 @@ int Run(Flags flags) {
   std::printf("\napproximate %s answer: %.4f (err bound %.2f%%, %lld frames processed)\n",
               query::AggregateFunctionName(spec.aggregate), result->estimate.y_approx,
               result->estimate.err_b * 100.0, static_cast<long long>(result->sample_size));
+
+  if (!flags.output_store.empty()) {
+    query::OutputStore store = source.ExportStore();
+    store.Save(flags.output_store).CheckOk();
+    std::printf("output store saved to %s (%lld entries, %zu columns)\n",
+                flags.output_store.c_str(), static_cast<long long>(store.TotalEntries()),
+                store.columns().size());
+  }
   return 0;
 }
 
@@ -282,7 +332,8 @@ int main(int argc, char** argv) {
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n\nusage: smokescreen_cli [--dataset D] [--model M] [--agg A]\n"
                          "  [--frames N] [--max-error X] [--restrict person,face]\n"
-                         "  [--profile-out P | --profile-in P] [--seed S] [--threads N]\n",
+                         "  [--profile-out P | --profile-in P] [--seed S] [--threads N]\n"
+                         "  [--batch-size N] [--output-store P]\n",
                  flags.status().ToString().c_str());
     return 2;
   }

@@ -17,7 +17,7 @@ using util::Status;
 
 namespace {
 
-Status ValidateInputs(const std::vector<double>& sample, int64_t population, double delta) {
+Status ValidateInputs(std::span<const double> sample, int64_t population, double delta) {
   if (sample.empty()) return Status::InvalidArgument("empty sample");
   if (population < static_cast<int64_t>(sample.size())) {
     return Status::InvalidArgument("population smaller than sample");
@@ -41,7 +41,7 @@ Estimate SampleMeanMapping(double mean, double radius) {
 
 }  // namespace
 
-Result<Estimate> EbgsEstimator::EstimateMean(const std::vector<double>& sample,
+Result<Estimate> EbgsEstimator::EstimateMean(std::span<const double> sample,
                                              int64_t population, double delta) const {
   SMK_RETURN_IF_ERROR(ValidateInputs(sample, population, delta));
   SMK_ASSIGN_OR_RETURN(stats::Summary summary, stats::Summarize(sample));
@@ -56,7 +56,7 @@ Result<Estimate> EbgsEstimator::EstimateMean(const std::vector<double>& sample,
   return core::SmokescreenMeanEstimator::FromBounds(lb, ub, sign);
 }
 
-Result<Estimate> HoeffdingSerflingEstimator::EstimateMean(const std::vector<double>& sample,
+Result<Estimate> HoeffdingSerflingEstimator::EstimateMean(std::span<const double> sample,
                                                           int64_t population,
                                                           double delta) const {
   SMK_RETURN_IF_ERROR(ValidateInputs(sample, population, delta));
@@ -66,7 +66,7 @@ Result<Estimate> HoeffdingSerflingEstimator::EstimateMean(const std::vector<doub
   return SampleMeanMapping(summary.mean, radius);
 }
 
-Result<Estimate> HoeffdingEstimator::EstimateMean(const std::vector<double>& sample,
+Result<Estimate> HoeffdingEstimator::EstimateMean(std::span<const double> sample,
                                                   int64_t population, double delta) const {
   SMK_RETURN_IF_ERROR(ValidateInputs(sample, population, delta));
   SMK_ASSIGN_OR_RETURN(stats::Summary summary, stats::Summarize(sample));
@@ -74,7 +74,7 @@ Result<Estimate> HoeffdingEstimator::EstimateMean(const std::vector<double>& sam
   return SampleMeanMapping(summary.mean, radius);
 }
 
-Result<Estimate> CltTEstimator::EstimateMean(const std::vector<double>& sample,
+Result<Estimate> CltTEstimator::EstimateMean(std::span<const double> sample,
                                              int64_t population, double delta) const {
   SMK_RETURN_IF_ERROR(ValidateInputs(sample, population, delta));
   if (sample.size() < 2) return Status::InvalidArgument("CLT-t needs at least two samples");
@@ -85,7 +85,7 @@ Result<Estimate> CltTEstimator::EstimateMean(const std::vector<double>& sample,
   return SampleMeanMapping(summary.mean, radius);
 }
 
-Result<Estimate> CltEstimator::EstimateMean(const std::vector<double>& sample,
+Result<Estimate> CltEstimator::EstimateMean(std::span<const double> sample,
                                             int64_t population, double delta) const {
   SMK_RETURN_IF_ERROR(ValidateInputs(sample, population, delta));
   SMK_ASSIGN_OR_RETURN(stats::Summary summary, stats::Summarize(sample));

@@ -23,7 +23,7 @@ class EbgsEstimator : public core::MeanEstimator {
  public:
   EbgsEstimator() : name_("EBGS") {}
   const std::string& name() const override { return name_; }
-  util::Result<core::Estimate> EstimateMean(const std::vector<double>& sample,
+  util::Result<core::Estimate> EstimateMean(std::span<const double> sample,
                                             int64_t population, double delta) const override;
 
  private:
@@ -34,7 +34,7 @@ class HoeffdingSerflingEstimator : public core::MeanEstimator {
  public:
   HoeffdingSerflingEstimator() : name_("Hoeffding-Serfling") {}
   const std::string& name() const override { return name_; }
-  util::Result<core::Estimate> EstimateMean(const std::vector<double>& sample,
+  util::Result<core::Estimate> EstimateMean(std::span<const double> sample,
                                             int64_t population, double delta) const override;
 
  private:
@@ -45,7 +45,7 @@ class HoeffdingEstimator : public core::MeanEstimator {
  public:
   HoeffdingEstimator() : name_("Hoeffding") {}
   const std::string& name() const override { return name_; }
-  util::Result<core::Estimate> EstimateMean(const std::vector<double>& sample,
+  util::Result<core::Estimate> EstimateMean(std::span<const double> sample,
                                             int64_t population, double delta) const override;
 
  private:
@@ -59,7 +59,7 @@ class CltTEstimator : public core::MeanEstimator {
  public:
   CltTEstimator() : name_("CLT-t") {}
   const std::string& name() const override { return name_; }
-  util::Result<core::Estimate> EstimateMean(const std::vector<double>& sample,
+  util::Result<core::Estimate> EstimateMean(std::span<const double> sample,
                                             int64_t population, double delta) const override;
 
  private:
@@ -70,7 +70,7 @@ class CltEstimator : public core::MeanEstimator {
  public:
   CltEstimator() : name_("CLT") {}
   const std::string& name() const override { return name_; }
-  util::Result<core::Estimate> EstimateMean(const std::vector<double>& sample,
+  util::Result<core::Estimate> EstimateMean(std::span<const double> sample,
                                             int64_t population, double delta) const override;
 
  private:

@@ -11,7 +11,7 @@ using core::Estimate;
 using util::Result;
 using util::Status;
 
-Result<Estimate> SteinQuantileEstimator::EstimateQuantile(const std::vector<double>& sample,
+Result<Estimate> SteinQuantileEstimator::EstimateQuantile(std::span<const double> sample,
                                                           int64_t population, double r,
                                                           bool is_max, double delta) const {
   (void)is_max;  // The with-replacement bound has no side-specific variance term.

@@ -20,7 +20,7 @@ class SteinQuantileEstimator : public core::QuantileEstimator {
   SteinQuantileEstimator() : name_("Stein") {}
   const std::string& name() const override { return name_; }
 
-  util::Result<core::Estimate> EstimateQuantile(const std::vector<double>& sample,
+  util::Result<core::Estimate> EstimateQuantile(std::span<const double> sample,
                                                 int64_t population, double r, bool is_max,
                                                 double delta) const override;
 

@@ -12,7 +12,7 @@ using util::Result;
 using util::Status;
 
 Result<std::pair<double, double>> SmokescreenMeanEstimator::ConfidenceBounds(
-    const std::vector<double>& sample, int64_t population, double delta) {
+    std::span<const double> sample, int64_t population, double delta) {
   if (sample.empty()) return Status::InvalidArgument("empty sample");
   if (population < static_cast<int64_t>(sample.size())) {
     return Status::InvalidArgument("population smaller than sample");
@@ -46,7 +46,7 @@ Estimate SmokescreenMeanEstimator::FromBounds(double lb, double ub, double sign)
   return est;
 }
 
-Result<Estimate> SmokescreenMeanEstimator::EstimateMean(const std::vector<double>& sample,
+Result<Estimate> SmokescreenMeanEstimator::EstimateMean(std::span<const double> sample,
                                                         int64_t population, double delta) const {
   SMK_ASSIGN_OR_RETURN(auto bounds, ConfidenceBounds(sample, population, delta));
   SMK_ASSIGN_OR_RETURN(stats::Summary summary, stats::Summarize(sample));

@@ -26,13 +26,13 @@ class SmokescreenMeanEstimator : public MeanEstimator {
 
   const std::string& name() const override { return name_; }
 
-  util::Result<Estimate> EstimateMean(const std::vector<double>& sample, int64_t population,
+  util::Result<Estimate> EstimateMean(std::span<const double> sample, int64_t population,
                                       double delta) const override;
 
   /// Exposed interval construction for tests and for the repair algebra:
   /// returns {LB, UB} for |mu| given the sample.
   static util::Result<std::pair<double, double>> ConfidenceBounds(
-      const std::vector<double>& sample, int64_t population, double delta);
+      std::span<const double> sample, int64_t population, double delta);
 
   /// The harmonic-midpoint mapping from an interval to (Y_approx, err_b);
   /// shared with the EBGS baseline, which uses the same output construction

@@ -1,7 +1,7 @@
 // Estimator interfaces shared by Smokescreen's algorithms (core/) and the
 // competing methods of §5.1 (baselines/).
 //
-// All estimators consume a vector of frame-level model outputs sampled
+// All estimators consume a span of frame-level model outputs sampled
 // WITHOUT REPLACEMENT from a population of known size, and produce an
 // approximate answer plus a high-confidence upper bound err_b on the
 // relative error — |Y_approx - Y_true| / |Y_true| for the mean family, and
@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,8 +45,10 @@ class MeanEstimator {
 
   /// `sample` holds n outputs drawn without replacement from `population`
   /// values; delta in (0,1) is the allowed failure probability. Returns the
-  /// mean-scale estimate and the relative-error bound.
-  virtual util::Result<Estimate> EstimateMean(const std::vector<double>& sample,
+  /// mean-scale estimate and the relative-error bound. The sample is taken
+  /// as a span so batched/columnar callers can pass prefix views without
+  /// copying.
+  virtual util::Result<Estimate> EstimateMean(std::span<const double> sample,
                                               int64_t population, double delta) const = 0;
 };
 
@@ -58,7 +61,7 @@ class QuantileEstimator {
   /// Estimates the r-th quantile from `sample` (drawn without replacement
   /// from `population` values). `is_max` selects the MAX-side (r near 1) or
   /// MIN-side (r near 0) bound formula. err_b bounds the rank-relative error.
-  virtual util::Result<Estimate> EstimateQuantile(const std::vector<double>& sample,
+  virtual util::Result<Estimate> EstimateQuantile(std::span<const double> sample,
                                                   int64_t population, double r, bool is_max,
                                                   double delta) const = 0;
 };

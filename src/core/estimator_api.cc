@@ -10,22 +10,20 @@ namespace core {
 using util::Result;
 using util::Status;
 
-Result<EstimationResult> EstimateFromFrames(query::FrameOutputSource& source,
-                                            const query::QuerySpec& spec,
-                                            const std::vector<int64_t>& frames,
-                                            int64_t eligible_population,
-                                            int64_t original_population, int resolution,
-                                            double contrast_scale, double delta) {
+Result<EstimationResult> EstimateFromOutputs(const query::QuerySpec& spec,
+                                             std::span<const double> outputs,
+                                             int64_t eligible_population,
+                                             int64_t original_population, int resolution,
+                                             double delta) {
   SMK_RETURN_IF_ERROR(spec.Validate());
-  if (frames.empty()) return Status::InvalidArgument("no frames to estimate from");
+  if (outputs.empty()) return Status::InvalidArgument("no outputs to estimate from");
 
   EstimationResult result;
-  result.sample_size = static_cast<int64_t>(frames.size());
+  result.sample_size = static_cast<int64_t>(outputs.size());
   result.eligible_population = eligible_population;
   result.original_population = original_population;
   result.resolution = resolution;
-  SMK_ASSIGN_OR_RETURN(result.sample_outputs,
-                       source.Outputs(spec, frames, resolution, contrast_scale));
+  result.sample_outputs.assign(outputs.begin(), outputs.end());
 
   if (spec.aggregate == query::AggregateFunction::kVar) {
     SmokescreenVarianceEstimator estimator;
@@ -51,6 +49,20 @@ Result<EstimationResult> EstimateFromFrames(query::FrameOutputSource& source,
                                    spec.EffectiveQuantileR(), is_max, delta));
   }
   return result;
+}
+
+Result<EstimationResult> EstimateFromFrames(query::FrameOutputSource& source,
+                                            const query::QuerySpec& spec,
+                                            std::span<const int64_t> frames,
+                                            int64_t eligible_population,
+                                            int64_t original_population, int resolution,
+                                            double contrast_scale, double delta) {
+  SMK_RETURN_IF_ERROR(spec.Validate());
+  if (frames.empty()) return Status::InvalidArgument("no frames to estimate from");
+  query::OutputColumn column;
+  SMK_RETURN_IF_ERROR(source.OutputsInto(spec, frames, resolution, contrast_scale, column));
+  return EstimateFromOutputs(spec, column.output_span(), eligible_population,
+                             original_population, resolution, delta);
 }
 
 Result<EstimationResult> ResultErrorEst(query::FrameOutputSource& source,

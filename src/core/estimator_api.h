@@ -8,6 +8,7 @@
 #ifndef SMOKESCREEN_CORE_ESTIMATOR_API_H_
 #define SMOKESCREEN_CORE_ESTIMATOR_API_H_
 
+#include <span>
 #include <vector>
 
 #include "core/estimate.h"
@@ -49,12 +50,24 @@ util::Result<EstimationResult> ResultErrorEst(query::FrameOutputSource& source,
 /// Estimation from an explicit list of pre-sampled frames (used by the
 /// profiler's nested-prefix reuse strategy, where samples for ascending
 /// fractions share a common permutation so cached outputs are reused).
+/// Fetches the outputs with one batched request, then delegates to
+/// EstimateFromOutputs.
 util::Result<EstimationResult> EstimateFromFrames(query::FrameOutputSource& source,
                                                   const query::QuerySpec& spec,
-                                                  const std::vector<int64_t>& frames,
+                                                  std::span<const int64_t> frames,
                                                   int64_t eligible_population,
                                                   int64_t original_population, int resolution,
                                                   double contrast_scale, double delta);
+
+/// Estimation from already-materialized frame outputs (a prefix view of a
+/// batched OutputColumn). This is the profiler's fast path: each candidate
+/// sampling fraction estimates from a prefix of the group's shared column
+/// without re-requesting or copying frames.
+util::Result<EstimationResult> EstimateFromOutputs(const query::QuerySpec& spec,
+                                                   std::span<const double> outputs,
+                                                   int64_t eligible_population,
+                                                   int64_t original_population, int resolution,
+                                                   double delta);
 
 }  // namespace core
 }  // namespace smokescreen

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <span>
 
 #include "stats/sampling.h"
 #include "util/thread_pool.h"
@@ -73,16 +74,28 @@ util::Status GenerateGroupPoints(query::FrameOutputSource& source,
                                            static_cast<uint64_t>(key.contrast_bits)}));
   stats::Shuffle(eligible, group_rng);
 
+  // The group's fractions share one permutation, so each candidate's sample
+  // is a prefix of the previous candidate's sample plus a tail. The column
+  // below accumulates outputs for the longest prefix fetched so far; each
+  // candidate requests ONLY its tail as a batch extension and estimates from
+  // a prefix view — no per-frame calls, no re-materialized vectors.
+  query::OutputColumn column;
   double prev_err = std::numeric_limits<double>::infinity();
   for (const InterventionSet& candidate : group) {
     int64_t n = stats::FractionToCount(original_population, candidate.sample_fraction);
     n = std::min(n, eligible_population);
-    std::vector<int64_t> frames(eligible.begin(), eligible.begin() + n);
     int resolution = candidate.EffectiveResolution(model_max);
+    if (static_cast<size_t>(n) > column.size()) {
+      std::span<const int64_t> extension(eligible.data() + column.size(),
+                                         static_cast<size_t>(n) - column.size());
+      SMK_RETURN_IF_ERROR(source.AppendOutputs(spec, extension, resolution,
+                                               candidate.contrast_scale, column));
+    }
     SMK_ASSIGN_OR_RETURN(
         EstimationResult result,
-        EstimateFromFrames(source, spec, frames, eligible_population, original_population,
-                           resolution, candidate.contrast_scale, options.delta));
+        EstimateFromOutputs(spec, column.output_prefix(static_cast<size_t>(n)),
+                            eligible_population, original_population, resolution,
+                            options.delta));
 
     ProfilePoint point;
     point.interventions = candidate;

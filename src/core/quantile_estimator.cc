@@ -13,7 +13,7 @@ namespace core {
 using util::Result;
 using util::Status;
 
-Result<Estimate> SmokescreenQuantileEstimator::EstimateQuantile(const std::vector<double>& sample,
+Result<Estimate> SmokescreenQuantileEstimator::EstimateQuantile(std::span<const double> sample,
                                                                 int64_t population, double r,
                                                                 bool is_max,
                                                                 double delta) const {

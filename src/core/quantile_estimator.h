@@ -25,7 +25,7 @@ class SmokescreenQuantileEstimator : public QuantileEstimator {
 
   const std::string& name() const override { return name_; }
 
-  util::Result<Estimate> EstimateQuantile(const std::vector<double>& sample, int64_t population,
+  util::Result<Estimate> EstimateQuantile(std::span<const double> sample, int64_t population,
                                           double r, bool is_max, double delta) const override;
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "core/avg_estimator.h"
 #include "core/quantile_estimator.h"
@@ -20,7 +21,7 @@ namespace {
 
 /// Computes the correction set's own estimate from its outputs.
 Result<Estimate> EstimateCorrection(const query::QuerySpec& spec,
-                                    const std::vector<double>& outputs, int64_t population,
+                                    std::span<const double> outputs, int64_t population,
                                     double delta) {
   if (spec.aggregate == query::AggregateFunction::kVar) {
     SmokescreenVarianceEstimator estimator;
@@ -116,11 +117,16 @@ Result<CorrectionSizing> DetermineCorrectionSetSize(query::FrameOutputSource& so
   CorrectionSizing sizing;
   double prev_err = std::numeric_limits<double>::infinity();
   int resolution = source.detector().max_resolution();
+  // Each step extends the previous prefix; request only the new tail as a
+  // batch extension of the shared output column.
+  query::OutputColumn column;
   for (int64_t m = step; m <= limit; m += step) {
-    std::vector<int64_t> prefix(permutation.begin(), permutation.begin() + m);
-    SMK_ASSIGN_OR_RETURN(std::vector<double> outputs,
-                         source.Outputs(spec, prefix, resolution, 1.0));
-    SMK_ASSIGN_OR_RETURN(Estimate est, EstimateCorrection(spec, outputs, population, delta));
+    std::span<const int64_t> extension(permutation.data() + column.size(),
+                                       static_cast<size_t>(m) - column.size());
+    SMK_RETURN_IF_ERROR(source.AppendOutputs(spec, extension, resolution, 1.0, column));
+    SMK_ASSIGN_OR_RETURN(Estimate est, EstimateCorrection(spec, column.output_prefix(
+                                                              static_cast<size_t>(m)),
+                                                          population, delta));
     double fraction = static_cast<double>(m) / static_cast<double>(population);
     sizing.curve.emplace_back(fraction, est.err_b);
     sizing.chosen_size = m;

@@ -30,7 +30,7 @@ std::pair<double, double> SmokescreenVarianceEstimator::VarianceBounds(double me
   return {var_lb, var_ub};
 }
 
-Result<Estimate> SmokescreenVarianceEstimator::EstimateVariance(const std::vector<double>& sample,
+Result<Estimate> SmokescreenVarianceEstimator::EstimateVariance(std::span<const double> sample,
                                                                 int64_t population,
                                                                 double delta) const {
   if (sample.empty()) return Status::InvalidArgument("empty sample");

@@ -24,7 +24,7 @@ class SmokescreenVarianceEstimator {
  public:
   /// Estimates the population variance of the N frame outputs from a sample
   /// drawn without replacement. Same contract as MeanEstimator::EstimateMean.
-  util::Result<Estimate> EstimateVariance(const std::vector<double>& sample, int64_t population,
+  util::Result<Estimate> EstimateVariance(std::span<const double> sample, int64_t population,
                                           double delta) const;
 
   /// The interval-arithmetic core, exposed for tests: given simultaneous

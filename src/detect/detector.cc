@@ -14,6 +14,20 @@ using video::GtObject;
 using video::ObjectClass;
 using video::VideoDataset;
 
+Status Detector::CountBatch(const VideoDataset& dataset, std::span<const int64_t> frame_indices,
+                            int resolution, ObjectClass cls, double contrast_scale,
+                            std::span<int> out) const {
+  if (out.size() != frame_indices.size()) {
+    return Status::InvalidArgument("CountBatch: out size " + std::to_string(out.size()) +
+                                   " != frame count " + std::to_string(frame_indices.size()));
+  }
+  for (size_t i = 0; i < frame_indices.size(); ++i) {
+    SMK_ASSIGN_OR_RETURN(out[i], CountDetections(dataset, frame_indices[i], resolution, cls,
+                                                 contrast_scale));
+  }
+  return Status::OK();
+}
+
 Status Detector::ValidateResolution(int resolution) const {
   if (resolution <= 0) return Status::InvalidArgument("resolution must be positive");
   if (resolution > max_resolution()) {
@@ -53,21 +67,11 @@ double CalibratedDetector::DuplicateProbability(const Frame& /*frame*/, int /*re
   return 0.0;
 }
 
-Result<int> CalibratedDetector::CountDetections(const VideoDataset& dataset, int64_t frame_index,
-                                                int resolution, ObjectClass cls,
-                                                double contrast_scale) const {
-  SMK_RETURN_IF_ERROR(ValidateResolution(resolution));
-  if (frame_index < 0 || frame_index >= dataset.num_frames()) {
-    return Status::OutOfRange("frame index " + std::to_string(frame_index) + " out of [0, " +
-                              std::to_string(dataset.num_frames()) + ")");
-  }
-  const Frame& frame = dataset.frame(frame_index);
-  const ClassCalibration& cal = calibrations_[static_cast<size_t>(cls)];
-  const uint64_t res_bits = static_cast<uint64_t>(resolution);
-  const uint64_t cls_bits = static_cast<uint64_t>(cls);
-  const uint64_t contrast_bits =
-      static_cast<uint64_t>(std::llround(contrast_scale * 4096.0));
-
+int CalibratedDetector::CountFrameImpl(const VideoDataset& dataset, const Frame& frame,
+                                       int resolution, ObjectClass cls, double contrast_scale,
+                                       const ClassCalibration& cal, uint64_t res_bits,
+                                       uint64_t cls_bits, uint64_t contrast_bits,
+                                       double res_factor) const {
   double dup_prob = DuplicateProbability(frame, resolution, cls);
 
   int count = 0;
@@ -91,15 +95,65 @@ Result<int> CalibratedDetector::CountDetections(const VideoDataset& dataset, int
 
   // Clutter-driven false positives. Slightly elevated at reduced resolution
   // (small textures are more ambiguous), mildly elevated in crowded frames.
-  double res_factor =
-      1.0 + 0.5 * (1.0 - static_cast<double>(resolution) /
-                             static_cast<double>(dataset.full_resolution()));
   double clutter_factor = 1.0 + 0.03 * static_cast<double>(frame.objects.size());
   double fp_lambda = cal.fp_rate * res_factor * clutter_factor;
   count += stats::StatelessPoisson(
       fp_lambda, {dataset.dataset_id(), static_cast<uint64_t>(frame.frame_id), res_bits,
                   model_id_, cls_bits, contrast_bits, /*purpose=*/0x33});
   return count;
+}
+
+Result<int> CalibratedDetector::CountDetections(const VideoDataset& dataset, int64_t frame_index,
+                                                int resolution, ObjectClass cls,
+                                                double contrast_scale) const {
+  SMK_RETURN_IF_ERROR(ValidateResolution(resolution));
+  if (frame_index < 0 || frame_index >= dataset.num_frames()) {
+    return Status::OutOfRange("frame index " + std::to_string(frame_index) + " out of [0, " +
+                              std::to_string(dataset.num_frames()) + ")");
+  }
+  const Frame& frame = dataset.frame(frame_index);
+  const ClassCalibration& cal = calibrations_[static_cast<size_t>(cls)];
+  const uint64_t res_bits = static_cast<uint64_t>(resolution);
+  const uint64_t cls_bits = static_cast<uint64_t>(cls);
+  const uint64_t contrast_bits =
+      static_cast<uint64_t>(std::llround(contrast_scale * 4096.0));
+  const double res_factor =
+      1.0 + 0.5 * (1.0 - static_cast<double>(resolution) /
+                             static_cast<double>(dataset.full_resolution()));
+  return CountFrameImpl(dataset, frame, resolution, cls, contrast_scale, cal, res_bits,
+                        cls_bits, contrast_bits, res_factor);
+}
+
+Status CalibratedDetector::CountBatch(const VideoDataset& dataset,
+                                      std::span<const int64_t> frame_indices, int resolution,
+                                      ObjectClass cls, double contrast_scale,
+                                      std::span<int> out) const {
+  if (out.size() != frame_indices.size()) {
+    return Status::InvalidArgument("CountBatch: out size " + std::to_string(out.size()) +
+                                   " != frame count " + std::to_string(frame_indices.size()));
+  }
+  // Frame-independent setup is hoisted out of the loop: resolution
+  // validation, calibration lookup and the constant words of the stateless
+  // hash stream are computed once per batch instead of once per frame.
+  SMK_RETURN_IF_ERROR(ValidateResolution(resolution));
+  const ClassCalibration& cal = calibrations_[static_cast<size_t>(cls)];
+  const uint64_t res_bits = static_cast<uint64_t>(resolution);
+  const uint64_t cls_bits = static_cast<uint64_t>(cls);
+  const uint64_t contrast_bits =
+      static_cast<uint64_t>(std::llround(contrast_scale * 4096.0));
+  const double res_factor =
+      1.0 + 0.5 * (1.0 - static_cast<double>(resolution) /
+                             static_cast<double>(dataset.full_resolution()));
+  for (size_t i = 0; i < frame_indices.size(); ++i) {
+    const int64_t frame_index = frame_indices[i];
+    if (frame_index < 0 || frame_index >= dataset.num_frames()) {
+      return Status::OutOfRange("frame index " + std::to_string(frame_index) + " out of [0, " +
+                                std::to_string(dataset.num_frames()) + ")");
+    }
+    out[i] = CountFrameImpl(dataset, dataset.frame(frame_index), resolution, cls,
+                            contrast_scale, cal, res_bits, cls_bits, contrast_bits, res_factor);
+  }
+  return Status::OK();
 }
 
 }  // namespace detect

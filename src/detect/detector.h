@@ -22,6 +22,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "util/status.h"
@@ -65,6 +66,18 @@ class Detector {
                                             int64_t frame_index, int resolution,
                                             video::ObjectClass cls,
                                             double contrast_scale = 1.0) const = 0;
+
+  /// Batched counterpart of CountDetections: one invocation covers all of
+  /// `frame_indices`, writing counts into `out` (same length, same order).
+  /// Counts are bit-identical to per-frame CountDetections calls; batching
+  /// only amortizes per-invocation setup. The default implementation loops
+  /// over CountDetections; calibrated models override it to hoist the
+  /// resolution check, calibration lookup and hash-stream derivation out of
+  /// the frame loop.
+  virtual util::Status CountBatch(const video::VideoDataset& dataset,
+                                  std::span<const int64_t> frame_indices, int resolution,
+                                  video::ObjectClass cls, double contrast_scale,
+                                  std::span<int> out) const;
 };
 
 /// Base class implementing the calibrated recall/false-positive model.
@@ -83,6 +96,11 @@ class CalibratedDetector : public Detector {
                                     int resolution, video::ObjectClass cls,
                                     double contrast_scale) const override;
 
+  util::Status CountBatch(const video::VideoDataset& dataset,
+                          std::span<const int64_t> frame_indices, int resolution,
+                          video::ObjectClass cls, double contrast_scale,
+                          std::span<int> out) const override;
+
   /// Recall of one object at the given resolution (exposed for tests and
   /// calibration plots).
   double ObjectRecall(const video::GtObject& obj, int resolution, int reference_resolution,
@@ -95,6 +113,14 @@ class CalibratedDetector : public Detector {
                                       video::ObjectClass cls) const;
 
  private:
+  /// Per-frame counting core shared by the scalar and batched entry points,
+  /// so both produce literally the same arithmetic (bit-identical counts).
+  /// All frame-independent setup is passed in precomputed.
+  int CountFrameImpl(const video::VideoDataset& dataset, const video::Frame& frame,
+                     int resolution, video::ObjectClass cls, double contrast_scale,
+                     const ClassCalibration& cal, uint64_t res_bits, uint64_t cls_bits,
+                     uint64_t contrast_bits, double res_factor) const;
+
   std::string name_;
   uint64_t model_id_;
   int max_resolution_;

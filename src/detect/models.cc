@@ -1,5 +1,6 @@
 #include "detect/models.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace smokescreen {
@@ -89,6 +90,21 @@ util::Result<int> SimMtcnn::CountDetections(const video::VideoDataset& dataset,
   if (cls != ObjectClass::kFace) return 0;  // Face-only model.
   return CalibratedDetector::CountDetections(dataset, frame_index, resolution, cls,
                                              contrast_scale);
+}
+
+util::Status SimMtcnn::CountBatch(const video::VideoDataset& dataset,
+                                  std::span<const int64_t> frame_indices, int resolution,
+                                  ObjectClass cls, double contrast_scale,
+                                  std::span<int> out) const {
+  if (cls != ObjectClass::kFace) {  // Face-only model.
+    if (out.size() != frame_indices.size()) {
+      return util::Status::InvalidArgument("CountBatch: out size mismatch");
+    }
+    std::fill(out.begin(), out.end(), 0);
+    return util::Status::OK();
+  }
+  return CalibratedDetector::CountBatch(dataset, frame_indices, resolution, cls, contrast_scale,
+                                        out);
 }
 
 std::unique_ptr<Detector> MakeSimYoloV4() { return std::make_unique<SimYoloV4>(); }

@@ -56,6 +56,11 @@ class SimMtcnn : public CalibratedDetector {
   util::Result<int> CountDetections(const video::VideoDataset& dataset, int64_t frame_index,
                                     int resolution, video::ObjectClass cls,
                                     double contrast_scale) const override;
+
+  util::Status CountBatch(const video::VideoDataset& dataset,
+                          std::span<const int64_t> frame_indices, int resolution,
+                          video::ObjectClass cls, double contrast_scale,
+                          std::span<int> out) const override;
 };
 
 std::unique_ptr<Detector> MakeSimYoloV4();

@@ -1,6 +1,10 @@
 #include "query/output_source.h"
 
+#include <algorithm>
 #include <cmath>
+#include <map>
+#include <numeric>
+#include <utility>
 
 #include "stats/rng.h"
 
@@ -8,6 +12,7 @@ namespace smokescreen {
 namespace query {
 
 using util::Result;
+using util::Status;
 
 size_t FrameOutputSource::CacheKeyHash::operator()(const CacheKey& key) const {
   return static_cast<size_t>(stats::HashCombine({static_cast<uint64_t>(key.frame),
@@ -65,33 +70,199 @@ Result<int> FrameOutputSource::RawCount(int64_t frame_index, int resolution,
   return count;
 }
 
+Status FrameOutputSource::FillCountsChunk(std::span<const int64_t> frame_indices, int resolution,
+                                          double contrast_scale, std::span<int> out) {
+  const size_t n = frame_indices.size();
+  if (n == 0) return Status::OK();
+
+  // Phase 0: derive keys and partition request slots by shard with a
+  // counting sort, so phase 1 can walk each shard's slots contiguously.
+  std::vector<CacheKey> keys(n);
+  std::vector<uint32_t> shard_of(n);
+  std::array<uint32_t, kNumShards> shard_count{};
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = MakeCacheKey(frame_indices[i], resolution, contrast_scale);
+    shard_of[i] =
+        static_cast<uint32_t>(CacheKeyHash{}(keys[i]) & static_cast<size_t>(kNumShards - 1));
+    ++shard_count[shard_of[i]];
+  }
+  std::array<uint32_t, kNumShards + 1> shard_start{};
+  for (int s = 0; s < kNumShards; ++s) shard_start[s + 1] = shard_start[s] + shard_count[s];
+  std::vector<uint32_t> slots_by_shard(n);
+  {
+    std::array<uint32_t, kNumShards> cursor = {};
+    for (int s = 0; s < kNumShards; ++s) cursor[s] = shard_start[s];
+    for (size_t i = 0; i < n; ++i) slots_by_shard[cursor[shard_of[i]]++] = static_cast<uint32_t>(i);
+  }
+
+  // Phase 1: probe each touched shard under ONE lock acquisition and
+  // classify every slot: done hit, duplicate of a key this call already
+  // claimed, in flight on another thread, or a fresh claim. Equal keys
+  // always land in the same shard, so one claimed-slot map is race-free.
+  std::vector<int64_t> miss_frames;
+  std::vector<uint32_t> miss_slot;      // First request slot per claimed key.
+  std::vector<uint32_t> miss_shard;     // Shard index per claimed key (nondecreasing).
+  std::unordered_map<CacheKey, uint32_t, CacheKeyHash> claimed;  // key -> miss ordinal.
+  std::vector<std::pair<uint32_t, uint32_t>> dup_fills;          // (slot, miss ordinal).
+  std::vector<uint32_t> waiter_slots;
+  int64_t probe_hits = 0;
+  for (int s = 0; s < kNumShards; ++s) {
+    if (shard_count[s] == 0) continue;
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (uint32_t p = shard_start[s]; p < shard_start[s + 1]; ++p) {
+      const uint32_t slot = slots_by_shard[p];
+      const CacheKey& key = keys[slot];
+      auto done_it = shard.done.find(key);
+      if (done_it != shard.done.end()) {
+        out[slot] = done_it->second;
+        ++probe_hits;
+        continue;
+      }
+      auto claimed_it = claimed.find(key);
+      if (claimed_it != claimed.end()) {
+        dup_fills.emplace_back(slot, claimed_it->second);
+        continue;
+      }
+      if (shard.in_flight.find(key) != shard.in_flight.end()) {
+        waiter_slots.push_back(slot);
+        continue;
+      }
+      shard.in_flight.insert(key);
+      claimed.emplace(key, static_cast<uint32_t>(miss_frames.size()));
+      miss_slot.push_back(slot);
+      miss_shard.push_back(static_cast<uint32_t>(s));
+      miss_frames.push_back(frame_indices[slot]);
+    }
+  }
+  if (probe_hits > 0) cache_hits_.fetch_add(probe_hits, std::memory_order_relaxed);
+
+  // Phase 2: ONE batched model invocation covers every claimed miss; the
+  // model runs outside all shard locks.
+  std::vector<int> miss_counts(miss_frames.size());
+  Status batch_status = Status::OK();
+  if (!miss_frames.empty()) {
+    batch_status = detector_.CountBatch(dataset_, miss_frames, resolution, target_class_,
+                                        contrast_scale, miss_counts);
+  }
+
+  // Phase 3: install (or on failure, release) the claims shard by shard.
+  // miss_shard is nondecreasing because phase 1 visited shards in order, so
+  // each shard is locked once here too.
+  size_t m = 0;
+  while (m < miss_frames.size()) {
+    const uint32_t s = miss_shard[m];
+    Shard& shard = shards_[s];
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (; m < miss_frames.size() && miss_shard[m] == s; ++m) {
+        const CacheKey& key = keys[miss_slot[m]];
+        shard.in_flight.erase(key);
+        if (batch_status.ok()) {
+          shard.done.emplace(key, miss_counts[m]);
+          out[miss_slot[m]] = miss_counts[m];
+        }
+      }
+    }
+    shard.cv.notify_all();
+  }
+  if (!batch_status.ok()) return batch_status;
+  if (!miss_frames.empty()) {
+    // A batch over N distinct keys counts as exactly N model invocations —
+    // the same total the scalar path reports.
+    model_invocations_.fetch_add(static_cast<int64_t>(miss_frames.size()),
+                                 std::memory_order_relaxed);
+  }
+
+  // Duplicates of keys this call computed resolve from the fresh results and
+  // count as cache hits, matching the scalar path (first occurrence misses,
+  // repeats hit).
+  for (const auto& [slot, ordinal] : dup_fills) {
+    out[slot] = miss_counts[ordinal];
+  }
+  if (!dup_fills.empty()) {
+    cache_hits_.fetch_add(static_cast<int64_t>(dup_fills.size()), std::memory_order_relaxed);
+  }
+
+  // Keys another thread had in flight fall back to the scalar wait-and-retry
+  // path, which preserves exactly-once compute and exact hit accounting.
+  for (uint32_t slot : waiter_slots) {
+    SMK_ASSIGN_OR_RETURN(out[slot],
+                         RawCount(frame_indices[slot], resolution, contrast_scale));
+  }
+  return Status::OK();
+}
+
+Status FrameOutputSource::FillCounts(std::span<const int64_t> frame_indices, int resolution,
+                                     double contrast_scale, std::span<int> out) {
+  if (out.size() != frame_indices.size()) {
+    return Status::InvalidArgument("FillCounts: out size " + std::to_string(out.size()) +
+                                   " != frame count " + std::to_string(frame_indices.size()));
+  }
+  const size_t chunk = max_batch_size_ > 0 ? static_cast<size_t>(max_batch_size_)
+                                           : frame_indices.size();
+  for (size_t begin = 0; begin < frame_indices.size(); begin += chunk) {
+    const size_t len = std::min(chunk, frame_indices.size() - begin);
+    SMK_RETURN_IF_ERROR(FillCountsChunk(frame_indices.subspan(begin, len), resolution,
+                                        contrast_scale, out.subspan(begin, len)));
+  }
+  return Status::OK();
+}
+
 Result<std::vector<int>> FrameOutputSource::RawCounts(const std::vector<int64_t>& frame_indices,
                                                       int resolution, double contrast_scale) {
-  std::vector<int> out;
-  out.reserve(frame_indices.size());
-  for (int64_t idx : frame_indices) {
-    SMK_ASSIGN_OR_RETURN(int count, RawCount(idx, resolution, contrast_scale));
-    out.push_back(count);
-  }
+  std::vector<int> out(frame_indices.size());
+  SMK_RETURN_IF_ERROR(FillCounts(frame_indices, resolution, contrast_scale, out));
   return out;
+}
+
+Status FrameOutputSource::AppendOutputs(const QuerySpec& spec,
+                                        std::span<const int64_t> frame_indices, int resolution,
+                                        double contrast_scale, OutputColumn& column) {
+  const size_t old_size = column.counts.size();
+  if (column.outputs.size() != old_size) {
+    return Status::InvalidArgument("OutputColumn counts/outputs out of sync");
+  }
+  column.counts.resize(old_size + frame_indices.size());
+  std::span<int> new_counts = std::span<int>(column.counts).subspan(old_size);
+  Status status = FillCounts(frame_indices, resolution, contrast_scale, new_counts);
+  if (!status.ok()) {
+    column.counts.resize(old_size);  // Leave the column unchanged on failure.
+    return status;
+  }
+  column.outputs.resize(old_size + frame_indices.size());
+  const OutputTransform transform(spec);
+  transform.Apply(new_counts, std::span<double>(column.outputs).subspan(old_size));
+  return Status::OK();
+}
+
+Status FrameOutputSource::OutputsInto(const QuerySpec& spec,
+                                      std::span<const int64_t> frame_indices, int resolution,
+                                      double contrast_scale, OutputColumn& column) {
+  column.Clear();
+  return AppendOutputs(spec, frame_indices, resolution, contrast_scale, column);
+}
+
+Status FrameOutputSource::AllOutputsInto(const QuerySpec& spec, int resolution,
+                                         double contrast_scale, OutputColumn& column) {
+  std::vector<int64_t> frames(static_cast<size_t>(dataset_.num_frames()));
+  std::iota(frames.begin(), frames.end(), int64_t{0});
+  return OutputsInto(spec, frames, resolution, contrast_scale, column);
 }
 
 Result<std::vector<double>> FrameOutputSource::Outputs(const QuerySpec& spec,
                                                        const std::vector<int64_t>& frame_indices,
                                                        int resolution, double contrast_scale) {
-  std::vector<double> out;
-  out.reserve(frame_indices.size());
-  for (int64_t idx : frame_indices) {
-    SMK_ASSIGN_OR_RETURN(int count, RawCount(idx, resolution, contrast_scale));
-    out.push_back(spec.TransformOutput(count));
-  }
-  return out;
+  OutputColumn column;
+  SMK_RETURN_IF_ERROR(OutputsInto(spec, frame_indices, resolution, contrast_scale, column));
+  return std::move(column.outputs);
 }
 
 Result<FrameOutputSource::SkippedScan> FrameOutputSource::AllOutputsWithSkipping(
     const QuerySpec& spec, int resolution, double contrast_scale) {
   SkippedScan scan;
   scan.outputs.reserve(static_cast<size_t>(dataset_.num_frames()));
+  const OutputTransform transform(spec);
   std::vector<int64_t> prev_tracks;
   double prev_output = 0.0;
   bool have_prev = false;
@@ -110,7 +281,7 @@ Result<FrameOutputSource::SkippedScan> FrameOutputSource::AllOutputsWithSkipping
       continue;
     }
     SMK_ASSIGN_OR_RETURN(int count, RawCount(i, resolution, contrast_scale));
-    prev_output = spec.TransformOutput(count);
+    prev_output = transform(count);
     prev_tracks = std::move(tracks);
     have_prev = true;
     scan.outputs.push_back(prev_output);
@@ -120,13 +291,80 @@ Result<FrameOutputSource::SkippedScan> FrameOutputSource::AllOutputsWithSkipping
 
 Result<std::vector<double>> FrameOutputSource::AllOutputs(const QuerySpec& spec, int resolution,
                                                           double contrast_scale) {
-  std::vector<double> out;
-  out.reserve(static_cast<size_t>(dataset_.num_frames()));
-  for (int64_t i = 0; i < dataset_.num_frames(); ++i) {
-    SMK_ASSIGN_OR_RETURN(int count, RawCount(i, resolution, contrast_scale));
-    out.push_back(spec.TransformOutput(count));
+  OutputColumn column;
+  SMK_RETURN_IF_ERROR(AllOutputsInto(spec, resolution, contrast_scale, column));
+  return std::move(column.outputs);
+}
+
+OutputStore FrameOutputSource::ExportStore() {
+  // Group cached entries by (resolution, contrast_q); each group becomes one
+  // column with frames sorted ascending, so exports are deterministic
+  // regardless of hash-map iteration order.
+  std::map<std::pair<int, int64_t>, std::vector<std::pair<int64_t, int>>> groups;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, count] : shard.done) {
+      groups[{key.resolution, key.contrast_q}].emplace_back(key.frame, count);
+    }
   }
-  return out;
+  OutputStore store(dataset_.dataset_id(), detector_.model_id(), dataset_.num_frames());
+  for (auto& [group_key, entries] : groups) {
+    std::sort(entries.begin(), entries.end());
+    OutputColumnRecord column;
+    column.resolution = group_key.first;
+    column.cls = static_cast<int>(target_class_);
+    column.contrast_q = group_key.second;
+    column.frames.reserve(entries.size());
+    column.counts.reserve(entries.size());
+    for (const auto& [frame, count] : entries) {
+      column.frames.push_back(frame);
+      column.counts.push_back(count);
+    }
+    store.AddColumn(std::move(column));
+  }
+  return store;
+}
+
+Result<int64_t> FrameOutputSource::Preload(const OutputStore& store) {
+  if (store.dataset_id() != dataset_.dataset_id()) {
+    return Status::InvalidArgument(
+        "output store was built for dataset id " + std::to_string(store.dataset_id()) +
+        ", this source serves dataset id " + std::to_string(dataset_.dataset_id()));
+  }
+  if (store.model_id() != detector_.model_id()) {
+    return Status::InvalidArgument(
+        "output store was built with model id " + std::to_string(store.model_id()) +
+        ", this source uses model id " + std::to_string(detector_.model_id()));
+  }
+  if (store.num_frames() != dataset_.num_frames()) {
+    return Status::InvalidArgument(
+        "output store covers " + std::to_string(store.num_frames()) + " frames, dataset has " +
+        std::to_string(dataset_.num_frames()));
+  }
+  int64_t loaded = 0;
+  for (const OutputColumnRecord& column : store.columns()) {
+    if (column.cls != static_cast<int>(target_class_)) continue;  // Other class: not ours.
+    if (column.frames.size() != column.counts.size()) {
+      return Status::InvalidArgument("output store column has mismatched frame/count arrays");
+    }
+    for (size_t i = 0; i < column.frames.size(); ++i) {
+      const int64_t frame = column.frames[i];
+      if (frame < 0 || frame >= dataset_.num_frames()) {
+        return Status::OutOfRange("output store frame " + std::to_string(frame) +
+                                  " out of [0, " + std::to_string(dataset_.num_frames()) + ")");
+      }
+      CacheKey key;
+      key.frame = frame;
+      key.resolution = column.resolution;
+      key.contrast_q = column.contrast_q;
+      Shard& shard = ShardFor(key);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      // Preloaded entries do not bump the counters: they were not computed
+      // (nor requested) in this run.
+      if (shard.done.emplace(key, column.counts[i]).second) ++loaded;
+    }
+  }
+  return loaded;
 }
 
 }  // namespace query

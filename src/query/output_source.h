@@ -5,6 +5,13 @@
 //    (the §3.3.2 reuse strategy), and
 //  * profile generation can report its model-invocation count (§5.3.1).
 //
+// Execution is BATCHED: a request for a list of frames partitions the list
+// by cache shard, probes each shard under one lock acquisition, and issues
+// ONE batched model invocation (Detector::CountBatch) covering every miss.
+// Batching changes only the cost shape, never the answer — counts are
+// bit-identical to per-frame calls, and the invocation/hit counters tally a
+// batch of N distinct misses as exactly N model invocations.
+//
 // Thread safety: every public method may be called concurrently. The memo
 // cache is sharded — each shard owns a mutex plus an exact-composite-key
 // hash map — and the invocation/hit counters are atomics. A cache miss
@@ -27,17 +34,37 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "detect/detector.h"
+#include "query/output_store.h"
 #include "query/query_spec.h"
 #include "util/status.h"
 #include "video/dataset.h"
 
 namespace smokescreen {
 namespace query {
+
+/// Reusable columnar result buffer. Callers that grow a sample prefix
+/// incrementally (the profiler's nested-prefix reuse chain) append batch
+/// extensions into the same column instead of re-materializing vectors.
+struct OutputColumn {
+  std::vector<int> counts;
+  std::vector<double> outputs;
+
+  void Clear() {
+    counts.clear();
+    outputs.clear();
+  }
+  size_t size() const { return outputs.size(); }
+  std::span<const double> output_span() const { return outputs; }
+  std::span<const double> output_prefix(size_t n) const {
+    return std::span<const double>(outputs.data(), n);
+  }
+};
 
 class FrameOutputSource {
  public:
@@ -68,9 +95,29 @@ class FrameOutputSource {
   /// Raw detector count for one frame at the given resolution. Cached.
   util::Result<int> RawCount(int64_t frame_index, int resolution, double contrast_scale = 1.0);
 
+  /// Batched core: raw counts for `frame_indices` written into `out` (same
+  /// length, same order). Misses are computed by ONE CountBatch invocation
+  /// per batch chunk (see set_max_batch_size). Duplicate frames, unsorted
+  /// lists and empty lists are all fine.
+  util::Status FillCounts(std::span<const int64_t> frame_indices, int resolution,
+                          double contrast_scale, std::span<int> out);
+
   /// Raw counts for a list of frames (order preserved).
   util::Result<std::vector<int>> RawCounts(const std::vector<int64_t>& frame_indices,
                                            int resolution, double contrast_scale = 1.0);
+
+  /// Appends counts and query-transformed outputs for `frame_indices` to
+  /// `column` (batch-extension form used by prefix-growing callers).
+  util::Status AppendOutputs(const QuerySpec& spec, std::span<const int64_t> frame_indices,
+                             int resolution, double contrast_scale, OutputColumn& column);
+
+  /// Clears `column` and fills it with outputs for `frame_indices`.
+  util::Status OutputsInto(const QuerySpec& spec, std::span<const int64_t> frame_indices,
+                           int resolution, double contrast_scale, OutputColumn& column);
+
+  /// Clears `column` and fills it with outputs for the entire dataset.
+  util::Status AllOutputsInto(const QuerySpec& spec, int resolution, double contrast_scale,
+                              OutputColumn& column);
 
   /// Query-transformed outputs X_i for a list of frames.
   util::Result<std::vector<double>> Outputs(const QuerySpec& spec,
@@ -96,8 +143,27 @@ class FrameOutputSource {
   util::Result<SkippedScan> AllOutputsWithSkipping(const QuerySpec& spec, int resolution,
                                                    double contrast_scale = 1.0);
 
+  /// Caps the number of frames handed to one Detector::CountBatch call;
+  /// larger requests are split into chunks of this size. 0 (the default)
+  /// means unlimited. Results are identical at every setting — this is a
+  /// cost/latency knob (and the sweep axis of bench/ext_batched_throughput).
+  void set_max_batch_size(int64_t max_batch_size) { max_batch_size_ = max_batch_size; }
+  int64_t max_batch_size() const { return max_batch_size_; }
+
+  /// Snapshots the memo cache into a persistable OutputStore (one column
+  /// per (resolution, contrast) pair seen, frames sorted ascending).
+  OutputStore ExportStore();
+
+  /// Warm-starts the memo cache from a previously saved store. Validates
+  /// that the store matches this source's dataset/model, skips columns for
+  /// other target classes, and does NOT touch the invocation/hit counters
+  /// (preloaded entries were never computed in this run). Returns the number
+  /// of entries installed.
+  util::Result<int64_t> Preload(const OutputStore& store);
+
   /// Total UDF invocations that missed the cache (the paper's N_model).
-  /// Exactly the number of distinct keys computed, at any thread count.
+  /// Exactly the number of distinct keys computed, at any thread count. A
+  /// batched invocation over N distinct missing keys counts as N.
   int64_t model_invocations() const {
     return model_invocations_.load(std::memory_order_relaxed);
   }
@@ -127,9 +193,15 @@ class FrameOutputSource {
     return shards_[CacheKeyHash{}(key) & static_cast<size_t>(kNumShards - 1)];
   }
 
+  /// One batched round: shard-partitioned probe, single CountBatch over all
+  /// misses, per-shard install. Called by FillCounts per chunk.
+  util::Status FillCountsChunk(std::span<const int64_t> frame_indices, int resolution,
+                               double contrast_scale, std::span<int> out);
+
   const video::VideoDataset& dataset_;
   const detect::Detector& detector_;
   video::ObjectClass target_class_;
+  int64_t max_batch_size_ = 0;
 
   std::array<Shard, kNumShards> shards_;
   std::atomic<int64_t> model_invocations_{0};

@@ -1,0 +1,204 @@
+#include "query/output_store.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+namespace smokescreen {
+namespace query {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr uint32_t kMagic = 0x434b4d53;  // "SMKC" little-endian.
+constexpr uint32_t kVersion = 1;
+
+// Standard CRC32 (reflected, polynomial 0xEDB88320), table-driven.
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+uint32_t Crc32(const unsigned char* data, size_t len, uint32_t crc = 0) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+// Byte-buffer writer/reader for fixed-width fields. Values are written in
+// the host representation; the format is not meant for cross-endian
+// exchange, and the CRCs catch accidental reinterpretation.
+class Writer {
+ public:
+  template <typename T>
+  void Put(T value) {
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + sizeof(T));
+    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
+  }
+  template <typename T>
+  void PutArray(const std::vector<T>& values) {
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + values.size() * sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(bytes_.data() + offset, values.data(), values.size() * sizeof(T));
+    }
+  }
+  uint32_t CrcOfSuffix(size_t from) const {
+    return Crc32(bytes_.data() + from, bytes_.size() - from);
+  }
+  size_t size() const { return bytes_.size(); }
+  const unsigned char* data() const { return bytes_.data(); }
+  /// Patches a previously reserved field in place.
+  template <typename T>
+  void PatchAt(size_t offset, T value) {
+    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
+  }
+
+ private:
+  std::vector<unsigned char> bytes_;
+};
+
+class Reader {
+ public:
+  Reader(const unsigned char* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  Status Get(T* out) {
+    if (pos_ + sizeof(T) > size_) {
+      return Status::IoError("output store truncated at byte " + std::to_string(pos_));
+    }
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+  template <typename T>
+  Status GetArray(size_t count, std::vector<T>* out) {
+    if (count > (size_ - pos_) / sizeof(T)) {
+      return Status::IoError("output store truncated at byte " + std::to_string(pos_));
+    }
+    out->resize(count);
+    if (count > 0) std::memcpy(out->data(), data_ + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+    return Status::OK();
+  }
+  size_t pos() const { return pos_; }
+  uint32_t CrcOfRange(size_t from, size_t to) const { return Crc32(data_ + from, to - from); }
+
+ private:
+  const unsigned char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status OutputStore::Save(const std::string& path) const {
+  Writer w;
+  w.Put<uint32_t>(kMagic);
+  w.Put<uint32_t>(kVersion);
+  w.Put<uint64_t>(dataset_id_);
+  w.Put<uint64_t>(model_id_);
+  w.Put<int64_t>(num_frames_);
+  w.Put<uint32_t>(static_cast<uint32_t>(columns_.size()));
+  w.Put<uint32_t>(w.CrcOfSuffix(0));  // header_crc covers all prior bytes.
+
+  for (const OutputColumnRecord& column : columns_) {
+    if (column.frames.size() != column.counts.size()) {
+      return Status::InvalidArgument("output store column has mismatched frame/count arrays");
+    }
+    w.Put<int32_t>(column.resolution);
+    w.Put<int32_t>(column.cls);
+    w.Put<int64_t>(column.contrast_q);
+    w.Put<int64_t>(static_cast<int64_t>(column.frames.size()));
+    const size_t crc_offset = w.size();
+    w.Put<uint32_t>(0);  // payload_crc placeholder.
+    const size_t payload_offset = w.size();
+    w.PutArray(column.frames);
+    w.PutArray(column.counts);
+    w.PatchAt<uint32_t>(crc_offset, w.CrcOfSuffix(payload_offset));
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open output store for writing: " + path);
+  out.write(reinterpret_cast<const char*>(w.data()), static_cast<std::streamsize>(w.size()));
+  if (!out) return Status::IoError("failed writing output store: " + path);
+  return Status::OK();
+}
+
+Result<OutputStore> OutputStore::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open output store: " + path);
+  const std::streamsize file_size = in.tellg();
+  in.seekg(0);
+  std::vector<unsigned char> bytes(static_cast<size_t>(file_size));
+  if (file_size > 0) {
+    in.read(reinterpret_cast<char*>(bytes.data()), file_size);
+    if (!in) return Status::IoError("failed reading output store: " + path);
+  }
+
+  Reader r(bytes.data(), bytes.size());
+  uint32_t magic = 0, version = 0, num_columns = 0, header_crc = 0;
+  OutputStore store;
+  SMK_RETURN_IF_ERROR(r.Get(&magic));
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not an output store file (bad magic): " + path);
+  }
+  SMK_RETURN_IF_ERROR(r.Get(&version));
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported output store version " +
+                                   std::to_string(version));
+  }
+  SMK_RETURN_IF_ERROR(r.Get(&store.dataset_id_));
+  SMK_RETURN_IF_ERROR(r.Get(&store.model_id_));
+  SMK_RETURN_IF_ERROR(r.Get(&store.num_frames_));
+  SMK_RETURN_IF_ERROR(r.Get(&num_columns));
+  const size_t header_end = r.pos();
+  SMK_RETURN_IF_ERROR(r.Get(&header_crc));
+  if (header_crc != r.CrcOfRange(0, header_end)) {
+    return Status::IoError("output store header CRC mismatch: " + path);
+  }
+
+  store.columns_.reserve(num_columns);
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    OutputColumnRecord column;
+    int32_t resolution = 0, cls = 0;
+    int64_t num_entries = 0;
+    uint32_t payload_crc = 0;
+    SMK_RETURN_IF_ERROR(r.Get(&resolution));
+    SMK_RETURN_IF_ERROR(r.Get(&cls));
+    SMK_RETURN_IF_ERROR(r.Get(&column.contrast_q));
+    SMK_RETURN_IF_ERROR(r.Get(&num_entries));
+    if (num_entries < 0) {
+      return Status::IoError("output store column " + std::to_string(c) +
+                             " has negative entry count");
+    }
+    SMK_RETURN_IF_ERROR(r.Get(&payload_crc));
+    column.resolution = resolution;
+    column.cls = cls;
+    const size_t payload_start = r.pos();
+    SMK_RETURN_IF_ERROR(r.GetArray(static_cast<size_t>(num_entries), &column.frames));
+    SMK_RETURN_IF_ERROR(r.GetArray(static_cast<size_t>(num_entries), &column.counts));
+    if (payload_crc != r.CrcOfRange(payload_start, r.pos())) {
+      return Status::IoError("output store column " + std::to_string(c) + " CRC mismatch: " +
+                             path);
+    }
+    store.columns_.push_back(std::move(column));
+  }
+  return store;
+}
+
+}  // namespace query
+}  // namespace smokescreen

@@ -4,6 +4,7 @@
 #ifndef SMOKESCREEN_QUERY_QUERY_SPEC_H_
 #define SMOKESCREEN_QUERY_QUERY_SPEC_H_
 
+#include <span>
 #include <string>
 
 #include "query/aggregate.h"
@@ -41,6 +42,40 @@ struct QuerySpec {
 
   /// e.g. "AVG(car)" or "COUNT(car>=3)".
   std::string ToString() const;
+};
+
+/// Column-wise output transform with the QuerySpec-dependent branch hoisted
+/// out of the per-frame loop: the aggregate kind is inspected once at
+/// construction, then Apply runs a branch-free loop over the whole column.
+/// Produces exactly the same values as QuerySpec::TransformOutput per frame.
+class OutputTransform {
+ public:
+  explicit OutputTransform(const QuerySpec& spec)
+      : is_count_(spec.aggregate == AggregateFunction::kCount),
+        count_threshold_(spec.count_threshold) {}
+
+  double operator()(int raw_count) const {
+    if (is_count_) return raw_count >= count_threshold_ ? 1.0 : 0.0;
+    return static_cast<double>(raw_count);
+  }
+
+  /// Transforms `counts` into `out` (same length, same order).
+  void Apply(std::span<const int> counts, std::span<double> out) const {
+    if (is_count_) {
+      const int threshold = count_threshold_;
+      for (size_t i = 0; i < counts.size(); ++i) {
+        out[i] = counts[i] >= threshold ? 1.0 : 0.0;
+      }
+    } else {
+      for (size_t i = 0; i < counts.size(); ++i) {
+        out[i] = static_cast<double>(counts[i]);
+      }
+    }
+  }
+
+ private:
+  bool is_count_;
+  int count_threshold_;
 };
 
 }  // namespace query

@@ -8,7 +8,7 @@ namespace stats {
 using util::Result;
 using util::Status;
 
-Result<Summary> Summarize(const std::vector<double>& values) {
+Result<Summary> Summarize(std::span<const double> values) {
   if (values.empty()) return Status::InvalidArgument("cannot summarize empty sample");
   WelfordAccumulator acc;
   for (double v : values) acc.Add(v);

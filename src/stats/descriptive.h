@@ -4,6 +4,8 @@
 #define SMOKESCREEN_STATS_DESCRIPTIVE_H_
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "util/status.h"
@@ -24,7 +26,12 @@ struct Summary {
 };
 
 /// Computes a Summary. Error when `values` is empty.
-util::Result<Summary> Summarize(const std::vector<double>& values);
+util::Result<Summary> Summarize(std::span<const double> values);
+/// Convenience overload so call sites can keep passing braced lists
+/// (`Summarize({1.0, 2.0})`), which cannot bind to a span directly.
+inline util::Result<Summary> Summarize(std::initializer_list<double> values) {
+  return Summarize(std::span<const double>(values.begin(), values.size()));
+}
 
 /// Streaming mean/variance accumulation (Welford). Used where outputs arrive
 /// incrementally, e.g. the reuse strategy that grows a sample in place.

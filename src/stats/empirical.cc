@@ -9,11 +9,11 @@ namespace stats {
 using util::Result;
 using util::Status;
 
-Result<EmpiricalDistribution> EmpiricalDistribution::Create(const std::vector<double>& values) {
+Result<EmpiricalDistribution> EmpiricalDistribution::Create(std::span<const double> values) {
   if (values.empty()) {
     return Status::InvalidArgument("cannot build empirical distribution from empty sample");
   }
-  std::vector<double> sorted = values;
+  std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
 
   EmpiricalDistribution dist;

@@ -10,6 +10,8 @@
 #define SMOKESCREEN_STATS_EMPIRICAL_H_
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "util/status.h"
@@ -20,7 +22,10 @@ namespace stats {
 class EmpiricalDistribution {
  public:
   /// Builds the distribution from raw values. Error when empty.
-  static util::Result<EmpiricalDistribution> Create(const std::vector<double>& values);
+  static util::Result<EmpiricalDistribution> Create(std::span<const double> values);
+  static util::Result<EmpiricalDistribution> Create(std::initializer_list<double> values) {
+    return Create(std::span<const double>(values.begin(), values.size()));
+  }
 
   int64_t total_count() const { return total_count_; }
   int64_t num_distinct() const { return static_cast<int64_t>(distinct_.size()); }

@@ -29,8 +29,8 @@ TEST(BaselinesTest, AllRejectBadInput) {
   for (core::MeanEstimator* est :
        std::initializer_list<core::MeanEstimator*>{&ebgs, &h, &hs, &clt}) {
     EXPECT_FALSE(est->EstimateMean({}, 100, 0.05).ok()) << est->name();
-    EXPECT_FALSE(est->EstimateMean({1.0, 2.0}, 1, 0.05).ok()) << est->name();
-    EXPECT_FALSE(est->EstimateMean({1.0}, 100, 0.0).ok()) << est->name();
+    EXPECT_FALSE(est->EstimateMean(std::vector<double>{1.0, 2.0}, 1, 0.05).ok()) << est->name();
+    EXPECT_FALSE(est->EstimateMean(std::vector<double>{1.0}, 100, 0.0).ok()) << est->name();
   }
 }
 
@@ -142,9 +142,9 @@ TEST(BaselinesTest, VacuousBoundsBecomeInfinite) {
 TEST(SteinTest, RejectsBadInput) {
   SteinQuantileEstimator est;
   EXPECT_FALSE(est.EstimateQuantile({}, 100, 0.99, true, 0.05).ok());
-  EXPECT_FALSE(est.EstimateQuantile({1.0, 2.0}, 1, 0.99, true, 0.05).ok());
-  EXPECT_FALSE(est.EstimateQuantile({1.0}, 100, 1.5, true, 0.05).ok());
-  EXPECT_FALSE(est.EstimateQuantile({1.0}, 100, 0.99, true, 2.0).ok());
+  EXPECT_FALSE(est.EstimateQuantile(std::vector<double>{1.0, 2.0}, 1, 0.99, true, 0.05).ok());
+  EXPECT_FALSE(est.EstimateQuantile(std::vector<double>{1.0}, 100, 1.5, true, 0.05).ok());
+  EXPECT_FALSE(est.EstimateQuantile(std::vector<double>{1.0}, 100, 0.99, true, 2.0).ok());
 }
 
 TEST(SteinTest, SameResultEstimateAsSmokescreen) {

@@ -16,9 +16,9 @@ namespace {
 TEST(AvgEstimatorTest, RejectsBadInput) {
   SmokescreenMeanEstimator est;
   EXPECT_FALSE(est.EstimateMean({}, 100, 0.05).ok());
-  EXPECT_FALSE(est.EstimateMean({1.0, 2.0}, 1, 0.05).ok());
-  EXPECT_FALSE(est.EstimateMean({1.0}, 100, 0.0).ok());
-  EXPECT_FALSE(est.EstimateMean({1.0}, 100, 1.0).ok());
+  EXPECT_FALSE(est.EstimateMean(std::vector<double>{1.0, 2.0}, 1, 0.05).ok());
+  EXPECT_FALSE(est.EstimateMean(std::vector<double>{1.0}, 100, 0.0).ok());
+  EXPECT_FALSE(est.EstimateMean(std::vector<double>{1.0}, 100, 1.0).ok());
 }
 
 TEST(AvgEstimatorTest, ConfidenceBoundsMatchAlgorithmOne) {
@@ -58,7 +58,7 @@ TEST(AvgEstimatorTest, ZeroLowerBoundCase) {
 
 TEST(AvgEstimatorTest, AllZeroSample) {
   SmokescreenMeanEstimator est;
-  auto result = est.EstimateMean({0.0, 0.0, 0.0}, 100, 0.05);
+  auto result = est.EstimateMean(std::vector<double>{0.0, 0.0, 0.0}, 100, 0.05);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->y_approx, 0.0);
   EXPECT_EQ(result->err_b, 0.0);  // Zero range: the interval collapses.

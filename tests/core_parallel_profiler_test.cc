@@ -13,6 +13,7 @@
 
 #include "core/candidate_design.h"
 #include "detect/models.h"
+#include "query/output_store.h"
 #include "video/presets.h"
 
 namespace smokescreen {
@@ -57,6 +58,28 @@ class ParallelProfilerTest : public ::testing::Test {
       }
     }
     return candidates;
+  }
+
+  // Like RunGenerate, but with an explicit max batch size and an optional
+  // warm-start OutputStore; can also export the run's cache snapshot and
+  // report the run's model-invocation count.
+  util::Result<Profile> RunGenerateBatched(int num_threads, uint64_t seed, int64_t batch_size,
+                                           const query::OutputStore* warm,
+                                           query::OutputStore* exported = nullptr,
+                                           int64_t* invocations = nullptr) {
+    query::FrameOutputSource source(*dataset_, yolo_, ObjectClass::kCar);
+    source.set_max_batch_size(batch_size);
+    if (warm != nullptr) source.Preload(*warm).status().CheckOk();
+    ProfilerOptions opts;
+    opts.use_correction_set = false;
+    opts.early_stop = false;
+    opts.num_threads = num_threads;
+    Profiler profiler(source, *prior_, AvgSpec(), opts);
+    stats::Rng rng(seed);
+    auto profile = profiler.Generate(MultiGroupCandidates(), rng);
+    if (exported != nullptr) *exported = source.ExportStore();
+    if (invocations != nullptr) *invocations = source.model_invocations();
+    return profile;
   }
 
   // Fresh source per run so cache state never leaks between thread counts.
@@ -148,6 +171,39 @@ TEST_F(ParallelProfilerTest, ReportAccountsForRun) {
   EXPECT_EQ(last_report_.num_groups, 6);  // 3 resolutions x 2 restricted sets.
   EXPECT_GT(last_report_.model_invocations, 0);
   EXPECT_GE(last_report_.total_seconds, last_report_.groups_seconds);
+}
+
+TEST_F(ParallelProfilerTest, BatchedProfileBitIdenticalAtEveryBatchSize) {
+  // The batch-size knob shapes cost, never results: profiles generated at
+  // batch sizes 1 (scalar-equivalent), 7, 64 and unlimited must all be
+  // bit-identical, at 1 and at 8 threads.
+  auto reference = RunGenerate(1, 90, /*correction=*/false);
+  ASSERT_TRUE(reference.ok());
+  for (int64_t batch_size : {int64_t{1}, int64_t{7}, int64_t{64}, int64_t{0}}) {
+    for (int threads : {1, 8}) {
+      auto run = RunGenerateBatched(threads, 90, batch_size, /*warm=*/nullptr);
+      ASSERT_TRUE(run.ok());
+      ExpectBitIdentical(*reference, *run);
+    }
+  }
+}
+
+TEST_F(ParallelProfilerTest, WarmOutputStoreRunBitIdenticalWithZeroInvocations) {
+  // A cold run exports its cache; a warm-started run over the same seed and
+  // candidates must reproduce the profile bit-for-bit while invoking the
+  // model ZERO times, at 1 and at 8 threads.
+  query::OutputStore store;
+  auto cold = RunGenerateBatched(1, 91, /*batch_size=*/0, /*warm=*/nullptr, &store);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_GT(store.TotalEntries(), 0);
+  for (int threads : {1, 8}) {
+    int64_t warm_invocations = -1;
+    auto warm = RunGenerateBatched(threads, 91, /*batch_size=*/0, &store,
+                                   /*exported=*/nullptr, &warm_invocations);
+    ASSERT_TRUE(warm.ok());
+    ExpectBitIdentical(*cold, *warm);
+    EXPECT_EQ(warm_invocations, 0) << "threads " << threads;
+  }
 }
 
 TEST_F(ParallelProfilerTest, ZeroThreadsResolvesToHardwareConcurrency) {

@@ -18,10 +18,10 @@ namespace {
 TEST(QuantileEstimatorTest, RejectsBadInput) {
   SmokescreenQuantileEstimator est;
   EXPECT_FALSE(est.EstimateQuantile({}, 100, 0.99, true, 0.05).ok());
-  EXPECT_FALSE(est.EstimateQuantile({1.0, 2.0}, 1, 0.99, true, 0.05).ok());
-  EXPECT_FALSE(est.EstimateQuantile({1.0}, 100, 0.0, true, 0.05).ok());
-  EXPECT_FALSE(est.EstimateQuantile({1.0}, 100, 1.0, true, 0.05).ok());
-  EXPECT_FALSE(est.EstimateQuantile({1.0}, 100, 0.99, true, 0.0).ok());
+  EXPECT_FALSE(est.EstimateQuantile(std::vector<double>{1.0, 2.0}, 1, 0.99, true, 0.05).ok());
+  EXPECT_FALSE(est.EstimateQuantile(std::vector<double>{1.0}, 100, 0.0, true, 0.05).ok());
+  EXPECT_FALSE(est.EstimateQuantile(std::vector<double>{1.0}, 100, 1.0, true, 0.05).ok());
+  EXPECT_FALSE(est.EstimateQuantile(std::vector<double>{1.0}, 100, 0.99, true, 0.0).ok());
 }
 
 TEST(QuantileEstimatorTest, ApproximateQuantileMatchesPaperDefinition) {

@@ -42,8 +42,8 @@ TEST(VarAggregateTest, ComputeAggregateIsPopulationVariance) {
 TEST(VarEstimatorTest, RejectsBadInput) {
   SmokescreenVarianceEstimator est;
   EXPECT_FALSE(est.EstimateVariance({}, 100, 0.05).ok());
-  EXPECT_FALSE(est.EstimateVariance({1.0, 2.0}, 1, 0.05).ok());
-  EXPECT_FALSE(est.EstimateVariance({1.0}, 100, 0.0).ok());
+  EXPECT_FALSE(est.EstimateVariance(std::vector<double>{1.0, 2.0}, 1, 0.05).ok());
+  EXPECT_FALSE(est.EstimateVariance(std::vector<double>{1.0}, 100, 0.0).ok());
 }
 
 TEST(VarEstimatorTest, IntervalArithmetic) {

@@ -1,0 +1,225 @@
+// OutputStore persistence: byte-level round-trip through Save/Load,
+// warm-start Preload semantics (zero invocations, zero counter pollution),
+// and Status-returning rejection of mismatched, truncated and corrupted
+// files — loading never crashes, whatever the bytes.
+
+#include "query/output_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "detect/models.h"
+#include "query/output_source.h"
+#include "video/presets.h"
+
+namespace smokescreen {
+namespace query {
+namespace {
+
+using video::ObjectClass;
+using video::ScenePreset;
+
+class OutputStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ds = video::MakePresetScaled(ScenePreset::kUaDetrac, 300);
+    ds.status().CheckOk();
+    dataset_ = std::make_unique<video::VideoDataset>(std::move(ds).ValueOrDie());
+    path_ = testing::TempDir() + "/output_store_test.smkc";
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::vector<char> ReadBytes() {
+    std::ifstream in(path_, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+  }
+
+  void WriteBytes(const std::vector<char>& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  detect::SimYoloV4 yolo_;
+  std::unique_ptr<video::VideoDataset> dataset_;
+  std::string path_;
+};
+
+OutputStore MakeSampleStore() {
+  OutputStore store(/*dataset_id=*/0xD5, /*model_id=*/0x7E, /*num_frames=*/300);
+  OutputColumnRecord lowres;
+  lowres.resolution = 320;
+  lowres.cls = static_cast<int>(ObjectClass::kCar);
+  lowres.contrast_q = 4096;  // contrast 1.0
+  lowres.frames = {0, 3, 17, 299};
+  lowres.counts = {2, 0, 5, 11};
+  store.AddColumn(std::move(lowres));
+  OutputColumnRecord dim;
+  dim.resolution = 608;
+  dim.cls = static_cast<int>(ObjectClass::kCar);
+  dim.contrast_q = 2048;  // contrast 0.5
+  dim.frames = {8, 9};
+  dim.counts = {1, 4};
+  store.AddColumn(std::move(dim));
+  return store;
+}
+
+TEST_F(OutputStoreTest, SaveLoadRoundTripPreservesEverything) {
+  OutputStore store = MakeSampleStore();
+  ASSERT_TRUE(store.Save(path_).ok());
+
+  auto loaded = OutputStore::Load(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dataset_id(), store.dataset_id());
+  EXPECT_EQ(loaded->model_id(), store.model_id());
+  EXPECT_EQ(loaded->num_frames(), store.num_frames());
+  EXPECT_EQ(loaded->TotalEntries(), store.TotalEntries());
+  ASSERT_EQ(loaded->columns().size(), store.columns().size());
+  for (size_t i = 0; i < store.columns().size(); ++i) {
+    const OutputColumnRecord& want = store.columns()[i];
+    const OutputColumnRecord& got = loaded->columns()[i];
+    EXPECT_EQ(got.resolution, want.resolution);
+    EXPECT_EQ(got.cls, want.cls);
+    EXPECT_EQ(got.contrast_q, want.contrast_q);
+    EXPECT_EQ(got.frames, want.frames);
+    EXPECT_EQ(got.counts, want.counts);
+  }
+}
+
+TEST_F(OutputStoreTest, EmptyStoreRoundTrips) {
+  OutputStore store(1, 2, 300);
+  ASSERT_TRUE(store.Save(path_).ok());
+  auto loaded = OutputStore::Load(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->TotalEntries(), 0);
+  EXPECT_TRUE(loaded->columns().empty());
+}
+
+TEST_F(OutputStoreTest, MissingFileIsAnError) {
+  auto loaded = OutputStore::Load(path_ + ".does-not-exist");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+}
+
+TEST_F(OutputStoreTest, BadMagicIsRejectedAsInvalidArgument) {
+  ASSERT_TRUE(MakeSampleStore().Save(path_).ok());
+  std::vector<char> bytes = ReadBytes();
+  bytes[0] ^= 0x5A;  // Clobber the magic.
+  WriteBytes(bytes);
+  auto loaded = OutputStore::Load(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(OutputStoreTest, TruncatedHeaderIsRejected) {
+  ASSERT_TRUE(MakeSampleStore().Save(path_).ok());
+  std::vector<char> bytes = ReadBytes();
+  bytes.resize(10);  // Mid-header.
+  WriteBytes(bytes);
+  auto loaded = OutputStore::Load(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+}
+
+TEST_F(OutputStoreTest, TruncatedPayloadIsRejected) {
+  ASSERT_TRUE(MakeSampleStore().Save(path_).ok());
+  std::vector<char> bytes = ReadBytes();
+  bytes.resize(bytes.size() - 3);  // Chop the tail of the last counts array.
+  WriteBytes(bytes);
+  auto loaded = OutputStore::Load(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+}
+
+TEST_F(OutputStoreTest, FlippedPayloadByteFailsCrc) {
+  ASSERT_TRUE(MakeSampleStore().Save(path_).ok());
+  std::vector<char> bytes = ReadBytes();
+  bytes[bytes.size() - 1] ^= 0x01;  // Corrupt the last count in place.
+  WriteBytes(bytes);
+  auto loaded = OutputStore::Load(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+}
+
+TEST_F(OutputStoreTest, ExportPreloadServesWithZeroInvocations) {
+  // Compute everything once, export, then a brand-new source preloads the
+  // store and must answer the same AllOutputs query with ZERO model
+  // invocations and bit-identical outputs.
+  QuerySpec spec;
+  FrameOutputSource cold(*dataset_, yolo_, ObjectClass::kCar);
+  auto cold_outputs = cold.AllOutputs(spec, 320);
+  ASSERT_TRUE(cold_outputs.ok());
+  ASSERT_EQ(cold.model_invocations(), dataset_->num_frames());
+  ASSERT_TRUE(cold.ExportStore().Save(path_).ok());
+
+  auto store = OutputStore::Load(path_);
+  ASSERT_TRUE(store.ok());
+  FrameOutputSource warm(*dataset_, yolo_, ObjectClass::kCar);
+  auto preloaded = warm.Preload(*store);
+  ASSERT_TRUE(preloaded.ok());
+  EXPECT_EQ(*preloaded, dataset_->num_frames());
+  // Preload must not pollute the counters.
+  EXPECT_EQ(warm.model_invocations(), 0);
+  EXPECT_EQ(warm.cache_hits(), 0);
+
+  auto warm_outputs = warm.AllOutputs(spec, 320);
+  ASSERT_TRUE(warm_outputs.ok());
+  EXPECT_EQ(*warm_outputs, *cold_outputs);
+  EXPECT_EQ(warm.model_invocations(), 0);
+  EXPECT_EQ(warm.cache_hits(), dataset_->num_frames());
+}
+
+TEST_F(OutputStoreTest, PreloadRejectsMismatchedProvenance) {
+  FrameOutputSource source(*dataset_, yolo_, ObjectClass::kCar);
+
+  OutputStore wrong_dataset(dataset_->dataset_id() + 1, yolo_.model_id(),
+                            dataset_->num_frames());
+  EXPECT_FALSE(source.Preload(wrong_dataset).ok());
+
+  OutputStore wrong_model(dataset_->dataset_id(), yolo_.model_id() + 1,
+                          dataset_->num_frames());
+  EXPECT_FALSE(source.Preload(wrong_model).ok());
+
+  OutputStore wrong_frames(dataset_->dataset_id(), yolo_.model_id(),
+                           dataset_->num_frames() - 1);
+  EXPECT_FALSE(source.Preload(wrong_frames).ok());
+}
+
+TEST_F(OutputStoreTest, PreloadRejectsOutOfRangeFrames) {
+  FrameOutputSource source(*dataset_, yolo_, ObjectClass::kCar);
+  OutputStore store(dataset_->dataset_id(), yolo_.model_id(), dataset_->num_frames());
+  OutputColumnRecord column;
+  column.resolution = 320;
+  column.cls = static_cast<int>(ObjectClass::kCar);
+  column.contrast_q = 4096;
+  column.frames = {dataset_->num_frames()};  // One past the end.
+  column.counts = {1};
+  store.AddColumn(std::move(column));
+  EXPECT_FALSE(source.Preload(store).ok());
+}
+
+TEST_F(OutputStoreTest, PreloadSkipsOtherClassColumns) {
+  FrameOutputSource source(*dataset_, yolo_, ObjectClass::kCar);
+  OutputStore store(dataset_->dataset_id(), yolo_.model_id(), dataset_->num_frames());
+  OutputColumnRecord column;
+  column.resolution = 320;
+  column.cls = static_cast<int>(ObjectClass::kFace);  // Source serves kCar.
+  column.contrast_q = 4096;
+  column.frames = {1, 2};
+  column.counts = {3, 4};
+  store.AddColumn(std::move(column));
+  auto preloaded = source.Preload(store);
+  ASSERT_TRUE(preloaded.ok());
+  EXPECT_EQ(*preloaded, 0);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace smokescreen

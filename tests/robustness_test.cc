@@ -231,7 +231,7 @@ TEST(CltTBaselineTest, WiderThanPlainCltAtSmallSamples) {
 
 TEST(CltTBaselineTest, RejectsSingleSample) {
   baselines::CltTEstimator clt_t;
-  EXPECT_FALSE(clt_t.EstimateMean({1.0}, 100, 0.05).ok());
+  EXPECT_FALSE(clt_t.EstimateMean(std::vector<double>{1.0}, 100, 0.05).ok());
 }
 
 // ---------------------------------------------------------------------------
