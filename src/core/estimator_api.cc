@@ -14,7 +14,7 @@ Result<EstimationResult> EstimateFromOutputs(const query::QuerySpec& spec,
                                              std::span<const double> outputs,
                                              int64_t eligible_population,
                                              int64_t original_population, int resolution,
-                                             double delta) {
+                                             double delta, EstimationScratch* scratch) {
   SMK_RETURN_IF_ERROR(spec.Validate());
   if (outputs.empty()) return Status::InvalidArgument("no outputs to estimate from");
 
@@ -43,10 +43,18 @@ Result<EstimationResult> EstimateFromOutputs(const query::QuerySpec& spec,
   } else {
     SmokescreenQuantileEstimator estimator;
     bool is_max = spec.aggregate == query::AggregateFunction::kMax;
-    SMK_ASSIGN_OR_RETURN(
-        result.estimate,
-        estimator.EstimateQuantile(result.sample_outputs, eligible_population,
-                                   spec.EffectiveQuantileR(), is_max, delta));
+    if (scratch != nullptr) {
+      SMK_ASSIGN_OR_RETURN(
+          result.estimate,
+          estimator.EstimateQuantileWithScratch(result.sample_outputs, eligible_population,
+                                                spec.EffectiveQuantileR(), is_max, delta,
+                                                scratch->sort_buffer));
+    } else {
+      SMK_ASSIGN_OR_RETURN(
+          result.estimate,
+          estimator.EstimateQuantile(result.sample_outputs, eligible_population,
+                                     spec.EffectiveQuantileR(), is_max, delta));
+    }
   }
   return result;
 }

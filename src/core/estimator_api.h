@@ -59,15 +59,25 @@ util::Result<EstimationResult> EstimateFromFrames(query::FrameOutputSource& sour
                                                   int64_t original_population, int resolution,
                                                   double contrast_scale, double delta);
 
+/// Reusable buffers for estimation loops. The profiler evaluates one
+/// estimate per profile point over a growing sample column; passing the
+/// same scratch to every call lets the quantile path's sort buffer reach
+/// its high-water capacity once instead of reallocating per point.
+struct EstimationScratch {
+  std::vector<double> sort_buffer;
+};
+
 /// Estimation from already-materialized frame outputs (a prefix view of a
 /// batched OutputColumn). This is the profiler's fast path: each candidate
 /// sampling fraction estimates from a prefix of the group's shared column
-/// without re-requesting or copying frames.
+/// without re-requesting or copying frames. `scratch` (optional) reuses
+/// buffers across calls; results are identical with or without it.
 util::Result<EstimationResult> EstimateFromOutputs(const query::QuerySpec& spec,
                                                    std::span<const double> outputs,
                                                    int64_t eligible_population,
                                                    int64_t original_population, int resolution,
-                                                   double delta);
+                                                   double delta,
+                                                   EstimationScratch* scratch = nullptr);
 
 }  // namespace core
 }  // namespace smokescreen

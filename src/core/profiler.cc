@@ -80,6 +80,10 @@ util::Status GenerateGroupPoints(query::FrameOutputSource& source,
   // candidate requests ONLY its tail as a batch extension and estimates from
   // a prefix view — no per-frame calls, no re-materialized vectors.
   query::OutputColumn column;
+  // One scratch per group walk: the quantile path sorts every prefix into
+  // this buffer, so the growing column stops costing an allocation per
+  // profile point.
+  EstimationScratch scratch;
   double prev_err = std::numeric_limits<double>::infinity();
   for (const InterventionSet& candidate : group) {
     int64_t n = stats::FractionToCount(original_population, candidate.sample_fraction);
@@ -95,7 +99,7 @@ util::Status GenerateGroupPoints(query::FrameOutputSource& source,
         EstimationResult result,
         EstimateFromOutputs(spec, column.output_prefix(static_cast<size_t>(n)),
                             eligible_population, original_population, resolution,
-                            options.delta));
+                            options.delta, &scratch));
 
     ProfilePoint point;
     point.interventions = candidate;

@@ -17,6 +17,13 @@ Result<Estimate> SmokescreenQuantileEstimator::EstimateQuantile(std::span<const 
                                                                 int64_t population, double r,
                                                                 bool is_max,
                                                                 double delta) const {
+  std::vector<double> scratch;
+  return EstimateQuantileWithScratch(sample, population, r, is_max, delta, scratch);
+}
+
+Result<Estimate> SmokescreenQuantileEstimator::EstimateQuantileWithScratch(
+    std::span<const double> sample, int64_t population, double r, bool is_max, double delta,
+    std::vector<double>& scratch) const {
   if (sample.empty()) return Status::InvalidArgument("empty sample");
   if (population < static_cast<int64_t>(sample.size())) {
     return Status::InvalidArgument("population smaller than sample");
@@ -25,7 +32,7 @@ Result<Estimate> SmokescreenQuantileEstimator::EstimateQuantile(std::span<const 
   if (delta <= 0.0 || delta >= 1.0) return Status::InvalidArgument("delta must be in (0,1)");
 
   SMK_ASSIGN_OR_RETURN(stats::EmpiricalDistribution dist,
-                       stats::EmpiricalDistribution::Create(sample));
+                       stats::EmpiricalDistribution::Create(sample, scratch));
   int64_t k_hat = dist.QuantileIndex(r);
   Estimate est;
   est.y_approx = dist.DistinctValue(k_hat);

@@ -14,6 +14,8 @@
 #ifndef SMOKESCREEN_CORE_QUANTILE_ESTIMATOR_H_
 #define SMOKESCREEN_CORE_QUANTILE_ESTIMATOR_H_
 
+#include <vector>
+
 #include "core/estimate.h"
 
 namespace smokescreen {
@@ -27,6 +29,14 @@ class SmokescreenQuantileEstimator : public QuantileEstimator {
 
   util::Result<Estimate> EstimateQuantile(std::span<const double> sample, int64_t population,
                                           double r, bool is_max, double delta) const override;
+
+  /// As EstimateQuantile, but sorts the sample inside `scratch` so looping
+  /// callers (the profiler estimates every profile point of a group from a
+  /// growing sample prefix) stop reallocating the sort buffer per point.
+  util::Result<Estimate> EstimateQuantileWithScratch(std::span<const double> sample,
+                                                     int64_t population, double r, bool is_max,
+                                                     double delta,
+                                                     std::vector<double>& scratch) const;
 
  private:
   std::string name_;

@@ -24,6 +24,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 #include "video/dataset.h"
@@ -70,10 +71,12 @@ class Detector {
   /// Batched counterpart of CountDetections: one invocation covers all of
   /// `frame_indices`, writing counts into `out` (same length, same order).
   /// Counts are bit-identical to per-frame CountDetections calls; batching
-  /// only amortizes per-invocation setup. The default implementation loops
-  /// over CountDetections; calibrated models override it to hoist the
-  /// resolution check, calibration lookup and hash-stream derivation out of
-  /// the frame loop.
+  /// only amortizes per-invocation setup. On ANY error `out` is left
+  /// entirely untouched — implementations validate the whole request up
+  /// front (or buffer), never exposing a partially written prefix. The
+  /// default implementation loops over CountDetections into a temporary;
+  /// calibrated models override it with a columnar kernel over the
+  /// dataset's scene index.
   virtual util::Status CountBatch(const video::VideoDataset& dataset,
                                   std::span<const int64_t> frame_indices, int resolution,
                                   video::ObjectClass cls, double contrast_scale,
@@ -96,6 +99,15 @@ class CalibratedDetector : public Detector {
                                     int resolution, video::ObjectClass cls,
                                     double contrast_scale) const override;
 
+  /// Columnar kernel: walks only the queried class's contiguous SoA column
+  /// of the dataset's SceneIndex (never the AoS object lists), with all
+  /// per-(resolution, class, contrast) constants hoisted to per-batch
+  /// scalars and the (dataset, frame) hash prefix hoisted per frame via a
+  /// resumable stats::HashStream. The recall sigmoid is evaluated over a
+  /// flat tile so the surrounding arithmetic vectorizes; std::exp and the
+  /// hash chain run in the scalar stream order, keeping every count
+  /// BIT-IDENTICAL to per-frame CountDetections. Validates the resolution
+  /// and every frame index before writing anything to `out`.
   util::Status CountBatch(const video::VideoDataset& dataset,
                           std::span<const int64_t> frame_indices, int resolution,
                           video::ObjectClass cls, double contrast_scale,
@@ -112,6 +124,16 @@ class CalibratedDetector : public Detector {
   virtual double DuplicateProbability(const video::Frame& frame, int resolution,
                                       video::ObjectClass cls) const;
 
+  /// Batched counterpart: fills `out[i]` with DuplicateProbability for
+  /// `frame_indices[i]`, value-identical to per-frame calls. The base
+  /// implementation loops the per-frame virtual; a model whose duplicate
+  /// term is a closed form over scene fields overrides it with a tight
+  /// non-virtual loop over the scene index's flat columns, so the batch
+  /// kernel's frame pass carries no per-frame indirect call.
+  virtual void DuplicateProbabilityBatch(const video::VideoDataset& dataset,
+                                         std::span<const int64_t> frame_indices, int resolution,
+                                         video::ObjectClass cls, std::span<double> out) const;
+
  private:
   /// Per-frame counting core shared by the scalar and batched entry points,
   /// so both produce literally the same arithmetic (bit-identical counts).
@@ -121,11 +143,33 @@ class CalibratedDetector : public Detector {
                      const ClassCalibration& cal, uint64_t res_bits, uint64_t cls_bits,
                      uint64_t contrast_bits, double res_factor) const;
 
+  /// Guard-banded lookup acceleration for the recall Bernoulli, built once
+  /// per class at construction. The [0, s_detect_certain) range of effective
+  /// object size is cut into kBands buckets; each stores CONSERVATIVE
+  /// integer thresholds on the 53-bit uniform draw: draws below `sure_lo`
+  /// are certainly below the bucket's minimum recall (detected), draws at or
+  /// above `sure_hi` are certainly at or above its maximum recall (missed).
+  /// Only draws inside the (padded) ambiguity band fall back to the exact
+  /// std::exp logistic — so the decision is bit-identical to always
+  /// evaluating the sigmoid, while the hot loop stays free of libm calls.
+  /// Above s_detect_certain the computed logistic argument is <= -37, where
+  /// 1.0 + exp(a) rounds to exactly 1.0 and recall == plateau exactly.
+  struct RecallBands {
+    static constexpr int kBands = 1024;
+    bool usable = false;        // plateau in (0, 1) and finite geometry.
+    double s_detect_certain = 0.0;
+    double inv_band_width = 0.0;
+    std::vector<uint64_t> sure_lo;  // (hash >> 11) <  sure_lo[b] => detected.
+    std::vector<uint64_t> sure_hi;  // (hash >> 11) >= sure_hi[b] => missed.
+  };
+  static RecallBands BuildRecallBands(const ClassCalibration& cal);
+
   std::string name_;
   uint64_t model_id_;
   int max_resolution_;
   int resolution_stride_;
   std::array<ClassCalibration, video::kNumObjectClasses> calibrations_;
+  std::array<RecallBands, video::kNumObjectClasses> recall_bands_;
 };
 
 }  // namespace detect

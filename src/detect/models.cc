@@ -53,23 +53,65 @@ std::array<ClassCalibration, video::kNumObjectClasses> MtcnnCalibrations() {
 
 }  // namespace
 
-SimYoloV4::SimYoloV4()
-    : CalibratedDetector("SimYoloV4", kYoloModelId, /*max_resolution=*/608,
-                         /*resolution_stride=*/32, YoloCalibrations()) {}
+namespace {
 
-double SimYoloV4::DuplicateProbability(const video::Frame& frame, int resolution,
-                                       ObjectClass cls) const {
-  // Figure 7/8 anomaly: anchor-grid aliasing near 384px on low-light scenes
-  // defeats NMS, so many cars are reported twice. The bump is narrow enough
-  // that 320px and 448px behave normally.
-  if (cls != ObjectClass::kCar) return 0.0;
-  if (frame.scene_contrast >= 0.65) return 0.0;  // Daytime scenes unaffected.
+// Figure 7/8 anomaly bump: anchor-grid aliasing near 384px defeats NMS, so
+// many cars are reported twice. The bump is narrow enough that 320px and
+// 448px behave normally. Pure function of resolution; shared by the
+// constructor's table build and the odd-resolution fallback so both produce
+// the same doubles.
+double YoloDuplicateBump(int resolution) {
   constexpr double kCenter = 384.0;
   constexpr double kSigma = 18.0;
   constexpr double kAmplitude = 0.7;
   double d = (static_cast<double>(resolution) - kCenter) / kSigma;
   double p = kAmplitude * std::exp(-0.5 * d * d);
   return p < 1e-4 ? 0.0 : p;
+}
+
+}  // namespace
+
+SimYoloV4::SimYoloV4()
+    : CalibratedDetector("SimYoloV4", kYoloModelId, /*max_resolution=*/608,
+                         /*resolution_stride=*/32, YoloCalibrations()) {
+  for (int i = 0; i < static_cast<int>(dup_by_resolution_.size()); ++i) {
+    dup_by_resolution_[static_cast<size_t>(i)] = YoloDuplicateBump(32 * (i + 1));
+  }
+}
+
+double SimYoloV4::DuplicateProbability(const video::Frame& frame, int resolution,
+                                       ObjectClass cls) const {
+  if (cls != ObjectClass::kCar) return 0.0;
+  if (frame.scene_contrast >= 0.65) return 0.0;  // Daytime scenes unaffected.
+  const int idx = resolution / 32;
+  if (resolution % 32 == 0 && idx >= 1 && idx <= static_cast<int>(dup_by_resolution_.size())) {
+    return dup_by_resolution_[static_cast<size_t>(idx - 1)];
+  }
+  return YoloDuplicateBump(resolution);  // Off-stride resolution (tests only).
+}
+
+void SimYoloV4::DuplicateProbabilityBatch(const video::VideoDataset& dataset,
+                                          std::span<const int64_t> frame_indices, int resolution,
+                                          video::ObjectClass cls, std::span<double> out) const {
+  // Same decision tree as the per-frame virtual with the frame-independent
+  // parts hoisted: the resolution bump is one double, and only the
+  // scene-contrast gate varies per frame (read from the index's flat
+  // column).
+  double p = 0.0;
+  if (cls == ObjectClass::kCar) {
+    const int idx = resolution / 32;
+    p = (resolution % 32 == 0 && idx >= 1 && idx <= static_cast<int>(dup_by_resolution_.size()))
+            ? dup_by_resolution_[static_cast<size_t>(idx - 1)]
+            : YoloDuplicateBump(resolution);
+  }
+  if (p == 0.0) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
+  const std::span<const double> scene = dataset.scene_index().scene_contrasts();
+  for (size_t i = 0; i < frame_indices.size(); ++i) {
+    out[i] = scene[static_cast<size_t>(frame_indices[i])] >= 0.65 ? 0.0 : p;
+  }
 }
 
 SimMaskRcnn::SimMaskRcnn()

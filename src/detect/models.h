@@ -28,6 +28,22 @@ class SimYoloV4 : public CalibratedDetector {
  protected:
   double DuplicateProbability(const video::Frame& frame, int resolution,
                               video::ObjectClass cls) const override;
+
+  /// Batch form: the bump is one resolution-dependent probability gated per
+  /// frame on scene contrast, so the loop reads the scene index's flat
+  /// contrast column with everything else hoisted. Value-identical to the
+  /// per-frame virtual.
+  void DuplicateProbabilityBatch(const video::VideoDataset& dataset,
+                                 std::span<const int64_t> frame_indices, int resolution,
+                                 video::ObjectClass cls, std::span<double> out) const override;
+
+ private:
+  /// The anomaly bump depends on resolution only (the frame and class just
+  /// gate it on/off), so the std::exp is evaluated once per valid stride-32
+  /// resolution at construction instead of once per frame in every counting
+  /// loop. dup_by_resolution_[r/32 - 1] == DuplicateBump(r), bit-identically
+  /// (same arithmetic, run at build time).
+  std::array<double, 19> dup_by_resolution_{};
 };
 
 /// Mask R-CNN analogue: 640x640 max input; the default structure only

@@ -1,12 +1,15 @@
 #include "query/output_source.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <numeric>
 #include <utility>
 
 #include "stats/rng.h"
+#include "util/thread_pool.h"
 
 namespace smokescreen {
 namespace query {
@@ -15,9 +18,18 @@ using util::Result;
 using util::Status;
 
 size_t FrameOutputSource::CacheKeyHash::operator()(const CacheKey& key) const {
-  return static_cast<size_t>(stats::HashCombine({static_cast<uint64_t>(key.frame),
-                                                 static_cast<uint64_t>(key.resolution),
-                                                 static_cast<uint64_t>(key.contrast_q)}));
+  // Multiplicative mix, a few cycles per key. The hash only picks the shard
+  // and the probe start — equality is decided by the exact composite key —
+  // so distribution quality is a performance concern, not a correctness one,
+  // and the full HashCombine avalanche would be wasted work on the hot
+  // probe path.
+  uint64_t h = static_cast<uint64_t>(key.frame) * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<uint64_t>(key.resolution) * 0xbf58476d1ce4e5b9ULL;
+  h ^= static_cast<uint64_t>(key.contrast_q) * 0x94d049bb133111ebULL;
+  h ^= h >> 32;
+  h *= 0xd6e8feb86659fd93ULL;
+  h ^= h >> 32;
+  return static_cast<size_t>(h);
 }
 
 FrameOutputSource::CacheKey FrameOutputSource::MakeCacheKey(int64_t frame_index, int resolution,
@@ -34,36 +46,104 @@ FrameOutputSource::FrameOutputSource(const video::VideoDataset& dataset,
                                      video::ObjectClass target_class)
     : dataset_(dataset), detector_(detector), target_class_(target_class) {}
 
+FrameOutputSource::Entry* FrameOutputSource::FindEntry(Shard& shard, const CacheKey& key,
+                                                       size_t hash) {
+  if (shard.table.empty()) return nullptr;
+  const size_t mask = shard.table.size() - 1;
+  size_t idx = (hash >> kShardBits) & mask;
+  for (;;) {
+    Entry& entry = shard.table[idx];
+    if (entry.state == kSlotEmpty) return nullptr;
+    if (entry.state != kSlotTombstone && entry.key == key) return &entry;
+    idx = (idx + 1) & mask;
+  }
+}
+
+void FrameOutputSource::RehashIfNeeded(Shard& shard, size_t incoming) {
+  // Keep occupancy (live + tombstones) at or below 3/4; grow only when the
+  // live population warrants it, otherwise rebuild at the same size to shed
+  // tombstones (failed claims are rare, so this path almost never runs).
+  if (!shard.table.empty() && (shard.slots_used + incoming) * 4 <= shard.table.size() * 3) return;
+  size_t new_size = shard.table.empty() ? 64 : shard.table.size();
+  while ((shard.live + incoming) * 4 > new_size * 3) new_size *= 2;
+  std::vector<Entry> old_table = std::move(shard.table);
+  shard.table.assign(new_size, Entry{});
+  const size_t mask = new_size - 1;
+  for (const Entry& entry : old_table) {
+    if (entry.state != kSlotInFlight && entry.state != kSlotReady) continue;
+    size_t idx = (static_cast<size_t>(CacheKeyHash{}(entry.key)) >> kShardBits) & mask;
+    while (shard.table[idx].state != kSlotEmpty) idx = (idx + 1) & mask;
+    shard.table[idx] = entry;
+  }
+  shard.slots_used = shard.live;
+  ++shard.generation;
+}
+
+FrameOutputSource::Entry* FrameOutputSource::ClaimEntry(Shard& shard, const CacheKey& key,
+                                                        size_t hash, bool& fresh) {
+  RehashIfNeeded(shard, 1);
+  const size_t mask = shard.table.size() - 1;
+  size_t idx = (hash >> kShardBits) & mask;
+  Entry* tombstone = nullptr;
+  for (;;) {
+    Entry& entry = shard.table[idx];
+    if (entry.state == kSlotEmpty) {
+      Entry* slot = tombstone != nullptr ? tombstone : &entry;
+      if (tombstone == nullptr) ++shard.slots_used;
+      slot->key = key;
+      slot->state = kSlotInFlight;
+      ++shard.live;
+      fresh = true;
+      return slot;
+    }
+    if (entry.state == kSlotTombstone) {
+      if (tombstone == nullptr) tombstone = &entry;
+    } else if (entry.key == key) {
+      fresh = false;
+      return &entry;
+    }
+    idx = (idx + 1) & mask;
+  }
+}
+
 Result<int> FrameOutputSource::RawCount(int64_t frame_index, int resolution,
                                         double contrast_scale) {
   const CacheKey key = MakeCacheKey(frame_index, resolution, contrast_scale);
-  Shard& shard = ShardFor(key);
+  const size_t hash = CacheKeyHash{}(key);
+  Shard& shard = ShardFor(hash);
   {
     std::unique_lock<std::mutex> lock(shard.mu);
     for (;;) {
-      auto it = shard.done.find(key);
-      if (it != shard.done.end()) {
+      bool fresh = false;
+      Entry* entry = ClaimEntry(shard, key, hash, fresh);
+      if (entry->state == kSlotReady) {
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
-        return it->second;
+        return entry->count;
       }
-      if (shard.in_flight.find(key) == shard.in_flight.end()) break;
+      if (fresh) break;
       // Another thread is invoking the model on this exact key; wait, then
-      // re-check (the computation may have failed, in which case we retry).
+      // re-claim (the computation may have failed — tombstoning its entry —
+      // in which case our re-claim takes over).
       shard.cv.wait(lock);
     }
-    shard.in_flight.insert(key);
   }
   // The model runs OUTSIDE the shard lock so that concurrent misses on
-  // different keys overlap; the in_flight entry keeps this key
+  // different keys overlap; the IN_FLIGHT entry keeps this key
   // computed-exactly-once.
   Result<int> count = detector_.CountDetections(dataset_, frame_index, resolution, target_class_,
                                                 contrast_scale);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.in_flight.erase(key);
+    // Re-probe: a concurrent insert may have rehashed the table, so no
+    // Entry* survives the unlocked section.
+    Entry* entry = FindEntry(shard, key, hash);
     if (count.ok()) {
       model_invocations_.fetch_add(1, std::memory_order_relaxed);
-      shard.done.emplace(key, *count);
+      entry->count = *count;
+      entry->state = kSlotReady;
+    } else {
+      entry->state = kSlotTombstone;
+      --shard.live;
     }
   }
   shard.cv.notify_all();
@@ -76,14 +156,20 @@ Status FrameOutputSource::FillCountsChunk(std::span<const int64_t> frame_indices
   if (n == 0) return Status::OK();
 
   // Phase 0: derive keys and partition request slots by shard with a
-  // counting sort, so phase 1 can walk each shard's slots contiguously.
+  // counting sort, so phase 1 can walk each shard's slots contiguously. The
+  // key hash is computed once per slot and reused for both the shard pick
+  // and the table probes.
   std::vector<CacheKey> keys(n);
+  std::vector<size_t> hashes(n);
   std::vector<uint32_t> shard_of(n);
   std::array<uint32_t, kNumShards> shard_count{};
+  // Resolution and contrast are chunk constants; only the frame varies.
+  const CacheKey base_key = MakeCacheKey(0, resolution, contrast_scale);
   for (size_t i = 0; i < n; ++i) {
-    keys[i] = MakeCacheKey(frame_indices[i], resolution, contrast_scale);
-    shard_of[i] =
-        static_cast<uint32_t>(CacheKeyHash{}(keys[i]) & static_cast<size_t>(kNumShards - 1));
+    keys[i] = base_key;
+    keys[i].frame = frame_indices[i];
+    hashes[i] = CacheKeyHash{}(keys[i]);
+    shard_of[i] = static_cast<uint32_t>(hashes[i] & static_cast<size_t>(kNumShards - 1));
     ++shard_count[shard_of[i]];
   }
   std::array<uint32_t, kNumShards + 1> shard_start{};
@@ -95,72 +181,118 @@ Status FrameOutputSource::FillCountsChunk(std::span<const int64_t> frame_indices
     for (size_t i = 0; i < n; ++i) slots_by_shard[cursor[shard_of[i]]++] = static_cast<uint32_t>(i);
   }
 
+  // Intra-batch duplicate detection. Within one chunk the resolution and
+  // contrast are fixed, so a key duplicates another slot's key exactly when
+  // the frames are equal — a flat open-addressed table keyed by frame alone
+  // replaces a node-based key map. INT64_MIN is the empty sentinel (never a
+  // valid frame index; an invalid request containing it fails validation in
+  // CountBatch before duplicates matter).
+  const size_t dedup_size = std::bit_ceil(2 * n + 1);
+  const size_t dedup_mask = dedup_size - 1;
+  std::vector<int64_t> dedup_frame(dedup_size, INT64_MIN);
+  std::vector<uint32_t> dedup_ordinal(dedup_size);
+
   // Phase 1: probe each touched shard under ONE lock acquisition and
-  // classify every slot: done hit, duplicate of a key this call already
+  // classify every slot: ready hit, duplicate of a key this call already
   // claimed, in flight on another thread, or a fresh claim. Equal keys
-  // always land in the same shard, so one claimed-slot map is race-free.
+  // always land in the same shard, so one claimed-frame table is race-free.
   std::vector<int64_t> miss_frames;
   std::vector<uint32_t> miss_slot;      // First request slot per claimed key.
   std::vector<uint32_t> miss_shard;     // Shard index per claimed key (nondecreasing).
-  std::unordered_map<CacheKey, uint32_t, CacheKeyHash> claimed;  // key -> miss ordinal.
-  std::vector<std::pair<uint32_t, uint32_t>> dup_fills;          // (slot, miss ordinal).
+  std::vector<uint32_t> miss_entry;     // Table index of the claim at claim time.
+  miss_frames.reserve(n);
+  miss_slot.reserve(n);
+  miss_shard.reserve(n);
+  miss_entry.reserve(n);
+  std::array<uint64_t, kNumShards> shard_generation{};
+  std::vector<std::pair<uint32_t, uint32_t>> dup_fills;  // (slot, miss ordinal).
   std::vector<uint32_t> waiter_slots;
   int64_t probe_hits = 0;
   for (int s = 0; s < kNumShards; ++s) {
     if (shard_count[s] == 0) continue;
     Shard& shard = shards_[static_cast<size_t>(s)];
     std::lock_guard<std::mutex> lock(shard.mu);
+    // Size the table for the worst case (every slot a fresh claim) up
+    // front: at most one rehash per shard per chunk, and ClaimEntry's
+    // per-call check stays on its cheap no-op path.
+    RehashIfNeeded(shard, shard_count[s]);
+    shard_generation[s] = shard.generation;
     for (uint32_t p = shard_start[s]; p < shard_start[s + 1]; ++p) {
       const uint32_t slot = slots_by_shard[p];
-      const CacheKey& key = keys[slot];
-      auto done_it = shard.done.find(key);
-      if (done_it != shard.done.end()) {
-        out[slot] = done_it->second;
+      const int64_t frame = frame_indices[slot];
+      // Duplicate-of-claimed check first: it is lock-free local state, and a
+      // duplicate's shard entry would read IN_FLIGHT (our own claim), which
+      // must not be confused with another thread's.
+      const size_t fh = static_cast<size_t>(frame) * 0x9e3779b97f4a7c15ULL;
+      size_t d = (fh ^ (fh >> 32)) & dedup_mask;
+      bool is_dup = false;
+      while (dedup_frame[d] != INT64_MIN) {
+        if (dedup_frame[d] == frame) {
+          dup_fills.emplace_back(slot, dedup_ordinal[d]);
+          is_dup = true;
+          break;
+        }
+        d = (d + 1) & dedup_mask;
+      }
+      if (is_dup) continue;
+      bool fresh = false;
+      Entry* entry = ClaimEntry(shard, keys[slot], hashes[slot], fresh);
+      if (entry->state == kSlotReady) {
+        out[slot] = entry->count;
         ++probe_hits;
         continue;
       }
-      auto claimed_it = claimed.find(key);
-      if (claimed_it != claimed.end()) {
-        dup_fills.emplace_back(slot, claimed_it->second);
-        continue;
-      }
-      if (shard.in_flight.find(key) != shard.in_flight.end()) {
+      if (!fresh) {
+        // IN_FLIGHT on another thread (our own claims are caught by the
+        // dedup table above).
         waiter_slots.push_back(slot);
         continue;
       }
-      shard.in_flight.insert(key);
-      claimed.emplace(key, static_cast<uint32_t>(miss_frames.size()));
+      dedup_frame[d] = frame;
+      dedup_ordinal[d] = static_cast<uint32_t>(miss_frames.size());
       miss_slot.push_back(slot);
       miss_shard.push_back(static_cast<uint32_t>(s));
-      miss_frames.push_back(frame_indices[slot]);
+      miss_entry.push_back(static_cast<uint32_t>(entry - shard.table.data()));
+      miss_frames.push_back(frame);
     }
   }
   if (probe_hits > 0) cache_hits_.fetch_add(probe_hits, std::memory_order_relaxed);
 
-  // Phase 2: ONE batched model invocation covers every claimed miss; the
-  // model runs outside all shard locks.
+  // Phase 2: the claimed misses are computed outside all shard locks — one
+  // batched model invocation, or a chunked fan-out on the configured pool
+  // when the miss-batch is large (see ComputeMisses).
   std::vector<int> miss_counts(miss_frames.size());
   Status batch_status = Status::OK();
   if (!miss_frames.empty()) {
-    batch_status = detector_.CountBatch(dataset_, miss_frames, resolution, target_class_,
-                                        contrast_scale, miss_counts);
+    batch_status = ComputeMisses(miss_frames, resolution, contrast_scale, miss_counts);
   }
 
   // Phase 3: install (or on failure, release) the claims shard by shard.
   // miss_shard is nondecreasing because phase 1 visited shards in order, so
-  // each shard is locked once here too.
+  // each shard is locked once here too. Each install re-probes by key and
+  // flips the claimed entry in place — concurrent inserts may have rehashed
+  // the shard since phase 1, so entry pointers were not retained.
   size_t m = 0;
   while (m < miss_frames.size()) {
     const uint32_t s = miss_shard[m];
     Shard& shard = shards_[s];
     {
       std::lock_guard<std::mutex> lock(shard.mu);
+      // Unchanged generation (the common case): claims still sit at their
+      // recorded indices. A concurrent insert may have rehashed the shard,
+      // moving entries — then fall back to probing by key.
+      const bool use_index = shard.generation == shard_generation[s];
       for (; m < miss_frames.size() && miss_shard[m] == s; ++m) {
-        const CacheKey& key = keys[miss_slot[m]];
-        shard.in_flight.erase(key);
+        const uint32_t slot = miss_slot[m];
+        Entry* entry = use_index ? &shard.table[miss_entry[m]]
+                                 : FindEntry(shard, keys[slot], hashes[slot]);
         if (batch_status.ok()) {
-          shard.done.emplace(key, miss_counts[m]);
-          out[miss_slot[m]] = miss_counts[m];
+          entry->count = miss_counts[m];
+          entry->state = kSlotReady;
+          out[slot] = miss_counts[m];
+        } else {
+          entry->state = kSlotTombstone;
+          --shard.live;
         }
       }
     }
@@ -189,6 +321,59 @@ Status FrameOutputSource::FillCountsChunk(std::span<const int64_t> frame_indices
   for (uint32_t slot : waiter_slots) {
     SMK_ASSIGN_OR_RETURN(out[slot],
                          RawCount(frame_indices[slot], resolution, contrast_scale));
+  }
+  return Status::OK();
+}
+
+Status FrameOutputSource::ComputeMisses(std::span<const int64_t> miss_frames, int resolution,
+                                        double contrast_scale, std::span<int> miss_counts) {
+  const size_t n = miss_frames.size();
+  util::ThreadPool* pool = pool_;
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      n < static_cast<size_t>(parallel_min_misses_)) {
+    return detector_.CountBatch(dataset_, miss_frames, resolution, target_class_, contrast_scale,
+                                miss_counts);
+  }
+
+  // Contiguous chunks, one per worker (ceil division), each at least one
+  // frame. Boundaries depend only on (n, num_threads) — never on timing —
+  // and each frame's count is a pure function of its key, so the assembled
+  // result is bit-identical to the serial single-CountBatch path.
+  const size_t num_chunks =
+      std::min(static_cast<size_t>(pool->num_threads()), n);
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+
+  // Completion is tracked with a private latch rather than ThreadPool::Wait:
+  // the pool may be shared, and Wait() would block on unrelated users'
+  // tasks (and is forbidden from within a pool task).
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t pending = 0;
+  std::vector<Status> chunk_status((n + chunk - 1) / chunk, Status::OK());
+  for (size_t begin = 0, c = 0; begin < n; begin += chunk, ++c) {
+    const size_t len = std::min(chunk, n - begin);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++pending;
+    }
+    pool->Submit([this, miss_frames, miss_counts, resolution, contrast_scale, begin, len, c,
+                  &chunk_status, &mu, &done_cv, &pending] {
+      Status status =
+          detector_.CountBatch(dataset_, miss_frames.subspan(begin, len), resolution,
+                               target_class_, contrast_scale, miss_counts.subspan(begin, len));
+      std::lock_guard<std::mutex> lock(mu);
+      chunk_status[c] = std::move(status);
+      if (--pending == 0) done_cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&pending] { return pending == 0; });
+  }
+  // First failing chunk (by position, not completion order) wins, keeping
+  // the reported error deterministic.
+  for (Status& status : chunk_status) {
+    if (!status.ok()) return std::move(status);
   }
   return Status::OK();
 }
@@ -303,8 +488,10 @@ OutputStore FrameOutputSource::ExportStore() {
   std::map<std::pair<int, int64_t>, std::vector<std::pair<int64_t, int>>> groups;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    for (const auto& [key, count] : shard.done) {
-      groups[{key.resolution, key.contrast_q}].emplace_back(key.frame, count);
+    for (const Entry& entry : shard.table) {
+      if (entry.state != kSlotReady) continue;
+      groups[{entry.key.resolution, entry.key.contrast_q}].emplace_back(entry.key.frame,
+                                                                        entry.count);
     }
   }
   OutputStore store(dataset_.dataset_id(), detector_.model_id(), dataset_.num_frames());
@@ -357,11 +544,19 @@ Result<int64_t> FrameOutputSource::Preload(const OutputStore& store) {
       key.frame = frame;
       key.resolution = column.resolution;
       key.contrast_q = column.contrast_q;
-      Shard& shard = ShardFor(key);
+      const size_t hash = CacheKeyHash{}(key);
+      Shard& shard = ShardFor(hash);
       std::lock_guard<std::mutex> lock(shard.mu);
       // Preloaded entries do not bump the counters: they were not computed
-      // (nor requested) in this run.
-      if (shard.done.emplace(key, column.counts[i]).second) ++loaded;
+      // (nor requested) in this run. An entry already present (ready, or in
+      // flight on a concurrent thread) is left alone.
+      bool fresh = false;
+      Entry* entry = ClaimEntry(shard, key, hash, fresh);
+      if (fresh) {
+        entry->count = column.counts[i];
+        entry->state = kSlotReady;
+        ++loaded;
+      }
     }
   }
   return loaded;

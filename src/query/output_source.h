@@ -14,11 +14,20 @@
 //
 // Thread safety: every public method may be called concurrently. The memo
 // cache is sharded — each shard owns a mutex plus an exact-composite-key
-// hash map — and the invocation/hit counters are atomics. A cache miss
+// flat table — and the invocation/hit counters are atomics. A cache miss
 // invokes the model OUTSIDE the shard lock (misses on different keys
-// overlap); an in-flight set guarantees each key is computed exactly once,
-// so model_invocations() counts distinct computed keys exactly, at any
-// thread count.
+// overlap); an IN_FLIGHT entry state guarantees each key is computed
+// exactly once, so model_invocations() counts distinct computed keys
+// exactly, at any thread count.
+//
+// Storage is a per-shard open-addressing table of fixed-size entries
+// (key, count, state) with linear probing, not a node-based map: a cold
+// batch of N misses costs N slot writes into a flat array instead of N
+// heap-node allocations, which measurably dominated the install phase of
+// large cold batches. An entry moves EMPTY -> IN_FLIGHT -> READY; a failed
+// computation leaves a TOMBSTONE (reusable, does not break probe chains).
+// Rehash moves entries, so no code holds an entry pointer across an unlock
+// — installs re-probe by key.
 //
 // The cache key is an exact composite (frame, resolution, quantized
 // contrast) triple compared field-by-field. An earlier revision keyed the
@@ -35,8 +44,6 @@
 #include <cstdint>
 #include <mutex>
 #include <span>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "detect/detector.h"
@@ -46,6 +53,9 @@
 #include "video/dataset.h"
 
 namespace smokescreen {
+namespace util {
+class ThreadPool;
+}  // namespace util
 namespace query {
 
 /// Reusable columnar result buffer. Callers that grow a sample prefix
@@ -150,6 +160,30 @@ class FrameOutputSource {
   void set_max_batch_size(int64_t max_batch_size) { max_batch_size_ = max_batch_size; }
   int64_t max_batch_size() const { return max_batch_size_; }
 
+  /// Intra-batch parallelism: when set, a cold miss-batch of at least
+  /// parallel_min_misses() distinct keys is split into contiguous chunks
+  /// dispatched on `pool` (one Detector::CountBatch per chunk, each writing
+  /// a disjoint slice), so one large cold request saturates cores even from
+  /// a single-threaded caller. Results and invocation accounting are
+  /// IDENTICAL to the serial path at every thread count: chunk boundaries
+  /// depend only on the miss count and pool size, each frame's count is a
+  /// pure function of its key, claims are still made exactly once before
+  /// dispatch, and the batch still tallies one invocation per distinct key.
+  /// The pool is borrowed, not owned; it must outlive this source, and it
+  /// must NOT be a pool whose worker tasks call into this source (the wait
+  /// here is a private latch, but a caller running ON the pool would
+  /// deadlock the pool against itself). nullptr (the default) restores the
+  /// serial single-CountBatch path. max_batch_size still bounds the frames
+  /// per CountBatch call: chunks never exceed it.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+  util::ThreadPool* thread_pool() const { return pool_; }
+
+  /// Minimum number of distinct misses in one batch before the pool is
+  /// engaged (smaller batches run serially; dispatch overhead would beat
+  /// the win). Default 128.
+  void set_parallel_min_misses(int64_t n) { parallel_min_misses_ = n < 1 ? 1 : n; }
+  int64_t parallel_min_misses() const { return parallel_min_misses_; }
+
   /// Snapshots the memo cache into a persistable OutputStore (one column
   /// per (resolution, contrast) pair seen, frames sorted ascending).
   OutputStore ExportStore();
@@ -180,28 +214,76 @@ class FrameOutputSource {
 
  private:
   static constexpr int kNumShards = 64;  // Power of two (shard pick masks).
+  static constexpr int kShardBits = 6;   // log2(kNumShards).
+
+  /// Entry lifecycle in a shard's flat table. TOMBSTONE keeps probe chains
+  /// intact after a failed computation releases its claim; tombstoned slots
+  /// are recycled by later inserts and dropped at rehash.
+  enum EntryState : uint8_t {
+    kSlotEmpty = 0,
+    kSlotTombstone = 1,
+    kSlotInFlight = 2,
+    kSlotReady = 3,
+  };
+
+  struct Entry {
+    CacheKey key;
+    int count = 0;
+    EntryState state = kSlotEmpty;
+  };
 
   struct Shard {
     std::mutex mu;
     /// Signalled when an in-flight computation lands (or fails).
     std::condition_variable cv;
-    std::unordered_map<CacheKey, int, CacheKeyHash> done;
-    std::unordered_set<CacheKey, CacheKeyHash> in_flight;
+    /// Open-addressing table; size is 0 or a power of two. Probing starts at
+    /// (hash >> kShardBits) — the low hash bits picked the shard, so they
+    /// are constant within it.
+    std::vector<Entry> table;
+    size_t slots_used = 0;  // EMPTY -> non-EMPTY transitions (incl. tombstones).
+    size_t live = 0;        // IN_FLIGHT + READY entries.
+    /// Bumped on every rehash. A claimant that recorded an entry index plus
+    /// this generation can install through the index directly when the
+    /// generation is unchanged (the common case), skipping the re-probe.
+    uint64_t generation = 0;
   };
 
-  Shard& ShardFor(const CacheKey& key) {
-    return shards_[CacheKeyHash{}(key) & static_cast<size_t>(kNumShards - 1)];
+  Shard& ShardFor(size_t hash) {
+    return shards_[hash & static_cast<size_t>(kNumShards - 1)];
   }
+
+  /// Looks up `key` in the shard table; returns the IN_FLIGHT/READY entry or
+  /// nullptr. Caller holds shard.mu.
+  static Entry* FindEntry(Shard& shard, const CacheKey& key, size_t hash);
+
+  /// Find-or-claim: returns the entry for `key`, inserting a fresh IN_FLIGHT
+  /// claim (fresh=true) when the key is absent or tombstoned. May rehash —
+  /// any previously obtained Entry* into this shard is invalidated. Caller
+  /// holds shard.mu.
+  static Entry* ClaimEntry(Shard& shard, const CacheKey& key, size_t hash, bool& fresh);
+
+  /// Grows/compacts the table so `incoming` more inserts fit below the load
+  /// limit (batch probes pass their whole per-shard slot count so a cold
+  /// chunk triggers at most one rehash per shard).
+  static void RehashIfNeeded(Shard& shard, size_t incoming);
 
   /// One batched round: shard-partitioned probe, single CountBatch over all
   /// misses, per-shard install. Called by FillCounts per chunk.
   util::Status FillCountsChunk(std::span<const int64_t> frame_indices, int resolution,
                                double contrast_scale, std::span<int> out);
 
+  /// Computes the claimed misses of one round: one CountBatch when small or
+  /// serial, chunked fan-out on pool_ when large. Waits on a private latch
+  /// (never ThreadPool::Wait, which would also wait on unrelated users).
+  util::Status ComputeMisses(std::span<const int64_t> miss_frames, int resolution,
+                             double contrast_scale, std::span<int> miss_counts);
+
   const video::VideoDataset& dataset_;
   const detect::Detector& detector_;
   video::ObjectClass target_class_;
   int64_t max_batch_size_ = 0;
+  util::ThreadPool* pool_ = nullptr;
+  int64_t parallel_min_misses_ = 128;
 
   std::array<Shard, kNumShards> shards_;
   std::atomic<int64_t> model_invocations_{0};

@@ -10,18 +10,36 @@ using util::Result;
 using util::Status;
 
 Result<EmpiricalDistribution> EmpiricalDistribution::Create(std::span<const double> values) {
+  std::vector<double> scratch;
+  return Create(values, scratch);
+}
+
+Result<EmpiricalDistribution> EmpiricalDistribution::Create(std::span<const double> values,
+                                                            std::vector<double>& scratch) {
   if (values.empty()) {
     return Status::InvalidArgument("cannot build empirical distribution from empty sample");
   }
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
+  scratch.assign(values.begin(), values.end());
+  std::sort(scratch.begin(), scratch.end());
+
+  // Count the runs first so every vector is reserved exactly once — distinct
+  // counts are usually far below the sample size (integer-valued detector
+  // outputs), and push_back growth would otherwise reallocate repeatedly.
+  size_t num_distinct = 0;
+  for (size_t i = 0; i < scratch.size(); ++num_distinct) {
+    size_t j = i;
+    while (j < scratch.size() && scratch[j] == scratch[i]) ++j;
+    i = j;
+  }
 
   EmpiricalDistribution dist;
-  dist.total_count_ = static_cast<int64_t>(sorted.size());
-  for (size_t i = 0; i < sorted.size();) {
+  dist.total_count_ = static_cast<int64_t>(scratch.size());
+  dist.distinct_.reserve(num_distinct);
+  dist.counts_.reserve(num_distinct);
+  for (size_t i = 0; i < scratch.size();) {
     size_t j = i;
-    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
-    dist.distinct_.push_back(sorted[i]);
+    while (j < scratch.size() && scratch[j] == scratch[i]) ++j;
+    dist.distinct_.push_back(scratch[i]);
     dist.counts_.push_back(static_cast<int64_t>(j - i));
     i = j;
   }

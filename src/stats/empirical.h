@@ -27,6 +27,15 @@ class EmpiricalDistribution {
     return Create(std::span<const double>(values.begin(), values.size()));
   }
 
+  /// As Create, but sorts inside `scratch` instead of a fresh allocation.
+  /// Callers that build distributions in a loop over growing samples (the
+  /// profiler evaluates a quantile estimate at every profile point of a
+  /// group) reuse one buffer: after the first iteration reaches capacity,
+  /// later builds allocate nothing for the sort. `scratch` is overwritten;
+  /// its capacity is the only thing reused.
+  static util::Result<EmpiricalDistribution> Create(std::span<const double> values,
+                                                    std::vector<double>& scratch);
+
   int64_t total_count() const { return total_count_; }
   int64_t num_distinct() const { return static_cast<int64_t>(distinct_.size()); }
 

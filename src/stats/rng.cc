@@ -7,49 +7,12 @@
 namespace smokescreen {
 namespace stats {
 
-namespace {
-
-inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
-}  // namespace
-
-uint64_t SplitMix64(uint64_t& state) {
-  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
+HashStream::HashStream() : state_(0x5aff00d5aff00d5aULL), acc_(SplitMix64(state_)) {}
 
 uint64_t HashCombine(std::initializer_list<uint64_t> words) {
-  uint64_t state = 0x5aff00d5aff00d5aULL;
-  uint64_t acc = SplitMix64(state);
-  for (uint64_t w : words) {
-    state ^= w;
-    acc = Rotl(acc ^ SplitMix64(state), 23) * 0x2545f4914f6cdd1dULL;
-  }
-  // Final avalanche.
-  state ^= acc;
-  return SplitMix64(state);
-}
-
-Rng::Rng(uint64_t seed) {
-  uint64_t sm = seed;
-  for (auto& lane : s_) lane = SplitMix64(sm);
-  // xoshiro must not be seeded all-zero; SplitMix64 of anything cannot
-  // produce four zero lanes, but be defensive.
-  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
-}
-
-uint64_t Rng::NextUint64() {
-  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
-  const uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
+  HashStream stream;
+  for (uint64_t w : words) stream.Absorb(w);
+  return stream.Finalize();
 }
 
 uint64_t Rng::NextBounded(uint64_t bound) {
@@ -67,11 +30,6 @@ uint64_t Rng::NextBounded(uint64_t bound) {
     }
   }
   return static_cast<uint64_t>(m >> 64);
-}
-
-double Rng::NextDouble() {
-  // 53 top bits -> [0, 1).
-  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
 }
 
 double Rng::NextGaussian() {
@@ -115,8 +73,15 @@ bool Rng::NextBernoulli(double p) {
   return NextDouble() < p;
 }
 
+int PoissonFromHash(double lambda, uint64_t hash) {
+  // Seeds a short-lived sequential generator; the result is a pure function
+  // of (lambda, hash).
+  Rng rng(hash);
+  return rng.NextPoisson(lambda);
+}
+
 double StatelessUniform(std::initializer_list<uint64_t> words) {
-  return static_cast<double>(HashCombine(words) >> 11) * 0x1.0p-53;
+  return UniformFromHash(HashCombine(words));
 }
 
 bool StatelessBernoulli(double p, std::initializer_list<uint64_t> words) {
@@ -126,10 +91,7 @@ bool StatelessBernoulli(double p, std::initializer_list<uint64_t> words) {
 }
 
 int StatelessPoisson(double lambda, std::initializer_list<uint64_t> words) {
-  // Uses the hash as a seed for a short-lived sequential generator; the
-  // result remains a pure function of (lambda, words).
-  Rng rng(HashCombine(words));
-  return rng.NextPoisson(lambda);
+  return PoissonFromHash(lambda, HashCombine(words));
 }
 
 }  // namespace stats

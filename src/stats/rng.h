@@ -18,27 +18,95 @@
 namespace smokescreen {
 namespace stats {
 
-/// SplitMix64 step; used for seeding and stateless hashing.
-uint64_t SplitMix64(uint64_t& state);
+/// SplitMix64 step; used for seeding and stateless hashing. Defined inline:
+/// it sits on the per-word critical path of HashStream::Absorb, and an
+/// out-of-line call (with `state` pinned to memory by the reference) would
+/// roughly double the per-word cost of hash-heavy kernels.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Resumable form of HashCombine. Absorbing words one at a time through a
+/// HashStream and then calling Finalize() yields EXACTLY the hash
+/// HashCombine would produce for the same word sequence — the stream is the
+/// same (state, accumulator) chain, just suspendable. Hot loops exploit this
+/// by absorbing a constant word prefix once, copying the stream, and
+/// finishing each per-item suffix from the copy (the columnar detector
+/// kernel hoists (dataset, frame) this way and absorbs only the per-object
+/// words inside the loop).
+class HashStream {
+ public:
+  HashStream();
+
+  /// Mixes one word into the stream (HashCombine's per-word step).
+  void Absorb(uint64_t word) {
+    state_ ^= word;
+    uint64_t mixed = SplitMix64(state_);
+    acc_ = ((acc_ ^ mixed) << 23 | (acc_ ^ mixed) >> 41) * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// Final avalanche; does not consume the stream (copy + continue is fine).
+  uint64_t Finalize() const {
+    uint64_t state = state_ ^ acc_;
+    return SplitMix64(state);
+  }
+
+  /// Raw (state, accumulator) words. Batch kernels that absorb a shared
+  /// prefix once and then fan the suspended stream out across flat lanes
+  /// (see the columnar detector kernel) read these to seed their lane
+  /// buffers; resuming from the same words reproduces the chain exactly.
+  uint64_t state() const { return state_; }
+  uint64_t acc() const { return acc_; }
+
+ private:
+  uint64_t state_;
+  uint64_t acc_;
+};
 
 /// Mixes an arbitrary list of 64-bit words into a single well-distributed
-/// 64-bit hash. Deterministic across runs and platforms.
+/// 64-bit hash. Deterministic across runs and platforms. Equivalent to
+/// absorbing each word into a fresh HashStream and finalizing.
 uint64_t HashCombine(std::initializer_list<uint64_t> words);
 
-/// xoshiro256** PRNG. Fast, high-quality, 2^256-1 period.
+/// xoshiro256** PRNG. Fast, high-quality, 2^256-1 period. Construction and
+/// the raw draw are defined inline: detector kernels seed a short-lived Rng
+/// from a stateless hash once per frame (the false-positive Poisson draw),
+/// so the seed + first-draw chain sits on the per-frame critical path.
 class Rng {
  public:
   /// Seeds the four lanes from `seed` via SplitMix64 (never all-zero).
-  explicit Rng(uint64_t seed);
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& lane : s_) lane = SplitMix64(sm);
+    // xoshiro must not be seeded all-zero; SplitMix64 of anything cannot
+    // produce four zero lanes, but be defensive.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+  }
 
   /// Next raw 64 random bits.
-  uint64_t NextUint64();
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [0, bound) via Lemire's unbiased method. bound > 0.
   uint64_t NextBounded(uint64_t bound);
 
   /// Uniform double in [0, 1).
-  double NextDouble();
+  double NextDouble() {
+    // 53 top bits -> [0, 1).
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
 
   /// Standard normal variate (Box–Muller; one value per call, spare cached).
   double NextGaussian();
@@ -51,10 +119,41 @@ class Rng {
   bool NextBernoulli(double p);
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
   uint64_t s_[4];
   double spare_gaussian_ = 0.0;
   bool has_spare_gaussian_ = false;
 };
+
+/// Maps a finalized 64-bit hash to a uniform double in [0,1) (the exact
+/// conversion StatelessUniform applies after HashCombine).
+inline double UniformFromHash(uint64_t hash) {
+  return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+/// Deterministic Poisson variate seeded from a finalized hash (the exact
+/// draw StatelessPoisson makes after HashCombine).
+int PoissonFromHash(double lambda, uint64_t hash);
+
+/// Small-lambda (Knuth) Poisson draw with the caller-supplied limit
+/// `exp_neg_lambda`, which MUST equal std::exp(-lambda) for the intended
+/// lambda in (0, 30). Bit-identical to PoissonFromHash for that range; lets
+/// batch kernels memoize the std::exp over repeated lambda values (the FP
+/// clutter term takes one of a handful of values per batch). Inline: it is
+/// exactly NextPoisson's Knuth branch with the limit precomputed — the
+/// uniform sequence and comparison order are identical, so the draw matches
+/// PoissonFromHash(lambda, hash) bit for bit.
+inline int PoissonFromHashKnuth(double exp_neg_lambda, uint64_t hash) {
+  Rng rng(hash);
+  double prod = rng.NextDouble();
+  int count = 0;
+  while (prod > exp_neg_lambda) {
+    ++count;
+    prod *= rng.NextDouble();
+  }
+  return count;
+}
 
 /// Deterministic uniform double in [0,1) derived from the given words.
 double StatelessUniform(std::initializer_list<uint64_t> words);

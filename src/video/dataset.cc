@@ -16,7 +16,8 @@ VideoDataset::VideoDataset(std::string name, uint64_t dataset_id, int full_resol
       full_resolution_(full_resolution),
       fps_(fps),
       frames_(std::move(frames)),
-      sequences_(std::move(sequences)) {}
+      sequences_(std::move(sequences)),
+      scene_index_(SceneIndex::Build(frames_)) {}
 
 double VideoDataset::GtContainmentFraction(ObjectClass cls) const {
   if (frames_.empty()) return 0.0;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "video/scene_index.h"
 #include "video/types.h"
 
 namespace smokescreen {
@@ -39,6 +40,11 @@ class VideoDataset {
   const Frame& frame(int64_t index) const { return frames_[static_cast<size_t>(index)]; }
   const std::vector<Frame>& frames() const { return frames_; }
 
+  /// Class-partitioned columnar view of the frames (CSR layout), built once
+  /// at construction. The detectors' batched kernel walks these columns
+  /// instead of the AoS object lists; see video/scene_index.h.
+  const SceneIndex& scene_index() const { return scene_index_; }
+
   const std::vector<SequenceInfo>& sequences() const { return sequences_; }
 
   /// Fraction of frames whose ground truth contains at least one `cls`.
@@ -62,6 +68,7 @@ class VideoDataset {
   double fps_ = 0.0;
   std::vector<Frame> frames_;
   std::vector<SequenceInfo> sequences_;
+  SceneIndex scene_index_;
 };
 
 }  // namespace video

@@ -1,0 +1,60 @@
+#include "video/scene_index.h"
+
+#include "util/logging.h"
+
+namespace smokescreen {
+namespace video {
+
+SceneIndex SceneIndex::Build(const std::vector<Frame>& frames) {
+  SceneIndex index;
+  index.num_frames_ = static_cast<int64_t>(frames.size());
+  index.total_objects_.reserve(frames.size());
+  index.frame_id_words_.reserve(frames.size());
+  index.scene_contrasts_.reserve(frames.size());
+  for (const Frame& frame : frames) {
+    index.frame_id_words_.push_back(static_cast<uint64_t>(frame.frame_id));
+    index.scene_contrasts_.push_back(frame.scene_contrast);
+  }
+
+  // Pass 1: per-class counts per frame -> exact column reservations and
+  // CSR row pointers (offsets[f+1] accumulates as objects are appended).
+  size_t class_totals[kNumObjectClasses] = {};
+  for (const Frame& frame : frames) {
+    // uint32 columns cover > 4e9 objects; the corpora here are 5 orders of
+    // magnitude smaller. Guard anyway so an overflow cannot corrupt silently.
+    SMK_CHECK_LE(frame.objects.size(), 0xffffffffull);
+    index.total_objects_.push_back(static_cast<uint32_t>(frame.objects.size()));
+    for (const GtObject& obj : frame.objects) {
+      ++class_totals[static_cast<size_t>(obj.cls)];
+    }
+  }
+  for (int c = 0; c < kNumObjectClasses; ++c) {
+    SMK_CHECK_LE(class_totals[c], 0xffffffffull);
+    ClassColumns& col = index.columns_[c];
+    col.offsets.reserve(frames.size() + 1);
+    col.offsets.push_back(0);
+    col.sizes.reserve(class_totals[c]);
+    col.contrasts.reserve(class_totals[c]);
+    col.track_words.reserve(class_totals[c]);
+  }
+
+  // Pass 2: append each object to its class column in frame order. Relative
+  // order within (frame, class) matches the AoS object order by
+  // construction.
+  for (const Frame& frame : frames) {
+    for (const GtObject& obj : frame.objects) {
+      ClassColumns& col = index.columns_[static_cast<size_t>(obj.cls)];
+      col.sizes.push_back(obj.apparent_size);
+      col.contrasts.push_back(obj.contrast);
+      col.track_words.push_back(static_cast<uint64_t>(obj.track_id));
+    }
+    for (int c = 0; c < kNumObjectClasses; ++c) {
+      ClassColumns& col = index.columns_[c];
+      col.offsets.push_back(static_cast<uint32_t>(col.sizes.size()));
+    }
+  }
+  return index;
+}
+
+}  // namespace video
+}  // namespace smokescreen

@@ -224,6 +224,137 @@ TEST(RegistryTest, FactoriesMatchClasses) {
   EXPECT_EQ((*mask)->max_resolution(), 640);
 }
 
+// ---------------------------------------------------------------------------
+// Columnar batch kernel: CountBatch must be bit-identical to per-frame
+// CountDetections for every (model, resolution, class, contrast) the
+// calibrated path can take — plateau classes, the zero-plateau MTCNN car
+// column, the YOLO 384px duplicate quirk, contrast-degraded inputs, and
+// both band-decision regimes (deep miss region at tiny resolutions, plateau
+// region at full resolution).
+// ---------------------------------------------------------------------------
+
+void ExpectBatchMatchesScalar(const Detector& model, const VideoDataset& ds, int resolution,
+                              ObjectClass cls, double contrast) {
+  std::vector<int64_t> frames(static_cast<size_t>(ds.num_frames()));
+  for (size_t i = 0; i < frames.size(); ++i) frames[i] = static_cast<int64_t>(i);
+  std::vector<int> batch(frames.size(), -1);
+  ASSERT_TRUE(model
+                  .CountBatch(ds, frames, resolution, cls, contrast,
+                              std::span<int>(batch.data(), batch.size()))
+                  .ok())
+      << model.name() << " res " << resolution;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    auto direct = model.CountDetections(ds, frames[i], resolution, cls, contrast);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_EQ(batch[i], *direct) << model.name() << " frame " << i << " res " << resolution
+                                 << " cls " << static_cast<int>(cls) << " contrast "
+                                 << contrast;
+  }
+}
+
+TEST(CountBatchTest, BitIdenticalToScalarAcrossSweep) {
+  const VideoDataset night = SmallNight();
+  const VideoDataset detrac = SmallDetrac();
+  SimYoloV4 yolo;
+  SimMaskRcnn mask;
+  SimSsd ssd;
+  SimMtcnn mtcnn;
+  for (const VideoDataset* ds : {&night, &detrac}) {
+    for (ObjectClass cls : {ObjectClass::kCar, ObjectClass::kPerson, ObjectClass::kFace}) {
+      // 384 exercises the YOLO duplicate bump (on night scenes), 96 the deep
+      // miss region, 608 the plateau.
+      for (int resolution : {96, 384, 608}) {
+        for (double contrast : {1.0, 0.6}) {
+          ExpectBatchMatchesScalar(yolo, *ds, resolution, cls, contrast);
+        }
+      }
+      ExpectBatchMatchesScalar(mask, *ds, 256, cls, 1.0);
+      ExpectBatchMatchesScalar(mask, *ds, 640, cls, 0.7);
+      ExpectBatchMatchesScalar(ssd, *ds, 512, cls, 1.0);
+      // MTCNN: kFace takes the calibrated kernel, kCar/kPerson the face-only
+      // zero fill.
+      ExpectBatchMatchesScalar(mtcnn, *ds, 320, cls, 1.0);
+    }
+  }
+}
+
+TEST(CountBatchTest, ChunkingAndOrderInvariant) {
+  // Split/duplicate/reorder the frame list: each output position must still
+  // equal the per-frame call (counts are a pure function of the key).
+  const VideoDataset ds = SmallNight();
+  SimYoloV4 yolo;
+  std::vector<int64_t> frames = {5, 3, 3, 1499, 0, 700, 700, 700, 2};
+  std::vector<int> out(frames.size(), -1);
+  ASSERT_TRUE(yolo.CountBatch(ds, frames, 384, ObjectClass::kCar, 1.0,
+                              std::span<int>(out.data(), out.size()))
+                  .ok());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    auto direct = yolo.CountDetections(ds, frames[i], 384, ObjectClass::kCar, 1.0);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(out[i], *direct) << "position " << i;
+  }
+  // Empty batch is a no-op success.
+  EXPECT_TRUE(yolo.CountBatch(ds, {}, 384, ObjectClass::kCar, 1.0, {}).ok());
+}
+
+TEST(CountBatchTest, ErrorLeavesOutputUntouched) {
+  // CountBatch validates the WHOLE request before writing: a bad resolution,
+  // any out-of-range frame (even mid-batch), or a length mismatch must
+  // return an error with `out` byte-for-byte intact — callers install
+  // results from `out` on non-OK paths being impossible.
+  const VideoDataset ds = SmallNight();
+  SimYoloV4 yolo;
+  const std::vector<int> sentinel(5, -777);
+
+  // Bad resolution (not a stride multiple).
+  {
+    std::vector<int> out = sentinel;
+    std::vector<int64_t> frames = {0, 1, 2, 3, 4};
+    EXPECT_FALSE(yolo.CountBatch(ds, frames, 321, ObjectClass::kCar, 1.0,
+                                 std::span<int>(out.data(), out.size()))
+                     .ok());
+    EXPECT_EQ(out, sentinel);
+  }
+  // Out-of-range frame in the MIDDLE of the batch: earlier valid frames
+  // must not have been written either.
+  {
+    std::vector<int> out = sentinel;
+    std::vector<int64_t> frames = {0, 1, ds.num_frames(), 3, 4};
+    EXPECT_FALSE(yolo.CountBatch(ds, frames, 320, ObjectClass::kCar, 1.0,
+                                 std::span<int>(out.data(), out.size()))
+                     .ok());
+    EXPECT_EQ(out, sentinel);
+  }
+  // Negative frame index.
+  {
+    std::vector<int> out = sentinel;
+    std::vector<int64_t> frames = {0, -1, 2, 3, 4};
+    EXPECT_FALSE(yolo.CountBatch(ds, frames, 320, ObjectClass::kCar, 1.0,
+                                 std::span<int>(out.data(), out.size()))
+                     .ok());
+    EXPECT_EQ(out, sentinel);
+  }
+  // Length mismatch between frames and out.
+  {
+    std::vector<int> out = sentinel;
+    std::vector<int64_t> frames = {0, 1, 2};
+    EXPECT_FALSE(yolo.CountBatch(ds, frames, 320, ObjectClass::kCar, 1.0,
+                                 std::span<int>(out.data(), out.size()))
+                     .ok());
+    EXPECT_EQ(out, sentinel);
+  }
+  // Same contract on the face-only shortcut path (MTCNN non-face classes).
+  {
+    SimMtcnn mtcnn;
+    std::vector<int> out = sentinel;
+    std::vector<int64_t> frames = {0, 1, 2};
+    EXPECT_FALSE(mtcnn.CountBatch(ds, frames, 320, ObjectClass::kCar, 1.0,
+                                  std::span<int>(out.data(), out.size()))
+                      .ok());
+    EXPECT_EQ(out, sentinel);
+  }
+}
+
 }  // namespace
 }  // namespace detect
 }  // namespace smokescreen

@@ -308,6 +308,93 @@ TEST_P(PipelineDeterminismProperty, SameSeedSameEstimate) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineDeterminismProperty,
                          ::testing::Values(1u, 7u, 1234567u));
 
+// ---------------------------------------------------------------------------
+// P7: the columnar scene index is an exact re-partitioning of the AoS
+// frames — same objects, same per-(frame, class) order, same field values
+// bit for bit — plus faithful flat per-frame columns. The batch kernel
+// reads ONLY the index, so this bijection is what lets it be bit-identical
+// to the AoS scalar path.
+// ---------------------------------------------------------------------------
+
+struct SceneIndexParam {
+  ScenePreset preset;
+  uint64_t seed;
+};
+
+class SceneIndexPartitionProperty : public ::testing::TestWithParam<SceneIndexParam> {};
+
+TEST_P(SceneIndexPartitionProperty, IndexIsExactRepartitionOfFrames) {
+  video::SceneConfig config = video::PresetConfig(GetParam().preset);
+  config.seed = GetParam().seed;
+  config.num_frames = 1200;
+  auto ds = video::SimulateScene(config);
+  ds.status().CheckOk();
+  const video::VideoDataset& dataset = *ds;
+  const video::SceneIndex& index = dataset.scene_index();
+
+  ASSERT_EQ(index.num_frames(), dataset.num_frames());
+
+  // Flat per-frame columns mirror the Frame fields exactly.
+  ASSERT_EQ(index.total_objects().size(), static_cast<size_t>(dataset.num_frames()));
+  ASSERT_EQ(index.frame_id_words().size(), static_cast<size_t>(dataset.num_frames()));
+  ASSERT_EQ(index.scene_contrasts().size(), static_cast<size_t>(dataset.num_frames()));
+  for (int64_t f = 0; f < dataset.num_frames(); ++f) {
+    const video::Frame& frame = dataset.frame(f);
+    EXPECT_EQ(index.total_objects()[static_cast<size_t>(f)], frame.objects.size());
+    EXPECT_EQ(index.frame_id_words()[static_cast<size_t>(f)],
+              static_cast<uint64_t>(frame.frame_id));
+    EXPECT_EQ(index.scene_contrasts()[static_cast<size_t>(f)], frame.scene_contrast);
+  }
+
+  // Per class: rebuild the expected columns by the definition (walk frames
+  // in order, append class members in their AoS order) and require exact
+  // equality — values AND layout.
+  int64_t all_classes_total = 0;
+  for (int c = 0; c < video::kNumObjectClasses; ++c) {
+    const auto cls = static_cast<ObjectClass>(c);
+    const video::SceneIndex::ClassColumns& col = index.columns(cls);
+    ASSERT_EQ(col.offsets.size(), static_cast<size_t>(dataset.num_frames()) + 1);
+    EXPECT_EQ(col.offsets.front(), 0u);
+
+    std::vector<double> want_sizes, want_contrasts;
+    std::vector<uint64_t> want_tracks;
+    for (int64_t f = 0; f < dataset.num_frames(); ++f) {
+      const video::Frame& frame = dataset.frame(f);
+      for (const video::GtObject& obj : frame.objects) {
+        if (obj.cls != cls) continue;
+        want_sizes.push_back(obj.apparent_size);
+        want_contrasts.push_back(obj.contrast);
+        want_tracks.push_back(static_cast<uint64_t>(obj.track_id));
+      }
+      // CSR row pointer: everything appended so far belongs to frames
+      // [0, f], so offsets[f + 1] must equal the running total.
+      ASSERT_EQ(col.offsets[static_cast<size_t>(f) + 1], want_sizes.size())
+          << "class " << c << " frame " << f;
+    }
+    EXPECT_EQ(col.sizes, want_sizes) << "class " << c;
+    EXPECT_EQ(col.contrasts, want_contrasts) << "class " << c;
+    EXPECT_EQ(col.track_words, want_tracks) << "class " << c;
+    EXPECT_EQ(index.class_total(cls), static_cast<int64_t>(want_sizes.size()));
+    all_classes_total += index.class_total(cls);
+  }
+
+  // Nothing lost, nothing invented: class columns partition the object set.
+  int64_t aos_total = 0;
+  for (int64_t f = 0; f < dataset.num_frames(); ++f) {
+    aos_total += static_cast<int64_t>(dataset.frame(f).objects.size());
+  }
+  EXPECT_EQ(all_classes_total, aos_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PresetsAndSeeds, SceneIndexPartitionProperty,
+    ::testing::Values(SceneIndexParam{ScenePreset::kNightStreet, 1u},
+                      SceneIndexParam{ScenePreset::kNightStreet, 97u},
+                      SceneIndexParam{ScenePreset::kNightStreet, 20260806u},
+                      SceneIndexParam{ScenePreset::kUaDetrac, 1u},
+                      SceneIndexParam{ScenePreset::kUaDetrac, 97u},
+                      SceneIndexParam{ScenePreset::kUaDetrac, 20260806u}));
+
 }  // namespace
 }  // namespace core
 }  // namespace smokescreen

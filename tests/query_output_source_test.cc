@@ -8,12 +8,15 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
+#include <numeric>
 #include <set>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "detect/models.h"
+#include "util/thread_pool.h"
 #include "video/presets.h"
 
 namespace smokescreen {
@@ -187,6 +190,126 @@ TEST_F(OutputSourceTest, ConcurrentHammerKeepsExactAccounting) {
       ASSERT_TRUE(cached.ok());
       EXPECT_EQ(*cached, *direct) << "frame " << frame << " res " << resolution;
     }
+  }
+}
+
+// Records every CountBatch span length while delegating to the real model,
+// so tests can see how the source chunks its miss-batches.
+class ProbeDetector : public detect::SimYoloV4 {
+ public:
+  util::Status CountBatch(const video::VideoDataset& dataset,
+                          std::span<const int64_t> frame_indices, int resolution,
+                          video::ObjectClass cls, double contrast_scale,
+                          std::span<int> out) const override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_sizes_.push_back(static_cast<int64_t>(frame_indices.size()));
+    }
+    return detect::SimYoloV4::CountBatch(dataset, frame_indices, resolution, cls,
+                                         contrast_scale, out);
+  }
+
+  std::vector<int64_t> batch_sizes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batch_sizes_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::vector<int64_t> batch_sizes_;
+};
+
+TEST_F(OutputSourceTest, ParallelMissBatchMatchesSerialBitForBit) {
+  // A cold run with the miss-batch fanned out on a pool must produce the
+  // same counts and the same invocation accounting as the serial source, at
+  // every (thread count, max batch size) combination.
+  std::vector<int64_t> frames(static_cast<size_t>(dataset_->num_frames()));
+  std::iota(frames.begin(), frames.end(), int64_t{0});
+
+  FrameOutputSource serial(*dataset_, yolo_, ObjectClass::kCar);
+  auto want = serial.RawCounts(frames, 320);
+  ASSERT_TRUE(want.ok());
+
+  for (int threads : {1, 2, 4}) {
+    for (int64_t max_batch : {int64_t{0}, int64_t{64}, int64_t{113}}) {
+      util::ThreadPool pool(threads);
+      FrameOutputSource cold(*dataset_, yolo_, ObjectClass::kCar);
+      cold.set_thread_pool(&pool);
+      cold.set_max_batch_size(max_batch);
+      auto got = cold.RawCounts(frames, 320);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(*got, *want) << "threads " << threads << " max_batch " << max_batch;
+      EXPECT_EQ(cold.model_invocations(), dataset_->num_frames())
+          << "threads " << threads << " max_batch " << max_batch;
+      EXPECT_EQ(cold.cache_hits(), 0);
+    }
+  }
+}
+
+TEST_F(OutputSourceTest, ParallelMissChunksRespectMaxBatchSize) {
+  // With a pool attached, a large cold miss-batch is split into chunks —
+  // but NO CountBatch call may ever exceed max_batch_size, and the chunk
+  // lengths must sum to exactly the number of distinct misses.
+  constexpr int64_t kMaxBatch = 50;
+  std::vector<int64_t> frames(static_cast<size_t>(dataset_->num_frames()));
+  std::iota(frames.begin(), frames.end(), int64_t{0});
+
+  ProbeDetector probe;
+  util::ThreadPool pool(4);
+  FrameOutputSource source(*dataset_, probe, ObjectClass::kCar);
+  source.set_thread_pool(&pool);
+  source.set_max_batch_size(kMaxBatch);
+  source.set_parallel_min_misses(1);  // Force the parallel path.
+  ASSERT_TRUE(source.RawCounts(frames, 320).ok());
+
+  const std::vector<int64_t> sizes = probe.batch_sizes();
+  ASSERT_FALSE(sizes.empty());
+  int64_t covered = 0;
+  for (int64_t size : sizes) {
+    EXPECT_GE(size, 1);
+    EXPECT_LE(size, kMaxBatch);
+    covered += size;
+  }
+  EXPECT_EQ(covered, dataset_->num_frames());
+  EXPECT_EQ(source.model_invocations(), dataset_->num_frames());
+}
+
+TEST_F(OutputSourceTest, ParallelMissConcurrentCallersStayExactlyOnce) {
+  // Caller threads with overlapping cold windows AND intra-batch pool
+  // fan-out underneath: every key still computed exactly once, counts still
+  // bit-identical to the direct detector.
+  constexpr int kCallers = 4;
+  constexpr int64_t kWindow = 250;
+  constexpr int64_t kStride = 50;
+  util::ThreadPool pool(2);
+  source_->set_thread_pool(&pool);
+  source_->set_max_batch_size(64);
+  source_->set_parallel_min_misses(1);
+
+  std::atomic<int64_t> total_calls{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      std::vector<int64_t> window(kWindow);
+      std::iota(window.begin(), window.end(), t * kStride);
+      auto counts = source_->RawCounts(window, 320);
+      total_calls.fetch_add(kWindow);
+      if (!counts.ok()) failed.store(true);
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  ASSERT_FALSE(failed.load());
+
+  const int64_t distinct = (kCallers - 1) * kStride + kWindow;
+  EXPECT_EQ(source_->model_invocations(), distinct);
+  EXPECT_EQ(source_->cache_hits(), total_calls.load() - distinct);
+  for (int64_t frame : {int64_t{0}, int64_t{149}, int64_t{399}}) {
+    auto cached = source_->RawCount(frame, 320);
+    auto direct = yolo_.CountDetections(*dataset_, frame, 320, ObjectClass::kCar, 1.0);
+    ASSERT_TRUE(cached.ok());
+    EXPECT_EQ(*cached, *direct) << "frame " << frame;
   }
 }
 

@@ -166,6 +166,111 @@ TEST(StatelessTest, PoissonDeterministicAndCalibrated) {
   EXPECT_NEAR(sum / kN, 1.5, 0.05);
 }
 
+// ---------------------------------------------------------------------------
+// Contracts the columnar detector kernel's flat lane passes rest on. The
+// lane code (src/detect/detector.cc) re-implements the HashStream chain and
+// the xoshiro first draw as raw integer arithmetic over arrays; these tests
+// pin that replication word for word, so any drift in the stream definitions
+// breaks HERE, not as a silent bit-identity failure in the kernel.
+// ---------------------------------------------------------------------------
+
+namespace lane_replica {
+
+// Exactly the per-lane absorb/finish arithmetic of the kernel's
+// HashLanesScalar (and, lane for lane, its AVX-512 twin).
+constexpr uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kMix1 = 0xbf58476d1ce4e5b9ULL;
+constexpr uint64_t kMix2 = 0x94d049bb133111ebULL;
+constexpr uint64_t kAccMul = 0x2545f4914f6cdd1dULL;
+
+void Absorb(uint64_t& s, uint64_t& acc, uint64_t w) {
+  s ^= w;
+  s += kGamma;
+  uint64_t z = s;
+  z = (z ^ (z >> 30)) * kMix1;
+  z = (z ^ (z >> 27)) * kMix2;
+  z ^= z >> 31;
+  const uint64_t x = acc ^ z;
+  acc = ((x << 23) | (x >> 41)) * kAccMul;
+}
+
+uint64_t Finish(uint64_t s, uint64_t acc, uint64_t fw) {
+  uint64_t fs = (s ^ fw) + kGamma;
+  uint64_t z = fs;
+  z = (z ^ (z >> 30)) * kMix1;
+  z = (z ^ (z >> 27)) * kMix2;
+  z ^= z >> 31;
+  const uint64_t x = acc ^ z;
+  const uint64_t fa = ((x << 23) | (x >> 41)) * kAccMul;
+  uint64_t t = (fs ^ fa) + kGamma;
+  t = (t ^ (t >> 30)) * kMix1;
+  t = (t ^ (t >> 27)) * kMix2;
+  return t ^ (t >> 31);
+}
+
+}  // namespace lane_replica
+
+TEST(HashStreamLaneTest, SuspendedResumeReplicationMatchesDirectChain) {
+  // Suspend a HashStream after a shared prefix, resume the suffix with the
+  // kernel's raw-arithmetic replica, and require the exact hash the direct
+  // HashStream chain produces — for many random word tuples and several
+  // suffix lengths (including zero extra words between lane word and
+  // finish).
+  Rng rng(20260806u);
+  for (int trial = 0; trial < 500; ++trial) {
+    const uint64_t prefix1 = rng.NextUint64();
+    const uint64_t prefix2 = rng.NextUint64();
+    const uint64_t lane_word = rng.NextUint64();
+    const int num_const = trial % 5;
+    uint64_t const_words[4];
+    for (int c = 0; c < num_const; ++c) const_words[c] = rng.NextUint64();
+    const uint64_t finish_word = 0x11 + (trial % 3) * 0x11;  // 0x11/0x22/0x33.
+
+    HashStream direct;
+    direct.Absorb(prefix1);
+    direct.Absorb(prefix2);
+
+    // Capture the suspended stream exactly where the kernel does.
+    uint64_t s = direct.state();
+    uint64_t acc = direct.acc();
+
+    direct.Absorb(lane_word);
+    for (int c = 0; c < num_const; ++c) direct.Absorb(const_words[c]);
+    direct.Absorb(finish_word);
+    const uint64_t want = direct.Finalize();
+
+    lane_replica::Absorb(s, acc, lane_word);
+    for (int c = 0; c < num_const; ++c) lane_replica::Absorb(s, acc, const_words[c]);
+    ASSERT_EQ(lane_replica::Finish(s, acc, finish_word), want) << "trial " << trial;
+  }
+}
+
+TEST(HashStreamLaneTest, FirstPoissonUniformDependsOnlyOnLaneOne) {
+  // The kernel's lane-parallel Poisson early-out recomputes ONLY xoshiro
+  // lane s1 — SplitMix64 of (hash + 2*gamma), two multiplies — and claims
+  // the full generator's first draw equals rotl(s1 * 5, 7) * 9. Pin that
+  // against a really-seeded Rng, including the 53-bit uniform both sides
+  // derive from it (the compare the Knuth count==0 early-out makes).
+  Rng rng(97u);
+  for (int trial = 0; trial < 500; ++trial) {
+    const uint64_t hash = rng.NextUint64();
+
+    uint64_t v = hash + 2 * lane_replica::kGamma;
+    v = (v ^ (v >> 30)) * lane_replica::kMix1;
+    v = (v ^ (v >> 27)) * lane_replica::kMix2;
+    const uint64_t s1 = v ^ (v >> 31);
+    uint64_t r = s1 * 5;
+    r = ((r << 7) | (r >> 57)) * 9;
+
+    Rng seeded(hash);
+    ASSERT_EQ(r, seeded.NextUint64()) << "trial " << trial;
+
+    Rng seeded_again(hash);
+    ASSERT_EQ(static_cast<double>(r >> 11) * 0x1.0p-53, seeded_again.NextDouble())
+        << "trial " << trial;
+  }
+}
+
 }  // namespace
 }  // namespace stats
 }  // namespace smokescreen
