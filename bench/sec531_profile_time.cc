@@ -82,9 +82,15 @@ int main(int argc, char** argv) {
   if (!output_store.empty()) {
     std::error_code ec;
     if (std::filesystem::exists(output_store, ec)) {
-      auto store = query::OutputStore::Load(output_store);
+      // Salvage rather than strict-load: verified columns warm the cache and
+      // any quarantined remainder is recomputed by the timed run itself.
+      auto store = query::OutputStore::Salvage(output_store);
       store.status().CheckOk();
-      auto loaded = wl.source->Preload(*store);
+      if (!store->report.clean()) {
+        std::fprintf(stderr, "warning: %s is damaged (%s); loading verified columns only\n",
+                     output_store.c_str(), store->report.Summary().c_str());
+      }
+      auto loaded = wl.source->Preload(store->store);
       loaded.status().CheckOk();
       preloaded = *loaded;
       warm_start = true;

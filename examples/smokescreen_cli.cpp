@@ -211,9 +211,16 @@ int Run(Flags flags) {
   if (!flags.output_store.empty()) {
     std::error_code ec;
     if (std::filesystem::exists(flags.output_store, ec)) {
-      auto store = query::OutputStore::Load(flags.output_store);
+      // Salvage rather than strict-load: a partially corrupted store still
+      // yields its CRC-verified columns, and the quarantined remainder is
+      // simply recomputed (and re-persisted) by the run below.
+      auto store = query::OutputStore::Salvage(flags.output_store);
       store.status().CheckOk();
-      auto loaded = source.Preload(*store);
+      if (!store->report.clean()) {
+        std::fprintf(stderr, "warning: %s is damaged (%s); loading verified columns only\n",
+                     flags.output_store.c_str(), store->report.Summary().c_str());
+      }
+      auto loaded = source.Preload(store->store);
       loaded.status().CheckOk();
       std::printf("warm-started %lld cached outputs from %s\n",
                   static_cast<long long>(*loaded), flags.output_store.c_str());

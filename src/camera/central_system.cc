@@ -23,6 +23,28 @@ const char* FeedHealthName(FeedHealth health) {
   return "unknown";
 }
 
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+Status BreakerPolicy::Validate() const {
+  if (failure_threshold < 1) {
+    return Status::InvalidArgument("BreakerPolicy.failure_threshold must be >= 1");
+  }
+  if (open_cooldown < 1) {
+    return Status::InvalidArgument("BreakerPolicy.open_cooldown must be >= 1");
+  }
+  return Status::OK();
+}
+
 Status PartialPolicy::Validate() const {
   if (min_live_feeds < 1) return Status::InvalidArgument("min_live_feeds must be >= 1");
   if (min_coverage < 0.0 || min_coverage > 1.0) {
@@ -52,6 +74,50 @@ Status CentralSystem::AddFeed(const Camera& cam, const detect::Detector& model) 
   return Status::OK();
 }
 
+Status CentralSystem::set_breaker_policy(const BreakerPolicy& policy) {
+  SMK_RETURN_IF_ERROR(policy.Validate());
+  breaker_policy_ = policy;
+  return Status::OK();
+}
+
+Result<BreakerState> CentralSystem::feed_breaker(int camera_id) const {
+  auto it = feeds_.find(camera_id);
+  if (it == feeds_.end()) {
+    return Status::NotFound("camera " + std::to_string(camera_id) + " not registered");
+  }
+  return it->second.breaker;
+}
+
+Result<int64_t> CentralSystem::feed_breaker_trips(int camera_id) const {
+  auto it = feeds_.find(camera_id);
+  if (it == feeds_.end()) {
+    return Status::NotFound("camera " + std::to_string(camera_id) + " not registered");
+  }
+  return it->second.breaker_trips;
+}
+
+void CentralSystem::RecordIngestFailure(int camera_id, Feed& feed, const char* what) {
+  ++feed.consecutive_failures;
+  if (feed.breaker == BreakerState::kHalfOpen) {
+    // The probe failed: the uplink is still bad, go straight back to open.
+    feed.breaker = BreakerState::kOpen;
+    feed.rejections_since_open = 0;
+    ++feed.breaker_trips;
+    SMK_LOG(WARNING) << "camera " << camera_id << ": probe batch failed (" << what
+                     << "); breaker re-opened (trip #" << feed.breaker_trips << ")";
+  } else if (feed.breaker == BreakerState::kClosed &&
+             feed.consecutive_failures >= breaker_policy_.failure_threshold) {
+    feed.breaker = BreakerState::kOpen;
+    feed.rejections_since_open = 0;
+    ++feed.breaker_trips;
+    // A feed sick enough to trip the breaker cannot be trusted in estimates.
+    feed.health = FeedHealth::kStale;
+    SMK_LOG(WARNING) << "camera " << camera_id << ": " << feed.consecutive_failures
+                     << " consecutive ingest failures (last: " << what
+                     << "); breaker tripped open, feed demoted to stale";
+  }
+}
+
 Status CentralSystem::Ingest(const CameraBatch& batch) {
   auto it = feeds_.find(batch.camera_id);
   if (it == feeds_.end()) {
@@ -66,6 +132,18 @@ Status CentralSystem::Ingest(const CameraBatch& batch) {
     return Status::InvalidArgument("empty batch from camera " +
                                    std::to_string(batch.camera_id) +
                                    " (attempted no frames)");
+  }
+  if (feed.breaker == BreakerState::kOpen) {
+    if (feed.rejections_since_open < breaker_policy_.open_cooldown) {
+      ++feed.rejections_since_open;
+      return Status::Unavailable(
+          "camera " + std::to_string(batch.camera_id) + " breaker is open after " +
+          std::to_string(feed.consecutive_failures) + " consecutive ingest failures");
+    }
+    // Cooled down: admit this batch as the recovery probe.
+    feed.breaker = BreakerState::kHalfOpen;
+    SMK_LOG(INFO) << "camera " << batch.camera_id
+                  << ": breaker half-open; admitting probe batch";
   }
   if (feed.has_batch) {
     SMK_LOG(WARNING) << "camera " << batch.camera_id << ": replacing previous batch ("
@@ -86,16 +164,27 @@ Status CentralSystem::Ingest(const CameraBatch& batch) {
     feed.health = FeedHealth::kStale;
     feed.outputs.clear();
     feed.monitor.reset();
+    RecordIngestFailure(batch.camera_id, feed, "blackout batch");
     return Status::OK();
   }
 
   auto outputs = feed.source->Outputs(spec_, batch.frame_indices, batch.resolution,
                                       batch.contrast_scale);
-  SMK_RETURN_IF_ERROR(outputs.status());
+  if (!outputs.ok()) {
+    RecordIngestFailure(batch.camera_id, feed, "UDF error");
+    return outputs.status();
+  }
   feed.outputs = std::move(outputs).ValueOrDie();
   feed.eligible_population = batch.eligible_population;
   feed.has_batch = true;
   feed.health = FeedHealth::kLive;
+  if (feed.breaker != BreakerState::kClosed) {
+    SMK_LOG(INFO) << "camera " << batch.camera_id
+                  << ": ingest succeeded; breaker closed";
+  }
+  feed.breaker = BreakerState::kClosed;
+  feed.consecutive_failures = 0;
+  feed.rejections_since_open = 0;
 
   // Refresh the per-feed drift monitor over the new batch's stream.
   auto monitor = core::OnlineMonitor::Create(
@@ -184,6 +273,11 @@ Status CentralSystem::ReinstateFeed(int camera_id) {
   feed.has_batch = false;
   feed.outputs.clear();
   if (feed.monitor) feed.monitor->Reset();
+  // Reinstatement is an operator's assertion that the feed was fixed — the
+  // breaker's failure history no longer describes the uplink.
+  feed.breaker = BreakerState::kClosed;
+  feed.consecutive_failures = 0;
+  feed.rejections_since_open = 0;
   return Status::OK();
 }
 

@@ -56,6 +56,33 @@ enum class FeedHealth {
 
 const char* FeedHealthName(FeedHealth health);
 
+/// Per-feed ingest circuit breaker state.
+enum class BreakerState {
+  kClosed = 0,  // Normal operation; failures are counted.
+  kOpen,        // Tripped: ingest attempts are rejected (kUnavailable)
+                // without running the UDF.
+  kHalfOpen,    // Cooled down: the next batch is admitted as a probe.
+};
+
+const char* BreakerStateName(BreakerState state);
+
+/// When a feed's uplink goes bad it tends to STAY bad for a while: every
+/// ingest attempt then burns a full UDF pass (or a blackout round-trip) just
+/// to rediscover the same failure. The breaker trips after a run of
+/// consecutive ingest failures and rejects further batches cheaply, then
+/// lets a probe batch through after a cooldown to discover recovery —
+/// the ingest-tier mirror of TransmitPolicy's bounded retries.
+struct BreakerPolicy {
+  /// Consecutive ingest failures (blackout batches or UDF errors) that trip
+  /// the breaker open. >= 1.
+  int failure_threshold = 3;
+  /// Rejected ingest attempts the open breaker absorbs before half-opening
+  /// to admit a probe batch. >= 1.
+  int open_cooldown = 2;
+
+  util::Status Validate() const;
+};
+
 /// How CityWideEstimate(PartialPolicy) treats an incomplete deployment.
 struct PartialPolicy {
   /// Minimum live feeds required to answer at all.
@@ -83,7 +110,26 @@ class CentralSystem {
   /// delivered none (blackout) is accepted and demotes the feed to stale.
   /// Re-ingesting a camera's batch replaces the previous one with a logged
   /// warning (common and expected under retrying transports).
+  ///
+  /// Circuit breaker: after `BreakerPolicy.failure_threshold` CONSECUTIVE
+  /// ingest failures (blackouts or UDF errors) the feed's breaker trips and
+  /// subsequent batches are rejected with kUnavailable without running the
+  /// UDF. After `open_cooldown` rejections the breaker half-opens: the next
+  /// batch is admitted as a probe — success closes the breaker, failure
+  /// re-opens it. Malformed batches (unknown id, attempted nothing) are
+  /// caller bugs and neither count as failures nor consume the probe.
   util::Status Ingest(const CameraBatch& batch);
+
+  /// Breaker policy applied to every feed. InvalidArgument on a malformed
+  /// policy. Takes effect on subsequent ingests; already-open breakers keep
+  /// their counts.
+  util::Status set_breaker_policy(const BreakerPolicy& policy);
+  const BreakerPolicy& breaker_policy() const { return breaker_policy_; }
+
+  /// Breaker state of one feed; NotFound for unknown ids.
+  util::Result<BreakerState> feed_breaker(int camera_id) const;
+  /// Times this feed's breaker has tripped open; NotFound for unknown ids.
+  util::Result<int64_t> feed_breaker_trips(int camera_id) const;
 
   /// Number of feeds currently live (ingested and trusted).
   int64_t feeds_with_data() const;
@@ -142,13 +188,23 @@ class CentralSystem {
     int64_t delivered_frames = 0;
     // Streams the latest batch's outputs for the drift check.
     std::unique_ptr<core::OnlineMonitor> monitor;
+    // Circuit breaker (see Ingest).
+    BreakerState breaker = BreakerState::kClosed;
+    int consecutive_failures = 0;   // Run length of failed ingests.
+    int rejections_since_open = 0;  // Batches bounced by the open breaker.
+    int64_t breaker_trips = 0;
   };
+
+  /// Records one failed ingest (blackout or UDF error) against the feed's
+  /// breaker; trips/re-opens it per policy.
+  void RecordIngestFailure(int camera_id, Feed& feed, const char* what);
 
   util::Result<core::CombinedEstimate> CombineFeeds(
       const std::vector<const Feed*>& included) const;
 
   query::QuerySpec spec_;
   double delta_;
+  BreakerPolicy breaker_policy_;
   std::map<int, Feed> feeds_;
 };
 

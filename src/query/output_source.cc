@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <map>
 #include <numeric>
+#include <thread>
 #include <utility>
 
 #include "stats/rng.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace smokescreen {
@@ -41,10 +44,62 @@ FrameOutputSource::CacheKey FrameOutputSource::MakeCacheKey(int64_t frame_index,
   return key;
 }
 
+Status ComputePolicy::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument("ComputePolicy.max_attempts must be >= 1");
+  }
+  if (!(backoff_base_sec >= 0.0)) {
+    return Status::InvalidArgument("ComputePolicy.backoff_base_sec must be >= 0");
+  }
+  if (std::isnan(batch_budget_sec) || batch_budget_sec < 0.0) {
+    return Status::InvalidArgument("ComputePolicy.batch_budget_sec must be >= 0");
+  }
+  return Status::OK();
+}
+
 FrameOutputSource::FrameOutputSource(const video::VideoDataset& dataset,
                                      const detect::Detector& detector,
                                      video::ObjectClass target_class)
     : dataset_(dataset), detector_(detector), target_class_(target_class) {}
+
+Status FrameOutputSource::set_compute_policy(const ComputePolicy& policy) {
+  SMK_RETURN_IF_ERROR(policy.Validate());
+  compute_policy_ = policy;
+  return Status::OK();
+}
+
+Status FrameOutputSource::RetryCountBatch(std::span<const int64_t> frames, int resolution,
+                                          double contrast_scale, std::span<int> out) const {
+  const ComputePolicy& policy = compute_policy_;
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed_sec = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  };
+  Status status;
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      // Budget check BEFORE spending a retry: the first attempt always
+      // runs, and a success is never failed retroactively for being slow.
+      if (elapsed_sec() >= policy.batch_budget_sec) {
+        watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Unavailable(
+            "batch compute watchdog: " + std::to_string(frames.size()) + "-frame batch burned " +
+            std::to_string(elapsed_sec()) + "s of a " +
+            std::to_string(policy.batch_budget_sec) + "s budget after " +
+            std::to_string(attempt - 1) + " attempts; last error: " + status.ToString());
+      }
+      const double backoff = policy.backoff_base_sec * static_cast<double>(1 << (attempt - 2));
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+      compute_retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    status = detector_.CountBatch(dataset_, frames, resolution, target_class_, contrast_scale,
+                                  out);
+    if (status.ok()) return status;
+  }
+  return status;
+}
 
 FrameOutputSource::Entry* FrameOutputSource::FindEntry(Shard& shard, const CacheKey& key,
                                                        size_t hash) {
@@ -331,8 +386,7 @@ Status FrameOutputSource::ComputeMisses(std::span<const int64_t> miss_frames, in
   util::ThreadPool* pool = pool_;
   if (pool == nullptr || pool->num_threads() <= 1 ||
       n < static_cast<size_t>(parallel_min_misses_)) {
-    return detector_.CountBatch(dataset_, miss_frames, resolution, target_class_, contrast_scale,
-                                miss_counts);
+    return RetryCountBatch(miss_frames, resolution, contrast_scale, miss_counts);
   }
 
   // Contiguous chunks, one per worker (ceil division), each at least one
@@ -358,9 +412,8 @@ Status FrameOutputSource::ComputeMisses(std::span<const int64_t> miss_frames, in
     }
     pool->Submit([this, miss_frames, miss_counts, resolution, contrast_scale, begin, len, c,
                   &chunk_status, &mu, &done_cv, &pending] {
-      Status status =
-          detector_.CountBatch(dataset_, miss_frames.subspan(begin, len), resolution,
-                               target_class_, contrast_scale, miss_counts.subspan(begin, len));
+      Status status = RetryCountBatch(miss_frames.subspan(begin, len), resolution,
+                                      contrast_scale, miss_counts.subspan(begin, len));
       std::lock_guard<std::mutex> lock(mu);
       chunk_status[c] = std::move(status);
       if (--pending == 0) done_cv.notify_all();
@@ -560,6 +613,64 @@ Result<int64_t> FrameOutputSource::Preload(const OutputStore& store) {
     }
   }
   return loaded;
+}
+
+Result<FrameOutputSource::RepairReport> FrameOutputSource::RepairStore(util::Env& env,
+                                                                       const std::string& path) {
+  SMK_ASSIGN_OR_RETURN(OutputStore::SalvageResult salvaged, OutputStore::Salvage(env, path));
+  // Provenance gate mirrors Preload: recomputing a foreign store's columns
+  // would stamp THIS model's outputs under the other store's identity.
+  if (salvaged.store.dataset_id() != dataset_.dataset_id() ||
+      salvaged.store.model_id() != detector_.model_id() ||
+      salvaged.store.num_frames() != dataset_.num_frames()) {
+    return Status::InvalidArgument(
+        "cannot repair " + path + ": store provenance (dataset " +
+        std::to_string(salvaged.store.dataset_id()) + ", model " +
+        std::to_string(salvaged.store.model_id()) + ", " +
+        std::to_string(salvaged.store.num_frames()) + " frames) does not match this source");
+  }
+
+  RepairReport report;
+  report.load = std::move(salvaged.report);
+  if (report.load.clean()) return report;  // Nothing to heal; file untouched.
+
+  OutputStore repaired(dataset_.dataset_id(), detector_.model_id(), dataset_.num_frames());
+  for (const OutputColumnRecord& column : salvaged.store.columns()) {
+    OutputColumnRecord copy = column;
+    repaired.AddColumn(std::move(copy));
+  }
+  for (const QuarantinedColumn& q : report.load.quarantined) {
+    const bool repairable = q.verdict == ColumnVerdict::kCountsCorrupt &&
+                            q.cls == static_cast<int>(target_class_) &&
+                            static_cast<int64_t>(q.frames.size()) == q.num_entries;
+    if (!repairable) {
+      ++report.columns_dropped;
+      report.entries_lost += q.num_entries;
+      continue;
+    }
+    // The frame list verified, so the exact lost triples are known; detector
+    // outputs are deterministic, so recomputation is bit-identical to what
+    // the rotten bytes used to say.
+    OutputColumnRecord recomputed;
+    recomputed.resolution = q.resolution;
+    recomputed.cls = q.cls;
+    recomputed.contrast_q = q.contrast_q;
+    recomputed.frames = q.frames;
+    recomputed.counts.resize(q.frames.size());
+    const double contrast_scale = static_cast<double>(q.contrast_q) / 4096.0;
+    SMK_RETURN_IF_ERROR(
+        FillCounts(recomputed.frames, q.resolution, contrast_scale, recomputed.counts));
+    ++report.columns_recomputed;
+    report.entries_recomputed += static_cast<int64_t>(recomputed.frames.size());
+    repaired.AddColumn(std::move(recomputed));
+  }
+  if (report.columns_dropped > 0) {
+    SMK_LOG(WARNING) << "repair of " << path << " dropped " << report.columns_dropped
+                     << " unrecoverable columns (" << report.entries_lost << " entries)";
+  }
+  SMK_RETURN_IF_ERROR(repaired.Save(env, path));
+  report.rewritten = true;
+  return report;
 }
 
 }  // namespace query

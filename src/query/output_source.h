@@ -42,13 +42,16 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <limits>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "detect/detector.h"
 #include "query/output_store.h"
 #include "query/query_spec.h"
+#include "util/env.h"
 #include "util/status.h"
 #include "video/dataset.h"
 
@@ -74,6 +77,27 @@ struct OutputColumn {
   std::span<const double> output_prefix(size_t n) const {
     return std::span<const double>(outputs.data(), n);
   }
+};
+
+/// Bounded-retry/time-budget policy for batched model invocations — the
+/// execution-tier mirror of camera::TransmitPolicy. A transient detector
+/// failure (a real deployment's inference service hiccuping) is retried up
+/// to `max_attempts` times per CountBatch call; a watchdog refuses further
+/// retries once a batch has burned `batch_budget_sec` of wall clock, so one
+/// pathological batch cannot stall a profile run indefinitely.
+struct ComputePolicy {
+  /// Attempts per CountBatch call (>= 1); 1 means no retries.
+  int max_attempts = 1;
+  /// Sleep before retry k (k >= 1) is backoff_base_sec * 2^(k-1).
+  double backoff_base_sec = 0.0;
+  /// Watchdog: once a single batch's cumulative compute time (attempts +
+  /// backoff) exceeds this, remaining retries are forfeited and the batch
+  /// fails with kUnavailable. The FIRST attempt always runs. A batch that
+  /// SUCCEEDS over budget is still a success — the watchdog guards retry
+  /// loops, it does not turn slow answers into wrong ones.
+  double batch_budget_sec = std::numeric_limits<double>::infinity();
+
+  util::Status Validate() const;
 };
 
 class FrameOutputSource {
@@ -184,9 +208,52 @@ class FrameOutputSource {
   void set_parallel_min_misses(int64_t n) { parallel_min_misses_ = n < 1 ? 1 : n; }
   int64_t parallel_min_misses() const { return parallel_min_misses_; }
 
+  /// Retry/watchdog policy applied to every CountBatch invocation (serial
+  /// and pooled paths alike). InvalidArgument on a malformed policy; the
+  /// default policy is one attempt, no budget. Retries re-invoke the model
+  /// on the SAME frames — outputs are deterministic, so a retried success
+  /// is bit-identical to a first-attempt success and the invocation
+  /// counters still tally one invocation per distinct computed key.
+  util::Status set_compute_policy(const ComputePolicy& policy);
+  const ComputePolicy& compute_policy() const { return compute_policy_; }
+
+  /// CountBatch attempts beyond the first that the retry policy spent.
+  int64_t compute_retries() const { return compute_retries_.load(std::memory_order_relaxed); }
+  /// Batches the watchdog failed because the time budget ran out with
+  /// retries still available.
+  int64_t watchdog_trips() const { return watchdog_trips_.load(std::memory_order_relaxed); }
+
   /// Snapshots the memo cache into a persistable OutputStore (one column
   /// per (resolution, contrast) pair seen, frames sorted ascending).
   OutputStore ExportStore();
+
+  /// Outcome of RepairStore: what salvage found and what recomputation
+  /// recovered.
+  struct RepairReport {
+    /// Verdicts of the salvage pass over the file as found on disk.
+    LoadReport load;
+    /// Quarantined columns whose counts were recomputed through the model
+    /// (verified frame list, this source's target class).
+    int64_t columns_recomputed = 0;
+    /// Quarantined columns dropped from the repaired file: no trustworthy
+    /// frame list to recompute from, or a different target class.
+    int64_t columns_dropped = 0;
+    int64_t entries_recomputed = 0;
+    int64_t entries_lost = 0;
+    /// Whether a repaired file was atomically written (false when the store
+    /// was already clean).
+    bool rewritten = false;
+  };
+
+  /// Scrub-and-heal for a persisted store: salvage-loads `path`, recomputes
+  /// every repairable quarantined column through the model (bit-identical
+  /// to the lost data — detector outputs are deterministic), drops what
+  /// cannot be attributed, and atomically rewrites the file. A clean store
+  /// is left untouched. The store's provenance must match this source's
+  /// dataset/model (InvalidArgument otherwise — repairing a foreign store
+  /// would invoke the wrong model). Model invocations spent on repair are
+  /// tallied in model_invocations() as usual.
+  util::Result<RepairReport> RepairStore(util::Env& env, const std::string& path);
 
   /// Warm-starts the memo cache from a previously saved store. Validates
   /// that the store matches this source's dataset/model, skips columns for
@@ -278,16 +345,26 @@ class FrameOutputSource {
   util::Status ComputeMisses(std::span<const int64_t> miss_frames, int resolution,
                              double contrast_scale, std::span<int> miss_counts);
 
+  /// One CountBatch call under the compute policy: bounded retries with
+  /// exponential backoff, cut short by the per-batch watchdog budget.
+  util::Status RetryCountBatch(std::span<const int64_t> frames, int resolution,
+                               double contrast_scale, std::span<int> out) const;
+
   const video::VideoDataset& dataset_;
   const detect::Detector& detector_;
   video::ObjectClass target_class_;
   int64_t max_batch_size_ = 0;
   util::ThreadPool* pool_ = nullptr;
   int64_t parallel_min_misses_ = 128;
+  ComputePolicy compute_policy_;
 
   std::array<Shard, kNumShards> shards_;
   std::atomic<int64_t> model_invocations_{0};
   std::atomic<int64_t> cache_hits_{0};
+  // Mutable: RetryCountBatch is const (it computes, it does not change the
+  // source's configuration) but still tallies these diagnostics.
+  mutable std::atomic<int64_t> compute_retries_{0};
+  mutable std::atomic<int64_t> watchdog_trips_{0};
 };
 
 }  // namespace query

@@ -1,41 +1,24 @@
 #include "query/output_store.h"
 
-#include <array>
 #include <cstring>
-#include <fstream>
+#include <limits>
 
 namespace smokescreen {
 namespace query {
 
+using util::Crc32;
 using util::Result;
 using util::Status;
 
 namespace {
 
 constexpr uint32_t kMagic = 0x434b4d53;  // "SMKC" little-endian.
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kVersionV2 = 2;
 
-// Standard CRC32 (reflected, polynomial 0xEDB88320), table-driven.
-std::array<uint32_t, 256> BuildCrcTable() {
-  std::array<uint32_t, 256> table{};
-  for (uint32_t i = 0; i < 256; ++i) {
-    uint32_t c = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
-uint32_t Crc32(const unsigned char* data, size_t len, uint32_t crc = 0) {
-  static const std::array<uint32_t, 256> table = BuildCrcTable();
-  crc = ~crc;
-  for (size_t i = 0; i < len; ++i) {
-    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
-  }
-  return ~crc;
-}
+// Byte sizes of the fixed per-column prefixes.
+constexpr size_t kV2MetaSize = 4 + 4 + 8 + 8 + 4 + 4 + 4;  // ... + meta_crc.
+constexpr size_t kV2MetaCrcCovered = kV2MetaSize - 4;      // Fields before meta_crc.
 
 // Byte-buffer writer/reader for fixed-width fields. Values are written in
 // the host representation; the format is not meant for cross-endian
@@ -60,12 +43,7 @@ class Writer {
     return Crc32(bytes_.data() + from, bytes_.size() - from);
   }
   size_t size() const { return bytes_.size(); }
-  const unsigned char* data() const { return bytes_.data(); }
-  /// Patches a previously reserved field in place.
-  template <typename T>
-  void PatchAt(size_t offset, T value) {
-    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
-  }
+  std::vector<unsigned char> TakeBytes() { return std::move(bytes_); }
 
  private:
   std::vector<unsigned char> bytes_;
@@ -75,26 +53,24 @@ class Reader {
  public:
   Reader(const unsigned char* data, size_t size) : data_(data), size_(size) {}
 
+  size_t remaining() const { return size_ - pos_; }
+  size_t pos() const { return pos_; }
+
+  /// Unchecked fixed-width read; the caller verified `remaining()` first.
   template <typename T>
-  Status Get(T* out) {
-    if (pos_ + sizeof(T) > size_) {
-      return Status::IoError("output store truncated at byte " + std::to_string(pos_));
-    }
-    std::memcpy(out, data_ + pos_, sizeof(T));
+  T Take() {
+    T value;
+    std::memcpy(&value, data_ + pos_, sizeof(T));
     pos_ += sizeof(T);
-    return Status::OK();
+    return value;
   }
   template <typename T>
-  Status GetArray(size_t count, std::vector<T>* out) {
-    if (count > (size_ - pos_) / sizeof(T)) {
-      return Status::IoError("output store truncated at byte " + std::to_string(pos_));
-    }
+  void TakeArray(size_t count, std::vector<T>* out) {
     out->resize(count);
     if (count > 0) std::memcpy(out->data(), data_ + pos_, count * sizeof(T));
     pos_ += count * sizeof(T);
-    return Status::OK();
   }
-  size_t pos() const { return pos_; }
+  void Skip(size_t n) { pos_ += n; }
   uint32_t CrcOfRange(size_t from, size_t to) const { return Crc32(data_ + from, to - from); }
 
  private:
@@ -103,12 +79,65 @@ class Reader {
   size_t pos_ = 0;
 };
 
+void Quarantine(LoadReport& report, ColumnVerdict verdict, int resolution, int cls,
+                int64_t contrast_q, int64_t num_entries, std::vector<int64_t> frames = {}) {
+  QuarantinedColumn q;
+  q.verdict = verdict;
+  q.resolution = resolution;
+  q.cls = cls;
+  q.contrast_q = contrast_q;
+  q.num_entries = num_entries;
+  q.frames = std::move(frames);
+  report.entries_quarantined += num_entries;
+  report.quarantined.push_back(std::move(q));
+}
+
+/// Quarantines the tail of the file after a desync or truncation: columns
+/// [next, total) were declared by the header but can no longer be located.
+void QuarantineTail(LoadReport& report, int64_t next, int64_t total) {
+  for (int64_t c = next; c < total; ++c) {
+    Quarantine(report, ColumnVerdict::kTruncated, 0, 0, 0, 0);
+  }
+}
+
 }  // namespace
 
-Status OutputStore::Save(const std::string& path) const {
+const char* ColumnVerdictName(ColumnVerdict verdict) {
+  switch (verdict) {
+    case ColumnVerdict::kOk:
+      return "ok";
+    case ColumnVerdict::kCountsCorrupt:
+      return "counts-corrupt";
+    case ColumnVerdict::kFramesCorrupt:
+      return "frames-corrupt";
+    case ColumnVerdict::kPayloadCorrupt:
+      return "payload-corrupt";
+    case ColumnVerdict::kMetaCorrupt:
+      return "meta-corrupt";
+    case ColumnVerdict::kTruncated:
+      return "truncated";
+  }
+  return "unknown";
+}
+
+std::string LoadReport::Summary() const {
+  std::string out = "v" + std::to_string(file_version) + ": " + std::to_string(columns_loaded) +
+                    "/" + std::to_string(columns_total) + " columns (" +
+                    std::to_string(entries_loaded) + " entries) loaded";
+  if (!quarantined.empty()) {
+    out += "; quarantined:";
+    for (const QuarantinedColumn& q : quarantined) {
+      out += " ";
+      out += ColumnVerdictName(q.verdict);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<unsigned char>> OutputStore::Serialize() const {
   Writer w;
   w.Put<uint32_t>(kMagic);
-  w.Put<uint32_t>(kVersion);
+  w.Put<uint32_t>(kVersionV2);
   w.Put<uint64_t>(dataset_id_);
   w.Put<uint64_t>(model_id_);
   w.Put<int64_t>(num_frames_);
@@ -119,85 +148,209 @@ Status OutputStore::Save(const std::string& path) const {
     if (column.frames.size() != column.counts.size()) {
       return Status::InvalidArgument("output store column has mismatched frame/count arrays");
     }
+    const size_t meta_start = w.size();
     w.Put<int32_t>(column.resolution);
     w.Put<int32_t>(column.cls);
     w.Put<int64_t>(column.contrast_q);
     w.Put<int64_t>(static_cast<int64_t>(column.frames.size()));
-    const size_t crc_offset = w.size();
-    w.Put<uint32_t>(0);  // payload_crc placeholder.
-    const size_t payload_offset = w.size();
+    w.Put<uint32_t>(Crc32(column.frames.data(), column.frames.size() * sizeof(int64_t)));
+    w.Put<uint32_t>(Crc32(column.counts.data(), column.counts.size() * sizeof(int)));
+    w.Put<uint32_t>(w.CrcOfSuffix(meta_start));  // meta_crc over the six fields.
     w.PutArray(column.frames);
     w.PutArray(column.counts);
-    w.PatchAt<uint32_t>(crc_offset, w.CrcOfSuffix(payload_offset));
   }
-
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open output store for writing: " + path);
-  out.write(reinterpret_cast<const char*>(w.data()), static_cast<std::streamsize>(w.size()));
-  if (!out) return Status::IoError("failed writing output store: " + path);
-  return Status::OK();
+  return std::move(w).TakeBytes();
 }
 
-Result<OutputStore> OutputStore::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Status::IoError("cannot open output store: " + path);
-  const std::streamsize file_size = in.tellg();
-  in.seekg(0);
-  std::vector<unsigned char> bytes(static_cast<size_t>(file_size));
-  if (file_size > 0) {
-    in.read(reinterpret_cast<char*>(bytes.data()), file_size);
-    if (!in) return Status::IoError("failed reading output store: " + path);
-  }
+Status OutputStore::Save(util::Env& env, const std::string& path) const {
+  SMK_ASSIGN_OR_RETURN(std::vector<unsigned char> bytes, Serialize());
+  // Readback verification turns silent write-path corruption (which only a
+  // later load would catch) into a failed, uncommitted save: the previous
+  // store file survives and nothing corrupt is ever committed.
+  return env.WriteFileAtomic(path, bytes, /*verify_readback=*/true);
+}
 
+Status OutputStore::Save(const std::string& path) const {
+  return Save(util::Env::Default(), path);
+}
+
+Result<OutputStore::SalvageResult> OutputStore::Salvage(util::Env& env,
+                                                        const std::string& path) {
+  SMK_ASSIGN_OR_RETURN(std::vector<unsigned char> bytes, env.ReadFileBytes(path));
   Reader r(bytes.data(), bytes.size());
-  uint32_t magic = 0, version = 0, num_columns = 0, header_crc = 0;
-  OutputStore store;
-  SMK_RETURN_IF_ERROR(r.Get(&magic));
+
+  // --- Header: all-or-nothing. A store whose header does not verify cannot
+  // attribute ANY byte to a dataset/model, so there is nothing to salvage.
+  constexpr size_t kHeaderSize = 4 + 4 + 8 + 8 + 8 + 4 + 4;
+  if (r.remaining() < kHeaderSize) {
+    return Status::DataLoss("output store header truncated (" + std::to_string(bytes.size()) +
+                            " bytes): " + path);
+  }
+  const uint32_t magic = r.Take<uint32_t>();
   if (magic != kMagic) {
     return Status::InvalidArgument("not an output store file (bad magic): " + path);
   }
-  SMK_RETURN_IF_ERROR(r.Get(&version));
-  if (version != kVersion) {
+  const uint32_t version = r.Take<uint32_t>();
+  if (version != kVersionV1 && version != kVersionV2) {
     return Status::InvalidArgument("unsupported output store version " +
                                    std::to_string(version));
   }
-  SMK_RETURN_IF_ERROR(r.Get(&store.dataset_id_));
-  SMK_RETURN_IF_ERROR(r.Get(&store.model_id_));
-  SMK_RETURN_IF_ERROR(r.Get(&store.num_frames_));
-  SMK_RETURN_IF_ERROR(r.Get(&num_columns));
+  SalvageResult result;
+  OutputStore& store = result.store;
+  LoadReport& report = result.report;
+  report.file_version = version;
+  store.dataset_id_ = r.Take<uint64_t>();
+  store.model_id_ = r.Take<uint64_t>();
+  store.num_frames_ = r.Take<int64_t>();
+  const uint32_t num_columns = r.Take<uint32_t>();
   const size_t header_end = r.pos();
-  SMK_RETURN_IF_ERROR(r.Get(&header_crc));
+  const uint32_t header_crc = r.Take<uint32_t>();
   if (header_crc != r.CrcOfRange(0, header_end)) {
-    return Status::IoError("output store header CRC mismatch: " + path);
+    return Status::DataLoss("output store header CRC mismatch: " + path);
   }
-
+  report.columns_total = num_columns;
   store.columns_.reserve(num_columns);
-  for (uint32_t c = 0; c < num_columns; ++c) {
+
+  // --- Columns: per-column verdicts. Anything that verifies loads; anything
+  // that does not is quarantined with as much identity as can be trusted.
+  for (int64_t c = 0; c < report.columns_total; ++c) {
+    const size_t meta_size = version == kVersionV2 ? kV2MetaSize : (4 + 4 + 8 + 8 + 4);
+    if (r.remaining() < meta_size) {
+      Quarantine(report, ColumnVerdict::kTruncated, 0, 0, 0, 0);
+      QuarantineTail(report, c + 1, report.columns_total);
+      break;
+    }
+    const size_t meta_start = r.pos();
     OutputColumnRecord column;
-    int32_t resolution = 0, cls = 0;
-    int64_t num_entries = 0;
-    uint32_t payload_crc = 0;
-    SMK_RETURN_IF_ERROR(r.Get(&resolution));
-    SMK_RETURN_IF_ERROR(r.Get(&cls));
-    SMK_RETURN_IF_ERROR(r.Get(&column.contrast_q));
-    SMK_RETURN_IF_ERROR(r.Get(&num_entries));
-    if (num_entries < 0) {
-      return Status::IoError("output store column " + std::to_string(c) +
-                             " has negative entry count");
+    column.resolution = r.Take<int32_t>();
+    column.cls = r.Take<int32_t>();
+    column.contrast_q = r.Take<int64_t>();
+    const int64_t num_entries = r.Take<int64_t>();
+    uint32_t frames_crc = 0, counts_crc = 0, payload_crc = 0;
+    if (version == kVersionV2) {
+      frames_crc = r.Take<uint32_t>();
+      counts_crc = r.Take<uint32_t>();
+      const uint32_t meta_crc = r.Take<uint32_t>();
+      if (meta_crc != r.CrcOfRange(meta_start, meta_start + kV2MetaCrcCovered) ||
+          num_entries < 0 ||
+          static_cast<uint64_t>(num_entries) >
+              std::numeric_limits<size_t>::max() / (sizeof(int64_t) + sizeof(int))) {
+        // Lengths are untrusted: this column cannot be stepped over, so the
+        // declared tail behind it is unreachable too.
+        Quarantine(report, ColumnVerdict::kMetaCorrupt, 0, 0, 0, 0);
+        QuarantineTail(report, c + 1, report.columns_total);
+        break;
+      }
+    } else {
+      payload_crc = r.Take<uint32_t>();
+      if (num_entries < 0 ||
+          static_cast<uint64_t>(num_entries) >
+              std::numeric_limits<size_t>::max() / (sizeof(int64_t) + sizeof(int))) {
+        // v1 has no meta CRC; a nonsensical length is the only detectable
+        // metadata desync.
+        Quarantine(report, ColumnVerdict::kMetaCorrupt, 0, 0, 0, 0);
+        QuarantineTail(report, c + 1, report.columns_total);
+        break;
+      }
     }
-    SMK_RETURN_IF_ERROR(r.Get(&payload_crc));
-    column.resolution = resolution;
-    column.cls = cls;
-    const size_t payload_start = r.pos();
-    SMK_RETURN_IF_ERROR(r.GetArray(static_cast<size_t>(num_entries), &column.frames));
-    SMK_RETURN_IF_ERROR(r.GetArray(static_cast<size_t>(num_entries), &column.counts));
-    if (payload_crc != r.CrcOfRange(payload_start, r.pos())) {
-      return Status::IoError("output store column " + std::to_string(c) + " CRC mismatch: " +
-                             path);
+
+    const size_t n = static_cast<size_t>(num_entries);
+    const size_t frames_bytes = n * sizeof(int64_t);
+    const size_t counts_bytes = n * sizeof(int);
+    if (r.remaining() < frames_bytes) {
+      Quarantine(report, ColumnVerdict::kTruncated, column.resolution, column.cls,
+                 column.contrast_q, num_entries);
+      QuarantineTail(report, c + 1, report.columns_total);
+      break;
     }
-    store.columns_.push_back(std::move(column));
+    const size_t frames_start = r.pos();
+    const bool counts_present = r.remaining() >= frames_bytes + counts_bytes;
+
+    if (version == kVersionV2) {
+      const bool frames_ok = frames_crc == r.CrcOfRange(frames_start, frames_start + frames_bytes);
+      const bool counts_ok =
+          counts_present &&
+          counts_crc == r.CrcOfRange(frames_start + frames_bytes,
+                                     frames_start + frames_bytes + counts_bytes);
+      if (frames_ok && counts_ok) {
+        r.TakeArray(n, &column.frames);
+        r.TakeArray(n, &column.counts);
+        report.entries_loaded += num_entries;
+        ++report.columns_loaded;
+        store.columns_.push_back(std::move(column));
+      } else if (frames_ok) {
+        // Counts rotten (or cut off) under a verified frame list: keep the
+        // frames so Repair can recompute exactly these triples.
+        std::vector<int64_t> frames;
+        r.TakeArray(n, &frames);
+        Quarantine(report, ColumnVerdict::kCountsCorrupt, column.resolution, column.cls,
+                   column.contrast_q, num_entries, std::move(frames));
+        if (!counts_present) {  // File ends inside this column.
+          QuarantineTail(report, c + 1, report.columns_total);
+          break;
+        }
+        r.Skip(counts_bytes);
+      } else {
+        Quarantine(report, ColumnVerdict::kFramesCorrupt, column.resolution, column.cls,
+                   column.contrast_q, num_entries);
+        if (!counts_present) {
+          QuarantineTail(report, c + 1, report.columns_total);
+          break;
+        }
+        r.Skip(frames_bytes + counts_bytes);
+      }
+    } else {
+      // v1: one CRC over frames + counts jointly.
+      if (!counts_present) {
+        Quarantine(report, ColumnVerdict::kTruncated, column.resolution, column.cls,
+                   column.contrast_q, num_entries);
+        QuarantineTail(report, c + 1, report.columns_total);
+        break;
+      }
+      const bool payload_ok =
+          payload_crc == r.CrcOfRange(frames_start, frames_start + frames_bytes + counts_bytes);
+      if (payload_ok) {
+        r.TakeArray(n, &column.frames);
+        r.TakeArray(n, &column.counts);
+        report.entries_loaded += num_entries;
+        ++report.columns_loaded;
+        store.columns_.push_back(std::move(column));
+      } else {
+        // The joint CRC cannot localize the damage — and if the damage was
+        // in this column's METADATA the walk is desynced from here on, in
+        // which case the following columns quarantine too (their CRCs
+        // cannot verify against misaligned bytes). Nothing unverified is
+        // ever loaded either way.
+        Quarantine(report, ColumnVerdict::kPayloadCorrupt, column.resolution, column.cls,
+                   column.contrast_q, num_entries);
+        r.Skip(frames_bytes + counts_bytes);
+      }
+    }
   }
-  return store;
+  return result;
+}
+
+Result<OutputStore::SalvageResult> OutputStore::Salvage(const std::string& path) {
+  return Salvage(util::Env::Default(), path);
+}
+
+Result<OutputStore> OutputStore::Load(util::Env& env, const std::string& path) {
+  SMK_ASSIGN_OR_RETURN(SalvageResult result, Salvage(env, path));
+  if (!result.report.clean()) {
+    return Status::DataLoss("output store " + path + " failed strict load (" +
+                            result.report.Summary() + "); use Salvage to keep the " +
+                            "verified columns");
+  }
+  return std::move(result.store);
+}
+
+Result<OutputStore> OutputStore::Load(const std::string& path) {
+  return Load(util::Env::Default(), path);
+}
+
+Result<LoadReport> OutputStore::Scrub(util::Env& env, const std::string& path) {
+  SMK_ASSIGN_OR_RETURN(SalvageResult result, Salvage(env, path));
+  return std::move(result.report);
 }
 
 }  // namespace query

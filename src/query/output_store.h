@@ -7,11 +7,11 @@
 // runs. OutputStore persists a FrameOutputSource cache snapshot so a later
 // run can warm-start and answer those triples as pure cache reads.
 //
-// File layout (native little-endian, fixed-width fields):
+// v2 file layout (native little-endian, fixed-width fields):
 //
 //   header:
 //     u32  magic        "SMKC" (0x434b4d53)
-//     u32  version      (currently 1)
+//     u32  version      (2; v1 files remain readable)
 //     u64  dataset_id
 //     u64  model_id
 //     i64  num_frames   (of the dataset the counts were computed on)
@@ -22,15 +22,29 @@
 //     i32  cls          (video::ObjectClass value)
 //     i64  contrast_q   (contrast quantized to 1/4096 steps)
 //     i64  num_entries
-//     u32  payload_crc  CRC32 of the frames[] + counts[] bytes
+//     u32  frames_crc   CRC32 of the frames[] bytes
+//     u32  counts_crc   CRC32 of the counts[] bytes
+//     u32  meta_crc     CRC32 of the preceding six column fields
 //     i64  frames[num_entries]   (sorted ascending)
 //     i32  counts[num_entries]
 //
-// Columnar on purpose: one column holds every cached frame at a fixed
-// (resolution, class, contrast), with the frame ids and the counts stored as
-// two contiguous arrays. Load() verifies the magic, version and both CRCs
-// and returns util::Status errors (never crashes) on truncated or corrupted
-// files.
+// The v1 layout differed only per column: a single `payload_crc` covered
+// frames[] + counts[] jointly and there was no meta CRC.
+//
+// Why three CRCs per column in v2: salvage granularity. `meta_crc` proves
+// the column SKELETON (lengths, identity), so a reader can step over a
+// column whose payload is rotten and keep loading the rest of the file.
+// Splitting `frames_crc` from `counts_crc` makes the common corruption case
+// SELF-HEALING: when the counts bytes rot but the frame list verifies,
+// Repair knows exactly which (frame, resolution, contrast) triples to
+// recompute through the model — bit-identical recovery instead of data loss.
+//
+// Durability: Save is ATOMIC — it writes `<path>.tmp`, fsyncs, verifies the
+// bytes by readback, then renames onto `path` (util::Env::WriteFileAtomic).
+// A crash or I/O failure at any point leaves the previous store intact.
+// Load is STRICT (any corruption is an error); Salvage loads every column
+// that verifies and quarantines the rest into a LoadReport; Scrub verifies
+// without loading.
 
 #ifndef SMOKESCREEN_QUERY_OUTPUT_STORE_H_
 #define SMOKESCREEN_QUERY_OUTPUT_STORE_H_
@@ -39,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "util/env.h"
 #include "util/status.h"
 
 namespace smokescreen {
@@ -55,8 +70,59 @@ struct OutputColumnRecord {
   std::vector<int> counts;
 };
 
+/// Verdict of one column during a salvage load / scrub.
+enum class ColumnVerdict {
+  kOk = 0,
+  /// Counts bytes fail their CRC; the frame list verifies. Repairable: the
+  /// exact triples to recompute are known.
+  kCountsCorrupt,
+  /// Frame list fails its CRC (counts alone are meaningless without it).
+  kFramesCorrupt,
+  /// v1 only: the joint payload CRC fails; frames and counts cannot be told
+  /// apart, so nothing in the column is trustworthy.
+  kPayloadCorrupt,
+  /// Column metadata fails its CRC; lengths are untrusted, so this column
+  /// AND everything after it are unreachable.
+  kMetaCorrupt,
+  /// The file ends before the column's declared bytes.
+  kTruncated,
+};
+
+const char* ColumnVerdictName(ColumnVerdict verdict);
+
+/// What a salvage load learned about one quarantined column.
+struct QuarantinedColumn {
+  ColumnVerdict verdict = ColumnVerdict::kOk;
+  /// Declared column identity; zeroed when the metadata itself is untrusted
+  /// (kMetaCorrupt and the unreachable tail behind it).
+  int resolution = 0;
+  int cls = 0;
+  int64_t contrast_q = 0;
+  int64_t num_entries = 0;
+  /// The verified frame list — populated ONLY for kCountsCorrupt, where it
+  /// tells Repair exactly which frames to recompute.
+  std::vector<int64_t> frames;
+};
+
+/// Per-column outcome of a salvage load or scrub.
+struct LoadReport {
+  uint32_t file_version = 0;
+  int64_t columns_total = 0;   // Declared in the (verified) header.
+  int64_t columns_loaded = 0;  // Columns whose every CRC verified.
+  int64_t entries_loaded = 0;
+  int64_t entries_quarantined = 0;  // Declared entries of quarantined columns.
+  std::vector<QuarantinedColumn> quarantined;
+
+  bool clean() const { return quarantined.empty() && columns_loaded == columns_total; }
+  std::string Summary() const;
+};
+
 class OutputStore {
  public:
+  /// A salvage-loaded store plus what was quarantined on the way in.
+  /// (Defined after the class — it holds an OutputStore by value.)
+  struct SalvageResult;
+
   OutputStore() = default;
   OutputStore(uint64_t dataset_id, uint64_t model_id, int64_t num_frames)
       : dataset_id_(dataset_id), model_id_(model_id), num_frames_(num_frames) {}
@@ -74,19 +140,45 @@ class OutputStore {
     return total;
   }
 
-  /// Writes the store to `path` (overwriting). Fails with IoError if the
-  /// file cannot be created or written.
+  /// Serializes the store to its v2 byte image (exposed for tests and for
+  /// callers that persist through their own channel).
+  util::Result<std::vector<unsigned char>> Serialize() const;
+
+  /// Atomically and durably writes the store to `path`: tmp file + fsync +
+  /// readback verification + rename, via `env`. A crash or injected fault at
+  /// any step leaves the previous `path` contents untouched. DataLoss when
+  /// the readback catches silent write corruption.
+  util::Status Save(util::Env& env, const std::string& path) const;
+  /// Same, through the production Env.
   util::Status Save(const std::string& path) const;
 
-  /// Reads a store from `path`. Fails with IoError on missing/truncated
-  /// files or CRC mismatches, InvalidArgument on bad magic/version.
+  /// Strict read: every CRC must verify. IoError on missing/unreadable
+  /// files, InvalidArgument on bad magic/unknown version, DataLoss on
+  /// truncation or any CRC mismatch. Reads v1 and v2 files.
+  static util::Result<OutputStore> Load(util::Env& env, const std::string& path);
   static util::Result<OutputStore> Load(const std::string& path);
+
+  /// Salvage read: loads every column whose CRCs verify and quarantines the
+  /// rest into the report — partial corruption degrades the warm-start
+  /// instead of discarding it. Fails (like Load) only when the file itself
+  /// is unreadable or the HEADER is untrusted: nothing below a bad header
+  /// can be attributed to this store. Reads v1 and v2 files.
+  static util::Result<SalvageResult> Salvage(util::Env& env, const std::string& path);
+  static util::Result<SalvageResult> Salvage(const std::string& path);
+
+  /// Verify-only pass over `path`: same checks as Salvage, no store built.
+  static util::Result<LoadReport> Scrub(util::Env& env, const std::string& path);
 
  private:
   uint64_t dataset_id_ = 0;
   uint64_t model_id_ = 0;
   int64_t num_frames_ = 0;
   std::vector<OutputColumnRecord> columns_;
+};
+
+struct OutputStore::SalvageResult {
+  OutputStore store;
+  LoadReport report;
 };
 
 }  // namespace query

@@ -28,6 +28,13 @@ enum class StatusCode {
   kIoError,
   kNotImplemented,
   kInternal,
+  /// Stored data is unrecoverably lost or corrupted (checksum mismatch,
+  /// truncated tail). Distinct from kInvalidArgument: the REQUEST was fine,
+  /// the bytes were not.
+  kDataLoss,
+  /// The operation cannot be served right now (tripped circuit breaker,
+  /// exhausted time budget); retrying later may succeed.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -68,6 +75,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

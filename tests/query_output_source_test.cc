@@ -332,6 +332,146 @@ TEST_F(OutputSourceTest, ConcurrentSameKeyComputesExactlyOnce) {
   EXPECT_EQ(source_->cache_hits(), kThreads * 50 - 1);
 }
 
+// ---------------------------------------------------------------------------
+// ComputePolicy: bounded retries and the per-batch watchdog.
+// ---------------------------------------------------------------------------
+
+// Fails the first `failures` CountBatch invocations with a transient error,
+// then delegates to the real model — a deterministic stand-in for an
+// inference service that hiccups and recovers.
+class FlakyDetector : public detect::SimYoloV4 {
+ public:
+  explicit FlakyDetector(int failures) : failures_remaining_(failures) {}
+
+  util::Status CountBatch(const video::VideoDataset& dataset,
+                          std::span<const int64_t> frame_indices, int resolution,
+                          video::ObjectClass cls, double contrast_scale,
+                          std::span<int> out) const override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    if (failures_remaining_.fetch_sub(1, std::memory_order_relaxed) > 0) {
+      return util::Status::Internal("transient inference failure");
+    }
+    return detect::SimYoloV4::CountBatch(dataset, frame_indices, resolution, cls,
+                                         contrast_scale, out);
+  }
+
+  int calls() const { return calls_.load(std::memory_order_relaxed); }
+
+ private:
+  mutable std::atomic<int> failures_remaining_;
+  mutable std::atomic<int> calls_{0};
+};
+
+TEST_F(OutputSourceTest, ComputePolicyValidation) {
+  ComputePolicy policy;
+  policy.max_attempts = 0;
+  EXPECT_FALSE(source_->set_compute_policy(policy).ok());
+  policy = ComputePolicy{};
+  policy.backoff_base_sec = -1.0;
+  EXPECT_FALSE(source_->set_compute_policy(policy).ok());
+  policy = ComputePolicy{};
+  policy.batch_budget_sec = -2.0;
+  EXPECT_FALSE(source_->set_compute_policy(policy).ok());
+  policy = ComputePolicy{};
+  policy.max_attempts = 3;
+  EXPECT_TRUE(source_->set_compute_policy(policy).ok());
+}
+
+TEST_F(OutputSourceTest, DefaultPolicyFailsOnFirstError) {
+  FlakyDetector flaky(/*failures=*/1);
+  FrameOutputSource source(*dataset_, flaky, ObjectClass::kCar);
+  EXPECT_FALSE(source.RawCounts({0, 1, 2}, 320).ok());
+  EXPECT_EQ(source.compute_retries(), 0);
+  EXPECT_EQ(flaky.calls(), 1);
+}
+
+TEST_F(OutputSourceTest, RetriesRecoverTransientFailuresBitIdentically) {
+  std::vector<int64_t> frames(100);
+  std::iota(frames.begin(), frames.end(), int64_t{0});
+  auto want = source_->RawCounts(frames, 320);  // Healthy reference.
+  ASSERT_TRUE(want.ok());
+
+  FlakyDetector flaky(/*failures=*/2);
+  FrameOutputSource source(*dataset_, flaky, ObjectClass::kCar);
+  ComputePolicy policy;
+  policy.max_attempts = 3;
+  ASSERT_TRUE(source.set_compute_policy(policy).ok());
+
+  auto got = source.RawCounts(frames, 320);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, *want);  // A retried success is a normal success.
+  EXPECT_EQ(source.compute_retries(), 2);
+  EXPECT_EQ(flaky.calls(), 3);
+  // Accounting is unchanged by retries: one invocation per distinct key.
+  EXPECT_EQ(source.model_invocations(), static_cast<int64_t>(frames.size()));
+  EXPECT_EQ(source.watchdog_trips(), 0);
+}
+
+TEST_F(OutputSourceTest, ExhaustedRetriesReturnTheDetectorError) {
+  FlakyDetector flaky(/*failures=*/100);
+  FrameOutputSource source(*dataset_, flaky, ObjectClass::kCar);
+  ComputePolicy policy;
+  policy.max_attempts = 3;
+  ASSERT_TRUE(source.set_compute_policy(policy).ok());
+
+  auto got = source.RawCounts({0, 1, 2}, 320);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), util::StatusCode::kInternal);  // The real error.
+  EXPECT_EQ(source.compute_retries(), 2);
+  EXPECT_EQ(flaky.calls(), 3);
+}
+
+TEST_F(OutputSourceTest, WatchdogForfeitsRetriesWhenBudgetIsSpent) {
+  FlakyDetector flaky(/*failures=*/100);
+  FrameOutputSource source(*dataset_, flaky, ObjectClass::kCar);
+  ComputePolicy policy;
+  policy.max_attempts = 10;
+  policy.batch_budget_sec = 0.0;  // Any elapsed time exceeds the budget.
+  ASSERT_TRUE(source.set_compute_policy(policy).ok());
+
+  auto got = source.RawCounts({0, 1, 2}, 320);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_EQ(source.watchdog_trips(), 1);
+  // The first attempt always runs; the watchdog only forfeits RETRIES.
+  EXPECT_EQ(flaky.calls(), 1);
+  EXPECT_EQ(source.compute_retries(), 0);
+}
+
+TEST_F(OutputSourceTest, WatchdogNeverFailsASuccess) {
+  // Zero budget but a healthy detector: the first attempt succeeds and the
+  // watchdog must not turn a slow success into an error.
+  ComputePolicy policy;
+  policy.max_attempts = 10;
+  policy.batch_budget_sec = 0.0;
+  ASSERT_TRUE(source_->set_compute_policy(policy).ok());
+  auto got = source_->RawCounts({0, 1, 2}, 320);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(source_->watchdog_trips(), 0);
+}
+
+TEST_F(OutputSourceTest, RetriesWorkOnThePooledPath) {
+  std::vector<int64_t> frames(300);
+  std::iota(frames.begin(), frames.end(), int64_t{0});
+  auto want = source_->RawCounts(frames, 320);
+  ASSERT_TRUE(want.ok());
+
+  FlakyDetector flaky(/*failures=*/3);
+  util::ThreadPool pool(4);
+  FrameOutputSource source(*dataset_, flaky, ObjectClass::kCar);
+  source.set_thread_pool(&pool);
+  source.set_parallel_min_misses(1);
+  ComputePolicy policy;
+  policy.max_attempts = 5;
+  ASSERT_TRUE(source.set_compute_policy(policy).ok());
+
+  auto got = source.RawCounts(frames, 320);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, *want);
+  EXPECT_EQ(source.compute_retries(), 3);
+  EXPECT_EQ(source.model_invocations(), static_cast<int64_t>(frames.size()));
+}
+
 }  // namespace
 }  // namespace query
 }  // namespace smokescreen

@@ -1,13 +1,17 @@
 // OutputStore persistence: byte-level round-trip through Save/Load,
 // warm-start Preload semantics (zero invocations, zero counter pollution),
-// and Status-returning rejection of mismatched, truncated and corrupted
-// files — loading never crashes, whatever the bytes.
+// Status-returning rejection of mismatched, truncated and corrupted files,
+// crash-atomicity of Save under injected I/O faults, per-column salvage of
+// partially corrupt files, v1 backward compatibility, and the
+// Scrub/RepairStore self-healing loop — loading never crashes and never
+// serves an unverified count, whatever the bytes.
 
 #include "query/output_store.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <numeric>
@@ -16,14 +20,23 @@
 
 #include "detect/models.h"
 #include "query/output_source.h"
+#include "util/env.h"
 #include "video/presets.h"
 
 namespace smokescreen {
 namespace query {
 namespace {
 
+using util::FaultEnv;
+using util::FaultEnvProfile;
 using video::ObjectClass;
 using video::ScenePreset;
+
+// v2 fixed-layout byte offsets (see output_store.h).
+constexpr size_t kHeaderSize = 4 + 4 + 8 + 8 + 8 + 4 + 4;
+constexpr size_t kColumnMetaSize = 4 + 4 + 8 + 8 + 4 + 4 + 4;
+
+size_t ColumnFramesOffset(size_t column_start) { return column_start + kColumnMetaSize; }
 
 class OutputStoreTest : public ::testing::Test {
  protected:
@@ -34,7 +47,10 @@ class OutputStoreTest : public ::testing::Test {
     path_ = testing::TempDir() + "/output_store_test.smkc";
   }
 
-  void TearDown() override { std::remove(path_.c_str()); }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
 
   std::vector<char> ReadBytes() {
     std::ifstream in(path_, std::ios::binary);
@@ -71,6 +87,10 @@ OutputStore MakeSampleStore() {
   return store;
 }
 
+// Byte offsets of the two sample-store columns.
+constexpr size_t kSampleCol1 = kHeaderSize;                              // 4 entries
+constexpr size_t kSampleCol2 = kSampleCol1 + kColumnMetaSize + 4 * 12;   // 2 entries
+
 TEST_F(OutputStoreTest, SaveLoadRoundTripPreservesEverything) {
   OutputStore store = MakeSampleStore();
   ASSERT_TRUE(store.Save(path_).ok());
@@ -102,6 +122,12 @@ TEST_F(OutputStoreTest, EmptyStoreRoundTrips) {
   EXPECT_TRUE(loaded->columns().empty());
 }
 
+TEST_F(OutputStoreTest, SaveLeavesNoTmpFile) {
+  ASSERT_TRUE(MakeSampleStore().Save(path_).ok());
+  EXPECT_TRUE(util::Env::Default().FileExists(path_));
+  EXPECT_FALSE(util::Env::Default().FileExists(path_ + ".tmp"));
+}
+
 TEST_F(OutputStoreTest, MissingFileIsAnError) {
   auto loaded = OutputStore::Load(path_ + ".does-not-exist");
   ASSERT_FALSE(loaded.ok());
@@ -118,35 +144,356 @@ TEST_F(OutputStoreTest, BadMagicIsRejectedAsInvalidArgument) {
   EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
 }
 
-TEST_F(OutputStoreTest, TruncatedHeaderIsRejected) {
+TEST_F(OutputStoreTest, TruncatedHeaderIsDataLoss) {
   ASSERT_TRUE(MakeSampleStore().Save(path_).ok());
   std::vector<char> bytes = ReadBytes();
   bytes.resize(10);  // Mid-header.
   WriteBytes(bytes);
   auto loaded = OutputStore::Load(path_);
   ASSERT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kDataLoss);
+  // Nothing below a bad header can be attributed: Salvage refuses too.
+  EXPECT_EQ(OutputStore::Salvage(path_).status().code(), util::StatusCode::kDataLoss);
 }
 
-TEST_F(OutputStoreTest, TruncatedPayloadIsRejected) {
+TEST_F(OutputStoreTest, TruncatedPayloadIsDataLossOnStrictLoad) {
   ASSERT_TRUE(MakeSampleStore().Save(path_).ok());
   std::vector<char> bytes = ReadBytes();
   bytes.resize(bytes.size() - 3);  // Chop the tail of the last counts array.
   WriteBytes(bytes);
   auto loaded = OutputStore::Load(path_);
   ASSERT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kDataLoss);
 }
 
-TEST_F(OutputStoreTest, FlippedPayloadByteFailsCrc) {
+TEST_F(OutputStoreTest, FlippedPayloadByteFailsCrcOnStrictLoad) {
   ASSERT_TRUE(MakeSampleStore().Save(path_).ok());
   std::vector<char> bytes = ReadBytes();
   bytes[bytes.size() - 1] ^= 0x01;  // Corrupt the last count in place.
   WriteBytes(bytes);
   auto loaded = OutputStore::Load(path_);
   ASSERT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kDataLoss);
 }
+
+// --- Crash atomicity under injected faults ---------------------------------
+
+TEST_F(OutputStoreTest, TornWriteCrashLeavesPreviousStoreIntact) {
+  OutputStore original = MakeSampleStore();
+  ASSERT_TRUE(original.Save(path_).ok());
+
+  // Every write tears: the new save must fail WITHOUT touching `path_`.
+  FaultEnvProfile profile;
+  profile.write_fail_prob = 1.0;
+  profile.seed = 7;
+  auto env = FaultEnv::Create(profile);
+  ASSERT_TRUE(env.ok());
+
+  OutputStore replacement(original.dataset_id(), original.model_id(), original.num_frames());
+  EXPECT_FALSE(replacement.Save(*env, path_).ok());
+  EXPECT_GT(env->torn_writes(), 0);
+  EXPECT_FALSE(util::Env::Default().FileExists(path_ + ".tmp"));  // Cleaned up.
+
+  auto loaded = OutputStore::Load(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->TotalEntries(), original.TotalEntries());
+}
+
+TEST_F(OutputStoreTest, FailedRenameLeavesPreviousStoreIntact) {
+  OutputStore original = MakeSampleStore();
+  ASSERT_TRUE(original.Save(path_).ok());
+
+  FaultEnvProfile profile;
+  profile.rename_fail_prob = 1.0;
+  profile.seed = 7;
+  auto env = FaultEnv::Create(profile);
+  ASSERT_TRUE(env.ok());
+
+  OutputStore replacement(original.dataset_id(), original.model_id(), original.num_frames());
+  EXPECT_FALSE(replacement.Save(*env, path_).ok());
+  EXPECT_EQ(env->rename_failures(), 1);
+
+  auto loaded = OutputStore::Load(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->TotalEntries(), original.TotalEntries());
+}
+
+TEST_F(OutputStoreTest, SilentWriteCorruptionIsCaughtByReadback) {
+  OutputStore original = MakeSampleStore();
+  ASSERT_TRUE(original.Save(path_).ok());
+
+  // The write flips one bit but REPORTS SUCCESS — only the readback
+  // verification inside Save can catch it before the rename commits.
+  FaultEnvProfile profile;
+  profile.write_flip_prob = 1.0;
+  profile.seed = 7;
+  auto env = FaultEnv::Create(profile);
+  ASSERT_TRUE(env.ok());
+
+  OutputStore replacement(original.dataset_id(), original.model_id(), original.num_frames());
+  auto status = replacement.Save(*env, path_);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kDataLoss);
+  EXPECT_GT(env->bits_flipped(), 0);
+
+  auto loaded = OutputStore::Load(path_);  // Old store still clean.
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->TotalEntries(), original.TotalEntries());
+}
+
+// --- Per-column salvage ----------------------------------------------------
+
+TEST_F(OutputStoreTest, SalvageKeepsVerifiedColumnsAndQuarantinesCorruptCounts) {
+  ASSERT_TRUE(MakeSampleStore().Save(path_).ok());
+  std::vector<char> bytes = ReadBytes();
+  bytes[bytes.size() - 1] ^= 0x01;  // Last count of column 2.
+  WriteBytes(bytes);
+
+  auto salvaged = OutputStore::Salvage(path_);
+  ASSERT_TRUE(salvaged.ok());
+  const LoadReport& report = salvaged->report;
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.columns_total, 2);
+  EXPECT_EQ(report.columns_loaded, 1);
+  EXPECT_EQ(report.entries_loaded, 4);
+  EXPECT_EQ(report.entries_quarantined, 2);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  const QuarantinedColumn& q = report.quarantined[0];
+  EXPECT_EQ(q.verdict, ColumnVerdict::kCountsCorrupt);
+  EXPECT_EQ(q.resolution, 608);
+  EXPECT_EQ(q.contrast_q, 2048);
+  // The verified frame list survives for Repair.
+  EXPECT_EQ(q.frames, (std::vector<int64_t>{8, 9}));
+
+  // The intact column loaded with its exact data.
+  ASSERT_EQ(salvaged->store.columns().size(), 1u);
+  EXPECT_EQ(salvaged->store.columns()[0].resolution, 320);
+  EXPECT_EQ(salvaged->store.columns()[0].counts, (std::vector<int>{2, 0, 5, 11}));
+}
+
+TEST_F(OutputStoreTest, SalvageQuarantinesCorruptFrameList) {
+  ASSERT_TRUE(MakeSampleStore().Save(path_).ok());
+  std::vector<char> bytes = ReadBytes();
+  bytes[ColumnFramesOffset(kSampleCol2)] ^= 0x01;  // First frame byte of column 2.
+  WriteBytes(bytes);
+
+  auto salvaged = OutputStore::Salvage(path_);
+  ASSERT_TRUE(salvaged.ok());
+  ASSERT_EQ(salvaged->report.quarantined.size(), 1u);
+  const QuarantinedColumn& q = salvaged->report.quarantined[0];
+  EXPECT_EQ(q.verdict, ColumnVerdict::kFramesCorrupt);
+  EXPECT_TRUE(q.frames.empty());  // An unverified frame list is never kept.
+  EXPECT_EQ(salvaged->report.columns_loaded, 1);
+}
+
+TEST_F(OutputStoreTest, SalvageStopsAtCorruptMetadata) {
+  ASSERT_TRUE(MakeSampleStore().Save(path_).ok());
+  std::vector<char> bytes = ReadBytes();
+  bytes[kSampleCol1 + 8] ^= 0x01;  // contrast_q of column 1: meta CRC breaks.
+  WriteBytes(bytes);
+
+  auto salvaged = OutputStore::Salvage(path_);
+  ASSERT_TRUE(salvaged.ok());
+  // Untrusted lengths desync the walk: both columns quarantined, none loaded.
+  EXPECT_EQ(salvaged->report.columns_loaded, 0);
+  ASSERT_EQ(salvaged->report.quarantined.size(), 2u);
+  EXPECT_EQ(salvaged->report.quarantined[0].verdict, ColumnVerdict::kMetaCorrupt);
+  EXPECT_EQ(salvaged->report.quarantined[1].verdict, ColumnVerdict::kTruncated);
+}
+
+TEST_F(OutputStoreTest, SalvageOfCleanFileIsClean) {
+  ASSERT_TRUE(MakeSampleStore().Save(path_).ok());
+  auto salvaged = OutputStore::Salvage(path_);
+  ASSERT_TRUE(salvaged.ok());
+  EXPECT_TRUE(salvaged->report.clean());
+  EXPECT_EQ(salvaged->report.columns_loaded, 2);
+  EXPECT_EQ(salvaged->store.columns().size(), 2u);
+}
+
+// --- v1 backward compatibility ---------------------------------------------
+
+// Hand-writes a v1-format file (joint payload CRC, no meta CRC) — the format
+// the previous release shipped — so compatibility is tested against frozen
+// bytes, not against a writer that no longer exists.
+std::vector<char> BuildV1File() {
+  std::vector<char> bytes;
+  auto put = [&bytes](const void* data, size_t n) {
+    const char* p = static_cast<const char*>(data);
+    bytes.insert(bytes.end(), p, p + n);
+  };
+  auto put32 = [&put](uint32_t v) { put(&v, 4); };
+  auto put64 = [&put](uint64_t v) { put(&v, 8); };
+
+  put32(0x434b4d53);  // magic "SMKC"
+  put32(1);           // version 1
+  put64(0xD5);        // dataset_id
+  put64(0x7E);        // model_id
+  put64(300);         // num_frames
+  put32(1);           // num_columns
+  put32(util::Crc32(bytes.data(), bytes.size()));  // header_crc
+
+  const int32_t resolution = 320;
+  const int32_t cls = static_cast<int32_t>(ObjectClass::kCar);
+  const int64_t contrast_q = 4096;
+  const std::vector<int64_t> frames = {0, 3, 17, 299};
+  const std::vector<int32_t> counts = {2, 0, 5, 11};
+  put(&resolution, 4);
+  put(&cls, 4);
+  put64(static_cast<uint64_t>(contrast_q));
+  put64(frames.size());
+  std::vector<char> payload;
+  payload.insert(payload.end(), reinterpret_cast<const char*>(frames.data()),
+                 reinterpret_cast<const char*>(frames.data()) + frames.size() * 8);
+  payload.insert(payload.end(), reinterpret_cast<const char*>(counts.data()),
+                 reinterpret_cast<const char*>(counts.data()) + counts.size() * 4);
+  put32(util::Crc32(payload.data(), payload.size()));  // joint payload_crc
+  put(payload.data(), payload.size());
+  return bytes;
+}
+
+TEST_F(OutputStoreTest, V1FileStillLoads) {
+  WriteBytes(BuildV1File());
+  auto loaded = OutputStore::Load(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dataset_id(), 0xD5u);
+  EXPECT_EQ(loaded->model_id(), 0x7Eu);
+  EXPECT_EQ(loaded->num_frames(), 300);
+  ASSERT_EQ(loaded->columns().size(), 1u);
+  EXPECT_EQ(loaded->columns()[0].frames, (std::vector<int64_t>{0, 3, 17, 299}));
+  EXPECT_EQ(loaded->columns()[0].counts, (std::vector<int>{2, 0, 5, 11}));
+}
+
+TEST_F(OutputStoreTest, V1ResaveUpgradesToV2) {
+  WriteBytes(BuildV1File());
+  auto loaded = OutputStore::Load(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->Save(path_).ok());
+  auto scrubbed = OutputStore::Scrub(util::Env::Default(), path_);
+  ASSERT_TRUE(scrubbed.ok());
+  EXPECT_EQ(scrubbed->file_version, 2u);
+  EXPECT_TRUE(scrubbed->clean());
+}
+
+TEST_F(OutputStoreTest, CorruptV1PayloadQuarantinesJointly) {
+  std::vector<char> bytes = BuildV1File();
+  bytes[bytes.size() - 1] ^= 0x01;
+  WriteBytes(bytes);
+  auto salvaged = OutputStore::Salvage(path_);
+  ASSERT_TRUE(salvaged.ok());
+  EXPECT_EQ(salvaged->report.file_version, 1u);
+  EXPECT_EQ(salvaged->report.columns_loaded, 0);
+  ASSERT_EQ(salvaged->report.quarantined.size(), 1u);
+  // v1 cannot tell frames from counts: the whole payload is suspect, so
+  // there is no repairable frame list.
+  EXPECT_EQ(salvaged->report.quarantined[0].verdict, ColumnVerdict::kPayloadCorrupt);
+  EXPECT_TRUE(salvaged->report.quarantined[0].frames.empty());
+}
+
+// --- Scrub / Repair round trip ---------------------------------------------
+
+TEST_F(OutputStoreTest, ScrubThenRepairHealsCorruptCounts) {
+  // Compute real outputs, persist, rot one count byte on disk, repair, and
+  // the healed file must be bit-identical in effect: same outputs, clean
+  // scrub, zero invocations after a warm start.
+  QuerySpec spec;
+  FrameOutputSource source(*dataset_, yolo_, ObjectClass::kCar);
+  auto outputs = source.AllOutputs(spec, 320);
+  ASSERT_TRUE(outputs.ok());
+  ASSERT_TRUE(source.ExportStore().Save(path_).ok());
+
+  // Flip a byte inside the counts region of the (single) column.
+  std::vector<char> bytes = ReadBytes();
+  const size_t counts_offset =
+      ColumnFramesOffset(kHeaderSize) + static_cast<size_t>(dataset_->num_frames()) * 8;
+  ASSERT_LT(counts_offset + 10, bytes.size());
+  bytes[counts_offset + 10] ^= 0x40;
+  WriteBytes(bytes);
+
+  auto dirty = OutputStore::Scrub(util::Env::Default(), path_);
+  ASSERT_TRUE(dirty.ok());
+  EXPECT_FALSE(dirty->clean());
+
+  FrameOutputSource healer(*dataset_, yolo_, ObjectClass::kCar);
+  auto repair = healer.RepairStore(util::Env::Default(), path_);
+  ASSERT_TRUE(repair.ok());
+  EXPECT_TRUE(repair->rewritten);
+  EXPECT_EQ(repair->columns_recomputed, 1);
+  EXPECT_EQ(repair->entries_recomputed, dataset_->num_frames());
+  EXPECT_EQ(repair->columns_dropped, 0);
+  EXPECT_EQ(repair->entries_lost, 0);
+  // Repair invocations are honest model invocations.
+  EXPECT_EQ(healer.model_invocations(), dataset_->num_frames());
+
+  auto clean = OutputStore::Scrub(util::Env::Default(), path_);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_TRUE(clean->clean());
+
+  // The healed store warm-starts a fresh source to bit-identical outputs.
+  auto healed = OutputStore::Load(path_);
+  ASSERT_TRUE(healed.ok());
+  FrameOutputSource warm(*dataset_, yolo_, ObjectClass::kCar);
+  ASSERT_TRUE(warm.Preload(*healed).ok());
+  auto warm_outputs = warm.AllOutputs(spec, 320);
+  ASSERT_TRUE(warm_outputs.ok());
+  EXPECT_EQ(*warm_outputs, *outputs);
+  EXPECT_EQ(warm.model_invocations(), 0);
+}
+
+TEST_F(OutputStoreTest, RepairOfCleanStoreIsANoOp) {
+  FrameOutputSource source(*dataset_, yolo_, ObjectClass::kCar);
+  ASSERT_TRUE(source.RawCount(0, 320).ok());
+  ASSERT_TRUE(source.ExportStore().Save(path_).ok());
+  const std::vector<char> before = ReadBytes();
+
+  FrameOutputSource healer(*dataset_, yolo_, ObjectClass::kCar);
+  auto repair = healer.RepairStore(util::Env::Default(), path_);
+  ASSERT_TRUE(repair.ok());
+  EXPECT_FALSE(repair->rewritten);
+  EXPECT_EQ(repair->columns_recomputed, 0);
+  EXPECT_EQ(healer.model_invocations(), 0);
+  EXPECT_EQ(ReadBytes(), before);  // File untouched.
+}
+
+TEST_F(OutputStoreTest, RepairDropsColumnsItCannotAttribute) {
+  // A kCountsCorrupt column of a DIFFERENT class cannot be recomputed by a
+  // kCar source; repair must drop it (and say so), not guess.
+  OutputStore store(dataset_->dataset_id(), yolo_.model_id(), dataset_->num_frames());
+  OutputColumnRecord column;
+  column.resolution = 320;
+  column.cls = static_cast<int>(ObjectClass::kFace);
+  column.contrast_q = 4096;
+  column.frames = {1, 2, 3};
+  column.counts = {4, 5, 6};
+  store.AddColumn(std::move(column));
+  ASSERT_TRUE(store.Save(path_).ok());
+
+  std::vector<char> bytes = ReadBytes();
+  bytes[bytes.size() - 1] ^= 0x01;  // Corrupt the counts.
+  WriteBytes(bytes);
+
+  FrameOutputSource healer(*dataset_, yolo_, ObjectClass::kCar);
+  auto repair = healer.RepairStore(util::Env::Default(), path_);
+  ASSERT_TRUE(repair.ok());
+  EXPECT_TRUE(repair->rewritten);
+  EXPECT_EQ(repair->columns_recomputed, 0);
+  EXPECT_EQ(repair->columns_dropped, 1);
+  EXPECT_EQ(repair->entries_lost, 3);
+  EXPECT_EQ(healer.model_invocations(), 0);
+
+  auto scrubbed = OutputStore::Scrub(util::Env::Default(), path_);
+  ASSERT_TRUE(scrubbed.ok());
+  EXPECT_TRUE(scrubbed->clean());  // Dropped, but the file is honest now.
+}
+
+TEST_F(OutputStoreTest, RepairRejectsForeignProvenance) {
+  ASSERT_TRUE(MakeSampleStore().Save(path_).ok());  // dataset 0xD5, model 0x7E.
+  FrameOutputSource healer(*dataset_, yolo_, ObjectClass::kCar);
+  auto repair = healer.RepairStore(util::Env::Default(), path_);
+  ASSERT_FALSE(repair.ok());
+  EXPECT_EQ(repair.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+// --- Preload (unchanged semantics) -----------------------------------------
 
 TEST_F(OutputStoreTest, ExportPreloadServesWithZeroInvocations) {
   // Compute everything once, export, then a brand-new source preloads the

@@ -411,6 +411,166 @@ TEST_F(FaultScenarioTest, AllFeedsDeadReturnsFailedPrecondition) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Per-feed ingest circuit breaker: consecutive failures trip it open, the
+// open breaker rejects cheaply, a cooled-down probe decides recovery.
+// ---------------------------------------------------------------------------
+
+class BreakerTest : public FaultScenarioTest {
+ protected:
+  camera::CameraBatch BlackoutBatch(int camera_id) {
+    camera::CameraBatch batch;
+    batch.camera_id = camera_id;
+    batch.attempted_frames = 10;  // Tried, delivered nothing.
+    return batch;
+  }
+  camera::CameraBatch GoodBatch(int camera_id) {
+    camera::CameraBatch batch;
+    batch.camera_id = camera_id;
+    batch.frame_indices = {0, 5, 10, 15};
+    batch.attempted_frames = 4;
+    batch.eligible_population = feed_->num_frames();
+    batch.resolution = 608;
+    return batch;
+  }
+  camera::BreakerPolicy Policy(int threshold, int cooldown) {
+    camera::BreakerPolicy policy;
+    policy.failure_threshold = threshold;
+    policy.open_cooldown = cooldown;
+    return policy;
+  }
+};
+
+TEST_F(BreakerTest, PolicyValidation) {
+  auto central = MakeCentral();
+  ASSERT_TRUE(central.ok());
+  EXPECT_FALSE(central->set_breaker_policy(Policy(0, 2)).ok());
+  EXPECT_FALSE(central->set_breaker_policy(Policy(3, 0)).ok());
+  EXPECT_TRUE(central->set_breaker_policy(Policy(3, 2)).ok());
+}
+
+TEST_F(BreakerTest, TripsAfterConsecutiveBlackoutsThenRejects) {
+  auto central = MakeCentral();
+  ASSERT_TRUE(central.ok());
+  ASSERT_TRUE(central->set_breaker_policy(Policy(3, 2)).ok());
+
+  // Two failures: still closed (threshold is 3).
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(central->Ingest(BlackoutBatch(1)).ok());
+    EXPECT_EQ(*central->feed_breaker(1), camera::BreakerState::kClosed);
+  }
+  // Third consecutive failure trips it.
+  ASSERT_TRUE(central->Ingest(BlackoutBatch(1)).ok());
+  EXPECT_EQ(*central->feed_breaker(1), camera::BreakerState::kOpen);
+  EXPECT_EQ(*central->feed_breaker_trips(1), 1);
+  EXPECT_EQ(*central->feed_health(1), camera::FeedHealth::kStale);
+
+  // The open breaker rejects without touching the feed — even a GOOD batch.
+  const int64_t ingested_before = *central->batches_ingested(1);
+  auto rejected = central->Ingest(GoodBatch(1));
+  EXPECT_EQ(rejected.code(), util::StatusCode::kUnavailable);
+  EXPECT_EQ(*central->batches_ingested(1), ingested_before);
+  // Other feeds are untouched by camera 1's breaker.
+  EXPECT_EQ(*central->feed_breaker(2), camera::BreakerState::kClosed);
+  EXPECT_TRUE(central->Ingest(GoodBatch(2)).ok());
+}
+
+TEST_F(BreakerTest, HalfOpenProbeSuccessClosesBreaker) {
+  auto central = MakeCentral();
+  ASSERT_TRUE(central.ok());
+  ASSERT_TRUE(central->set_breaker_policy(Policy(2, 2)).ok());
+
+  ASSERT_TRUE(central->Ingest(BlackoutBatch(1)).ok());
+  ASSERT_TRUE(central->Ingest(BlackoutBatch(1)).ok());
+  ASSERT_EQ(*central->feed_breaker(1), camera::BreakerState::kOpen);
+
+  // The cooldown absorbs exactly two rejected attempts...
+  EXPECT_EQ(central->Ingest(GoodBatch(1)).code(), util::StatusCode::kUnavailable);
+  EXPECT_EQ(central->Ingest(GoodBatch(1)).code(), util::StatusCode::kUnavailable);
+  // ...then the next batch is admitted as a probe; success closes the
+  // breaker and the feed is live again.
+  ASSERT_TRUE(central->Ingest(GoodBatch(1)).ok());
+  EXPECT_EQ(*central->feed_breaker(1), camera::BreakerState::kClosed);
+  EXPECT_EQ(*central->feed_health(1), camera::FeedHealth::kLive);
+  EXPECT_TRUE(central->CameraEstimate(1).ok());
+}
+
+TEST_F(BreakerTest, HalfOpenProbeFailureReopensBreaker) {
+  auto central = MakeCentral();
+  ASSERT_TRUE(central.ok());
+  ASSERT_TRUE(central->set_breaker_policy(Policy(2, 1)).ok());
+
+  ASSERT_TRUE(central->Ingest(BlackoutBatch(1)).ok());
+  ASSERT_TRUE(central->Ingest(BlackoutBatch(1)).ok());
+  ASSERT_EQ(*central->feed_breaker(1), camera::BreakerState::kOpen);
+  EXPECT_EQ(central->Ingest(GoodBatch(1)).code(), util::StatusCode::kUnavailable);
+
+  // Probe is another blackout: straight back to open, second trip.
+  ASSERT_TRUE(central->Ingest(BlackoutBatch(1)).ok());
+  EXPECT_EQ(*central->feed_breaker(1), camera::BreakerState::kOpen);
+  EXPECT_EQ(*central->feed_breaker_trips(1), 2);
+  EXPECT_EQ(central->Ingest(GoodBatch(1)).code(), util::StatusCode::kUnavailable);
+}
+
+TEST_F(BreakerTest, UdfErrorsCountAsFailures) {
+  auto central = MakeCentral();
+  ASSERT_TRUE(central.ok());
+  ASSERT_TRUE(central->set_breaker_policy(Policy(2, 1)).ok());
+
+  camera::CameraBatch bad = GoodBatch(1);
+  bad.frame_indices = {feed_->num_frames() + 100};  // Out of range: UDF error.
+  EXPECT_FALSE(central->Ingest(bad).ok());
+  EXPECT_EQ(*central->feed_breaker(1), camera::BreakerState::kClosed);
+  EXPECT_FALSE(central->Ingest(bad).ok());
+  EXPECT_EQ(*central->feed_breaker(1), camera::BreakerState::kOpen);
+}
+
+TEST_F(BreakerTest, SuccessResetsTheFailureRun) {
+  auto central = MakeCentral();
+  ASSERT_TRUE(central.ok());
+  ASSERT_TRUE(central->set_breaker_policy(Policy(3, 1)).ok());
+
+  // failure, failure, SUCCESS, failure, failure: never three in a row.
+  ASSERT_TRUE(central->Ingest(BlackoutBatch(1)).ok());
+  ASSERT_TRUE(central->Ingest(BlackoutBatch(1)).ok());
+  ASSERT_TRUE(central->Ingest(GoodBatch(1)).ok());
+  ASSERT_TRUE(central->Ingest(BlackoutBatch(1)).ok());
+  ASSERT_TRUE(central->Ingest(BlackoutBatch(1)).ok());
+  EXPECT_EQ(*central->feed_breaker(1), camera::BreakerState::kClosed);
+  EXPECT_EQ(*central->feed_breaker_trips(1), 0);
+}
+
+TEST_F(BreakerTest, ReinstateResetsBreaker) {
+  auto central = MakeCentral();
+  ASSERT_TRUE(central.ok());
+  ASSERT_TRUE(central->set_breaker_policy(Policy(1, 5)).ok());
+
+  ASSERT_TRUE(central->Ingest(BlackoutBatch(1)).ok());
+  ASSERT_EQ(*central->feed_breaker(1), camera::BreakerState::kOpen);
+  EXPECT_EQ(central->Ingest(GoodBatch(1)).code(), util::StatusCode::kUnavailable);
+
+  // Operator fixed the uplink: reinstatement clears the breaker entirely and
+  // the next batch ingests with no cooldown.
+  ASSERT_TRUE(central->ReinstateFeed(1).ok());
+  EXPECT_EQ(*central->feed_breaker(1), camera::BreakerState::kClosed);
+  ASSERT_TRUE(central->Ingest(GoodBatch(1)).ok());
+  EXPECT_EQ(*central->feed_health(1), camera::FeedHealth::kLive);
+}
+
+TEST_F(BreakerTest, MalformedBatchesDoNotTouchTheBreaker) {
+  auto central = MakeCentral();
+  ASSERT_TRUE(central.ok());
+  ASSERT_TRUE(central->set_breaker_policy(Policy(1, 1)).ok());
+
+  camera::CameraBatch empty;
+  empty.camera_id = 1;  // Attempted nothing: caller bug, not a feed failure.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(central->Ingest(empty).code(), util::StatusCode::kInvalidArgument);
+  }
+  EXPECT_EQ(*central->feed_breaker(1), camera::BreakerState::kClosed);
+  EXPECT_EQ(*central->feed_breaker_trips(1), 0);
+}
+
 // Randomized fault profiles: Validate() partitions the space, and every
 // validated profile transmits without crashing while preserving the
 // attempted == delivered + lost invariant.

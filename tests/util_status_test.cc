@@ -24,6 +24,8 @@ TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
   EXPECT_EQ(Status::IoError("io").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::NotImplemented("ni").code(), StatusCode::kNotImplemented);
   EXPECT_EQ(Status::Internal("in").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DataLoss("dl").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Unavailable("ua").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
 }
 
@@ -48,6 +50,13 @@ TEST(StatusTest, Equality) {
 TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, DataLossAndUnavailableToString) {
+  EXPECT_EQ(Status::DataLoss("rotten bytes").ToString(), "DataLoss: rotten bytes");
+  EXPECT_EQ(Status::Unavailable("breaker open").ToString(), "Unavailable: breaker open");
 }
 
 TEST(ResultTest, HoldsValue) {
