@@ -6,6 +6,8 @@
 #ifndef SMOKESCREEN_BENCH_BENCH_COMMON_H_
 #define SMOKESCREEN_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +20,7 @@
 #include "query/executor.h"
 #include "query/output_source.h"
 #include "stats/rng.h"
+#include "util/metrics.h"
 #include "video/presets.h"
 
 namespace smokescreen {
@@ -76,6 +79,55 @@ struct TrialAverages {
   double true_error = 0.0;
   std::vector<double> bounds;  // One per estimator, caller-defined order.
   int violations = 0;          // Trials where bounds[0] < true error.
+};
+
+/// Observability decorator for the bench harnesses: construct one at the top
+/// of main() and the process-wide metrics registry is exported when the
+/// bench exits its scope. The export path comes from a "--metrics-out <p>"
+/// pair, which the constructor STRIPS from (argc, argv) so each bench's own
+/// flag parser never sees it, or from $SMOKESCREEN_METRICS_OUT when the flag
+/// is absent. No path -> no export, zero overhead beyond the instruments the
+/// bench already drives. A path ending in ".csv" exports the flat CSV form;
+/// anything else gets the JSON snapshot (both written atomically through the
+/// Env seam).
+class MetricsDumpGuard {
+ public:
+  MetricsDumpGuard(int& argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--metrics-out") {
+        path_ = argv[i + 1];
+        for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+        argc -= 2;
+        break;
+      }
+    }
+    if (path_.empty()) {
+      const char* env_path = std::getenv("SMOKESCREEN_METRICS_OUT");
+      if (env_path != nullptr) path_ = env_path;
+    }
+  }
+
+  ~MetricsDumpGuard() {
+    if (path_.empty()) return;
+    util::MetricsSnapshot snapshot = util::MetricsRegistry::Default().Snapshot();
+    const bool csv = path_.size() >= 4 && path_.compare(path_.size() - 4, 4, ".csv") == 0;
+    util::Status status = csv ? snapshot.WriteCsv(util::Env::Default(), path_)
+                              : snapshot.WriteJson(util::Env::Default(), path_);
+    if (status.ok()) {
+      std::printf("metrics written to %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "metrics export to %s failed: %s\n", path_.c_str(),
+                   status.ToString().c_str());
+    }
+  }
+
+  MetricsDumpGuard(const MetricsDumpGuard&) = delete;
+  MetricsDumpGuard& operator=(const MetricsDumpGuard&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
 };
 
 }  // namespace bench

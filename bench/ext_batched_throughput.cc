@@ -87,6 +87,9 @@ struct SweepPoint {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Exports the metrics registry at exit when --metrics-out <path> (stripped
+  // here) or $SMOKESCREEN_METRICS_OUT is set.
+  bench::MetricsDumpGuard metrics_guard(argc, argv);
   int64_t frames = 2048;
   int64_t overhead_us = 200;
   int64_t per_frame_us = 5;

@@ -76,6 +76,9 @@ struct RateResult {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Exports the metrics registry at exit when --metrics-out <path> (stripped
+  // here) or $SMOKESCREEN_METRICS_OUT is set.
+  bench::MetricsDumpGuard metrics_guard(argc, argv);
   int64_t frames = 1200;
   int64_t rounds = 80;
   std::string out_path = "BENCH_chaos.json";

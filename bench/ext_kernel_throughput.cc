@@ -68,6 +68,9 @@ struct SweepPoint {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Exports the metrics registry at exit when --metrics-out <path> (stripped
+  // here) or $SMOKESCREEN_METRICS_OUT is set.
+  bench::MetricsDumpGuard metrics_guard(argc, argv);
   int64_t frames = 12000;
   int64_t threads = 0;  // 0 = hardware concurrency.
   int64_t repeats = 7;

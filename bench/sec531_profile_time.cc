@@ -25,6 +25,9 @@
 using namespace smokescreen;
 
 int main(int argc, char** argv) {
+  // Strips --metrics-out <path> (or honors $SMOKESCREEN_METRICS_OUT) and
+  // exports the metrics registry when main returns.
+  bench::MetricsDumpGuard metrics_guard(argc, argv);
   int threads = 1;  // Serial by default: the paper's timing is single-stream.
   int64_t batch_size = 0;
   std::string output_store;
@@ -51,7 +54,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: sec531_profile_time [--threads N] [--batch-size N]"
-                   " [--output-store P]\n");
+                   " [--output-store P] [--metrics-out P]\n");
       return 2;
     }
   }

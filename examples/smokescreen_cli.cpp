@@ -29,6 +29,10 @@
 //                      (default 0; results are identical at any N)
 //   --output-store P   warm-start the output cache from P when it exists,
 //                      and save the cache back to P after the run
+//   --metrics-out P    write a JSON snapshot of the process-wide metrics
+//                      registry (counters/gauges/histograms) to P at exit;
+//                      the snapshot's output_source.* counters equal the
+//                      printed "accounting:" line exactly
 
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +53,7 @@
 #include "query/executor.h"
 #include "query/output_store.h"
 #include "query/parser.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 #include "video/presets.h"
@@ -72,6 +77,7 @@ struct Flags {
   int threads = 0;         // 0 = hardware concurrency.
   int64_t batch_size = 0;  // 0 = unlimited.
   std::string output_store;
+  std::string metrics_out;
 };
 
 util::Result<Flags> ParseFlags(int argc, char** argv) {
@@ -109,6 +115,11 @@ util::Result<Flags> ParseFlags(int argc, char** argv) {
       if (flags.output_store.empty()) {
         return util::Status::InvalidArgument("--output-store path must be non-empty");
       }
+    } else if (arg == "--metrics-out") {
+      SMK_ASSIGN_OR_RETURN(flags.metrics_out, next());
+      if (flags.metrics_out.empty()) {
+        return util::Status::InvalidArgument("--metrics-out path must be non-empty");
+      }
     } else if (arg == "--restrict") {
       SMK_ASSIGN_OR_RETURN(flags.restrict_classes, next());
     } else if (arg == "--profile-out") {
@@ -142,6 +153,19 @@ util::Result<video::ScenePreset> PresetFromName(const std::string& name) {
   auto it = kPresets.find(name);
   if (it == kPresets.end()) return util::Status::NotFound("unknown dataset: " + name);
   return it->second;
+}
+
+/// End-of-run observability: prints the exact invocation/hit accounting (the
+/// line CI parses against the JSON export) and, when requested, snapshots
+/// the process-wide registry to `metrics_out` atomically.
+void DumpMetrics(const query::FrameOutputSource& source, const std::string& metrics_out) {
+  std::printf("accounting: model_invocations=%lld cache_hits=%lld\n",
+              static_cast<long long>(source.model_invocations()),
+              static_cast<long long>(source.cache_hits()));
+  if (metrics_out.empty()) return;
+  util::MetricsSnapshot snapshot = util::MetricsRegistry::Default().Snapshot();
+  snapshot.WriteJson(util::Env::Default(), metrics_out).CheckOk();
+  std::printf("metrics written to %s\n", metrics_out.c_str());
 }
 
 int Run(Flags flags) {
@@ -296,6 +320,7 @@ int Run(Flags flags) {
   if (!choice.ok()) {
     std::printf("no candidate meets the %.1f%% budget: %s\n", flags.max_error * 100.0,
                 choice.status().ToString().c_str());
+    DumpMetrics(source, flags.metrics_out);
     return 1;
   }
   std::printf("\nchosen tradeoff: %s (bound %.2f%%)\n", choice->interventions.ToString().c_str(),
@@ -329,6 +354,7 @@ int Run(Flags flags) {
                 flags.output_store.c_str(), static_cast<long long>(store.TotalEntries()),
                 store.columns().size());
   }
+  DumpMetrics(source, flags.metrics_out);
   return 0;
 }
 
@@ -340,7 +366,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n\nusage: smokescreen_cli [--dataset D] [--model M] [--agg A]\n"
                          "  [--frames N] [--max-error X] [--restrict person,face]\n"
                          "  [--profile-out P | --profile-in P] [--seed S] [--threads N]\n"
-                         "  [--batch-size N] [--output-store P]\n",
+                         "  [--batch-size N] [--output-store P] [--metrics-out P]\n",
                  flags.status().ToString().c_str());
     return 2;
   }

@@ -53,6 +53,15 @@ Status PartialPolicy::Validate() const {
   return Status::OK();
 }
 
+void CentralSystem::BindMetrics(util::MetricsRegistry* registry) {
+  if (registry == nullptr) registry = &util::MetricsRegistry::Default();
+  metrics_.batches_ingested = registry->GetCounter("central_system.batches_ingested");
+  metrics_.ingest_failures = registry->GetCounter("central_system.ingest_failures");
+  metrics_.ingest_rejected = registry->GetCounter("central_system.ingest_rejected");
+  metrics_.breaker_trips = registry->GetCounter("central_system.breaker_trips");
+  metrics_.breakers_open = registry->GetGauge("central_system.breakers_open");
+}
+
 Result<CentralSystem> CentralSystem::Create(const query::QuerySpec& spec, double delta) {
   SMK_RETURN_IF_ERROR(spec.Validate());
   if (!query::IsMeanFamily(spec.aggregate)) {
@@ -98,11 +107,14 @@ Result<int64_t> CentralSystem::feed_breaker_trips(int camera_id) const {
 
 void CentralSystem::RecordIngestFailure(int camera_id, Feed& feed, const char* what) {
   ++feed.consecutive_failures;
+  metrics_.ingest_failures->Increment();
   if (feed.breaker == BreakerState::kHalfOpen) {
     // The probe failed: the uplink is still bad, go straight back to open.
     feed.breaker = BreakerState::kOpen;
     feed.rejections_since_open = 0;
     ++feed.breaker_trips;
+    metrics_.breaker_trips->Increment();
+    metrics_.breakers_open->Add(1);
     SMK_LOG(WARNING) << "camera " << camera_id << ": probe batch failed (" << what
                      << "); breaker re-opened (trip #" << feed.breaker_trips << ")";
   } else if (feed.breaker == BreakerState::kClosed &&
@@ -110,6 +122,8 @@ void CentralSystem::RecordIngestFailure(int camera_id, Feed& feed, const char* w
     feed.breaker = BreakerState::kOpen;
     feed.rejections_since_open = 0;
     ++feed.breaker_trips;
+    metrics_.breaker_trips->Increment();
+    metrics_.breakers_open->Add(1);
     // A feed sick enough to trip the breaker cannot be trusted in estimates.
     feed.health = FeedHealth::kStale;
     SMK_LOG(WARNING) << "camera " << camera_id << ": " << feed.consecutive_failures
@@ -136,12 +150,14 @@ Status CentralSystem::Ingest(const CameraBatch& batch) {
   if (feed.breaker == BreakerState::kOpen) {
     if (feed.rejections_since_open < breaker_policy_.open_cooldown) {
       ++feed.rejections_since_open;
+      metrics_.ingest_rejected->Increment();
       return Status::Unavailable(
           "camera " + std::to_string(batch.camera_id) + " breaker is open after " +
           std::to_string(feed.consecutive_failures) + " consecutive ingest failures");
     }
     // Cooled down: admit this batch as the recovery probe.
     feed.breaker = BreakerState::kHalfOpen;
+    metrics_.breakers_open->Add(-1);
     SMK_LOG(INFO) << "camera " << batch.camera_id
                   << ": breaker half-open; admitting probe batch";
   }
@@ -152,6 +168,7 @@ Status CentralSystem::Ingest(const CameraBatch& batch) {
                      << feed.batches_ingested + 1;
   }
   ++feed.batches_ingested;
+  metrics_.batches_ingested->Increment();
   feed.attempted_frames = attempted;
   feed.delivered_frames = batch.delivered_frames();
 
@@ -275,6 +292,7 @@ Status CentralSystem::ReinstateFeed(int camera_id) {
   if (feed.monitor) feed.monitor->Reset();
   // Reinstatement is an operator's assertion that the feed was fixed — the
   // breaker's failure history no longer describes the uplink.
+  if (feed.breaker == BreakerState::kOpen) metrics_.breakers_open->Add(-1);
   feed.breaker = BreakerState::kClosed;
   feed.consecutive_failures = 0;
   feed.rejections_since_open = 0;

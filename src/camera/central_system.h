@@ -40,6 +40,7 @@
 #include "detect/detector.h"
 #include "query/output_source.h"
 #include "query/query_spec.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace smokescreen {
@@ -172,8 +173,19 @@ class CentralSystem {
   /// `policy.min_coverage`.
   util::Result<core::CombinedEstimate> CityWideEstimate(const PartialPolicy& policy) const;
 
+  /// Re-points the central_system.* instruments (ingest counters, breaker
+  /// trip counter, open-breakers gauge) at `registry`; nullptr restores
+  /// util::MetricsRegistry::Default(). Bind before the first Ingest(); the
+  /// gauge tracks transitions, so rebinding mid-flight would strand its
+  /// level in the old registry.
+  void set_metrics_registry(util::MetricsRegistry* registry) { BindMetrics(registry); }
+
  private:
-  CentralSystem(const query::QuerySpec& spec, double delta) : spec_(spec), delta_(delta) {}
+  CentralSystem(const query::QuerySpec& spec, double delta) : spec_(spec), delta_(delta) {
+    BindMetrics(nullptr);
+  }
+
+  void BindMetrics(util::MetricsRegistry* registry);
 
   struct Feed {
     const Camera* cam = nullptr;
@@ -201,6 +213,18 @@ class CentralSystem {
 
   util::Result<core::CombinedEstimate> CombineFeeds(
       const std::vector<const Feed*>& included) const;
+
+  /// Registry-bound instruments (never null after construction).
+  struct Instruments {
+    util::Counter* batches_ingested = nullptr;
+    util::Counter* ingest_failures = nullptr;
+    util::Counter* ingest_rejected = nullptr;
+    util::Counter* breaker_trips = nullptr;
+    /// Feeds whose breaker is currently kOpen (half-open probes count as
+    /// not-open: the uplink is being trusted again).
+    util::Gauge* breakers_open = nullptr;
+  };
+  Instruments metrics_;
 
   query::QuerySpec spec_;
   double delta_;

@@ -24,12 +24,24 @@ Result<NetworkLink> NetworkLink::Create(NetworkLinkConfig config) {
   return NetworkLink(config);
 }
 
+void NetworkLink::BindMetrics(util::MetricsRegistry* registry) {
+  if (registry == nullptr) registry = &util::MetricsRegistry::Default();
+  metrics_.frames = registry->GetCounter("network_link.frames");
+  metrics_.bytes = registry->GetCounter("network_link.bytes");
+  metrics_.retransmitted_frames = registry->GetCounter("network_link.retransmitted_frames");
+  metrics_.retransmitted_bytes = registry->GetCounter("network_link.retransmitted_bytes");
+}
+
 void NetworkLink::TransmitFrame(int64_t bytes, bool is_retransmission) {
   total_bytes_ += bytes;
   ++total_frames_;
+  metrics_.frames->Increment();
+  metrics_.bytes->Add(bytes);
   if (is_retransmission) {
     retransmitted_bytes_ += bytes;
     ++retransmitted_frames_;
+    metrics_.retransmitted_frames->Increment();
+    metrics_.retransmitted_bytes->Add(bytes);
   }
 }
 

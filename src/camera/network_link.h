@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace smokescreen {
@@ -39,7 +40,7 @@ class NetworkLink {
 
   /// Legacy unchecked constructor (kept for call sites that build from
   /// compile-time-known configs); garbage in, garbage accounting out.
-  explicit NetworkLink(NetworkLinkConfig config) : config_(config) {}
+  explicit NetworkLink(NetworkLinkConfig config) : config_(config) { BindMetrics(nullptr); }
 
   /// Records the transmission of one frame of `bytes` bytes. When
   /// `is_retransmission` is set, the frame additionally counts toward the
@@ -61,9 +62,27 @@ class NetworkLink {
   /// retry policy buys its delivered-sample fraction with).
   double RetransmitEnergyJoules() const;
 
+  /// Zeroes this link's per-run tallies. The registry's network_link.*
+  /// counters are NOT reset — they are cumulative across every link bound to
+  /// the registry (monotonic, like all counters).
   void Reset();
 
+  /// Re-points the network_link.* counters at `registry`; nullptr restores
+  /// util::MetricsRegistry::Default(). Bind before the first TransmitFrame().
+  void set_metrics_registry(util::MetricsRegistry* registry) { BindMetrics(registry); }
+
  private:
+  void BindMetrics(util::MetricsRegistry* registry);
+
+  /// Registry-bound instruments (never null after construction).
+  struct Instruments {
+    util::Counter* frames = nullptr;
+    util::Counter* bytes = nullptr;
+    util::Counter* retransmitted_frames = nullptr;
+    util::Counter* retransmitted_bytes = nullptr;
+  };
+  Instruments metrics_;
+
   NetworkLinkConfig config_;
   int64_t total_bytes_ = 0;
   int64_t total_frames_ = 0;

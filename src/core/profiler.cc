@@ -7,7 +7,6 @@
 
 #include "stats/sampling.h"
 #include "util/thread_pool.h"
-#include "util/timer.h"
 
 namespace smokescreen {
 namespace core {
@@ -25,7 +24,19 @@ const ProfilePoint* Profile::Find(const InterventionSet& interventions) const {
 
 Profiler::Profiler(query::FrameOutputSource& source, const detect::ClassPriorIndex& prior,
                    query::QuerySpec spec, ProfilerOptions options)
-    : source_(source), prior_(prior), spec_(spec), options_(options) {}
+    : source_(source), prior_(prior), spec_(spec), options_(options) {
+  BindMetrics(nullptr);
+}
+
+void Profiler::BindMetrics(util::MetricsRegistry* registry) {
+  if (registry == nullptr) registry = &util::MetricsRegistry::Default();
+  metrics_.correction_seconds = registry->GetStageHistogram("profiler.stage.correction.seconds");
+  metrics_.groups_seconds = registry->GetStageHistogram("profiler.stage.groups.seconds");
+  metrics_.total_seconds = registry->GetStageHistogram("profiler.stage.total.seconds");
+  metrics_.generate_calls = registry->GetCounter("profiler.generate_calls");
+}
+
+void Profiler::set_metrics_registry(util::MetricsRegistry* registry) { BindMetrics(registry); }
 
 namespace {
 
@@ -142,7 +153,11 @@ Result<Profile> Profiler::Generate(const std::vector<InterventionSet>& candidate
   SMK_RETURN_IF_ERROR(spec_.Validate());
   if (candidates.empty()) return Status::InvalidArgument("no intervention candidates");
 
-  util::Timer total_timer;
+  // Stage spans observe into the registry histograms even on error returns
+  // (a failed Generate still spent the time); the report fields are filled
+  // from the same spans, so the two views can never disagree.
+  util::ScopedSpan total_span(metrics_.total_seconds);
+  metrics_.generate_calls->Increment();
   report_ = ProfilerReport{};
   const int64_t invocations_before = source_.model_invocations();
   const int64_t hits_before = source_.cache_hits();
@@ -158,7 +173,7 @@ Result<Profile> Profiler::Generate(const std::vector<InterventionSet>& candidate
   const uint64_t profile_seed = rng.NextUint64();
 
   // Build the correction set once; it corrects every candidate (§3.2.5).
-  util::Timer correction_timer;
+  util::ScopedSpan correction_span(metrics_.correction_seconds);
   correction_set_.reset();
   if (options_.use_correction_set) {
     int64_t size = options_.correction_set_size;
@@ -172,7 +187,7 @@ Result<Profile> Profiler::Generate(const std::vector<InterventionSet>& candidate
                          BuildCorrectionSet(source_, spec_, size, options_.delta, rng));
     correction_set_ = std::move(correction);
   }
-  report_.correction_seconds = correction_timer.ElapsedSeconds();
+  report_.correction_seconds = correction_span.Stop();
 
   // Group candidates by the non-fraction knobs; ascending fractions within a
   // group share one permutation (nested prefixes = maximal output reuse).
@@ -199,7 +214,7 @@ Result<Profile> Profiler::Generate(const std::vector<InterventionSet>& candidate
   for (auto& [key, group] : groups) ordered.emplace_back(&key, &group);
   std::vector<GroupResult> results(ordered.size());
 
-  util::Timer groups_timer;
+  util::ScopedSpan groups_span(metrics_.groups_seconds);
   {
     util::ThreadPool pool(options_.num_threads);
     report_.num_threads = pool.num_threads();
@@ -213,7 +228,7 @@ Result<Profile> Profiler::Generate(const std::vector<InterventionSet>& candidate
     }
     pool.Wait();
   }
-  report_.groups_seconds = groups_timer.ElapsedSeconds();
+  report_.groups_seconds = groups_span.Stop();
 
   for (GroupResult& result : results) {
     SMK_RETURN_IF_ERROR(result.status);
@@ -223,7 +238,7 @@ Result<Profile> Profiler::Generate(const std::vector<InterventionSet>& candidate
   report_.num_groups = static_cast<int64_t>(ordered.size());
   report_.model_invocations = source_.model_invocations() - invocations_before;
   report_.cache_hits = source_.cache_hits() - hits_before;
-  report_.total_seconds = total_timer.ElapsedSeconds();
+  report_.total_seconds = total_span.Stop();
   return profile;
 }
 

@@ -33,6 +33,7 @@
 #include "query/output_source.h"
 #include "query/query_spec.h"
 #include "stats/rng.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace smokescreen {
@@ -113,16 +114,35 @@ class Profiler {
   /// The correction set built during the last Generate() (if enabled).
   const std::optional<CorrectionSet>& correction_set() const { return correction_set_; }
 
-  /// Stage timings and invocation accounting for the last Generate().
+  /// Stage timings and invocation accounting for the last Generate(). The
+  /// same stage durations roll into the registry's
+  /// "profiler.stage.{correction,groups,total}.seconds" histograms (one
+  /// observation per Generate per stage); the report stays the per-call view,
+  /// the registry the cross-call aggregate.
   const ProfilerReport& last_report() const { return report_; }
 
+  /// Re-points the profiler.* instruments at `registry`; nullptr restores
+  /// util::MetricsRegistry::Default(). Bind before Generate().
+  void set_metrics_registry(util::MetricsRegistry* registry);
+
  private:
+  void BindMetrics(util::MetricsRegistry* registry);
+
   query::FrameOutputSource& source_;
   const detect::ClassPriorIndex& prior_;
   query::QuerySpec spec_;
   ProfilerOptions options_;
   std::optional<CorrectionSet> correction_set_;
   ProfilerReport report_;
+
+  /// Registry-bound stage histograms (never null after construction).
+  struct Instruments {
+    util::Histogram* correction_seconds = nullptr;
+    util::Histogram* groups_seconds = nullptr;
+    util::Histogram* total_seconds = nullptr;
+    util::Counter* generate_calls = nullptr;
+  };
+  Instruments metrics_;
 };
 
 /// §2.3: "missing values should simply be interpolated by the

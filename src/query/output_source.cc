@@ -60,7 +60,28 @@ Status ComputePolicy::Validate() const {
 FrameOutputSource::FrameOutputSource(const video::VideoDataset& dataset,
                                      const detect::Detector& detector,
                                      video::ObjectClass target_class)
-    : dataset_(dataset), detector_(detector), target_class_(target_class) {}
+    : dataset_(dataset), detector_(detector), target_class_(target_class) {
+  BindMetrics(nullptr);
+}
+
+void FrameOutputSource::BindMetrics(util::MetricsRegistry* registry) {
+  if (registry == nullptr) registry = &util::MetricsRegistry::Default();
+  metrics_.invocations = registry->GetCounter("output_source.model_invocations");
+  metrics_.hits = registry->GetCounter("output_source.cache_hits");
+  metrics_.inflight_waits = registry->GetCounter("output_source.inflight_waits");
+  metrics_.compute_retries = registry->GetCounter("output_source.compute_retries");
+  metrics_.watchdog_trips = registry->GetCounter("output_source.watchdog_trips");
+  metrics_.repair_columns_recomputed =
+      registry->GetCounter("output_source.repair.columns_recomputed");
+  metrics_.repair_entries_recomputed =
+      registry->GetCounter("output_source.repair.entries_recomputed");
+  metrics_.miss_batch_size =
+      registry->GetHistogram("output_source.miss_batch.frames", util::BatchSizeBoundaries());
+}
+
+void FrameOutputSource::set_metrics_registry(util::MetricsRegistry* registry) {
+  BindMetrics(registry);
+}
 
 Status FrameOutputSource::set_compute_policy(const ComputePolicy& policy) {
   SMK_RETURN_IF_ERROR(policy.Validate());
@@ -82,6 +103,7 @@ Status FrameOutputSource::RetryCountBatch(std::span<const int64_t> frames, int r
       // runs, and a success is never failed retroactively for being slow.
       if (elapsed_sec() >= policy.batch_budget_sec) {
         watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.watchdog_trips->Increment();
         return Status::Unavailable(
             "batch compute watchdog: " + std::to_string(frames.size()) + "-frame batch burned " +
             std::to_string(elapsed_sec()) + "s of a " +
@@ -93,6 +115,7 @@ Status FrameOutputSource::RetryCountBatch(std::span<const int64_t> frames, int r
         std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
       }
       compute_retries_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.compute_retries->Increment();
     }
     status = detector_.CountBatch(dataset_, frames, resolution, target_class_, contrast_scale,
                                   out);
@@ -173,12 +196,14 @@ Result<int> FrameOutputSource::RawCount(int64_t frame_index, int resolution,
       Entry* entry = ClaimEntry(shard, key, hash, fresh);
       if (entry->state == kSlotReady) {
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.hits->Increment();
         return entry->count;
       }
       if (fresh) break;
       // Another thread is invoking the model on this exact key; wait, then
       // re-claim (the computation may have failed — tombstoning its entry —
       // in which case our re-claim takes over).
+      metrics_.inflight_waits->Increment();
       shard.cv.wait(lock);
     }
   }
@@ -194,6 +219,7 @@ Result<int> FrameOutputSource::RawCount(int64_t frame_index, int resolution,
     Entry* entry = FindEntry(shard, key, hash);
     if (count.ok()) {
       model_invocations_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.invocations->Increment();
       entry->count = *count;
       entry->state = kSlotReady;
     } else {
@@ -311,7 +337,10 @@ Status FrameOutputSource::FillCountsChunk(std::span<const int64_t> frame_indices
       miss_frames.push_back(frame);
     }
   }
-  if (probe_hits > 0) cache_hits_.fetch_add(probe_hits, std::memory_order_relaxed);
+  if (probe_hits > 0) {
+    cache_hits_.fetch_add(probe_hits, std::memory_order_relaxed);
+    metrics_.hits->Add(probe_hits);
+  }
 
   // Phase 2: the claimed misses are computed outside all shard locks — one
   // batched model invocation, or a chunked fan-out on the configured pool
@@ -359,6 +388,8 @@ Status FrameOutputSource::FillCountsChunk(std::span<const int64_t> frame_indices
     // the same total the scalar path reports.
     model_invocations_.fetch_add(static_cast<int64_t>(miss_frames.size()),
                                  std::memory_order_relaxed);
+    metrics_.invocations->Add(static_cast<int64_t>(miss_frames.size()));
+    metrics_.miss_batch_size->Observe(static_cast<double>(miss_frames.size()));
   }
 
   // Duplicates of keys this call computed resolve from the fresh results and
@@ -369,6 +400,7 @@ Status FrameOutputSource::FillCountsChunk(std::span<const int64_t> frame_indices
   }
   if (!dup_fills.empty()) {
     cache_hits_.fetch_add(static_cast<int64_t>(dup_fills.size()), std::memory_order_relaxed);
+    metrics_.hits->Add(static_cast<int64_t>(dup_fills.size()));
   }
 
   // Keys another thread had in flight fall back to the scalar wait-and-retry
@@ -662,6 +694,8 @@ Result<FrameOutputSource::RepairReport> FrameOutputSource::RepairStore(util::Env
         FillCounts(recomputed.frames, q.resolution, contrast_scale, recomputed.counts));
     ++report.columns_recomputed;
     report.entries_recomputed += static_cast<int64_t>(recomputed.frames.size());
+    metrics_.repair_columns_recomputed->Increment();
+    metrics_.repair_entries_recomputed->Add(static_cast<int64_t>(recomputed.frames.size()));
     repaired.AddColumn(std::move(recomputed));
   }
   if (report.columns_dropped > 0) {

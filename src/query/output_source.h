@@ -52,6 +52,7 @@
 #include "query/output_store.h"
 #include "query/query_spec.h"
 #include "util/env.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "video/dataset.h"
 
@@ -262,6 +263,15 @@ class FrameOutputSource {
   /// of entries installed.
   util::Result<int64_t> Preload(const OutputStore& store);
 
+  /// Re-points the source's metric instruments (output_source.* counters
+  /// and the batch-size histogram) at `registry`; nullptr restores
+  /// util::MetricsRegistry::Default(). The registry counters tally EXACTLY
+  /// what the accessors below report — bit-exact at any thread count — but
+  /// aggregate across every source bound to the same registry. Not
+  /// thread-safe against concurrent requests: bind before use (tests bind a
+  /// private registry to assert exact per-source counts).
+  void set_metrics_registry(util::MetricsRegistry* registry);
+
   /// Total UDF invocations that missed the cache (the paper's N_model).
   /// Exactly the number of distinct keys computed, at any thread count. A
   /// batched invocation over N distinct missing keys counts as N.
@@ -350,6 +360,22 @@ class FrameOutputSource {
   util::Status RetryCountBatch(std::span<const int64_t> frames, int resolution,
                                double contrast_scale, std::span<int> out) const;
 
+  /// Registry-bound instrument pointers (never null after construction;
+  /// registry instruments are immortal). Additive mirrors of the atomic
+  /// accessors above — integer counter adds commute, so registry totals are
+  /// bit-exact at any thread count.
+  struct Instruments {
+    util::Counter* invocations = nullptr;
+    util::Counter* hits = nullptr;
+    util::Counter* inflight_waits = nullptr;
+    util::Counter* compute_retries = nullptr;
+    util::Counter* watchdog_trips = nullptr;
+    util::Counter* repair_columns_recomputed = nullptr;
+    util::Counter* repair_entries_recomputed = nullptr;
+    util::Histogram* miss_batch_size = nullptr;
+  };
+  void BindMetrics(util::MetricsRegistry* registry);
+
   const video::VideoDataset& dataset_;
   const detect::Detector& detector_;
   video::ObjectClass target_class_;
@@ -358,6 +384,7 @@ class FrameOutputSource {
   int64_t parallel_min_misses_ = 128;
   ComputePolicy compute_policy_;
 
+  Instruments metrics_;
   std::array<Shard, kNumShards> shards_;
   std::atomic<int64_t> model_invocations_{0};
   std::atomic<int64_t> cache_hits_{0};

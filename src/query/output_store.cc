@@ -3,6 +3,8 @@
 #include <cstring>
 #include <limits>
 
+#include "util/metrics.h"
+
 namespace smokescreen {
 namespace query {
 
@@ -327,6 +329,25 @@ Result<OutputStore::SalvageResult> OutputStore::Salvage(util::Env& env,
       }
     }
   }
+
+  // Salvage is static, so its verdict tallies bind to the default registry
+  // once (function-local statics; registry instruments are immortal). Load
+  // and Scrub both route through here, so every salvage pass is covered.
+  static util::Counter* const salvage_calls =
+      util::MetricsRegistry::Default().GetCounter("output_store.salvage.calls");
+  static util::Counter* const salvage_columns_loaded =
+      util::MetricsRegistry::Default().GetCounter("output_store.salvage.columns_loaded");
+  static util::Counter* const salvage_columns_quarantined =
+      util::MetricsRegistry::Default().GetCounter("output_store.salvage.columns_quarantined");
+  static util::Counter* const salvage_entries_loaded =
+      util::MetricsRegistry::Default().GetCounter("output_store.salvage.entries_loaded");
+  static util::Counter* const salvage_entries_quarantined =
+      util::MetricsRegistry::Default().GetCounter("output_store.salvage.entries_quarantined");
+  salvage_calls->Increment();
+  salvage_columns_loaded->Add(report.columns_loaded);
+  salvage_columns_quarantined->Add(static_cast<int64_t>(report.quarantined.size()));
+  salvage_entries_loaded->Add(report.entries_loaded);
+  salvage_entries_quarantined->Add(report.entries_quarantined);
   return result;
 }
 

@@ -1,14 +1,22 @@
 #include "util/csv_writer.h"
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace smokescreen {
 namespace util {
 
-CsvWriter::~CsvWriter() { Close().CheckOk(); }
+CsvWriter::~CsvWriter() {
+  Status status = Close();
+  if (!status.ok()) {
+    SMK_LOG(WARNING) << "CsvWriter destructor: close failed: " << status.ToString();
+  }
+}
 
 std::string CsvWriter::QuoteField(const std::string& field) {
-  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  // \r matters: RFC-4180 readers treat a bare CR as (part of) a record
+  // terminator, so an unquoted CR splits the row.
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
   std::string out = "\"";
   for (char ch : field) {
     if (ch == '"') out += '"';
@@ -18,27 +26,29 @@ std::string CsvWriter::QuoteField(const std::string& field) {
   return out;
 }
 
-Status CsvWriter::Open(const std::string& path, const std::vector<std::string>& header) {
-  if (out_.is_open()) return Status::FailedPrecondition("CsvWriter already open");
-  out_.open(path, std::ios::out | std::ios::trunc);
-  if (!out_) return Status::IoError("cannot open " + path);
+Status CsvWriter::Open(const std::string& path, const std::vector<std::string>& header,
+                       Env* env) {
+  if (file_ != nullptr) return Status::FailedPrecondition("CsvWriter already open");
+  if (env == nullptr) env = &Env::Default();
+  SMK_ASSIGN_OR_RETURN(file_, env->NewWritableFile(path));
   arity_ = header.size();
   return WriteRow(header);
 }
 
 Status CsvWriter::WriteRow(const std::vector<std::string>& cells) {
-  if (!out_.is_open()) return Status::FailedPrecondition("CsvWriter not open");
+  if (file_ == nullptr) return Status::FailedPrecondition("CsvWriter not open");
   if (cells.size() != arity_) {
     return Status::InvalidArgument("row arity " + std::to_string(cells.size()) +
                                    " != header arity " + std::to_string(arity_));
   }
+  std::string row;
   for (size_t i = 0; i < cells.size(); ++i) {
-    if (i > 0) out_ << ',';
-    out_ << QuoteField(cells[i]);
+    if (i > 0) row += ',';
+    row += QuoteField(cells[i]);
   }
-  out_ << '\n';
-  if (!out_) return Status::IoError("write failed");
-  return Status::OK();
+  row += '\n';
+  return file_->Append(std::span<const unsigned char>(
+      reinterpret_cast<const unsigned char*>(row.data()), row.size()));
 }
 
 Status CsvWriter::WriteRow(const std::vector<double>& cells) {
@@ -49,10 +59,12 @@ Status CsvWriter::WriteRow(const std::vector<double>& cells) {
 }
 
 Status CsvWriter::Close() {
-  if (!out_.is_open()) return Status::OK();
-  out_.close();
-  if (out_.fail()) return Status::IoError("close failed");
-  return Status::OK();
+  if (file_ == nullptr) return Status::OK();
+  std::unique_ptr<WritableFile> file = std::move(file_);
+  Status sync_status = file->Sync();
+  Status close_status = file->Close();
+  if (!sync_status.ok()) return sync_status;
+  return close_status;
 }
 
 }  // namespace util

@@ -1,12 +1,18 @@
 // CSV file writer with RFC-4180 quoting, used to persist experiment series.
+//
+// Writes go through the util::Env file-I/O seam (one Append per row), so the
+// same FaultEnv profiles that chaos-test the output store cover CSV
+// artifacts: torn writes land a strict row prefix, injected failures surface
+// as Status errors instead of silently truncated files.
 
 #ifndef SMOKESCREEN_UTIL_CSV_WRITER_H_
 #define SMOKESCREEN_UTIL_CSV_WRITER_H_
 
-#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "util/env.h"
 #include "util/status.h"
 
 namespace smokescreen {
@@ -16,28 +22,37 @@ namespace util {
 class CsvWriter {
  public:
   CsvWriter() = default;
+  /// Best-effort Close(); call Close() yourself to observe I/O errors (a
+  /// destructor cannot return a torn final write).
   ~CsvWriter();
 
   CsvWriter(const CsvWriter&) = delete;
   CsvWriter& operator=(const CsvWriter&) = delete;
 
   /// Opens `path` for writing (truncating) and writes the header row.
-  Status Open(const std::string& path, const std::vector<std::string>& header);
+  /// `env` defaults to Env::Default(); pass a FaultEnv to chaos-test the
+  /// artifact. The env must outlive the writer.
+  Status Open(const std::string& path, const std::vector<std::string>& header,
+              Env* env = nullptr);
 
-  /// Writes one data row; must match the header's arity.
+  /// Writes one data row; must match the header's arity. The row is
+  /// serialized first and appended as ONE write, so an injected torn write
+  /// can truncate a row but never interleave two.
   Status WriteRow(const std::vector<std::string>& cells);
   Status WriteRow(const std::vector<double>& cells);
 
-  /// Flushes and closes the file. Idempotent.
+  /// Syncs, flushes and closes the file. Idempotent.
   Status Close();
 
-  bool is_open() const { return out_.is_open(); }
+  bool is_open() const { return file_ != nullptr; }
 
-  /// Quotes a single CSV field if it contains a comma, quote, or newline.
+  /// Quotes a single CSV field if it contains a comma, quote, CR or LF
+  /// (RFC 4180: a bare \r inside an unquoted field corrupts the row for
+  /// conforming readers).
   static std::string QuoteField(const std::string& field);
 
  private:
-  std::ofstream out_;
+  std::unique_ptr<WritableFile> file_;
   size_t arity_ = 0;
 };
 

@@ -9,7 +9,15 @@ int ThreadPool::ResolveThreadCount(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+void ThreadPool::BindMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) registry = &MetricsRegistry::Default();
+  queue_depth_ = registry->GetGauge("thread_pool.queue_depth");
+  task_seconds_ = registry->GetStageHistogram("thread_pool.task.seconds");
+  tasks_run_ = registry->GetCounter("thread_pool.tasks_run");
+}
+
 ThreadPool::ThreadPool(int num_threads) : num_threads_(ResolveThreadCount(num_threads)) {
+  BindMetrics(nullptr);
   if (num_threads_ == 1) return;  // Inline mode: Submit() runs tasks directly.
   workers_.reserve(static_cast<size_t>(num_threads_));
   for (int i = 0; i < num_threads_; ++i) {
@@ -28,7 +36,13 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   if (workers_.empty()) {
-    task();  // Single-threaded pool: run inline, in submit order.
+    // Single-threaded pool: run inline, in submit order. The task still
+    // observes into the latency histogram so inline and pooled runs report
+    // through the same instruments.
+    ScopedSpan span(task_seconds_);
+    task();
+    span.Stop();
+    tasks_run_->Increment();
     return;
   }
   {
@@ -36,6 +50,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
     ++outstanding_;
   }
+  queue_depth_->Add(1);
   work_cv_.notify_one();
 }
 
@@ -55,7 +70,12 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    queue_depth_->Add(-1);
+    {
+      ScopedSpan span(task_seconds_);
+      task();
+    }
+    tasks_run_->Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--outstanding_ == 0) idle_cv_.notify_all();

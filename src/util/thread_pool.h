@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/metrics.h"
+
 namespace smokescreen {
 namespace util {
 
@@ -51,8 +53,21 @@ class ThreadPool {
   /// requested count; never less than 1.
   static int ResolveThreadCount(int requested);
 
+  /// Re-points the thread_pool.* instruments (queue-depth gauge, task
+  /// latency histogram, tasks-run counter) at `registry`; nullptr restores
+  /// util::MetricsRegistry::Default(). Not synchronized against running
+  /// workers — bind before the first Submit(). All pools bound to one
+  /// registry share the instruments (the gauge is the aggregate depth).
+  void set_metrics_registry(MetricsRegistry* registry) { BindMetrics(registry); }
+
  private:
   void WorkerLoop();
+  void BindMetrics(MetricsRegistry* registry);
+
+  /// Registry-bound instruments (never null after construction).
+  Gauge* queue_depth_ = nullptr;
+  Histogram* task_seconds_ = nullptr;
+  Counter* tasks_run_ = nullptr;
 
   int num_threads_;
   std::vector<std::thread> workers_;

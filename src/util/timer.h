@@ -28,18 +28,35 @@ class Timer {
 
 /// Accumulates total time across many start/stop intervals, e.g. to separate
 /// "model processing time" from "estimation time" inside one loop.
+///
+/// Guarded: Stop() without a matching Start() is a no-op (an earlier
+/// revision silently added time-since-construction to the total), and a
+/// second Stop() in a row is idempotent — only Start..Stop intervals count.
 class AccumulatingTimer {
  public:
-  void Start() { running_timer_.Restart(); }
-  void Stop() { total_micros_ += running_timer_.ElapsedMicros(); }
+  void Start() {
+    running_timer_.Restart();
+    running_ = true;
+  }
+  void Stop() {
+    if (!running_) return;
+    total_micros_ += running_timer_.ElapsedMicros();
+    running_ = false;
+  }
+
+  bool running() const { return running_; }
 
   double TotalSeconds() const { return static_cast<double>(total_micros_) / 1e6; }
   int64_t TotalMicros() const { return total_micros_; }
-  void Reset() { total_micros_ = 0; }
+  void Reset() {
+    total_micros_ = 0;
+    running_ = false;
+  }
 
  private:
   Timer running_timer_;
   int64_t total_micros_ = 0;
+  bool running_ = false;
 };
 
 }  // namespace util

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "detect/models.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "video/presets.h"
 
@@ -470,6 +471,125 @@ TEST_F(OutputSourceTest, RetriesWorkOnThePooledPath) {
   EXPECT_EQ(*got, *want);
   EXPECT_EQ(source.compute_retries(), 3);
   EXPECT_EQ(source.model_invocations(), static_cast<int64_t>(frames.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Metrics accounting: every registry counter mirrors its accessor BIT-EXACTLY.
+// The source increments both at the same sites, so the invariant must hold at
+// any thread count, on any path (serial hit/miss, pooled miss-batches, retry).
+// ---------------------------------------------------------------------------
+
+TEST_F(OutputSourceTest, MetricsMirrorAccessorsSingleThreaded) {
+  util::MetricsRegistry registry;
+  FrameOutputSource source(*dataset_, yolo_, ObjectClass::kCar);
+  source.set_metrics_registry(&registry);
+
+  // Mixed workload: cold misses, repeat hits, a batched call with duplicates.
+  for (int64_t frame = 0; frame < 40; ++frame) {
+    ASSERT_TRUE(source.RawCount(frame, 320).ok());
+  }
+  for (int64_t frame = 0; frame < 40; ++frame) {
+    ASSERT_TRUE(source.RawCount(frame, 320).ok());  // All hits.
+  }
+  ASSERT_TRUE(source.RawCounts({0, 1, 1, 2, 90, 91, 90}, 608).ok());
+
+  util::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counter("output_source.model_invocations"),
+            source.model_invocations());
+  EXPECT_EQ(snapshot.counter("output_source.cache_hits"), source.cache_hits());
+  EXPECT_EQ(snapshot.counter("output_source.compute_retries"), source.compute_retries());
+  EXPECT_EQ(snapshot.counter("output_source.watchdog_trips"), source.watchdog_trips());
+  EXPECT_GT(source.model_invocations(), 0);
+  EXPECT_GT(source.cache_hits(), 0);
+}
+
+TEST_F(OutputSourceTest, MetricsMirrorAccessorsAtEightThreads) {
+  util::MetricsRegistry registry;
+  FrameOutputSource source(*dataset_, yolo_, ObjectClass::kCar);
+  source.set_metrics_registry(&registry);
+
+  // Overlapping windows from 8 caller threads: races through the hit path,
+  // the in-flight wait path and the batch-install path all at once.
+  constexpr int kThreads = 8;
+  constexpr int64_t kWindow = 150;
+  constexpr int64_t kStride = 20;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<int64_t> window(kWindow);
+      std::iota(window.begin(), window.end(), t * kStride);
+      if (!source.RawCounts(window, 320).ok()) failed.store(true);
+      for (int64_t frame = t * kStride; frame < t * kStride + 40; ++frame) {
+        if (!source.RawCount(frame, 320).ok()) failed.store(true);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_FALSE(failed.load());
+
+  util::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counter("output_source.model_invocations"),
+            source.model_invocations());
+  EXPECT_EQ(snapshot.counter("output_source.cache_hits"), source.cache_hits());
+  EXPECT_EQ(snapshot.counter("output_source.compute_retries"), source.compute_retries());
+  EXPECT_EQ(snapshot.counter("output_source.watchdog_trips"), source.watchdog_trips());
+  // Sanity: the workload exercised both sides of the cache.
+  EXPECT_EQ(source.model_invocations(), (kThreads - 1) * kStride + kWindow);
+  EXPECT_GT(source.cache_hits(), 0);
+}
+
+TEST_F(OutputSourceTest, MetricsMirrorRetryAndWatchdogCounters) {
+  util::MetricsRegistry registry;
+  FlakyDetector flaky(/*failures=*/2);
+  FrameOutputSource source(*dataset_, flaky, ObjectClass::kCar);
+  source.set_metrics_registry(&registry);
+  ComputePolicy policy;
+  policy.max_attempts = 3;
+  ASSERT_TRUE(source.set_compute_policy(policy).ok());
+  ASSERT_TRUE(source.RawCounts({0, 1, 2}, 320).ok());
+
+  util::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counter("output_source.compute_retries"), source.compute_retries());
+  EXPECT_EQ(source.compute_retries(), 2);
+  EXPECT_EQ(snapshot.counter("output_source.model_invocations"),
+            source.model_invocations());
+
+  // Watchdog path, same invariant.
+  util::MetricsRegistry wd_registry;
+  FlakyDetector always_down(/*failures=*/100);
+  FrameOutputSource wd_source(*dataset_, always_down, ObjectClass::kCar);
+  wd_source.set_metrics_registry(&wd_registry);
+  ComputePolicy wd_policy;
+  wd_policy.max_attempts = 10;
+  wd_policy.batch_budget_sec = 0.0;
+  ASSERT_TRUE(wd_source.set_compute_policy(wd_policy).ok());
+  ASSERT_FALSE(wd_source.RawCounts({0, 1, 2}, 320).ok());
+  EXPECT_EQ(wd_registry.Snapshot().counter("output_source.watchdog_trips"),
+            wd_source.watchdog_trips());
+  EXPECT_EQ(wd_source.watchdog_trips(), 1);
+}
+
+TEST_F(OutputSourceTest, MetricsBatchHistogramCountsMissBatches) {
+  util::MetricsRegistry registry;
+  FrameOutputSource source(*dataset_, yolo_, ObjectClass::kCar);
+  source.set_metrics_registry(&registry);
+  // Two batched calls with misses -> two observations whose sum is the total
+  // number of distinct misses; a fully-hit call adds no observation.
+  ASSERT_TRUE(source.RawCounts({0, 1, 2, 3}, 320).ok());
+  ASSERT_TRUE(source.RawCounts({4, 5}, 320).ok());
+  ASSERT_TRUE(source.RawCounts({0, 1}, 320).ok());  // All hits.
+
+  util::MetricsSnapshot snapshot = registry.Snapshot();
+  const util::HistogramSnapshot* miss_batch = nullptr;
+  for (const util::HistogramSnapshot& h : snapshot.histograms) {
+    if (h.name == "output_source.miss_batch.frames") miss_batch = &h;
+  }
+  ASSERT_NE(miss_batch, nullptr);
+  EXPECT_EQ(miss_batch->count, 2);
+  EXPECT_DOUBLE_EQ(miss_batch->sum, 6.0);
+  EXPECT_EQ(snapshot.counter("output_source.model_invocations"), 6);
 }
 
 }  // namespace

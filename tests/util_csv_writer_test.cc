@@ -1,0 +1,160 @@
+// CsvWriter: RFC-4180 quoting (commas, quotes, LF and CR all force quoting)
+// and the Env-seam write path (injected faults surface as Status errors, a
+// writer can never interleave two rows).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/csv_writer.h"
+#include "util/env.h"
+
+namespace smokescreen {
+namespace util {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+TEST(CsvWriterTest, QuotesSpecialFields) {
+  EXPECT_EQ(CsvWriter::QuoteField("plain"), "plain");
+  EXPECT_EQ(CsvWriter::QuoteField("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::QuoteField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::QuoteField("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, QuotesCarriageReturn) {
+  // RFC-4180 readers treat a bare CR as (part of) a record terminator, so an
+  // unquoted CR splits the row. An earlier revision's quote-trigger set was
+  // {",", "\"", "\n"} and let CRs through unquoted.
+  EXPECT_EQ(CsvWriter::QuoteField("a\rb"), "\"a\rb\"");
+  EXPECT_EQ(CsvWriter::QuoteField("crlf\r\nend"), "\"crlf\r\nend\"");
+  EXPECT_EQ(CsvWriter::QuoteField("\r"), "\"\r\"");
+}
+
+TEST(CsvWriterTest, WritesFileWithHeaderAndRows) {
+  std::string path = testing::TempDir() + "/smk_csv_test.csv";
+  {
+    CsvWriter w;
+    ASSERT_TRUE(w.Open(path, {"col1", "col2"}).ok());
+    EXPECT_TRUE(w.is_open());
+    ASSERT_TRUE(w.WriteRow(std::vector<std::string>{"a", "b"}).ok());
+    ASSERT_TRUE(w.WriteRow(std::vector<double>{1.5, 2.5}).ok());
+    ASSERT_TRUE(w.Close().ok());
+    EXPECT_FALSE(w.is_open());
+  }
+  EXPECT_EQ(ReadAll(path), "col1,col2\na,b\n1.500000,2.500000\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, CarriageReturnFieldRoundTrips) {
+  // The CR and embedded-quote fields must come back byte-for-byte inside
+  // their quotes — one quoted cell, not a split record.
+  std::string path = testing::TempDir() + "/smk_csv_cr.csv";
+  {
+    CsvWriter w;
+    ASSERT_TRUE(w.Open(path, {"field"}).ok());
+    ASSERT_TRUE(w.WriteRow(std::vector<std::string>{"top\rbottom"}).ok());
+    ASSERT_TRUE(w.WriteRow(std::vector<std::string>{"say \"hi\""}).ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  EXPECT_EQ(ReadAll(path), "field\n\"top\rbottom\"\n\"say \"\"hi\"\"\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, RejectsArityMismatch) {
+  std::string path = testing::TempDir() + "/smk_csv_arity.csv";
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path, {"one"}).ok());
+  EXPECT_EQ(w.WriteRow(std::vector<std::string>{"a", "b"}).code(),
+            StatusCode::kInvalidArgument);
+  // The mismatched row left no bytes behind: arity is validated before any
+  // write reaches the file.
+  ASSERT_TRUE(w.WriteRow(std::vector<std::string>{"ok"}).ok());
+  ASSERT_TRUE(w.Close().ok());
+  EXPECT_EQ(ReadAll(path), "one\nok\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WriteBeforeOpenFails) {
+  CsvWriter w;
+  EXPECT_EQ(w.WriteRow({"x"}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CsvWriterTest, DoubleOpenFails) {
+  std::string path = testing::TempDir() + "/smk_csv_dopen.csv";
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path, {"c"}).ok());
+  EXPECT_EQ(w.Open(path, {"c"}).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(w.Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, CloseIsIdempotentAndReopenAfterCloseWorks) {
+  std::string path = testing::TempDir() + "/smk_csv_reopen.csv";
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path, {"c"}).ok());
+  ASSERT_TRUE(w.Close().ok());
+  ASSERT_TRUE(w.Close().ok());  // Idempotent.
+  // A closed writer is reusable; reopening truncates.
+  ASSERT_TRUE(w.Open(path, {"c2"}).ok());
+  ASSERT_TRUE(w.Close().ok());
+  EXPECT_EQ(ReadAll(path), "c2\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, OpenFailureReportsStatusError) {
+  CsvWriter w;
+  Status status = w.Open("/nonexistent-dir-smk/file.csv", {"c"});
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(w.is_open());
+  // The failed open left the writer reusable.
+  std::string path = testing::TempDir() + "/smk_csv_after_fail.csv";
+  ASSERT_TRUE(w.Open(path, {"c"}).ok());
+  ASSERT_TRUE(w.Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WritesThroughInjectedFaultEnv) {
+  // Every write goes through the Env seam, so a FaultEnv profile covers CSV
+  // artifacts: a write that always tears must surface as a Status error on
+  // some row, never as a silently truncated-but-OK file.
+  FaultEnvProfile profile;
+  profile.write_fail_prob = 1.0;
+  profile.seed = 7;
+  auto env = FaultEnv::Create(profile);
+  ASSERT_TRUE(env.ok());
+  std::string path = testing::TempDir() + "/smk_csv_fault.csv";
+  CsvWriter w;
+  // The header row is written inside Open; with write_fail_prob=1 it tears.
+  Status status = w.Open(path, {"col"}, &*env);
+  EXPECT_FALSE(status.ok());
+  EXPECT_GE(env->torn_writes(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, SyncFailureSurfacesOnClose) {
+  FaultEnvProfile profile;
+  profile.sync_fail_prob = 1.0;
+  profile.seed = 7;
+  auto env = FaultEnv::Create(profile);
+  ASSERT_TRUE(env.ok());
+  std::string path = testing::TempDir() + "/smk_csv_syncfail.csv";
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path, {"col"}, &*env).ok());
+  ASSERT_TRUE(w.WriteRow(std::vector<std::string>{"v"}).ok());
+  EXPECT_FALSE(w.Close().ok());  // The failed fsync must not be swallowed.
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace smokescreen

@@ -1,0 +1,86 @@
+// Leveled logging: threshold filtering (messages below the threshold are
+// dropped, at-or-above pass) and the FATAL abort contract.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/logging.h"
+
+namespace smokescreen {
+namespace util {
+namespace {
+
+/// Restores the global threshold on scope exit so tests cannot leak a
+/// non-default threshold into each other.
+class ThresholdGuard {
+ public:
+  ThresholdGuard() : saved_(GetLogThreshold()) {}
+  ~ThresholdGuard() { SetLogThreshold(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, ThresholdRoundTrips) {
+  ThresholdGuard guard;
+  SetLogThreshold(LogLevel::kError);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+  SetLogThreshold(LogLevel::kDebug);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, MessagesBelowThresholdAreDropped) {
+  ThresholdGuard guard;
+  SetLogThreshold(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  SMK_LOG(INFO) << "suppressed info";
+  SMK_LOG(WARNING) << "suppressed warning";
+  std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("suppressed info"), std::string::npos);
+  EXPECT_EQ(captured.find("suppressed warning"), std::string::npos);
+}
+
+TEST(LoggingTest, MessagesAtOrAboveThresholdPass) {
+  ThresholdGuard guard;
+  SetLogThreshold(LogLevel::kWarning);
+  testing::internal::CaptureStderr();
+  SMK_LOG(WARNING) << "kept warning";
+  SMK_LOG(ERROR) << "kept error";
+  std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("kept warning"), std::string::npos);
+  EXPECT_NE(captured.find("kept error"), std::string::npos);
+  // The prefix carries the level tag and the source basename.
+  EXPECT_NE(captured.find("[WARN "), std::string::npos);
+  EXPECT_NE(captured.find("util_logging_test.cc"), std::string::npos);
+}
+
+TEST(LoggingTest, StreamSyntaxFormatsValues) {
+  ThresholdGuard guard;
+  SetLogThreshold(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  SMK_LOG(INFO) << "profiled " << 42 << " candidates at " << 0.5;
+  std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("profiled 42 candidates at 0.5"), std::string::npos);
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  // FATAL bypasses the threshold entirely and aborts after flushing.
+  ThresholdGuard guard;
+  SetLogThreshold(LogLevel::kFatal);
+  EXPECT_DEATH(SMK_LOG(FATAL) << "unrecoverable condition", "unrecoverable condition");
+}
+
+TEST(LoggingDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH(SMK_CHECK_EQ(1, 2) << "math broke", "Check failed");
+}
+
+TEST(LoggingDeathTest, PassingCheckDoesNotAbort) {
+  SMK_CHECK_EQ(2, 2) << "never printed";
+  SMK_CHECK_GE(1.0, 0.5) << "never printed";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace smokescreen

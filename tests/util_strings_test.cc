@@ -2,14 +2,10 @@
 
 #include <cmath>
 #include <cstdint>
-#include <cstdio>
-#include <fstream>
 #include <sstream>
 
-#include "util/csv_writer.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
-#include "util/timer.h"
 
 namespace smokescreen {
 namespace util {
@@ -148,72 +144,8 @@ TEST(TablePrinterTest, ToCsvHasHeaderAndRows) {
   EXPECT_EQ(t.ToCsv(), "h1,h2\nv1,v2\n");
 }
 
-TEST(CsvWriterTest, QuotesSpecialFields) {
-  EXPECT_EQ(CsvWriter::QuoteField("plain"), "plain");
-  EXPECT_EQ(CsvWriter::QuoteField("a,b"), "\"a,b\"");
-  EXPECT_EQ(CsvWriter::QuoteField("say \"hi\""), "\"say \"\"hi\"\"\"");
-  EXPECT_EQ(CsvWriter::QuoteField("line\nbreak"), "\"line\nbreak\"");
-}
-
-TEST(CsvWriterTest, WritesFileWithHeaderAndRows) {
-  std::string path = testing::TempDir() + "/smk_csv_test.csv";
-  {
-    CsvWriter w;
-    ASSERT_TRUE(w.Open(path, {"col1", "col2"}).ok());
-    ASSERT_TRUE(w.WriteRow(std::vector<std::string>{"a", "b"}).ok());
-    ASSERT_TRUE(w.WriteRow(std::vector<double>{1.5, 2.5}).ok());
-    ASSERT_TRUE(w.Close().ok());
-  }
-  std::ifstream in(path);
-  std::stringstream content;
-  content << in.rdbuf();
-  EXPECT_EQ(content.str(), "col1,col2\na,b\n1.500000,2.500000\n");
-  std::remove(path.c_str());
-}
-
-TEST(CsvWriterTest, RejectsArityMismatch) {
-  std::string path = testing::TempDir() + "/smk_csv_arity.csv";
-  CsvWriter w;
-  ASSERT_TRUE(w.Open(path, {"one"}).ok());
-  EXPECT_FALSE(w.WriteRow(std::vector<std::string>{"a", "b"}).ok());
-  ASSERT_TRUE(w.Close().ok());
-  std::remove(path.c_str());
-}
-
-TEST(CsvWriterTest, WriteBeforeOpenFails) {
-  CsvWriter w;
-  EXPECT_EQ(w.WriteRow({"x"}).code(), StatusCode::kFailedPrecondition);
-}
-
-TEST(CsvWriterTest, DoubleOpenFails) {
-  std::string path = testing::TempDir() + "/smk_csv_dopen.csv";
-  CsvWriter w;
-  ASSERT_TRUE(w.Open(path, {"c"}).ok());
-  EXPECT_FALSE(w.Open(path, {"c"}).ok());
-  ASSERT_TRUE(w.Close().ok());
-  std::remove(path.c_str());
-}
-
-TEST(TimerTest, MeasuresElapsedTime) {
-  Timer t;
-  double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
-  (void)sink;
-  EXPECT_GE(t.ElapsedMicros(), 0);
-  EXPECT_GE(t.ElapsedSeconds(), 0.0);
-}
-
-TEST(AccumulatingTimerTest, AccumulatesIntervals) {
-  AccumulatingTimer acc;
-  EXPECT_EQ(acc.TotalMicros(), 0);
-  acc.Start();
-  acc.Stop();
-  acc.Start();
-  acc.Stop();
-  EXPECT_GE(acc.TotalMicros(), 0);
-  acc.Reset();
-  EXPECT_EQ(acc.TotalMicros(), 0);
-}
+// CsvWriter and Timer tests moved to util_csv_writer_test.cc and
+// util_timer_test.cc alongside the metrics layer's Env-seam coverage.
 
 }  // namespace
 }  // namespace util

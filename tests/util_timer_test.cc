@@ -1,0 +1,105 @@
+// Timer / AccumulatingTimer: monotonicity and the guarded Start/Stop
+// protocol (an earlier AccumulatingTimer revision silently added
+// time-since-construction on a Stop() without a matching Start()).
+
+#include <gtest/gtest.h>
+
+#include "util/timer.h"
+
+namespace smokescreen {
+namespace util {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  (void)sink;
+  EXPECT_GE(t.ElapsedMicros(), 0);
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), 0);
+}
+
+TEST(TimerTest, RestartIsMonotonic) {
+  Timer t;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  (void)sink;
+  int64_t before = t.ElapsedMicros();
+  t.Restart();
+  // Elapsed-after-restart can never exceed elapsed-before plus the time the
+  // two calls themselves took; in particular it restarts from zero, not from
+  // the original construction time.
+  EXPECT_LE(t.ElapsedMicros(), before + 1000000);
+  EXPECT_GE(t.ElapsedMicros(), 0);
+}
+
+TEST(AccumulatingTimerTest, AccumulatesIntervals) {
+  AccumulatingTimer acc;
+  EXPECT_EQ(acc.TotalMicros(), 0);
+  acc.Start();
+  acc.Stop();
+  acc.Start();
+  acc.Stop();
+  EXPECT_GE(acc.TotalMicros(), 0);
+  acc.Reset();
+  EXPECT_EQ(acc.TotalMicros(), 0);
+}
+
+TEST(AccumulatingTimerTest, StopWithoutStartIsNoOp) {
+  AccumulatingTimer acc;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  (void)sink;
+  acc.Stop();  // Never started: must not charge time-since-construction.
+  EXPECT_EQ(acc.TotalMicros(), 0);
+  EXPECT_FALSE(acc.running());
+}
+
+TEST(AccumulatingTimerTest, DoubleStopIsIdempotent) {
+  AccumulatingTimer acc;
+  acc.Start();
+  acc.Stop();
+  int64_t total = acc.TotalMicros();
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  (void)sink;
+  acc.Stop();  // Second Stop in a row: no new interval, no extra charge.
+  EXPECT_EQ(acc.TotalMicros(), total);
+}
+
+TEST(AccumulatingTimerTest, RunningFlagTracksProtocol) {
+  AccumulatingTimer acc;
+  EXPECT_FALSE(acc.running());
+  acc.Start();
+  EXPECT_TRUE(acc.running());
+  acc.Stop();
+  EXPECT_FALSE(acc.running());
+}
+
+TEST(AccumulatingTimerTest, ResetClearsRunningState) {
+  AccumulatingTimer acc;
+  acc.Start();
+  acc.Reset();
+  EXPECT_FALSE(acc.running());
+  EXPECT_EQ(acc.TotalMicros(), 0);
+  acc.Stop();  // The pre-Reset Start must not pair with this Stop.
+  EXPECT_EQ(acc.TotalMicros(), 0);
+}
+
+TEST(AccumulatingTimerTest, RestartedStartDropsThePreviousInterval) {
+  AccumulatingTimer acc;
+  acc.Start();
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  (void)sink;
+  acc.Start();  // Restart: the interval measures from HERE.
+  int64_t burned = acc.TotalMicros();
+  EXPECT_EQ(burned, 0);  // Nothing accumulated until a Stop.
+  acc.Stop();
+  EXPECT_GE(acc.TotalMicros(), 0);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace smokescreen
