@@ -17,6 +17,7 @@
 #include "detect/class_prior_index.h"
 #include "detect/models.h"
 #include "detect/registry.h"
+#include "engine/runtime.h"
 #include "query/executor.h"
 #include "query/output_source.h"
 #include "stats/rng.h"
@@ -26,38 +27,50 @@
 namespace smokescreen {
 namespace bench {
 
-/// A fully materialized workload: video + model + prior + output cache.
+/// The process-wide engine runtime every bench workload is wired through.
+/// Default options: process-default Env/registry, hardware-width executor.
+inline engine::Runtime& BenchRuntime() {
+  static std::unique_ptr<engine::Runtime> runtime = [] {
+    auto created = engine::Runtime::Create({});
+    created.status().CheckOk();
+    return std::move(created).ValueOrDie();
+  }();
+  return *runtime;
+}
+
+/// A fully materialized workload: video + model + prior + output cache. The
+/// engine handle owns the pieces; the raw pointers keep the historical bench
+/// spelling (`*wl.dataset`, `wl.source->...`) working unchanged.
 struct Workload {
   std::string label;
-  std::unique_ptr<video::VideoDataset> dataset;
-  std::unique_ptr<detect::Detector> model;
-  std::unique_ptr<detect::ClassPriorIndex> prior;
-  std::unique_ptr<query::FrameOutputSource> source;
+  engine::WorkloadHandle handle;
+  const video::VideoDataset* dataset = nullptr;
+  const detect::Detector* model = nullptr;
+  const detect::ClassPriorIndex* prior = nullptr;
+  query::FrameOutputSource* source = nullptr;
 };
 
-/// Builds a workload. `detector_name` is "yolov4" or "maskrcnn"; the prior is
-/// always computed with YOLO (person) + MTCNN (face), as in the paper.
-/// `frames` == 0 uses the preset's full length.
+/// Builds a workload through the bench runtime. `detector_name` is "yolov4"
+/// or "maskrcnn"; the prior is always computed with YOLO (person) + MTCNN
+/// (face), as in the paper. `frames` == 0 uses the preset's full length.
+/// Workloads are ISOLATED (never the runtime's shared instance): every call
+/// returns a cold output cache, preserving each bench's cold-start timing.
 inline Workload MakeWorkload(video::ScenePreset preset, const std::string& detector_name,
                              int64_t frames = 0) {
+  engine::WorkloadDesc desc;
+  desc.preset = preset;
+  desc.frames = frames;
+  desc.detector_name = detector_name;
+  auto handle = BenchRuntime().CreateIsolatedWorkload(desc);
+  handle.status().CheckOk();
+
   Workload wl;
-  auto ds = frames == 0 ? video::MakePreset(preset) : video::MakePresetScaled(preset, frames);
-  ds.status().CheckOk();
-  wl.dataset = std::make_unique<video::VideoDataset>(std::move(ds).ValueOrDie());
-
-  auto model = detect::MakeDetector(detector_name);
-  model.status().CheckOk();
-  wl.model = std::move(model).ValueOrDie();
-
-  detect::SimYoloV4 person_detector;
-  detect::SimMtcnn face_detector;
-  auto prior = detect::ClassPriorIndex::Build(*wl.dataset, person_detector, face_detector);
-  prior.status().CheckOk();
-  wl.prior = std::make_unique<detect::ClassPriorIndex>(std::move(prior).ValueOrDie());
-
-  wl.source = std::make_unique<query::FrameOutputSource>(*wl.dataset, *wl.model,
-                                                         video::ObjectClass::kCar);
-  wl.label = std::string(video::ScenePresetName(preset)) + "+" + detector_name;
+  wl.handle = *handle;
+  wl.dataset = &wl.handle->dataset();
+  wl.model = &wl.handle->detector();
+  wl.prior = &wl.handle->prior();
+  wl.source = &wl.handle->source();
+  wl.label = wl.handle->label();
   return wl;
 }
 

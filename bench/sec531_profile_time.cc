@@ -8,15 +8,20 @@
 // set. Model-invocation counts are hardware-independent and must match
 // exactly; wall-clock splits are reported for the simulated pipeline and
 // extrapolated to the paper's GPU-scale per-frame cost.
+//
+// The bench runs through engine::Runtime/Session with the profile cache
+// DISABLED: the second Profile() call must deliberately regenerate (same
+// seed -> identical samples -> every output served from the memo cache) to
+// time the estimation stage alone.
 
 #include <cstdio>
-#include <filesystem>
 #include <iostream>
 
 #include "bench/bench_common.h"
 #include "stats/sampling.h"
 #include "core/candidate_design.h"
 #include "core/profiler.h"
+#include "engine/session.h"
 #include "query/output_store.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -61,9 +66,34 @@ int main(int argc, char** argv) {
 
   std::printf("=== Section 5.3.1: profile generation time ===\n\n");
 
-  bench::Workload wl = bench::MakeWorkload(video::ScenePreset::kUaDetrac, "yolov4");
-  query::QuerySpec spec;
-  spec.aggregate = query::AggregateFunction::kAvg;
+  // A dedicated runtime (not the shared bench one): the executor width and
+  // batch cap are this bench's flags, and the store path must be validated
+  // before any profiling work (an existing store warm-starts the workload; a
+  // fresh path must point into an existing directory).
+  engine::RuntimeOptions runtime_opts;
+  runtime_opts.num_threads = threads;
+  runtime_opts.max_batch_size = batch_size;
+  auto runtime = engine::Runtime::Create(runtime_opts);
+  runtime.status().CheckOk();
+  engine::WorkloadDesc desc;
+  desc.preset = video::ScenePreset::kUaDetrac;
+  desc.output_store_path = output_store;
+  auto workload = (*runtime)->GetWorkload(desc);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 2;
+  }
+  const bool warm_start = (*workload)->warm_start_entries() > 0;
+  if (!(*workload)->warm_start_damage().empty()) {
+    std::fprintf(stderr, "warning: %s is damaged (%s); loading verified columns only\n",
+                 output_store.c_str(), (*workload)->warm_start_damage().c_str());
+  }
+  if (warm_start) {
+    std::printf("warm-started %lld cached outputs from %s\n\n",
+                static_cast<long long>((*workload)->warm_start_entries()),
+                output_store.c_str());
+  }
+  query::FrameOutputSource& source = (*workload)->source();
 
   // Candidate grid: 10 resolutions x fractions {0.01..0.04} (the determined
   // correction fraction is also the highest sample fraction).
@@ -73,68 +103,36 @@ int main(int argc, char** argv) {
   grid_opts.fraction_step = 0.01;
   grid_opts.num_resolutions = 10;
   grid_opts.include_class_combinations = false;  // Loosest removal: none.
-  auto grid = core::BuildCandidateGrid(*wl.model, grid_opts);
+  auto grid = core::BuildCandidateGrid((*workload)->detector(), grid_opts);
   grid.status().CheckOk();
 
-  wl.source->set_max_batch_size(batch_size);
-  // Output-store handling, validated before any profiling work: an existing
-  // store must load and match this workload; a fresh path must point into an
-  // existing directory.
-  int64_t preloaded = 0;
-  bool warm_start = false;
-  if (!output_store.empty()) {
-    std::error_code ec;
-    if (std::filesystem::exists(output_store, ec)) {
-      // Salvage rather than strict-load: verified columns warm the cache and
-      // any quarantined remainder is recomputed by the timed run itself.
-      auto store = query::OutputStore::Salvage(output_store);
-      store.status().CheckOk();
-      if (!store->report.clean()) {
-        std::fprintf(stderr, "warning: %s is damaged (%s); loading verified columns only\n",
-                     output_store.c_str(), store->report.Summary().c_str());
-      }
-      auto loaded = wl.source->Preload(store->store);
-      loaded.status().CheckOk();
-      preloaded = *loaded;
-      warm_start = true;
-      std::printf("warm-started %lld cached outputs from %s\n\n",
-                  static_cast<long long>(preloaded), output_store.c_str());
-    } else {
-      std::filesystem::path parent = std::filesystem::path(output_store).parent_path();
-      if (!parent.empty() && !std::filesystem::is_directory(parent, ec)) {
-        std::fprintf(stderr, "--output-store: directory %s does not exist\n",
-                     parent.string().c_str());
-        return 2;
-      }
-    }
-  }
+  engine::SessionConfig config;
+  config.spec.aggregate = query::AggregateFunction::kAvg;
+  config.seed = 531;
+  config.profiler.use_correction_set = false;  // Isolate the candidate-grid invocations.
+  config.profiler.early_stop = false;
+  config.use_profile_cache = false;  // The replay below must regenerate.
+  auto session = (*runtime)->StartSession(*workload, config);
+  session.status().CheckOk();
 
-  wl.source->ResetCounters();
+  source.ResetCounters();
   util::Timer total_timer;
-
-  core::ProfilerOptions opts;
-  opts.use_correction_set = false;  // Isolate the candidate-grid invocations.
-  opts.early_stop = false;
-  opts.num_threads = threads;
-  core::Profiler profiler(*wl.source, *wl.prior, spec, opts);
-  stats::Rng rng(531);
-
-  util::Timer model_phase;
-  auto profile = profiler.Generate(*grid, rng);
+  auto profile = (*session)->Profile(*grid);
   profile.status().CheckOk();
   double total_seconds = total_timer.ElapsedSeconds();
   // Copy: the replay below overwrites last_report().
-  const core::ProfilerReport report = profiler.last_report();
+  const core::ProfilerReport report = (*session)->last_report();
 
-  int64_t invocations = wl.source->model_invocations();
-  int64_t expected = 10 * stats::FractionToCount(wl.dataset->num_frames(), 0.04);
+  int64_t invocations = source.model_invocations();
+  int64_t expected =
+      10 * stats::FractionToCount((*workload)->dataset().num_frames(), 0.04);
 
-  // Estimation-stage-only timing: replay the identical generation (same rng
-  // seed -> same samples) so every model output comes from the cache.
-  wl.source->ResetCounters();
-  stats::Rng replay_rng(531);
+  // Estimation-stage-only timing: Profile() reseeds from the session seed, so
+  // the second generation draws the identical samples and every model output
+  // comes from the cache.
+  source.ResetCounters();
   util::Timer est_timer;
-  auto profile2 = profiler.Generate(*grid, replay_rng);
+  auto profile2 = (*session)->Profile(*grid);
   profile2.status().CheckOk();
   double est_seconds = est_timer.ElapsedSeconds();
   double per_candidate_ms = est_seconds * 1000.0 / static_cast<double>(grid->size());
@@ -147,7 +145,7 @@ int main(int argc, char** argv) {
   table.AddRow({"intervention candidates", std::to_string(grid->size())});
   table.AddRow({"model invocations", std::to_string(invocations)});
   table.AddRow({"expected (paper: 6084 = 4% x 15210 x 10 res)", std::to_string(expected)});
-  table.AddRow({"cache hits (reuse strategy)", std::to_string(wl.source->cache_hits())});
+  table.AddRow({"cache hits (reuse strategy)", std::to_string(source.cache_hits())});
   if (warm_start) {
     table.AddRow({"served from output store", std::to_string(expected - invocations)});
   }
@@ -168,11 +166,16 @@ int main(int argc, char** argv) {
       "intervention set, so profile time is dominated by model processing.\n",
       static_cast<long long>(invocations), static_cast<long long>(expected));
 
+  // The two generations must agree bit-for-bit: same workload, same seed.
+  if (!engine::ProfilesBitIdentical(**profile, **profile2)) {
+    std::fprintf(stderr, "replayed profile diverged from the first generation\n");
+    return 1;
+  }
+
   if (!output_store.empty()) {
-    query::OutputStore store = wl.source->ExportStore();
-    store.Save(output_store).CheckOk();
+    (*runtime)->SaveStore(*workload).CheckOk();
     std::printf("output store saved to %s (%lld entries)\n", output_store.c_str(),
-                static_cast<long long>(store.TotalEntries()));
+                static_cast<long long>(source.ExportStore().TotalEntries()));
   }
   // A warm store legitimately serves some (or all) of the expected
   // invocations as cache reads; cold runs must still match exactly.

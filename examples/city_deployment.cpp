@@ -15,12 +15,14 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "camera/camera.h"
 #include "camera/central_system.h"
 #include "camera/fault_injector.h"
 #include "camera/network_link.h"
 #include "detect/models.h"
+#include "engine/runtime.h"
 #include "query/executor.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -81,6 +83,12 @@ int main() {
   }
 
   // --- Build feeds, cameras, central system ---------------------------------
+  // The per-site corpora are custom simulated scenes, so each enters the
+  // runtime via AdoptWorkload; the workload handles own the feeds and the
+  // priors the cameras reference, and each site's output source (used for
+  // ground-truth validation) is runtime-wired.
+  auto runtime = engine::Runtime::Create({});
+  runtime.status().CheckOk();
   detect::SimYoloV4 yolo;
   detect::SimMtcnn mtcnn;
   query::QuerySpec spec;
@@ -88,32 +96,38 @@ int main() {
   auto central = camera::CentralSystem::Create(spec, 0.05);
   central.status().CheckOk();
 
-  std::vector<std::unique_ptr<video::VideoDataset>> feeds;
-  std::vector<std::unique_ptr<detect::ClassPriorIndex>> priors;
+  std::vector<engine::WorkloadHandle> workloads;
   std::vector<std::unique_ptr<camera::Camera>> cameras;
   double pooled_truth_numerator = 0;
   double pooled_truth_denominator = 0;
   for (size_t i = 0; i < sites.size(); ++i) {
     auto feed = video::SimulateScene(sites[i].scene);
     feed.status().CheckOk();
-    feeds.push_back(std::make_unique<video::VideoDataset>(std::move(feed).ValueOrDie()));
-    auto prior = detect::ClassPriorIndex::Build(*feeds.back(), yolo, mtcnn);
+    auto dataset = std::make_unique<video::VideoDataset>(std::move(feed).ValueOrDie());
+    auto detector = std::make_unique<detect::SimYoloV4>();
+    auto prior = detect::ClassPriorIndex::Build(*dataset, *detector, mtcnn);
     prior.status().CheckOk();
-    priors.push_back(std::make_unique<detect::ClassPriorIndex>(std::move(prior).ValueOrDie()));
+    auto workload = (*runtime)->AdoptWorkload(
+        sites[i].name, std::move(dataset), std::move(detector),
+        std::make_unique<detect::ClassPriorIndex>(std::move(prior).ValueOrDie()),
+        video::ObjectClass::kCar);
+    workload.status().CheckOk();
+    workloads.push_back(*workload);
 
     camera::CameraConfig config;
     config.camera_id = static_cast<int>(i + 1);
     config.interventions = sites[i].interventions;
-    cameras.push_back(std::make_unique<camera::Camera>(config, *feeds.back(), *priors.back(),
-                                                       yolo.max_resolution()));
+    cameras.push_back(std::make_unique<camera::Camera>(
+        config, workloads.back()->dataset(), workloads.back()->prior(),
+        yolo.max_resolution()));
     central->AddFeed(*cameras.back(), yolo).CheckOk();
 
     // Ground truth for validation only.
-    query::FrameOutputSource source(*feeds.back(), yolo, video::ObjectClass::kCar);
-    auto gt = query::ComputeGroundTruth(source, spec);
+    auto gt = query::ComputeGroundTruth(workloads.back()->source(), spec);
     gt.status().CheckOk();
-    pooled_truth_numerator += gt->y_true * static_cast<double>(feeds.back()->num_frames());
-    pooled_truth_denominator += static_cast<double>(feeds.back()->num_frames());
+    pooled_truth_numerator +=
+        gt->y_true * static_cast<double>(workloads.back()->dataset().num_frames());
+    pooled_truth_denominator += static_cast<double>(workloads.back()->dataset().num_frames());
   }
   double pooled_truth = pooled_truth_numerator / pooled_truth_denominator;
 

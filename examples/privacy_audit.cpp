@@ -9,13 +9,18 @@
 //   1. estimate with the basic algorithm only       -> bound may be invalid
 //   2. build a correction set (random degradation)  -> repair the bound
 //   3. compare both against the (hidden) true error
+//
+// The trials run as an engine::Session: each Execute() draws its own
+// deterministic per-call RNG stream, so the ten trials below are distinct
+// samples yet the whole audit replays bit-identically.
 
 #include <cstdio>
 #include <iostream>
 
 #include "core/estimator_api.h"
 #include "core/repair.h"
-#include "detect/models.h"
+#include "engine/runtime.h"
+#include "engine/session.h"
 #include "query/executor.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -25,16 +30,17 @@ using namespace smokescreen;
 
 int main() {
   std::printf("=== Privacy audit: image removal + low resolution ===\n\n");
-  auto dataset = video::MakePresetScaled(video::ScenePreset::kUaDetrac, 6000);
-  dataset.status().CheckOk();
-  detect::SimYoloV4 yolo;
-  detect::SimMtcnn mtcnn;
-  auto prior = detect::ClassPriorIndex::Build(*dataset, yolo, mtcnn);
-  prior.status().CheckOk();
+  auto runtime = engine::Runtime::Create({});
+  runtime.status().CheckOk();
+  engine::WorkloadDesc desc;
+  desc.preset = video::ScenePreset::kUaDetrac;
+  desc.frames = 6000;
+  auto workload = (*runtime)->GetWorkload(desc);
+  workload.status().CheckOk();
+  query::FrameOutputSource& source = (*workload)->source();
 
   query::QuerySpec spec;
   spec.aggregate = query::AggregateFunction::kAvg;
-  query::FrameOutputSource source(*dataset, yolo, video::ObjectClass::kCar);
   auto gt = query::ComputeGroundTruth(source, spec);
   gt.status().CheckOk();
 
@@ -45,8 +51,8 @@ int main() {
   iv.restricted.Add(video::ObjectClass::kPerson);
   std::printf("Policy interventions: %s\n", iv.ToString().c_str());
   std::printf("Frames surviving removal: %zu of %lld\n\n",
-              prior->FramesWithoutAny(iv.restricted).size(),
-              static_cast<long long>(dataset->num_frames()));
+              (*workload)->prior().FramesWithoutAny(iv.restricted).size(),
+              static_cast<long long>((*workload)->dataset().num_frames()));
 
   // Size the correction set with the elbow heuristic (§3.3.1).
   stats::Rng rng(11);
@@ -57,12 +63,18 @@ int main() {
   auto correction = core::BuildCorrectionSet(source, spec, sizing->chosen_size, 0.05, rng);
   correction.status().CheckOk();
 
+  engine::SessionConfig config;
+  config.spec = spec;
+  config.seed = 11;
+  auto session = (*runtime)->StartSession(*workload, config);
+  session.status().CheckOk();
+
   util::TablePrinter table({"trial", "true_err", "basic_bound", "basic_valid",
                             "repaired_bound", "repaired_valid"});
   int basic_wrong = 0, repaired_wrong = 0;
   const int kTrials = 10;
   for (int t = 0; t < kTrials; ++t) {
-    auto result = core::ResultErrorEst(source, *prior, spec, iv, 0.05, rng);
+    auto result = (*session)->Execute(iv);
     result.status().CheckOk();
     auto repaired = core::RepairErrorBound(spec, *result, *correction);
     repaired.status().CheckOk();

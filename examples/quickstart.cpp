@@ -4,8 +4,9 @@
 // number of cars per frame within 10% of the true answer, while degrading
 // the video as much as possible for privacy and energy reasons.
 //
-//  1. Generate the night-street corpus and build the restricted-class prior.
-//  2. Profile the AVG(car) query over a candidate grid of interventions.
+//  1. Start an engine::Runtime and materialize the night-street workload
+//     (corpus + detector + restricted-class prior + shared output cache).
+//  2. Open a Session and profile the AVG(car) query over a candidate grid.
 //  3. Choose the most aggressive degradation whose error bound is <= 10%.
 //  4. Run the degraded query and compare against the (normally hidden) truth.
 
@@ -13,10 +14,10 @@
 #include <iostream>
 
 #include "core/candidate_design.h"
-#include "core/estimator_api.h"
 #include "core/profiler.h"
 #include "core/tradeoff.h"
-#include "detect/models.h"
+#include "engine/runtime.h"
+#include "engine/session.h"
 #include "query/executor.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -27,24 +28,29 @@ using namespace smokescreen;
 int main() {
   std::printf("=== Smokescreen quickstart: Harry's car-counting query ===\n\n");
 
-  // --- 1. Video corpus and class prior -----------------------------------
+  // --- 1. Runtime and workload -------------------------------------------
   std::printf("[1/4] Simulating the night-street corpus...\n");
-  auto dataset = video::MakePreset(video::ScenePreset::kNightStreet);
-  dataset.status().CheckOk();
-  detect::SimYoloV4 yolo;
-  detect::SimMtcnn mtcnn;
-  auto prior = detect::ClassPriorIndex::Build(*dataset, yolo, mtcnn);
-  prior.status().CheckOk();
+  auto runtime = engine::Runtime::Create({});
+  runtime.status().CheckOk();
+  engine::WorkloadDesc desc;
+  desc.preset = video::ScenePreset::kNightStreet;
+  auto workload = (*runtime)->GetWorkload(desc);
+  workload.status().CheckOk();
+  const detect::ClassPriorIndex& prior = (*workload)->prior();
   std::printf("      %lld frames; person prior %.2f%%, face prior %.2f%%\n\n",
-              static_cast<long long>(dataset->num_frames()),
-              prior->ContainmentFraction(video::ObjectClass::kPerson) * 100.0,
-              prior->ContainmentFraction(video::ObjectClass::kFace) * 100.0);
+              static_cast<long long>((*workload)->dataset().num_frames()),
+              prior.ContainmentFraction(video::ObjectClass::kPerson) * 100.0,
+              prior.ContainmentFraction(video::ObjectClass::kFace) * 100.0);
 
   // --- 2. Profile generation ---------------------------------------------
   std::printf("[2/4] Generating the degradation-accuracy profile...\n");
-  query::QuerySpec spec;
-  spec.aggregate = query::AggregateFunction::kAvg;
-  query::FrameOutputSource source(*dataset, yolo, video::ObjectClass::kCar);
+  engine::SessionConfig config;
+  config.spec.aggregate = query::AggregateFunction::kAvg;
+  config.seed = 2026;
+  config.profiler.use_correction_set = true;  // Repairs the non-random resolution knob.
+  config.profiler.early_stop = false;
+  auto session = (*runtime)->StartSession(*workload, config);
+  session.status().CheckOk();
 
   core::CandidateGridOptions grid_opts;
   grid_opts.min_fraction = 0.05;
@@ -52,26 +58,19 @@ int main() {
   grid_opts.fraction_step = 0.05;
   grid_opts.num_resolutions = 6;
   grid_opts.include_class_combinations = false;
-  auto grid = core::BuildCandidateGrid(yolo, grid_opts);
+  auto grid = core::BuildCandidateGrid((*workload)->detector(), grid_opts);
   grid.status().CheckOk();
 
-  core::ProfilerOptions opts;
-  opts.use_correction_set = true;  // Repairs the non-random resolution knob.
-  opts.early_stop = false;
-  core::Profiler profiler(source, *prior, spec, opts);
-  stats::Rng rng(2026);
-  auto profile = profiler.Generate(*grid, rng);
+  auto profile = (*session)->Profile(*grid);
   profile.status().CheckOk();
-  std::printf("      %zu profile points", profile->points.size());
-  if (profiler.correction_set().has_value()) {
-    std::printf(" (correction set: %lld frames)",
-                static_cast<long long>(profiler.correction_set()->size));
-  }
-  std::printf("\n\n");
+  const core::ProfilerReport& report = (*session)->last_report();
+  std::printf("      %zu profile points (%d worker threads, %lld model invocations)\n\n",
+              (*profile)->points.size(), report.num_threads,
+              static_cast<long long>(report.model_invocations));
 
-  // Show one slice of the profile: error bound vs resolution at f = 0.30.
+  // Show one slice of the profile: error bound vs resolution at f = 0.50.
   util::TablePrinter slice_table({"resolution", "err_bound", "repaired"});
-  for (const core::ProfilePoint& p : core::SliceByResolution(*profile, 0.50,
+  for (const core::ProfilePoint& p : core::SliceByResolution(**profile, 0.50,
                                                              video::ClassSet::None())) {
     slice_table.AddRow({std::to_string(p.interventions.resolution),
                         util::FormatPercent(p.err_bound), p.repaired ? "yes" : "no"});
@@ -84,7 +83,7 @@ int main() {
   const double kMaxError = 0.10;  // The maintenance department's 10% budget.
   std::printf("[3/4] Choosing the strongest degradation with bound <= %.0f%%...\n",
               kMaxError * 100.0);
-  auto choice = core::ChooseTradeoff(*profile, kMaxError, yolo.max_resolution());
+  auto choice = (*session)->ChooseTradeoff(kMaxError);
   if (!choice.ok()) {
     std::printf("      no candidate meets the budget: %s\n",
                 choice.status().ToString().c_str());
@@ -95,10 +94,10 @@ int main() {
 
   // --- 4. Execute the degraded query -------------------------------------
   std::printf("[4/4] Running the query under the chosen interventions...\n");
-  auto result = core::ResultErrorEst(source, *prior, spec, choice->interventions, 0.05, rng);
+  auto result = (*session)->Execute(choice->interventions);
   result.status().CheckOk();
 
-  auto gt = query::ComputeGroundTruth(source, spec);
+  auto gt = query::ComputeGroundTruth((*workload)->source(), (*session)->spec());
   gt.status().CheckOk();
   double realized = query::RelativeError(result->estimate.y_approx, gt->y_true);
 
@@ -109,9 +108,9 @@ int main() {
               kMaxError * 100.0);
   std::printf("      frames processed   : %lld of %lld (%.1f%%)\n",
               static_cast<long long>(result->sample_size),
-              static_cast<long long>(dataset->num_frames()),
+              static_cast<long long>((*workload)->dataset().num_frames()),
               100.0 * static_cast<double>(result->sample_size) /
-                  static_cast<double>(dataset->num_frames()));
+                  static_cast<double>((*workload)->dataset().num_frames()));
   std::printf("\nDone: the city gets its answer from a heavily degraded stream.\n");
   return 0;
 }

@@ -5,13 +5,18 @@
 // video B (same camera, different time) and transfer the tradeoff curve.
 // This example profiles both MVI_40771-like (video A) and MVI_40775-like
 // (video B) sequences and reports how closely B's profile tracks A's.
+//
+// One engine::Runtime serves both corpora: each (dataset, model) pair is a
+// separate shared workload with its own memoized output cache, and each
+// video gets its own Session whose Execute() calls draw deterministic
+// per-call sample streams.
 
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 
-#include "core/estimator_api.h"
-#include "detect/models.h"
+#include "engine/runtime.h"
+#include "engine/session.h"
 #include "query/executor.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -21,20 +26,17 @@ using namespace smokescreen;
 
 namespace {
 
-// Error bound of the AVG query on `source` from a sample of `sample_size`
-// frames at `resolution`, averaged over a few trials.
-double BoundFor(query::FrameOutputSource& source, const detect::ClassPriorIndex& prior,
-                int64_t sample_size, int resolution, stats::Rng& rng) {
-  query::QuerySpec spec;
-  spec.aggregate = query::AggregateFunction::kAvg;
+// Error bound of the AVG query through `session` from a sample of
+// `sample_size` frames at `resolution`, averaged over a few trials.
+double BoundFor(engine::Session& session, int64_t sample_size, int resolution) {
   degrade::InterventionSet iv;
   iv.sample_fraction = static_cast<double>(sample_size) /
-                       static_cast<double>(source.dataset().num_frames());
+                       static_cast<double>(session.workload()->dataset().num_frames());
   iv.resolution = resolution;
   const int kTrials = 10;
   double total = 0;
   for (int t = 0; t < kTrials; ++t) {
-    auto result = core::ResultErrorEst(source, prior, spec, iv, 0.05, rng);
+    auto result = session.Execute(iv);
     result.status().CheckOk();
     total += result->estimate.err_b;
   }
@@ -45,32 +47,38 @@ double BoundFor(query::FrameOutputSource& source, const detect::ClassPriorIndex&
 
 int main() {
   std::printf("=== Profile transfer between similar videos (Fig. 10 style) ===\n\n");
-  auto video_a = video::MakePreset(video::ScenePreset::kMvi40771);
-  auto video_b = video::MakePreset(video::ScenePreset::kMvi40775);
-  video_a.status().CheckOk();
-  video_b.status().CheckOk();
-  std::printf("video A: %s, %lld frames (sensitive)\n", video_a->name().c_str(),
-              static_cast<long long>(video_a->num_frames()));
+  auto runtime = engine::Runtime::Create({});
+  runtime.status().CheckOk();
+
+  engine::WorkloadDesc desc_a;
+  desc_a.preset = video::ScenePreset::kMvi40771;
+  engine::WorkloadDesc desc_b;
+  desc_b.preset = video::ScenePreset::kMvi40775;
+  auto workload_a = (*runtime)->GetWorkload(desc_a);
+  auto workload_b = (*runtime)->GetWorkload(desc_b);
+  workload_a.status().CheckOk();
+  workload_b.status().CheckOk();
+  std::printf("video A: %s, %lld frames (sensitive)\n",
+              (*workload_a)->dataset().name().c_str(),
+              static_cast<long long>((*workload_a)->dataset().num_frames()));
   std::printf("video B: %s, %lld frames (same camera, different time)\n\n",
-              video_b->name().c_str(), static_cast<long long>(video_b->num_frames()));
+              (*workload_b)->dataset().name().c_str(),
+              static_cast<long long>((*workload_b)->dataset().num_frames()));
 
-  detect::SimYoloV4 yolo;
-  detect::SimMtcnn mtcnn;
-  auto prior_a = detect::ClassPriorIndex::Build(*video_a, yolo, mtcnn);
-  auto prior_b = detect::ClassPriorIndex::Build(*video_b, yolo, mtcnn);
-  prior_a.status().CheckOk();
-  prior_b.status().CheckOk();
-  query::FrameOutputSource source_a(*video_a, yolo, video::ObjectClass::kCar);
-  query::FrameOutputSource source_b(*video_b, yolo, video::ObjectClass::kCar);
-
-  stats::Rng rng(17);
+  engine::SessionConfig config;
+  config.spec.aggregate = query::AggregateFunction::kAvg;
+  config.seed = 17;
+  auto session_a = (*runtime)->StartSession(*workload_a, config);
+  auto session_b = (*runtime)->StartSession(*workload_b, config);
+  session_a.status().CheckOk();
+  session_b.status().CheckOk();
 
   // Sweep 1: error bound vs sample SIZE (resolution fixed at 608).
   std::printf("Sweep 1: reduced frame sampling (resolution 608)\n");
   util::TablePrinter t1({"sample_size", "bound_A", "bound_B", "abs_diff"});
   for (int64_t size : {20, 40, 60, 80, 100, 200, 500}) {
-    double a = BoundFor(source_a, *prior_a, size, 608, rng);
-    double b = BoundFor(source_b, *prior_b, size, 608, rng);
+    double a = BoundFor(**session_a, size, 608);
+    double b = BoundFor(**session_b, size, 608);
     t1.AddRow({std::to_string(size), util::FormatDouble(a), util::FormatDouble(b),
                util::FormatDouble(std::abs(a - b))});
   }
@@ -81,8 +89,8 @@ int main() {
   util::TablePrinter t2({"resolution", "bound_A", "bound_B", "abs_diff"});
   double max_diff = 0;
   for (int res : {128, 224, 320, 416, 512, 608}) {
-    double a = BoundFor(source_a, *prior_a, 500, res, rng);
-    double b = BoundFor(source_b, *prior_b, 500, res, rng);
+    double a = BoundFor(**session_a, 500, res);
+    double b = BoundFor(**session_b, 500, res);
     max_diff = std::max(max_diff, std::abs(a - b));
     t2.AddRow({std::to_string(res), util::FormatDouble(a), util::FormatDouble(b),
                util::FormatDouble(std::abs(a - b))});

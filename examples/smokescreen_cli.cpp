@@ -9,6 +9,13 @@
 //
 //   smokescreen_cli --profile-in /tmp/profile.csv --max-error 0.10
 //
+// The CLI is a thin client of engine::Runtime: one Runtime owns the shared
+// executor, the metrics registry, the per-(dataset, model) output cache and
+// the profile cache, and every request runs as an engine::Session. With
+// --clients N the same query is served to N concurrent sessions — they share
+// one workload (one memo cache, cross-session exactly-once misses) and the
+// CLI asserts the N profiles are bit-identical to the serial answer.
+//
 // Flags:
 //   --dataset night-street|ua-detrac|MVI_40771|MVI_40775   (default ua-detrac)
 //   --model   yolov4|maskrcnn                              (default yolov4)
@@ -23,10 +30,13 @@
 //   --profile-in P     skip generation; choose from a saved profile
 //   --slices           render the three initial cube slices (§3.1) as plots
 //   --seed S           RNG seed                            (default 2026)
-//   --threads N        profiler worker threads; 0 = hardware concurrency
+//   --threads N        shared executor width; 0 = hardware concurrency
 //                      (default 0; the profile is bit-identical at any N)
 //   --batch-size N     cap frames per batched model invocation; 0 = unlimited
 //                      (default 0; results are identical at any N)
+//   --clients N        serve the profile request to N concurrent sessions
+//                      over the shared workload (default 1); the profiles
+//                      must be bit-identical at any N
 //   --output-store P   warm-start the output cache from P when it exists,
 //                      and save the cache back to P after the run
 //   --metrics-out P    write a JSON snapshot of the process-wide metrics
@@ -36,21 +46,20 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/admin_session.h"
 #include "core/candidate_design.h"
-#include "core/estimator_api.h"
 #include "core/profile_io.h"
 #include "core/profiler.h"
 #include "core/tradeoff.h"
 #include "degrade/cost_model.h"
-#include "detect/models.h"
-#include "detect/registry.h"
-#include "query/executor.h"
+#include "engine/runtime.h"
+#include "engine/session.h"
 #include "query/output_store.h"
 #include "query/parser.h"
 #include "util/metrics.h"
@@ -76,6 +85,7 @@ struct Flags {
   uint64_t seed = 2026;
   int threads = 0;         // 0 = hardware concurrency.
   int64_t batch_size = 0;  // 0 = unlimited.
+  int clients = 1;
   std::string output_store;
   std::string metrics_out;
 };
@@ -110,6 +120,13 @@ util::Result<Flags> ParseFlags(int argc, char** argv) {
       if (flags.batch_size < 0) {
         return util::Status::InvalidArgument("--batch-size must be >= 0 (0 = unlimited)");
       }
+    } else if (arg == "--clients") {
+      SMK_ASSIGN_OR_RETURN(std::string v, next());
+      SMK_ASSIGN_OR_RETURN(int64_t clients, util::ParseInt(v));
+      if (clients < 1) {
+        return util::Status::InvalidArgument("--clients must be >= 1");
+      }
+      flags.clients = static_cast<int>(clients);
     } else if (arg == "--output-store") {
       SMK_ASSIGN_OR_RETURN(flags.output_store, next());
       if (flags.output_store.empty()) {
@@ -143,28 +160,17 @@ util::Result<Flags> ParseFlags(int argc, char** argv) {
   return flags;
 }
 
-util::Result<video::ScenePreset> PresetFromName(const std::string& name) {
-  static const std::map<std::string, video::ScenePreset> kPresets = {
-      {"night-street", video::ScenePreset::kNightStreet},
-      {"ua-detrac", video::ScenePreset::kUaDetrac},
-      {"MVI_40771", video::ScenePreset::kMvi40771},
-      {"MVI_40775", video::ScenePreset::kMvi40775},
-  };
-  auto it = kPresets.find(name);
-  if (it == kPresets.end()) return util::Status::NotFound("unknown dataset: " + name);
-  return it->second;
-}
-
 /// End-of-run observability: prints the exact invocation/hit accounting (the
 /// line CI parses against the JSON export) and, when requested, snapshots
-/// the process-wide registry to `metrics_out` atomically.
-void DumpMetrics(const query::FrameOutputSource& source, const std::string& metrics_out) {
+/// the runtime's registry to `metrics_out` atomically.
+void DumpMetrics(const engine::Runtime& runtime, const query::FrameOutputSource& source,
+                 const std::string& metrics_out) {
   std::printf("accounting: model_invocations=%lld cache_hits=%lld\n",
               static_cast<long long>(source.model_invocations()),
               static_cast<long long>(source.cache_hits()));
   if (metrics_out.empty()) return;
-  util::MetricsSnapshot snapshot = util::MetricsRegistry::Default().Snapshot();
-  snapshot.WriteJson(util::Env::Default(), metrics_out).CheckOk();
+  util::MetricsSnapshot snapshot = runtime.registry().Snapshot();
+  snapshot.WriteJson(runtime.env(), metrics_out).CheckOk();
   std::printf("metrics written to %s\n", metrics_out.c_str());
 }
 
@@ -181,40 +187,63 @@ int Run(Flags flags) {
     flags.model = parsed->model;
     flags.aggregate = query::AggregateFunctionName(parsed->spec.aggregate);
   }
-  // Load-or-generate the profile.
-  core::Profile profile;
+  // Load the profile early when replaying one: its provenance names the
+  // dataset/model the workload must be built from.
+  core::ProfileHandle profile;
   if (!flags.profile_in.empty()) {
     auto loaded = core::LoadProfile(flags.profile_in);
     loaded.status().CheckOk();
-    profile = *loaded;
-    std::printf("loaded profile: %zu points, %s on %s/%s\n", profile.points.size(),
-                query::AggregateFunctionName(profile.spec.aggregate),
-                profile.dataset_name.c_str(), profile.detector_name.c_str());
+    profile = core::MakeProfileHandle(std::move(*loaded));
+    std::printf("loaded profile: %zu points, %s on %s/%s\n", profile->points.size(),
+                query::AggregateFunctionName(profile->spec.aggregate),
+                profile->dataset_name.c_str(), profile->detector_name.c_str());
   }
 
-  auto preset = PresetFromName(flags.profile_in.empty() ? flags.dataset : profile.dataset_name);
+  const std::string dataset_name =
+      flags.profile_in.empty() ? flags.dataset : profile->dataset_name;
+  auto preset = engine::PresetByName(dataset_name);
   // A loaded profile's dataset may be a scaled variant; fall back by prefix.
   video::ScenePreset scene = video::ScenePreset::kUaDetrac;
   if (preset.ok()) {
     scene = *preset;
   } else {
     for (const char* candidate : {"night-street", "ua-detrac", "MVI_40771", "MVI_40775"}) {
-      if (util::StartsWith(flags.profile_in.empty() ? flags.dataset : profile.dataset_name,
-                           candidate)) {
-        scene = *PresetFromName(candidate);
+      if (util::StartsWith(dataset_name, candidate)) {
+        scene = *engine::PresetByName(candidate);
       }
     }
   }
 
-  auto dataset = flags.frames > 0 ? video::MakePresetScaled(scene, flags.frames)
-                                  : video::MakePreset(scene);
-  dataset.status().CheckOk();
-  auto model = detect::MakeDetector(flags.model);
-  model.status().CheckOk();
-  detect::SimYoloV4 person_detector;
-  detect::SimMtcnn face_detector;
-  auto prior = detect::ClassPriorIndex::Build(*dataset, person_detector, face_detector);
-  prior.status().CheckOk();
+  // One Runtime per process: shared executor, registry, admission, caches.
+  engine::RuntimeOptions runtime_opts;
+  runtime_opts.num_threads = flags.threads;
+  runtime_opts.max_batch_size = flags.batch_size;
+  runtime_opts.default_seed = flags.seed;
+  auto runtime = engine::Runtime::Create(runtime_opts);
+  runtime.status().CheckOk();
+
+  engine::WorkloadDesc desc;
+  desc.preset = scene;
+  desc.frames = flags.frames;
+  desc.detector_name = flags.model;
+  desc.target_class = video::ObjectClass::kCar;
+  desc.output_store_path = flags.output_store;
+  auto workload = (*runtime)->GetWorkload(desc);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 2;
+  }
+  if (!flags.output_store.empty()) {
+    if (!(*workload)->warm_start_damage().empty()) {
+      std::fprintf(stderr, "warning: %s is damaged (%s); loading verified columns only\n",
+                   flags.output_store.c_str(), (*workload)->warm_start_damage().c_str());
+    }
+    if ((*workload)->warm_start_entries() > 0) {
+      std::printf("warm-started %lld cached outputs from %s\n",
+                  static_cast<long long>((*workload)->warm_start_entries()),
+                  flags.output_store.c_str());
+    }
+  }
 
   query::QuerySpec spec;
   if (have_parsed_spec) {
@@ -224,40 +253,16 @@ int Run(Flags flags) {
     agg.status().CheckOk();
     spec.aggregate = *agg;
   } else {
-    spec = profile.spec;
+    spec = profile->spec;
   }
-  query::FrameOutputSource source(*dataset, **model, video::ObjectClass::kCar);
-  source.set_max_batch_size(flags.batch_size);
 
-  // Validate the output-store path BEFORE any profiling work: an existing
-  // file must load and match the dataset/model; a fresh path must point into
-  // an existing directory (so the save at the end cannot fail late).
-  if (!flags.output_store.empty()) {
-    std::error_code ec;
-    if (std::filesystem::exists(flags.output_store, ec)) {
-      // Salvage rather than strict-load: a partially corrupted store still
-      // yields its CRC-verified columns, and the quarantined remainder is
-      // simply recomputed (and re-persisted) by the run below.
-      auto store = query::OutputStore::Salvage(flags.output_store);
-      store.status().CheckOk();
-      if (!store->report.clean()) {
-        std::fprintf(stderr, "warning: %s is damaged (%s); loading verified columns only\n",
-                     flags.output_store.c_str(), store->report.Summary().c_str());
-      }
-      auto loaded = source.Preload(store->store);
-      loaded.status().CheckOk();
-      std::printf("warm-started %lld cached outputs from %s\n",
-                  static_cast<long long>(*loaded), flags.output_store.c_str());
-    } else {
-      std::filesystem::path parent = std::filesystem::path(flags.output_store).parent_path();
-      if (!parent.empty() && !std::filesystem::is_directory(parent, ec)) {
-        std::fprintf(stderr, "--output-store: directory %s does not exist\n",
-                     parent.string().c_str());
-        return 2;
-      }
-    }
-  }
-  stats::Rng rng(flags.seed);
+  engine::SessionConfig session_config;
+  session_config.spec = spec;
+  session_config.seed = flags.seed;
+  session_config.profiler.use_correction_set = true;
+  session_config.profiler.early_stop = false;
+  auto session = (*runtime)->StartSession(*workload, session_config);
+  session.status().CheckOk();
 
   if (flags.profile_in.empty()) {
     core::CandidateGridOptions grid_opts;
@@ -272,22 +277,53 @@ int Run(Flags flags) {
       cls.status().CheckOk();
       grid_opts.required_restricted.Add(*cls);
     }
-    auto grid = core::BuildCandidateGrid(**model, grid_opts);
+    auto grid = core::BuildCandidateGrid((*workload)->detector(), grid_opts);
     grid.status().CheckOk();
     std::printf("profiling %zu candidates on %s (%lld frames) ...\n", grid->size(),
-                dataset->name().c_str(), static_cast<long long>(dataset->num_frames()));
+                (*workload)->dataset().name().c_str(),
+                static_cast<long long>((*workload)->dataset().num_frames()));
 
-    core::ProfilerOptions opts;
-    opts.use_correction_set = true;
-    opts.early_stop = false;
-    opts.num_threads = flags.threads;
-    core::Profiler profiler(source, *prior, spec, opts);
-    auto generated = profiler.Generate(*grid, rng);
-    generated.status().CheckOk();
-    profile = *generated;
-    const core::ProfilerReport& report = profiler.last_report();
+    if (flags.clients > 1) {
+      // Serving mode: N concurrent sessions ask for the same profile over
+      // the shared workload. The memo cache dedups misses across sessions
+      // (exactly-once) and every client must get the bit-identical answer.
+      std::vector<core::ProfileHandle> handles(flags.clients);
+      std::vector<int> from_cache(flags.clients, 0);
+      std::vector<std::thread> clients;
+      clients.reserve(flags.clients);
+      for (int c = 0; c < flags.clients; ++c) {
+        clients.emplace_back([&, c]() {
+          auto client_session = (*runtime)->StartSession(*workload, session_config);
+          client_session.status().CheckOk();
+          auto handle = (*client_session)->Profile(*grid);
+          handle.status().CheckOk();
+          handles[c] = *handle;
+          from_cache[c] = (*client_session)->last_profile_from_cache() ? 1 : 0;
+        });
+      }
+      for (std::thread& t : clients) t.join();
+      int cache_hits = 0;
+      bool identical = true;
+      for (int c = 0; c < flags.clients; ++c) {
+        cache_hits += from_cache[c];
+        identical = identical && engine::ProfilesBitIdentical(*handles[0], *handles[c]);
+      }
+      std::printf("serving: clients=%d bit_identical=%s profile_cache_hits=%d\n",
+                  flags.clients, identical ? "yes" : "NO", cache_hits);
+      if (!identical) {
+        std::fprintf(stderr, "concurrent sessions diverged from the serial profile\n");
+        return 3;
+      }
+      profile = handles[0];
+    } else {
+      auto generated = (*session)->Profile(*grid);
+      generated.status().CheckOk();
+      profile = *generated;
+    }
+    const core::ProfilerReport& report = (*session)->last_report();
     std::printf("generated %zu profile points (%lld model invocations)\n",
-                profile.points.size(), static_cast<long long>(source.model_invocations()));
+                profile->points.size(),
+                static_cast<long long>((*workload)->source().model_invocations()));
     std::printf(
         "profiling stages: correction %.3fs, hypercube %.3fs, total %.3fs\n"
         "  (%d threads, %lld groups, %lld invocations, %lld cache hits)\n",
@@ -296,16 +332,18 @@ int Run(Flags flags) {
         static_cast<long long>(report.model_invocations),
         static_cast<long long>(report.cache_hits));
     if (!flags.profile_out.empty()) {
-      core::SaveProfile(profile, flags.profile_out).CheckOk();
+      core::SaveProfile(*profile, flags.profile_out).CheckOk();
       std::printf("profile saved to %s\n", flags.profile_out.c_str());
     }
   }
 
+  const int max_resolution = (*workload)->detector().max_resolution();
+
   // Administration procedure (§3.1): show the three initial cube slices.
   if (flags.slices) {
-    core::AdminSession session(profile, (*model)->max_resolution());
-    for (const core::AdminSession::Slice& slice : session.InitialSlices()) {
-      auto plot = session.RenderSlice(slice);
+    core::AdminSession admin(profile, max_resolution);
+    for (const core::AdminSession::Slice& slice : admin.InitialSlices()) {
+      auto plot = admin.RenderSlice(slice);
       if (plot.ok()) {
         std::printf("\n%s\n", plot->c_str());
       } else {
@@ -316,19 +354,19 @@ int Run(Flags flags) {
   }
 
   // Choose a tradeoff against the budget.
-  auto choice = core::ChooseTradeoff(profile, flags.max_error, (*model)->max_resolution());
+  auto choice = core::ChooseTradeoff(*profile, flags.max_error, max_resolution);
   if (!choice.ok()) {
     std::printf("no candidate meets the %.1f%% budget: %s\n", flags.max_error * 100.0,
                 choice.status().ToString().c_str());
-    DumpMetrics(source, flags.metrics_out);
+    DumpMetrics(**runtime, (*workload)->source(), flags.metrics_out);
     return 1;
   }
   std::printf("\nchosen tradeoff: %s (bound %.2f%%)\n", choice->interventions.ToString().c_str(),
               choice->err_bound * 100.0);
 
   // What the degradation buys.
-  auto savings = degrade::EstimateSavings(*dataset, *prior, choice->interventions,
-                                          (*model)->max_resolution());
+  auto savings = degrade::EstimateSavings((*workload)->dataset(), (*workload)->prior(),
+                                          choice->interventions, max_resolution);
   savings.status().CheckOk();
   util::TablePrinter table({"benefit", "value"});
   table.AddRow({"frames transmitted", util::FormatPercent(savings->frames_fraction)});
@@ -340,21 +378,22 @@ int Run(Flags flags) {
                 util::FormatPercent(savings->faces_recognizable_fraction)});
   table.Print(std::cout);
 
-  // Execute the degraded query.
-  auto result = core::ResultErrorEst(source, *prior, spec, choice->interventions, 0.05, rng);
+  // Execute the degraded query through the session (admission-gated, shared
+  // memo cache, per-call deterministic RNG stream).
+  auto result = (*session)->Execute(choice->interventions);
   result.status().CheckOk();
   std::printf("\napproximate %s answer: %.4f (err bound %.2f%%, %lld frames processed)\n",
               query::AggregateFunctionName(spec.aggregate), result->estimate.y_approx,
               result->estimate.err_b * 100.0, static_cast<long long>(result->sample_size));
 
   if (!flags.output_store.empty()) {
-    query::OutputStore store = source.ExportStore();
-    store.Save(flags.output_store).CheckOk();
+    (*runtime)->SaveStore(*workload).CheckOk();
+    query::OutputStore store = (*workload)->source().ExportStore();
     std::printf("output store saved to %s (%lld entries, %zu columns)\n",
                 flags.output_store.c_str(), static_cast<long long>(store.TotalEntries()),
                 store.columns().size());
   }
-  DumpMetrics(source, flags.metrics_out);
+  DumpMetrics(**runtime, (*workload)->source(), flags.metrics_out);
   return 0;
 }
 
@@ -366,7 +405,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n\nusage: smokescreen_cli [--dataset D] [--model M] [--agg A]\n"
                          "  [--frames N] [--max-error X] [--restrict person,face]\n"
                          "  [--profile-out P | --profile-in P] [--seed S] [--threads N]\n"
-                         "  [--batch-size N] [--output-store P] [--metrics-out P]\n",
+                         "  [--batch-size N] [--clients N] [--output-store P] [--metrics-out P]\n",
                  flags.status().ToString().c_str());
     return 2;
   }

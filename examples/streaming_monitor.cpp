@@ -12,12 +12,20 @@
 //   4. after re-profiling on the drifted traffic, OnlineMonitor::Reset
 //      clears the stale stream and monitoring resumes against the fresh
 //      reference — the recovery half of the loop.
+//
+// Each simulated week is a CUSTOM corpus (not a named preset), so it enters
+// the runtime through Runtime::AdoptWorkload: the caller builds the scene
+// and detector, and the runtime wires its registry/batching/compute policy
+// into the workload's shared output source.
 
 #include <cstdio>
+#include <memory>
 
 #include "core/estimator_api.h"
 #include "core/online_monitor.h"
 #include "detect/models.h"
+#include "engine/runtime.h"
+#include "engine/session.h"
 #include "query/executor.h"
 #include "stats/sampling.h"
 #include "video/presets.h"
@@ -26,19 +34,34 @@ using namespace smokescreen;
 
 namespace {
 
-// Simulates one week of degraded operation: sample frames from `week` under
-// `iv`, stream outputs through a fresh monitor, and report.
-void RunWeek(const char* label, const video::VideoDataset& week,
-             const detect::ClassPriorIndex& prior, detect::Detector& model,
-             const query::QuerySpec& spec, const degrade::InterventionSet& iv,
-             double profiled_answer, stats::Rng& rng) {
-  query::FrameOutputSource source(week, model, video::ObjectClass::kCar);
-  auto monitor = core::OnlineMonitor::Create(spec, week.num_frames(), 0.05);
+// Simulates `cfg` and registers it with the runtime as an adopted workload.
+engine::WorkloadHandle AdoptWeek(engine::Runtime& runtime, const video::SceneConfig& cfg) {
+  auto scene = video::SimulateScene(cfg);
+  scene.status().CheckOk();
+  auto dataset = std::make_unique<video::VideoDataset>(std::move(scene).ValueOrDie());
+  auto detector = std::make_unique<detect::SimYoloV4>();
+  detect::SimMtcnn mtcnn;
+  auto prior = detect::ClassPriorIndex::Build(*dataset, *detector, mtcnn);
+  prior.status().CheckOk();
+  auto workload = runtime.AdoptWorkload(
+      cfg.name, std::move(dataset), std::move(detector),
+      std::make_unique<detect::ClassPriorIndex>(std::move(prior).ValueOrDie()),
+      video::ObjectClass::kCar);
+  workload.status().CheckOk();
+  return *workload;
+}
+
+// Simulates one week of degraded operation: sample frames from the week's
+// workload under `iv`, stream outputs through a fresh monitor, and report.
+void RunWeek(const char* label, const engine::Workload& week, const query::QuerySpec& spec,
+             const degrade::InterventionSet& iv, double profiled_answer, stats::Rng& rng) {
+  auto monitor = core::OnlineMonitor::Create(spec, week.dataset().num_frames(), 0.05);
   monitor.status().CheckOk();
 
-  auto view = degrade::DegradedView::Create(week, prior, iv, model.max_resolution(), rng);
+  auto view = degrade::DegradedView::Create(week.dataset(), week.prior(), iv,
+                                            week.detector().max_resolution(), rng);
   view.status().CheckOk();
-  auto outputs = source.Outputs(spec, view->sampled_frames(), view->resolution());
+  auto outputs = week.source().Outputs(spec, view->sampled_frames(), view->resolution());
   outputs.status().CheckOk();
 
   bool drifted = false;
@@ -68,29 +91,24 @@ void RunWeek(const char* label, const video::VideoDataset& week,
 
 int main() {
   std::printf("=== Streaming deployment monitor ===\n\n");
+  auto runtime = engine::Runtime::Create({});
+  runtime.status().CheckOk();
 
   // Week 0: the profiled reference week.
   video::SceneConfig base = video::PresetConfig(video::ScenePreset::kNightStreet);
   base.num_frames = 5000;
   base.name = "week0";
   base.seed = 9000;
-  auto week0 = video::SimulateScene(base);
-  week0.status().CheckOk();
-
-  detect::SimYoloV4 yolo;
-  detect::SimMtcnn mtcnn;
-  auto prior0 = detect::ClassPriorIndex::Build(*week0, yolo, mtcnn);
-  prior0.status().CheckOk();
+  engine::WorkloadHandle week0 = AdoptWeek(**runtime, base);
 
   query::QuerySpec spec;
   spec.aggregate = query::AggregateFunction::kAvg;
-  query::FrameOutputSource source0(*week0, yolo, video::ObjectClass::kCar);
 
   degrade::InterventionSet iv;
   iv.sample_fraction = 0.2;  // The deployed degradation setting.
 
   stats::Rng rng(77);
-  auto profiled = core::ResultErrorEst(source0, *prior0, spec, iv, 0.05, rng);
+  auto profiled = core::ResultErrorEst(week0->source(), week0->prior(), spec, iv, 0.05, rng);
   profiled.status().CheckOk();
   std::printf("profiled on week0: AVG=%.3f (bound %.2f%%), deployed setting %s\n\n",
               profiled->estimate.y_approx, profiled->estimate.err_b * 100.0,
@@ -101,11 +119,8 @@ int main() {
     video::SceneConfig cfg = base;
     cfg.name = "week" + std::to_string(week);
     cfg.seed = 9000 + static_cast<uint64_t>(week);
-    auto video = video::SimulateScene(cfg);
-    video.status().CheckOk();
-    auto prior = detect::ClassPriorIndex::Build(*video, yolo, mtcnn);
-    prior.status().CheckOk();
-    RunWeek(cfg.name.c_str(), *video, *prior, yolo, spec, iv, profiled->estimate.y_approx, rng);
+    engine::WorkloadHandle workload = AdoptWeek(**runtime, cfg);
+    RunWeek(cfg.name.c_str(), *workload, spec, iv, profiled->estimate.y_approx, rng);
   }
 
   // Week 3: a festival triples traffic -> the monitor must flag drift.
@@ -114,11 +129,8 @@ int main() {
     cfg.name = "week3-festival";
     cfg.seed = 9003;
     cfg.car_rate *= 3.0;
-    auto video = video::SimulateScene(cfg);
-    video.status().CheckOk();
-    auto prior = detect::ClassPriorIndex::Build(*video, yolo, mtcnn);
-    prior.status().CheckOk();
-    RunWeek(cfg.name.c_str(), *video, *prior, yolo, spec, iv, profiled->estimate.y_approx, rng);
+    engine::WorkloadHandle workload = AdoptWeek(**runtime, cfg);
+    RunWeek(cfg.name.c_str(), *workload, spec, iv, profiled->estimate.y_approx, rng);
   }
 
   // Week 4: the festival persists. Re-profile on the drifted traffic, Reset
@@ -129,12 +141,9 @@ int main() {
     festival.car_rate *= 3.0;
     festival.name = "week3-festival";
     festival.seed = 9003;
-    auto week3 = video::SimulateScene(festival);
-    week3.status().CheckOk();
-    auto prior3 = detect::ClassPriorIndex::Build(*week3, yolo, mtcnn);
-    prior3.status().CheckOk();
-    query::FrameOutputSource source3(*week3, yolo, video::ObjectClass::kCar);
-    auto reprofiled = core::ResultErrorEst(source3, *prior3, spec, iv, 0.05, rng);
+    engine::WorkloadHandle week3 = AdoptWeek(**runtime, festival);
+    auto reprofiled =
+        core::ResultErrorEst(week3->source(), week3->prior(), spec, iv, 0.05, rng);
     reprofiled.status().CheckOk();
     std::printf("\nre-profiled on week3: AVG=%.3f (bound %.2f%%)\n",
                 reprofiled->estimate.y_approx, reprofiled->estimate.err_b * 100.0);
@@ -144,19 +153,17 @@ int main() {
     video::SceneConfig cfg4 = festival;
     cfg4.name = "week4-festival";
     cfg4.seed = 9004;
-    auto week4 = video::SimulateScene(cfg4);
-    week4.status().CheckOk();
-    auto prior4 = detect::ClassPriorIndex::Build(*week4, yolo, mtcnn);
-    prior4.status().CheckOk();
-    auto monitor = core::OnlineMonitor::Create(spec, week4->num_frames(), 0.05);
+    engine::WorkloadHandle week4 = AdoptWeek(**runtime, cfg4);
+    auto monitor = core::OnlineMonitor::Create(spec, week4->dataset().num_frames(), 0.05);
     monitor.status().CheckOk();
     monitor->Observe(0.0);  // Residue from before the reset.
     monitor->Reset();
 
-    query::FrameOutputSource source4(*week4, yolo, video::ObjectClass::kCar);
-    auto view4 = degrade::DegradedView::Create(*week4, *prior4, iv, yolo.max_resolution(), rng);
+    auto view4 = degrade::DegradedView::Create(week4->dataset(), week4->prior(), iv,
+                                               week4->detector().max_resolution(), rng);
     view4.status().CheckOk();
-    auto outputs4 = source4.Outputs(spec, view4->sampled_frames(), view4->resolution());
+    auto outputs4 =
+        week4->source().Outputs(spec, view4->sampled_frames(), view4->resolution());
     outputs4.status().CheckOk();
     monitor->ObserveAll(*outputs4);
     auto consistent = monitor->IsConsistentWith(reprofiled->estimate.y_approx, 0.25);

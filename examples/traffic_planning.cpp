@@ -5,14 +5,17 @@
 //  * COUNT(frames >= 8)   — how long congestion exceeded 8 cars (lane closure)
 //  * MAX(cars) via q=0.99 — the most crowded moment
 //
-// Each query is answered from a 5% random sample and the estimate is shown
-// with its error bound and the realized error.
+// All three queries run as engine::Sessions over ONE shared workload: the
+// runtime materializes the corpus/model pair once and every query reuses the
+// same memoized output cache, so frames sampled by the SUM query are free
+// for COUNT and MAX. Each query is answered from a 5% random sample and the
+// estimate is shown with its error bound and the realized error.
 
 #include <cstdio>
 #include <iostream>
 
-#include "core/estimator_api.h"
-#include "detect/models.h"
+#include "engine/runtime.h"
+#include "engine/session.h"
 #include "query/executor.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -22,13 +25,13 @@ using namespace smokescreen;
 
 int main() {
   std::printf("=== Traffic planning on a busy intersection ===\n\n");
-  auto dataset = video::MakePresetScaled(video::ScenePreset::kUaDetrac, 6000);
-  dataset.status().CheckOk();
-  detect::SimYoloV4 yolo;
-  detect::SimMtcnn mtcnn;
-  auto prior = detect::ClassPriorIndex::Build(*dataset, yolo, mtcnn);
-  prior.status().CheckOk();
-  query::FrameOutputSource source(*dataset, yolo, video::ObjectClass::kCar);
+  auto runtime = engine::Runtime::Create({});
+  runtime.status().CheckOk();
+  engine::WorkloadDesc desc;
+  desc.preset = video::ScenePreset::kUaDetrac;
+  desc.frames = 6000;
+  auto workload = (*runtime)->GetWorkload(desc);
+  workload.status().CheckOk();
 
   degrade::InterventionSet iv;
   iv.sample_fraction = 0.05;  // Process only 5% of the video.
@@ -53,11 +56,17 @@ int main() {
 
   util::TablePrinter table(
       {"query", "estimate", "err_bound", "true_value", "realized_err"});
-  stats::Rng rng(7);
   for (const QueryCase& qc : cases) {
-    auto gt = query::ComputeGroundTruth(source, qc.spec);
+    // One session per query: same workload, same seed, per-call RNG streams.
+    engine::SessionConfig config;
+    config.spec = qc.spec;
+    config.seed = 7;
+    auto session = (*runtime)->StartSession(*workload, config);
+    session.status().CheckOk();
+
+    auto gt = query::ComputeGroundTruth((*workload)->source(), qc.spec);
     gt.status().CheckOk();
-    auto result = core::ResultErrorEst(source, *prior, qc.spec, iv, 0.05, rng);
+    auto result = (*session)->Execute(iv);
     result.status().CheckOk();
 
     double realized;

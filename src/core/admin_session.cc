@@ -1,8 +1,10 @@
 #include "core/admin_session.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/ascii_plot.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace smokescreen {
@@ -11,9 +13,10 @@ namespace core {
 using util::Result;
 using util::Status;
 
-AdminSession::AdminSession(const Profile& profile, int model_max_resolution)
-    : profile_(profile), model_max_resolution_(model_max_resolution) {
-  for (const ProfilePoint& point : profile.points) {
+AdminSession::AdminSession(ProfileHandle profile, int model_max_resolution)
+    : profile_(std::move(profile)), model_max_resolution_(model_max_resolution) {
+  SMK_CHECK(profile_ != nullptr) << "AdminSession requires a non-null profile handle";
+  for (const ProfilePoint& point : profile_->points) {
     loosest_fraction_ = std::max(loosest_fraction_, point.interventions.sample_fraction);
     loosest_resolution_ =
         std::max(loosest_resolution_, point.interventions.EffectiveResolution(
@@ -25,7 +28,7 @@ std::vector<AdminSession::Slice> AdminSession::InitialSlices() const {
   // Resolution knob values in the profile store the literal candidate value;
   // a slice lookup must match it exactly, so find the literal loosest knob.
   int loosest_knob_resolution = 0;
-  for (const ProfilePoint& point : profile_.points) {
+  for (const ProfilePoint& point : profile_->points) {
     loosest_knob_resolution =
         std::max(loosest_knob_resolution, point.interventions.resolution);
   }
@@ -42,7 +45,7 @@ AdminSession::Slice AdminSession::FractionSlice(int resolution,
   slice.axis = "fraction";
   slice.title = "err_bound vs sample fraction (p=" + std::to_string(resolution) +
                 ", c=" + restricted.ToString() + ")";
-  slice.points = SliceByFraction(profile_, resolution, restricted);
+  slice.points = SliceByFraction(*profile_, resolution, restricted);
   return slice;
 }
 
@@ -52,7 +55,7 @@ AdminSession::Slice AdminSession::ResolutionSlice(double fraction,
   slice.axis = "resolution";
   slice.title = "err_bound vs resolution (f=" + util::FormatDouble(fraction, 2) +
                 ", c=" + restricted.ToString() + ")";
-  slice.points = SliceByResolution(profile_, fraction, restricted);
+  slice.points = SliceByResolution(*profile_, fraction, restricted);
   return slice;
 }
 
@@ -61,7 +64,7 @@ AdminSession::Slice AdminSession::RestrictedSlice(double fraction, int resolutio
   slice.axis = "restricted classes";
   slice.title = "err_bound vs restricted classes (f=" + util::FormatDouble(fraction, 2) +
                 ", p=" + std::to_string(resolution) + ")";
-  slice.points = SliceByRestricted(profile_, fraction, resolution);
+  slice.points = SliceByRestricted(*profile_, fraction, resolution);
   return slice;
 }
 
@@ -95,7 +98,7 @@ Result<std::string> AdminSession::RenderSlice(const Slice& slice) const {
 }
 
 Result<TradeoffChoice> AdminSession::FineTune(double max_error) const {
-  return ChooseTradeoff(profile_, max_error, model_max_resolution_);
+  return ChooseTradeoff(*profile_, max_error, model_max_resolution_);
 }
 
 }  // namespace core

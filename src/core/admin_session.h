@@ -32,9 +32,14 @@ class AdminSession {
     std::vector<ProfilePoint> points;
   };
 
-  /// The profile must outlive the session. `model_max_resolution` resolves
-  /// unset resolution knobs.
-  AdminSession(const Profile& profile, int model_max_resolution);
+  /// Takes SHARED ownership of the profile (aborts on a null handle) —
+  /// there is no lifetime contract for the caller to get wrong: the profile
+  /// lives as long as any session, cache entry or other handle does. The
+  /// old constructor took `const Profile&` with a comment-only "must
+  /// outlive the session" rule; a caller whose profile was a temporary (or
+  /// a cache entry evicted mid-session) got silent dangling reads.
+  /// `model_max_resolution` resolves unset resolution knobs.
+  AdminSession(ProfileHandle profile, int model_max_resolution);
 
   /// Loosest (least degrading) values present in the profile: the largest
   /// sample fraction, the highest resolution, and no removal.
@@ -58,8 +63,11 @@ class AdminSession {
   /// (delegates to ChooseTradeoff over the whole hypercube).
   util::Result<TradeoffChoice> FineTune(double max_error) const;
 
+  /// The owned profile (never null).
+  const ProfileHandle& profile() const { return profile_; }
+
  private:
-  const Profile& profile_;
+  ProfileHandle profile_;
   int model_max_resolution_;
   double loosest_fraction_ = 0.0;
   int loosest_resolution_ = 0;

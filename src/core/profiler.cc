@@ -1,8 +1,11 @@
 #include "core/profiler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <map>
+#include <mutex>
 #include <span>
 
 #include "stats/sampling.h"
@@ -20,6 +23,10 @@ const ProfilePoint* Profile::Find(const InterventionSet& interventions) const {
     if (point.interventions == interventions) return &point;
   }
   return nullptr;
+}
+
+ProfileHandle MakeProfileHandle(Profile profile) {
+  return std::make_shared<const Profile>(std::move(profile));
 }
 
 Profiler::Profiler(query::FrameOutputSource& source, const detect::ClassPriorIndex& prior,
@@ -216,17 +223,41 @@ Result<Profile> Profiler::Generate(const std::vector<InterventionSet>& candidate
 
   util::ScopedSpan groups_span(metrics_.groups_seconds);
   {
-    util::ThreadPool pool(options_.num_threads);
-    report_.num_threads = pool.num_threads();
+    // With an injected pool (the serving layer's shared executor) completion
+    // must be tracked by a PRIVATE latch over this call's tasks:
+    // ThreadPool::Wait() waits for quiescence of the WHOLE pool, which under
+    // concurrent sessions means waiting on other callers' work — and two
+    // Generates Wait()ing on each other's tasks never both finish early.
+    util::ThreadPool* pool = pool_;
+    std::unique_ptr<util::ThreadPool> owned_pool;
+    if (pool == nullptr) {
+      owned_pool = std::make_unique<util::ThreadPool>(options_.num_threads);
+      pool = owned_pool.get();
+    }
+    report_.num_threads = pool->num_threads();
+
+    std::atomic<size_t> remaining{ordered.size()};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
     for (size_t i = 0; i < ordered.size(); ++i) {
-      pool.Submit([this, &ordered, &results, i, profile_seed, model_max, original_population] {
+      pool->Submit([this, &ordered, &results, &remaining, &done_mu, &done_cv, i,
+                    profile_seed, model_max, original_population] {
         results[i].status = GenerateGroupPoints(
             source_, prior_, spec_, options_, correction_set_, *ordered[i].first,
             *ordered[i].second, profile_seed, model_max, original_population,
             &results[i].points);
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          // Lock before notifying so the waiter cannot check the predicate,
+          // see it false, and miss the notification in between.
+          std::lock_guard<std::mutex> lock(done_mu);
+          done_cv.notify_all();
+        }
       });
     }
-    pool.Wait();
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&remaining] {
+      return remaining.load(std::memory_order_acquire) == 0;
+    });
   }
   report_.groups_seconds = groups_span.Stop();
 

@@ -23,6 +23,7 @@
 #ifndef SMOKESCREEN_CORE_PROFILER_H_
 #define SMOKESCREEN_CORE_PROFILER_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,6 +38,9 @@
 #include "util/status.h"
 
 namespace smokescreen {
+namespace util {
+class ThreadPool;
+}  // namespace util
 namespace core {
 
 struct ProfilePoint {
@@ -61,6 +65,16 @@ struct Profile {
   /// (early stopping) or never a candidate.
   const ProfilePoint* Find(const degrade::InterventionSet& interventions) const;
 };
+
+/// Shared, immutable ownership of a generated profile. The serving layer
+/// hands these out so a profile can outlive the session that generated it,
+/// sit in a cache, and back any number of concurrent AdminSessions without
+/// copies — closing the old "the profile reference must outlive the admin
+/// session" footgun by construction.
+using ProfileHandle = std::shared_ptr<const Profile>;
+
+/// Wraps a profile into engine-owned shared form.
+ProfileHandle MakeProfileHandle(Profile profile);
 
 struct ProfilerOptions {
   double delta = 0.05;
@@ -125,6 +139,18 @@ class Profiler {
   /// util::MetricsRegistry::Default(). Bind before Generate().
   void set_metrics_registry(util::MetricsRegistry* registry);
 
+  /// Runs the hypercube-group walk on a SHARED executor instead of a pool
+  /// constructed per Generate() call. Completion is tracked by a private
+  /// latch over this call's own tasks — never ThreadPool::Wait(), which
+  /// would also wait on unrelated users of the pool (other sessions'
+  /// profile runs in the serving layer). The pool is borrowed, not owned;
+  /// it must outlive the profiler, and Generate() must not itself be called
+  /// from one of the pool's worker tasks (the caller blocks on the latch —
+  /// a worker doing that could deadlock the pool against itself). nullptr
+  /// (the default) restores the private per-call pool sized by
+  /// ProfilerOptions::num_threads. Results are bit-identical either way.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+
  private:
   void BindMetrics(util::MetricsRegistry* registry);
 
@@ -132,6 +158,7 @@ class Profiler {
   const detect::ClassPriorIndex& prior_;
   query::QuerySpec spec_;
   ProfilerOptions options_;
+  util::ThreadPool* pool_ = nullptr;
   std::optional<CorrectionSet> correction_set_;
   ProfilerReport report_;
 

@@ -1,0 +1,326 @@
+#include "engine/runtime.h"
+
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <utility>
+
+#include "detect/models.h"
+#include "detect/registry.h"
+#include "engine/session.h"
+#include "query/output_store.h"
+#include "video/types.h"
+
+namespace smokescreen {
+namespace engine {
+
+using util::Result;
+using util::Status;
+
+Result<video::ScenePreset> PresetByName(const std::string& name) {
+  if (name == "ua-detrac") return video::ScenePreset::kUaDetrac;
+  if (name == "night-street") return video::ScenePreset::kNightStreet;
+  if (name == "MVI_40771") return video::ScenePreset::kMvi40771;
+  if (name == "MVI_40775") return video::ScenePreset::kMvi40775;
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+std::string WorkloadShareKey(const WorkloadDesc& desc) {
+  return std::string(video::ScenePresetName(desc.preset)) + "#f=" +
+         std::to_string(desc.frames) + "#" + desc.detector_name +
+         "#class=" + std::string(video::ObjectClassName(desc.target_class));
+}
+
+ProfileProvenance Workload::provenance() const {
+  ProfileProvenance provenance;
+  provenance.dataset_id = dataset_->dataset_id();
+  provenance.model_id = detector_->model_id();
+  provenance.num_frames = dataset_->num_frames();
+  return provenance;
+}
+
+namespace {
+
+bool PointsIdentical(const core::ProfilePoint& a, const core::ProfilePoint& b) {
+  return a.interventions == b.interventions && a.err_bound == b.err_bound &&
+         a.err_uncorrected == b.err_uncorrected && a.y_approx == b.y_approx &&
+         a.repaired == b.repaired && a.sample_size == b.sample_size;
+}
+
+}  // namespace
+
+bool ProfilesBitIdentical(const core::Profile& a, const core::Profile& b) {
+  if (a.points.size() != b.points.size()) return false;
+  if (a.dataset_name != b.dataset_name || a.detector_name != b.detector_name) return false;
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    if (!PointsIdentical(a.points[i], b.points[i])) return false;
+  }
+  return true;
+}
+
+Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
+  env_ = options_.env != nullptr ? options_.env : &util::Env::Default();
+  registry_ =
+      options_.registry != nullptr ? options_.registry : &util::MetricsRegistry::Default();
+  executor_ = std::make_unique<util::ThreadPool>(options_.num_threads);
+  executor_->set_metrics_registry(registry_);
+  profile_cache_ = std::make_unique<ProfileCache>(options_.profile_cache_capacity, registry_);
+
+  metrics_.sessions_started = registry_->GetCounter("engine.sessions.started");
+  metrics_.sessions_active = registry_->GetGauge("engine.sessions.active");
+  metrics_.work_admitted = registry_->GetCounter("engine.admission.admitted");
+  metrics_.admission_timeouts = registry_->GetCounter("engine.admission.timeouts");
+  metrics_.admission_queue_depth = registry_->GetGauge("engine.admission.queue_depth");
+  metrics_.active_work = registry_->GetGauge("engine.admission.active_work");
+  metrics_.admission_wait_seconds =
+      registry_->GetStageHistogram("engine.admission.wait.seconds");
+  metrics_.workloads_materialized = registry_->GetCounter("engine.workloads.materialized");
+  metrics_.workloads_shared = registry_->GetCounter("engine.workloads.shared");
+}
+
+Runtime::~Runtime() = default;
+
+Result<std::unique_ptr<Runtime>> Runtime::Create(RuntimeOptions options) {
+  if (options.max_concurrent_sessions < 0) {
+    return Status::InvalidArgument("max_concurrent_sessions must be >= 0");
+  }
+  if (options.admission_wait_budget_sec <= 0.0 ||
+      std::isnan(options.admission_wait_budget_sec)) {
+    return Status::InvalidArgument("admission_wait_budget_sec must be positive");
+  }
+  if (options.max_batch_size < 0) {
+    return Status::InvalidArgument("max_batch_size must be >= 0 (0 = unlimited)");
+  }
+  SMK_RETURN_IF_ERROR(options.compute_policy.Validate());
+  return std::unique_ptr<Runtime>(new Runtime(std::move(options)));
+}
+
+void Runtime::WireSource(query::FrameOutputSource& source) const {
+  source.set_metrics_registry(registry_);
+  source.set_max_batch_size(options_.max_batch_size);
+  source.set_compute_policy(options_.compute_policy).CheckOk();
+  // Deliberately NOT source.set_thread_pool(executor_): profiler group tasks
+  // run ON the executor and call into the source; letting the source fan its
+  // miss batches back onto the same pool could park every worker waiting for
+  // chunk tasks that no free worker is left to run.
+}
+
+Result<std::unique_ptr<Workload>> Runtime::Materialize(const WorkloadDesc& desc) {
+  auto workload = std::unique_ptr<Workload>(new Workload());
+  workload->share_key_ = WorkloadShareKey(desc);
+  workload->label_ = std::string(video::ScenePresetName(desc.preset)) + "+" +
+                     desc.detector_name;
+  workload->store_path_ = desc.output_store_path;
+
+  auto dataset = desc.frames > 0 ? video::MakePresetScaled(desc.preset, desc.frames)
+                                 : video::MakePreset(desc.preset);
+  SMK_RETURN_IF_ERROR(dataset.status());
+  workload->dataset_ = std::make_unique<video::VideoDataset>(std::move(*dataset));
+
+  SMK_ASSIGN_OR_RETURN(workload->detector_, detect::MakeDetector(desc.detector_name));
+
+  // The restricted-class prior is always computed with YOLO (person) +
+  // MTCNN (face), as in the paper's workloads.
+  detect::SimYoloV4 person_detector;
+  detect::SimMtcnn face_detector;
+  auto prior = detect::ClassPriorIndex::Build(*workload->dataset_, person_detector,
+                                              face_detector);
+  SMK_RETURN_IF_ERROR(prior.status());
+  workload->prior_ = std::make_unique<detect::ClassPriorIndex>(std::move(*prior));
+
+  workload->source_ = std::make_unique<query::FrameOutputSource>(
+      *workload->dataset_, *workload->detector_, desc.target_class);
+  WireSource(*workload->source_);
+
+  if (!desc.output_store_path.empty()) {
+    if (env_->FileExists(desc.output_store_path)) {
+      // Salvage rather than strict-load: a partially damaged store still
+      // yields its CRC-verified columns; the quarantined remainder is simply
+      // recomputed by later requests (and healed on the next SaveStore).
+      auto salvaged =
+          query::OutputStore::Salvage(*env_, desc.output_store_path, registry_);
+      SMK_RETURN_IF_ERROR(salvaged.status());
+      if (!salvaged->report.clean()) {
+        workload->warm_start_damage_ = salvaged->report.Summary();
+      }
+      SMK_ASSIGN_OR_RETURN(workload->warm_start_entries_,
+                           workload->source_->Preload(salvaged->store));
+    } else {
+      // Fail now, not after minutes of profiling: the save at the end needs
+      // the parent directory to exist.
+      std::error_code ec;
+      std::filesystem::path parent =
+          std::filesystem::path(desc.output_store_path).parent_path();
+      if (!parent.empty() && !std::filesystem::is_directory(parent, ec)) {
+        return Status::InvalidArgument("output-store directory does not exist: " +
+                                       parent.string());
+      }
+    }
+  }
+  metrics_.workloads_materialized->Increment();
+  return workload;
+}
+
+Result<WorkloadHandle> Runtime::GetWorkload(const WorkloadDesc& desc) {
+  const std::string key = WorkloadShareKey(desc);
+  // Materialization runs under the map lock: it serializes workload
+  // creation (once per (dataset, model) pair per process — not a hot path)
+  // in exchange for a hard exactly-once guarantee, so two racing sessions
+  // can never build two sources for the same pair.
+  std::lock_guard<std::mutex> lock(workloads_mu_);
+  auto it = workloads_.find(key);
+  if (it != workloads_.end()) {
+    metrics_.workloads_shared->Increment();
+    return it->second;
+  }
+  SMK_ASSIGN_OR_RETURN(std::unique_ptr<Workload> workload, Materialize(desc));
+  WorkloadHandle handle(std::move(workload));
+  workloads_[key] = handle;
+  return handle;
+}
+
+Result<WorkloadHandle> Runtime::CreateIsolatedWorkload(const WorkloadDesc& desc) {
+  SMK_ASSIGN_OR_RETURN(std::unique_ptr<Workload> workload, Materialize(desc));
+  return WorkloadHandle(std::move(workload));
+}
+
+Result<WorkloadHandle> Runtime::AdoptWorkload(std::string label,
+                                              std::unique_ptr<video::VideoDataset> dataset,
+                                              std::unique_ptr<detect::Detector> detector,
+                                              std::unique_ptr<detect::ClassPriorIndex> prior,
+                                              video::ObjectClass target_class) {
+  if (dataset == nullptr || detector == nullptr || prior == nullptr) {
+    return Status::InvalidArgument("AdoptWorkload requires dataset, detector and prior");
+  }
+  auto workload = std::unique_ptr<Workload>(new Workload());
+  workload->label_ = std::move(label);
+  workload->share_key_ = "adopted#" + workload->label_ + "#" + dataset->name() + "#" +
+                         detector->name() +
+                         "#class=" + std::string(video::ObjectClassName(target_class));
+  workload->dataset_ = std::move(dataset);
+  workload->detector_ = std::move(detector);
+  workload->prior_ = std::move(prior);
+  workload->source_ = std::make_unique<query::FrameOutputSource>(
+      *workload->dataset_, *workload->detector_, target_class);
+  WireSource(*workload->source_);
+  metrics_.workloads_materialized->Increment();
+  return WorkloadHandle(std::move(workload));
+}
+
+Result<std::unique_ptr<Session>> Runtime::StartSession(WorkloadHandle workload,
+                                                       SessionConfig config) {
+  if (workload == nullptr) {
+    return Status::InvalidArgument("StartSession requires a workload");
+  }
+  SMK_RETURN_IF_ERROR(config.spec.Validate());
+  const uint64_t seed = config.seed.value_or(options_.default_seed);
+  metrics_.sessions_started->Increment();
+  metrics_.sessions_active->Add(1);
+  return std::unique_ptr<Session>(
+      new Session(this, std::move(workload), std::move(config), seed));
+}
+
+Status Runtime::SaveStore(const WorkloadHandle& workload, const std::string& path) {
+  if (workload == nullptr) return Status::InvalidArgument("SaveStore requires a workload");
+  const std::string& target = path.empty() ? workload->output_store_path() : path;
+  if (target.empty()) {
+    return Status::InvalidArgument("workload has no output-store path configured");
+  }
+  query::OutputStore store = workload->source().ExportStore();
+  return store.Save(*env_, target);
+}
+
+Runtime::WorkPermit& Runtime::WorkPermit::operator=(WorkPermit&& other) noexcept {
+  if (this != &other) {
+    if (runtime_ != nullptr) runtime_->ReleaseWork();
+    runtime_ = other.runtime_;
+    other.runtime_ = nullptr;
+  }
+  return *this;
+}
+
+Runtime::WorkPermit::~WorkPermit() {
+  if (runtime_ != nullptr) runtime_->ReleaseWork();
+}
+
+Result<Runtime::WorkPermit> Runtime::AdmitWork() {
+  if (options_.max_concurrent_sessions == 0) {
+    // Unlimited: no queue, but the gauges still tell the truth.
+    {
+      std::lock_guard<std::mutex> lock(admit_mu_);
+      ++active_work_;
+      metrics_.active_work->Set(active_work_);
+    }
+    metrics_.work_admitted->Increment();
+    return WorkPermit(this);
+  }
+
+  util::ScopedSpan wait_span(metrics_.admission_wait_seconds);
+  std::unique_lock<std::mutex> lock(admit_mu_);
+  const uint64_t ticket = next_ticket_++;
+  admit_queue_.push_back(ticket);
+  metrics_.admission_queue_depth->Set(static_cast<int64_t>(admit_queue_.size()));
+
+  auto admissible = [this, ticket] {
+    return admit_queue_.front() == ticket &&
+           active_work_ < options_.max_concurrent_sessions;
+  };
+  bool admitted;
+  if (std::isinf(options_.admission_wait_budget_sec)) {
+    admit_cv_.wait(lock, admissible);
+    admitted = true;
+  } else {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options_.admission_wait_budget_sec));
+    admitted = admit_cv_.wait_until(lock, deadline, admissible);
+  }
+  if (!admitted) {
+    // Remove our ticket wherever it sits so later arrivals are not queued
+    // behind a waiter that gave up.
+    for (auto it = admit_queue_.begin(); it != admit_queue_.end(); ++it) {
+      if (*it == ticket) {
+        admit_queue_.erase(it);
+        break;
+      }
+    }
+    ++admission_timeouts_;
+    metrics_.admission_timeouts->Increment();
+    metrics_.admission_queue_depth->Set(static_cast<int64_t>(admit_queue_.size()));
+    admit_cv_.notify_all();
+    return Status::Unavailable("admission wait exceeded " +
+                               std::to_string(options_.admission_wait_budget_sec) +
+                               "s (queue full)");
+  }
+  admit_queue_.pop_front();
+  ++active_work_;
+  metrics_.active_work->Set(active_work_);
+  metrics_.admission_queue_depth->Set(static_cast<int64_t>(admit_queue_.size()));
+  metrics_.work_admitted->Increment();
+  // The next waiter may also be admissible (multiple slots can be free).
+  admit_cv_.notify_all();
+  return WorkPermit(this);
+}
+
+void Runtime::ReleaseWork() {
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    --active_work_;
+    metrics_.active_work->Set(active_work_);
+  }
+  admit_cv_.notify_all();
+}
+
+int64_t Runtime::active_work() const {
+  std::lock_guard<std::mutex> lock(admit_mu_);
+  return active_work_;
+}
+
+int64_t Runtime::admission_timeouts() const {
+  std::lock_guard<std::mutex> lock(admit_mu_);
+  return admission_timeouts_;
+}
+
+}  // namespace engine
+}  // namespace smokescreen

@@ -66,6 +66,7 @@ FrameOutputSource::FrameOutputSource(const video::VideoDataset& dataset,
 
 void FrameOutputSource::BindMetrics(util::MetricsRegistry* registry) {
   if (registry == nullptr) registry = &util::MetricsRegistry::Default();
+  registry_ = registry;
   metrics_.invocations = registry->GetCounter("output_source.model_invocations");
   metrics_.hits = registry->GetCounter("output_source.cache_hits");
   metrics_.inflight_waits = registry->GetCounter("output_source.inflight_waits");
@@ -649,7 +650,8 @@ Result<int64_t> FrameOutputSource::Preload(const OutputStore& store) {
 
 Result<FrameOutputSource::RepairReport> FrameOutputSource::RepairStore(util::Env& env,
                                                                        const std::string& path) {
-  SMK_ASSIGN_OR_RETURN(OutputStore::SalvageResult salvaged, OutputStore::Salvage(env, path));
+  SMK_ASSIGN_OR_RETURN(OutputStore::SalvageResult salvaged,
+                       OutputStore::Salvage(env, path, registry_));
   // Provenance gate mirrors Preload: recomputing a foreign store's columns
   // would stamp THIS model's outputs under the other store's identity.
   if (salvaged.store.dataset_id() != dataset_.dataset_id() ||

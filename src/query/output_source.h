@@ -385,6 +385,9 @@ class FrameOutputSource {
   ComputePolicy compute_policy_;
 
   Instruments metrics_;
+  /// The registry the instruments are bound to (never null); RepairStore
+  /// routes its salvage tallies here so test-isolated registries see them.
+  util::MetricsRegistry* registry_ = nullptr;
   std::array<Shard, kNumShards> shards_;
   std::atomic<int64_t> model_invocations_{0};
   std::atomic<int64_t> cache_hits_{0};

@@ -176,8 +176,8 @@ Status OutputStore::Save(const std::string& path) const {
   return Save(util::Env::Default(), path);
 }
 
-Result<OutputStore::SalvageResult> OutputStore::Salvage(util::Env& env,
-                                                        const std::string& path) {
+Result<OutputStore::SalvageResult> OutputStore::Salvage(util::Env& env, const std::string& path,
+                                                        util::MetricsRegistry* registry) {
   SMK_ASSIGN_OR_RETURN(std::vector<unsigned char> bytes, env.ReadFileBytes(path));
   Reader r(bytes.data(), bytes.size());
 
@@ -330,24 +330,20 @@ Result<OutputStore::SalvageResult> OutputStore::Salvage(util::Env& env,
     }
   }
 
-  // Salvage is static, so its verdict tallies bind to the default registry
-  // once (function-local statics; registry instruments are immortal). Load
-  // and Scrub both route through here, so every salvage pass is covered.
-  static util::Counter* const salvage_calls =
-      util::MetricsRegistry::Default().GetCounter("output_store.salvage.calls");
-  static util::Counter* const salvage_columns_loaded =
-      util::MetricsRegistry::Default().GetCounter("output_store.salvage.columns_loaded");
-  static util::Counter* const salvage_columns_quarantined =
-      util::MetricsRegistry::Default().GetCounter("output_store.salvage.columns_quarantined");
-  static util::Counter* const salvage_entries_loaded =
-      util::MetricsRegistry::Default().GetCounter("output_store.salvage.entries_loaded");
-  static util::Counter* const salvage_entries_quarantined =
-      util::MetricsRegistry::Default().GetCounter("output_store.salvage.entries_quarantined");
-  salvage_calls->Increment();
-  salvage_columns_loaded->Add(report.columns_loaded);
-  salvage_columns_quarantined->Add(static_cast<int64_t>(report.quarantined.size()));
-  salvage_entries_loaded->Add(report.entries_loaded);
-  salvage_entries_quarantined->Add(report.entries_quarantined);
+  // The verdict tallies go to the INJECTED registry, looked up per call.
+  // (They used to bind to the default registry once via function-local
+  // statics, which silently leaked counts past any registry a caller
+  // injected — engine runtimes with private registries could never account
+  // for their own warm-start salvages.) Load and Scrub both route through
+  // here, so every salvage pass is covered.
+  if (registry == nullptr) registry = &util::MetricsRegistry::Default();
+  registry->GetCounter("output_store.salvage.calls")->Increment();
+  registry->GetCounter("output_store.salvage.columns_loaded")->Add(report.columns_loaded);
+  registry->GetCounter("output_store.salvage.columns_quarantined")
+      ->Add(static_cast<int64_t>(report.quarantined.size()));
+  registry->GetCounter("output_store.salvage.entries_loaded")->Add(report.entries_loaded);
+  registry->GetCounter("output_store.salvage.entries_quarantined")
+      ->Add(report.entries_quarantined);
   return result;
 }
 
@@ -355,8 +351,9 @@ Result<OutputStore::SalvageResult> OutputStore::Salvage(const std::string& path)
   return Salvage(util::Env::Default(), path);
 }
 
-Result<OutputStore> OutputStore::Load(util::Env& env, const std::string& path) {
-  SMK_ASSIGN_OR_RETURN(SalvageResult result, Salvage(env, path));
+Result<OutputStore> OutputStore::Load(util::Env& env, const std::string& path,
+                                      util::MetricsRegistry* registry) {
+  SMK_ASSIGN_OR_RETURN(SalvageResult result, Salvage(env, path, registry));
   if (!result.report.clean()) {
     return Status::DataLoss("output store " + path + " failed strict load (" +
                             result.report.Summary() + "); use Salvage to keep the " +
@@ -369,8 +366,9 @@ Result<OutputStore> OutputStore::Load(const std::string& path) {
   return Load(util::Env::Default(), path);
 }
 
-Result<LoadReport> OutputStore::Scrub(util::Env& env, const std::string& path) {
-  SMK_ASSIGN_OR_RETURN(SalvageResult result, Salvage(env, path));
+Result<LoadReport> OutputStore::Scrub(util::Env& env, const std::string& path,
+                                      util::MetricsRegistry* registry) {
+  SMK_ASSIGN_OR_RETURN(SalvageResult result, Salvage(env, path, registry));
   return std::move(result.report);
 }
 

@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "util/env.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace smokescreen {
@@ -154,20 +155,29 @@ class OutputStore {
 
   /// Strict read: every CRC must verify. IoError on missing/unreadable
   /// files, InvalidArgument on bad magic/unknown version, DataLoss on
-  /// truncation or any CRC mismatch. Reads v1 and v2 files.
-  static util::Result<OutputStore> Load(util::Env& env, const std::string& path);
+  /// truncation or any CRC mismatch. Reads v1 and v2 files. `registry`
+  /// receives the salvage verdict tallies (nullptr = the process default).
+  static util::Result<OutputStore> Load(util::Env& env, const std::string& path,
+                                        util::MetricsRegistry* registry = nullptr);
   static util::Result<OutputStore> Load(const std::string& path);
 
   /// Salvage read: loads every column whose CRCs verify and quarantines the
   /// rest into the report — partial corruption degrades the warm-start
   /// instead of discarding it. Fails (like Load) only when the file itself
   /// is unreadable or the HEADER is untrusted: nothing below a bad header
-  /// can be attributed to this store. Reads v1 and v2 files.
-  static util::Result<SalvageResult> Salvage(util::Env& env, const std::string& path);
+  /// can be attributed to this store. Reads v1 and v2 files. The verdict
+  /// tallies (output_store.salvage.*) go to `registry`; nullptr means the
+  /// process default. (They used to bind to the default registry via
+  /// function-local statics, which silently leaked counts past
+  /// set_metrics_registry-style test isolation — the injected registry is
+  /// looked up per call instead.)
+  static util::Result<SalvageResult> Salvage(util::Env& env, const std::string& path,
+                                             util::MetricsRegistry* registry = nullptr);
   static util::Result<SalvageResult> Salvage(const std::string& path);
 
   /// Verify-only pass over `path`: same checks as Salvage, no store built.
-  static util::Result<LoadReport> Scrub(util::Env& env, const std::string& path);
+  static util::Result<LoadReport> Scrub(util::Env& env, const std::string& path,
+                                        util::MetricsRegistry* registry = nullptr);
 
  private:
   uint64_t dataset_id_ = 0;

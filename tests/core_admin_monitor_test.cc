@@ -34,15 +34,13 @@ Profile MakeGridProfile() {
 }
 
 TEST(AdminSessionTest, LoosestValues) {
-  Profile profile = MakeGridProfile();
-  AdminSession session(profile, 608);
+  AdminSession session(MakeProfileHandle(MakeGridProfile()), 608);
   EXPECT_NEAR(session.LoosestFraction(), 0.5, 1e-12);
   EXPECT_EQ(session.LoosestResolution(), 608);
 }
 
 TEST(AdminSessionTest, InitialSlicesFixUnseenDimsLoosest) {
-  Profile profile = MakeGridProfile();
-  AdminSession session(profile, 608);
+  AdminSession session(MakeProfileHandle(MakeGridProfile()), 608);
   auto slices = session.InitialSlices();
   ASSERT_EQ(slices.size(), 3u);
 
@@ -67,8 +65,7 @@ TEST(AdminSessionTest, InitialSlicesFixUnseenDimsLoosest) {
 }
 
 TEST(AdminSessionTest, AdjustedSlicesPinDimensions) {
-  Profile profile = MakeGridProfile();
-  AdminSession session(profile, 608);
+  AdminSession session(MakeProfileHandle(MakeGridProfile()), 608);
   auto slice = session.FractionSlice(320, video::ClassSet({video::ObjectClass::kPerson}));
   ASSERT_EQ(slice.points.size(), 3u);
   for (const ProfilePoint& p : slice.points) {
@@ -81,8 +78,7 @@ TEST(AdminSessionTest, AdjustedSlicesPinDimensions) {
 }
 
 TEST(AdminSessionTest, RenderSliceProducesPlot) {
-  Profile profile = MakeGridProfile();
-  AdminSession session(profile, 608);
+  AdminSession session(MakeProfileHandle(MakeGridProfile()), 608);
   auto slices = session.InitialSlices();
   auto plot = session.RenderSlice(slices[0]);
   ASSERT_TRUE(plot.ok());
@@ -92,20 +88,43 @@ TEST(AdminSessionTest, RenderSliceProducesPlot) {
 }
 
 TEST(AdminSessionTest, RenderEmptySliceFails) {
-  Profile profile = MakeGridProfile();
-  AdminSession session(profile, 608);
+  AdminSession session(MakeProfileHandle(MakeGridProfile()), 608);
   auto empty = session.FractionSlice(999, video::ClassSet::None());
   EXPECT_FALSE(session.RenderSlice(empty).ok());
 }
 
 TEST(AdminSessionTest, FineTunePicksStrongestWithinBudget) {
-  Profile profile = MakeGridProfile();
-  AdminSession session(profile, 608);
+  AdminSession session(MakeProfileHandle(MakeGridProfile()), 608);
   auto choice = session.FineTune(0.40);
   ASSERT_TRUE(choice.ok());
   EXPECT_LE(choice->err_bound, 0.40);
   // Nothing meets an absurd budget.
   EXPECT_FALSE(session.FineTune(0.0001).ok());
+}
+
+// Regression for the old raw-reference API's lifetime footgun: the session
+// held `const Profile&` under a comment-only "must outlive the session"
+// contract, so releasing the profile (a cache eviction, a scope exit, a
+// moved-from local) left the session reading freed memory. With the
+// engine-owned handle the session co-owns the profile: every owner can
+// drop its copy and the session keeps working.
+TEST(AdminSessionTest, HandleKeepsProfileAliveAfterOwnerReleases) {
+  ProfileHandle handle = MakeProfileHandle(MakeGridProfile());
+  AdminSession session(handle, 608);
+  handle.reset();  // The "caller's profile died" case the old API dangled on.
+  EXPECT_NEAR(session.LoosestFraction(), 0.5, 1e-12);
+  auto slices = session.InitialSlices();
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_EQ(slices[0].points.size(), 3u);
+  ASSERT_TRUE(session.FineTune(0.40).ok());
+}
+
+// A null handle is a programming error, not a recoverable state: the
+// constructor must refuse loudly instead of deferring a segfault to the
+// first slice call.
+TEST(AdminSessionDeathTest, NullProfileHandleAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(AdminSession(ProfileHandle(), 608), "non-null profile handle");
 }
 
 // ---------------------------------------------------------------------------

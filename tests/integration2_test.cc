@@ -101,7 +101,8 @@ TEST_F(WorkflowTest, InterpolationBracketsNeighbouringBounds) {
 
 TEST_F(WorkflowTest, AdminSessionWorksOnGeneratedProfiles) {
   core::Profile profile = GenerateProfile();
-  core::AdminSession session(profile, yolo_.max_resolution());
+  core::AdminSession session(core::MakeProfileHandle(std::move(profile)),
+                             yolo_.max_resolution());
   EXPECT_NEAR(session.LoosestFraction(), 0.5, 1e-9);
   auto slices = session.InitialSlices();
   ASSERT_EQ(slices.size(), 3u);
@@ -119,8 +120,8 @@ TEST_F(WorkflowTest, ProfileSurvivesPersistenceIntoAdminSession) {
   ASSERT_TRUE(loaded.ok());
 
   // Both should fine-tune to the same choice.
-  core::AdminSession live(profile, 608);
-  core::AdminSession revived(*loaded, 608);
+  core::AdminSession live(core::MakeProfileHandle(std::move(profile)), 608);
+  core::AdminSession revived(core::MakeProfileHandle(std::move(*loaded)), 608);
   auto choice_live = live.FineTune(0.5);
   auto choice_revived = revived.FineTune(0.5);
   if (choice_live.ok()) {

@@ -21,6 +21,7 @@
 #include "detect/models.h"
 #include "query/output_source.h"
 #include "util/env.h"
+#include "util/metrics.h"
 #include "video/presets.h"
 
 namespace smokescreen {
@@ -308,6 +309,36 @@ TEST_F(OutputStoreTest, SalvageOfCleanFileIsClean) {
   EXPECT_TRUE(salvaged->report.clean());
   EXPECT_EQ(salvaged->report.columns_loaded, 2);
   EXPECT_EQ(salvaged->store.columns().size(), 2u);
+}
+
+TEST_F(OutputStoreTest, SalvageTalliesBindToTheInjectedRegistry) {
+  ASSERT_TRUE(MakeSampleStore().Save(path_).ok());
+  std::vector<char> bytes = ReadBytes();
+  bytes[bytes.size() - 1] ^= 0x01;  // Last count of column 2.
+  WriteBytes(bytes);
+
+  // The verdict tallies must land in the registry passed to THIS call — they
+  // used to bind to the default registry once via function-local statics,
+  // which made per-test isolation impossible.
+  const int64_t default_calls_before =
+      util::MetricsRegistry::Default().GetCounter("output_store.salvage.calls")->Value();
+  util::MetricsRegistry registry;
+  auto salvaged = OutputStore::Salvage(util::Env::Default(), path_, &registry);
+  ASSERT_TRUE(salvaged.ok());
+  EXPECT_EQ(registry.GetCounter("output_store.salvage.calls")->Value(), 1);
+  EXPECT_EQ(registry.GetCounter("output_store.salvage.columns_loaded")->Value(), 1);
+  EXPECT_EQ(registry.GetCounter("output_store.salvage.columns_quarantined")->Value(), 1);
+  EXPECT_EQ(registry.GetCounter("output_store.salvage.entries_loaded")->Value(), 4);
+  EXPECT_EQ(registry.GetCounter("output_store.salvage.entries_quarantined")->Value(), 2);
+  EXPECT_EQ(
+      util::MetricsRegistry::Default().GetCounter("output_store.salvage.calls")->Value(),
+      default_calls_before);
+
+  // A second salvage through a second private registry starts from zero —
+  // no cross-registry state survives.
+  util::MetricsRegistry second;
+  ASSERT_TRUE(OutputStore::Salvage(util::Env::Default(), path_, &second).ok());
+  EXPECT_EQ(second.GetCounter("output_store.salvage.calls")->Value(), 1);
 }
 
 // --- v1 backward compatibility ---------------------------------------------
