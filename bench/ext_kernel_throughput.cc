@@ -25,14 +25,19 @@
 // so on a many-core host it shows what a real cold profiling run gets.
 //
 // Every variant must produce counts bit-identical to aos-scalar, and the
-// bench FAILS (exit 1) unless the best cold-path variant at batch 512
-// reaches >= 3x the scalar cold-path throughput on both presets (on a
-// many-core host that is columnar+pool; on a small machine the direct
-// kernel). Results are written to a machine-readable JSON file
-// (BENCH_kernel.json by default).
+// bench FAILS (exit 1) unless, on both presets:
+//   * the best cold-path variant at batch 512 reaches >= 3x the scalar
+//     cold-path throughput, AND
+//   * columnar+pool holds its own against serial columnar at batch 512 —
+//     strictly faster when the pool has real parallelism (> 1 worker, as on
+//     CI runners), or within 10% (substrate-overhead parity band) when the
+//     host resolves to a single worker and a speedup is physically
+//     impossible.
+// Results are written to a machine-readable JSON file (BENCH_kernel.json by
+// default).
 //
 // Usage: ext_kernel_throughput [--frames N] [--threads T] [--repeats R]
-//          [--out FILE]
+//          [--pool-min-chunk N] [--out FILE]
 
 #include <cstdio>
 #include <fstream>
@@ -74,6 +79,7 @@ int main(int argc, char** argv) {
   int64_t frames = 12000;
   int64_t threads = 0;  // 0 = hardware concurrency.
   int64_t repeats = 7;
+  int64_t pool_min_chunk = 0;  // 0 = source default.
   std::string out_path = "BENCH_kernel.json";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -92,12 +98,18 @@ int main(int argc, char** argv) {
       next_int(&threads);
     } else if (arg == "--repeats") {
       next_int(&repeats);
+    } else if (arg == "--pool-min-chunk") {
+      next_int(&pool_min_chunk);
+      if (pool_min_chunk < 0) {
+        std::fprintf(stderr, "--pool-min-chunk must be >= 0 (0 = default)\n");
+        return 2;
+      }
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: ext_kernel_throughput [--frames N] [--threads T]"
-                   " [--repeats R] [--out FILE]\n");
+                   " [--repeats R] [--pool-min-chunk N] [--out FILE]\n");
       return 2;
     }
   }
@@ -114,6 +126,14 @@ int main(int argc, char** argv) {
 
   bool all_identical = true;
   bool all_meet_target = true;
+  bool pool_gate_pass = true;
+  // Architecture-aware pooled-vs-serial gate at batch 512: with real
+  // parallelism (> 1 worker) the pooled end-to-end run must BEAT the direct
+  // serial kernel outright; a single-worker host cannot speed anything up,
+  // so there the gate only forbids the cache substrate from costing more
+  // than 10%.
+  const bool pool_is_parallel = pool.num_threads() > 1;
+  const double pool_gate_threshold = pool_is_parallel ? 1.0 : 0.9;
   std::string json_presets;
 
   for (video::ScenePreset preset :
@@ -160,6 +180,8 @@ int main(int argc, char** argv) {
       } else {
         query::FrameOutputSource source(*wl.dataset, *wl.model, video::ObjectClass::kCar);
         source.set_max_batch_size(batch_size);
+        source.set_parallel_min_chunk(pool_min_chunk);
+        source.set_parallel_min_misses(1);  // Cold run: always engage the pool.
         source.set_thread_pool(&pool);
         util::Timer timer;
         auto counts = source.RawCounts(all_frames, resolution);
@@ -186,6 +208,8 @@ int main(int argc, char** argv) {
     // host the pooled end-to-end run wins, on a small machine the direct
     // kernel does. Either way it is the cold path the profiler would take.
     double speedup_at_512 = 0.0;
+    double columnar_512_fps = 0.0;
+    double pool_512_fps = 0.0;
     for (bool use_pool : {false, true}) {
       for (int64_t batch_size : batch_sizes) {
         RunResult run = run_best(batch_size, use_pool, /*scalar=*/false);
@@ -197,11 +221,19 @@ int main(int argc, char** argv) {
         point.speedup = point.fps / scalar_fps;
         point.identical = run.counts == scalar.counts;
         all_identical = all_identical && point.identical;
-        if (batch_size == 512) speedup_at_512 = std::max(speedup_at_512, point.speedup);
+        if (batch_size == 512) {
+          speedup_at_512 = std::max(speedup_at_512, point.speedup);
+          (use_pool ? pool_512_fps : columnar_512_fps) = point.fps;
+        }
         sweep.push_back(point);
       }
     }
     all_meet_target = all_meet_target && speedup_at_512 >= 3.0;
+    const double pool_vs_serial_at_512 = pool_512_fps / columnar_512_fps;
+    const bool preset_pool_gate = pool_is_parallel
+                                      ? pool_vs_serial_at_512 > pool_gate_threshold
+                                      : pool_vs_serial_at_512 >= pool_gate_threshold;
+    pool_gate_pass = pool_gate_pass && preset_pool_gate;
 
     std::printf("--- %s ---\n", wl.label.c_str());
     util::TablePrinter table(
@@ -215,8 +247,11 @@ int main(int argc, char** argv) {
                     point.identical ? "yes" : "NO"});
     }
     table.Print(std::cout);
-    std::printf("best cold-path speedup at batch 512: %.2fx (target >= 3x)\n\n",
+    std::printf("best cold-path speedup at batch 512: %.2fx (target >= 3x)\n",
                 speedup_at_512);
+    std::printf("columnar+pool vs serial columnar at batch 512: %.3fx (%s: %s %.1fx)\n\n",
+                pool_vs_serial_at_512, pool_is_parallel ? "strict" : "parity",
+                pool_is_parallel ? ">" : ">=", pool_gate_threshold);
 
     if (!json_presets.empty()) json_presets += ",\n";
     json_presets += "    {\"preset\": \"" + wl.label + "\",\n";
@@ -224,6 +259,13 @@ int main(int argc, char** argv) {
     json_presets += "     \"scalar_fps\": " + util::FormatDouble(scalar_fps, 1) + ",\n";
     json_presets +=
         "     \"speedup_at_512\": " + util::FormatDouble(speedup_at_512, 3) + ",\n";
+    json_presets +=
+        "     \"columnar_512_fps\": " + util::FormatDouble(columnar_512_fps, 1) + ",\n";
+    json_presets += "     \"pool_512_fps\": " + util::FormatDouble(pool_512_fps, 1) + ",\n";
+    json_presets += "     \"pool_vs_serial_at_512\": " +
+                    util::FormatDouble(pool_vs_serial_at_512, 3) + ",\n";
+    json_presets +=
+        std::string("     \"pool_gate_pass\": ") + (preset_pool_gate ? "true" : "false") + ",\n";
     json_presets += "     \"points\": [";
     for (size_t i = 0; i < sweep.size(); ++i) {
       if (i > 0) json_presets += ", ";
@@ -237,7 +279,7 @@ int main(int argc, char** argv) {
     json_presets += "]}";
   }
 
-  const bool pass = all_identical && all_meet_target;
+  const bool pass = all_identical && all_meet_target && pool_gate_pass;
 
   std::ofstream json(out_path, std::ios::trunc);
   if (json) {
@@ -245,10 +287,15 @@ int main(int argc, char** argv) {
          << "  \"frames\": " << frames << ",\n"
          << "  \"pool_threads\": " << pool.num_threads() << ",\n"
          << "  \"repeats\": " << repeats << ",\n"
+         << "  \"pool_min_chunk\": " << pool_min_chunk << ",\n"
          << "  \"target_speedup_at_512\": 3.0,\n"
+         << "  \"pool_gate_mode\": \"" << (pool_is_parallel ? "strict" : "parity") << "\",\n"
+         << "  \"pool_gate_threshold\": " << util::FormatDouble(pool_gate_threshold, 2)
+         << ",\n"
          << "  \"presets\": [\n"
          << json_presets << "\n  ],\n"
          << "  \"all_counts_identical\": " << (all_identical ? "true" : "false") << ",\n"
+         << "  \"pool_gate_pass\": " << (pool_gate_pass ? "true" : "false") << ",\n"
          << "  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
     std::printf("results written to %s\n", out_path.c_str());
   } else {
@@ -258,5 +305,7 @@ int main(int argc, char** argv) {
   std::printf("counts bit-identical across all variants: %s\n", all_identical ? "yes" : "NO");
   std::printf("batch-512 speedup >= 3x on both presets: %s\n",
               all_meet_target ? "yes" : "NO");
+  std::printf("columnar+pool %s serial columnar at batch 512 on both presets: %s\n",
+              pool_is_parallel ? "beats" : "within 10% of", pool_gate_pass ? "yes" : "NO");
   return pass ? 0 : 1;
 }

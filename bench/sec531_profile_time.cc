@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   bench::MetricsDumpGuard metrics_guard(argc, argv);
   int threads = 1;  // Serial by default: the paper's timing is single-stream.
   int64_t batch_size = 0;
+  int64_t pool_min_chunk = 0;  // 0 = source default.
   std::string output_store;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -50,6 +51,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--batch-size must be >= 0 (0 = unlimited)\n");
         return 2;
       }
+    } else if (arg == "--pool-min-chunk" && i + 1 < argc) {
+      auto parsed = util::ParseInt(argv[++i]);
+      parsed.status().CheckOk();
+      pool_min_chunk = *parsed;
+      if (pool_min_chunk < 0) {
+        std::fprintf(stderr, "--pool-min-chunk must be >= 0 (0 = default)\n");
+        return 2;
+      }
     } else if (arg == "--output-store" && i + 1 < argc) {
       output_store = argv[++i];
       if (output_store.empty()) {
@@ -59,7 +68,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: sec531_profile_time [--threads N] [--batch-size N]"
-                   " [--output-store P] [--metrics-out P]\n");
+                   " [--pool-min-chunk N] [--output-store P] [--metrics-out P]\n");
       return 2;
     }
   }
@@ -73,6 +82,7 @@ int main(int argc, char** argv) {
   engine::RuntimeOptions runtime_opts;
   runtime_opts.num_threads = threads;
   runtime_opts.max_batch_size = batch_size;
+  runtime_opts.pool_min_chunk = pool_min_chunk;
   auto runtime = engine::Runtime::Create(runtime_opts);
   runtime.status().CheckOk();
   engine::WorkloadDesc desc;

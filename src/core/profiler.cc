@@ -223,11 +223,12 @@ Result<Profile> Profiler::Generate(const std::vector<InterventionSet>& candidate
 
   util::ScopedSpan groups_span(metrics_.groups_seconds);
   {
-    // With an injected pool (the serving layer's shared executor) completion
-    // must be tracked by a PRIVATE latch over this call's tasks:
-    // ThreadPool::Wait() waits for quiescence of the WHOLE pool, which under
-    // concurrent sessions means waiting on other callers' work — and two
-    // Generates Wait()ing on each other's tasks never both finish early.
+    // ParallelFor is synchronous over exactly THIS call's groups, so an
+    // injected pool (the serving layer's shared executor) needs no private
+    // completion latch: the calling session thread participates in its own
+    // chunks and returns when they are done, never waiting on other
+    // sessions' work. A Generate running ON a pool worker (nested) runs the
+    // group loop inline — same results, no pool-against-itself deadlock.
     util::ThreadPool* pool = pool_;
     std::unique_ptr<util::ThreadPool> owned_pool;
     if (pool == nullptr) {
@@ -236,28 +237,16 @@ Result<Profile> Profiler::Generate(const std::vector<InterventionSet>& candidate
     }
     report_.num_threads = pool->num_threads();
 
-    std::atomic<size_t> remaining{ordered.size()};
-    std::mutex done_mu;
-    std::condition_variable done_cv;
-    for (size_t i = 0; i < ordered.size(); ++i) {
-      pool->Submit([this, &ordered, &results, &remaining, &done_mu, &done_cv, i,
-                    profile_seed, model_max, original_population] {
-        results[i].status = GenerateGroupPoints(
-            source_, prior_, spec_, options_, correction_set_, *ordered[i].first,
-            *ordered[i].second, profile_seed, model_max, original_population,
-            &results[i].points);
-        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          // Lock before notifying so the waiter cannot check the predicate,
-          // see it false, and miss the notification in between.
-          std::lock_guard<std::mutex> lock(done_mu);
-          done_cv.notify_all();
-        }
-      });
-    }
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&remaining] {
-      return remaining.load(std::memory_order_acquire) == 0;
-    });
+    pool->ParallelFor(0, static_cast<int64_t>(ordered.size()), 1,
+                      [this, &ordered, &results, profile_seed, model_max,
+                       original_population](int64_t begin, int64_t end) {
+                        for (int64_t i = begin; i < end; ++i) {
+                          results[i].status = GenerateGroupPoints(
+                              source_, prior_, spec_, options_, correction_set_,
+                              *ordered[i].first, *ordered[i].second, profile_seed,
+                              model_max, original_population, &results[i].points);
+                        }
+                      });
   }
   report_.groups_seconds = groups_span.Stop();
 

@@ -98,11 +98,16 @@ Result<std::unique_ptr<Runtime>> Runtime::Create(RuntimeOptions options) {
 void Runtime::WireSource(query::FrameOutputSource& source) const {
   source.set_metrics_registry(registry_);
   source.set_max_batch_size(options_.max_batch_size);
+  source.set_parallel_min_chunk(options_.pool_min_chunk);
   source.set_compute_policy(options_.compute_policy).CheckOk();
-  // Deliberately NOT source.set_thread_pool(executor_): profiler group tasks
-  // run ON the executor and call into the source; letting the source fan its
-  // miss batches back onto the same pool could park every worker waiting for
-  // chunk tasks that no free worker is left to run.
+  // The shared executor serves the source's miss-batch fan-out as well as
+  // the profiler's group fan-out. This is safe against the classic
+  // pool-against-itself deadlock because the source dispatches misses with
+  // ThreadPool::ParallelFor, which detects a caller already ON an executor
+  // worker (a profiler group task) and runs the identical chunk sequence
+  // inline instead of blocking — while external session threads get real
+  // fan-out across idle workers.
+  source.set_thread_pool(executor_.get());
 }
 
 Result<std::unique_ptr<Workload>> Runtime::Materialize(const WorkloadDesc& desc) {

@@ -20,6 +20,61 @@ namespace query {
 using util::Result;
 using util::Status;
 
+namespace {
+
+/// Pooled miss chunk when parallel_min_chunk is unset. A pure constant —
+/// deriving it from the worker count would make the CountBatch call
+/// sequence depend on pool width, breaking the determinism contract.
+constexpr int64_t kDefaultParallelChunk = 1024;
+/// Adaptive engage threshold: frames of miss work per worker below which
+/// dispatch overhead beats the parallel win.
+constexpr int64_t kParallelMissesPerWorker = 32;
+
+// Dense-tier bitmap primitives. Frames index bits; all range operations are
+// word-wise (a 64-frame span of a cold scan costs one load/store).
+inline bool TestBit(const std::vector<uint64_t>& bits, int64_t i) {
+  return (bits[static_cast<size_t>(i >> 6)] >> (i & 63)) & 1u;
+}
+inline void SetBit(std::vector<uint64_t>& bits, int64_t i) {
+  bits[static_cast<size_t>(i >> 6)] |= uint64_t{1} << (i & 63);
+}
+inline void ClearBit(std::vector<uint64_t>& bits, int64_t i) {
+  bits[static_cast<size_t>(i >> 6)] &= ~(uint64_t{1} << (i & 63));
+}
+
+/// Calls fn(word_index, mask) for every word overlapping [first, first+n),
+/// with mask covering exactly the in-range bits of that word.
+template <typename Fn>
+inline void ForEachWord(int64_t first, int64_t n, Fn&& fn) {
+  const int64_t last = first + n;  // Exclusive.
+  for (int64_t w = first >> 6, wl = (last - 1) >> 6; w <= wl; ++w) {
+    const int64_t lo = std::max(first, w << 6);
+    const int64_t hi = std::min(last, (w + 1) << 6);
+    const int len = static_cast<int>(hi - lo);
+    const uint64_t mask = (len == 64 ? ~uint64_t{0} : ((uint64_t{1} << len) - 1))
+                          << (lo & 63);
+    fn(static_cast<size_t>(w), mask);
+  }
+}
+
+inline void SetRange(std::vector<uint64_t>& bits, int64_t first, int64_t n) {
+  ForEachWord(first, n, [&bits](size_t w, uint64_t mask) { bits[w] |= mask; });
+}
+inline void ClearRange(std::vector<uint64_t>& bits, int64_t first, int64_t n) {
+  ForEachWord(first, n, [&bits](size_t w, uint64_t mask) { bits[w] &= ~mask; });
+}
+/// True when no frame of [first, first+n) is ready or in flight.
+inline bool RangeClear(const std::vector<uint64_t>& ready,
+                       const std::vector<uint64_t>& inflight, int64_t first, int64_t n) {
+  bool clear = true;
+  ForEachWord(first, n, [&](size_t w, uint64_t mask) {
+    clear = clear && ((ready[w] | inflight[w]) & mask) == 0;
+  });
+  return clear;
+}
+
+}  // namespace
+
 size_t FrameOutputSource::CacheKeyHash::operator()(const CacheKey& key) const {
   // Multiplicative mix, a few cycles per key. The hash only picks the shard
   // and the probe start — equality is decided by the exact composite key —
@@ -187,6 +242,7 @@ FrameOutputSource::Entry* FrameOutputSource::ClaimEntry(Shard& shard, const Cach
 
 Result<int> FrameOutputSource::RawCount(int64_t frame_index, int resolution,
                                         double contrast_scale) {
+  if (dense_enabled()) return RawCountDense(frame_index, resolution, contrast_scale);
   const CacheKey key = MakeCacheKey(frame_index, resolution, contrast_scale);
   const size_t hash = CacheKeyHash{}(key);
   Shard& shard = ShardFor(hash);
@@ -415,47 +471,51 @@ Status FrameOutputSource::FillCountsChunk(std::span<const int64_t> frame_indices
 
 Status FrameOutputSource::ComputeMisses(std::span<const int64_t> miss_frames, int resolution,
                                         double contrast_scale, std::span<int> miss_counts) {
-  const size_t n = miss_frames.size();
+  const int64_t n = static_cast<int64_t>(miss_frames.size());
+  // max_batch_size caps the frames per CountBatch call on BOTH paths.
+  const int64_t cap = max_batch_size_ > 0 ? std::min<int64_t>(max_batch_size_, n) : n;
   util::ThreadPool* pool = pool_;
-  if (pool == nullptr || pool->num_threads() <= 1 ||
-      n < static_cast<size_t>(parallel_min_misses_)) {
-    return RetryCountBatch(miss_frames, resolution, contrast_scale, miss_counts);
-  }
-
-  // Contiguous chunks, one per worker (ceil division), each at least one
-  // frame. Boundaries depend only on (n, num_threads) — never on timing —
-  // and each frame's count is a pure function of its key, so the assembled
-  // result is bit-identical to the serial single-CountBatch path.
-  const size_t num_chunks =
-      std::min(static_cast<size_t>(pool->num_threads()), n);
-  const size_t chunk = (n + num_chunks - 1) / num_chunks;
-
-  // Completion is tracked with a private latch rather than ThreadPool::Wait:
-  // the pool may be shared, and Wait() would block on unrelated users'
-  // tasks (and is forbidden from within a pool task).
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t pending = 0;
-  std::vector<Status> chunk_status((n + chunk - 1) / chunk, Status::OK());
-  for (size_t begin = 0, c = 0; begin < n; begin += chunk, ++c) {
-    const size_t len = std::min(chunk, n - begin);
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      ++pending;
+  const int64_t engage =
+      parallel_min_misses_ > 0
+          ? parallel_min_misses_
+          : kParallelMissesPerWorker * (pool != nullptr ? pool->num_threads() : 1);
+  if (pool == nullptr || pool->num_threads() <= 1 || n < engage) {
+    for (int64_t begin = 0; begin < n; begin += cap) {
+      const int64_t len = std::min(cap, n - begin);
+      SMK_RETURN_IF_ERROR(
+          RetryCountBatch(miss_frames.subspan(static_cast<size_t>(begin),
+                                              static_cast<size_t>(len)),
+                          resolution, contrast_scale,
+                          miss_counts.subspan(static_cast<size_t>(begin),
+                                              static_cast<size_t>(len))));
     }
-    pool->Submit([this, miss_frames, miss_counts, resolution, contrast_scale, begin, len, c,
-                  &chunk_status, &mu, &done_cv, &pending] {
-      Status status = RetryCountBatch(miss_frames.subspan(begin, len), resolution,
-                                      contrast_scale, miss_counts.subspan(begin, len));
-      std::lock_guard<std::mutex> lock(mu);
-      chunk_status[c] = std::move(status);
-      if (--pending == 0) done_cv.notify_all();
-    });
+    return Status::OK();
   }
-  {
-    std::unique_lock<std::mutex> lock(mu);
-    done_cv.wait(lock, [&pending] { return pending == 0; });
-  }
+
+  // Bulk dispatch: one ParallelFor over the miss range, one CountBatch per
+  // chunk into its disjoint slice. The chunk size is a pure function of
+  // (n, max_batch_size, parallel_min_chunk) — NEVER the worker count — so
+  // the CountBatch call sequence is identical at every pool width (only the
+  // chunk-to-thread assignment varies), and each frame's count is a pure
+  // function of its key: the assembled result is bit-identical to the
+  // serial path. ParallelFor is synchronous over exactly these chunks (the
+  // calling thread participates), so a shared pool never makes this wait on
+  // unrelated users' work, and a caller already ON a pool worker runs the
+  // same chunk sequence inline.
+  const int64_t chunk =
+      std::min<int64_t>(cap, parallel_min_chunk_ > 0 ? parallel_min_chunk_
+                                                     : kDefaultParallelChunk);
+  std::vector<Status> chunk_status(static_cast<size_t>((n + chunk - 1) / chunk));
+  pool->ParallelFor(0, n, chunk,
+                    [this, miss_frames, miss_counts, resolution, contrast_scale, chunk,
+                     &chunk_status](int64_t begin, int64_t end) {
+                      chunk_status[static_cast<size_t>(begin / chunk)] = RetryCountBatch(
+                          miss_frames.subspan(static_cast<size_t>(begin),
+                                              static_cast<size_t>(end - begin)),
+                          resolution, contrast_scale,
+                          miss_counts.subspan(static_cast<size_t>(begin),
+                                              static_cast<size_t>(end - begin)));
+                    });
   // First failing chunk (by position, not completion order) wins, keeping
   // the reported error deterministic.
   for (Status& status : chunk_status) {
@@ -470,14 +530,214 @@ Status FrameOutputSource::FillCounts(std::span<const int64_t> frame_indices, int
     return Status::InvalidArgument("FillCounts: out size " + std::to_string(out.size()) +
                                    " != frame count " + std::to_string(frame_indices.size()));
   }
-  const size_t chunk = max_batch_size_ > 0 ? static_cast<size_t>(max_batch_size_)
-                                           : frame_indices.size();
-  for (size_t begin = 0; begin < frame_indices.size(); begin += chunk) {
-    const size_t len = std::min(chunk, frame_indices.size() - begin);
-    SMK_RETURN_IF_ERROR(FillCountsChunk(frame_indices.subspan(begin, len), resolution,
-                                        contrast_scale, out.subspan(begin, len)));
+  if (frame_indices.empty()) return Status::OK();
+  // ONE probe round over the whole request: max_batch_size caps the frames
+  // per CountBatch call (ComputeMisses chunks the miss set), not the probe
+  // round, so a large cold request's misses fan out across the whole pool
+  // instead of being strangled to one max_batch_size-sized round at a time.
+  if (dense_enabled()) {
+    return FillCountsDense(frame_indices, resolution, contrast_scale, out);
+  }
+  return FillCountsChunk(frame_indices, resolution, contrast_scale, out);
+}
+
+FrameOutputSource::DenseColumn& FrameOutputSource::DenseColumnFor(int resolution,
+                                                                  int64_t contrast_q) {
+  std::lock_guard<std::mutex> lock(dense_mu_);
+  std::unique_ptr<DenseColumn>& slot = dense_columns_[{resolution, contrast_q}];
+  if (slot == nullptr) {
+    slot = std::make_unique<DenseColumn>();
+    const size_t num_frames = static_cast<size_t>(dataset_.num_frames());
+    slot->counts.assign(num_frames, 0);
+    slot->ready.assign((num_frames + 63) / 64, 0);
+    slot->inflight.assign((num_frames + 63) / 64, 0);
+  }
+  return *slot;
+}
+
+Status FrameOutputSource::FillCountsDense(std::span<const int64_t> frame_indices, int resolution,
+                                          double contrast_scale, std::span<int> out) {
+  const size_t n = frame_indices.size();
+  const int64_t num_frames = dataset_.num_frames();
+  // Frames must be in range before they index the bitmaps (the sharded tier
+  // defers this check to CountBatch; same error either way). The
+  // contiguity test rides along in the same pass.
+  bool contiguous = true;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t frame = frame_indices[i];
+    if (frame < 0 || frame >= num_frames) {
+      return Status::OutOfRange("frame index " + std::to_string(frame) + " out of [0, " +
+                                std::to_string(num_frames) + ")");
+    }
+    contiguous = contiguous && frame == frame_indices[0] + static_cast<int64_t>(i);
+  }
+
+  DenseColumn& col = DenseColumnFor(resolution, std::llround(contrast_scale * 4096.0));
+
+  // Fast path: a contiguous fully cold range (the profiler's full scans,
+  // the kernel bench) claims all its bits word-wise, lets the model write
+  // counts straight into `out`, and installs with one copy — the memo
+  // substrate costs a handful of word operations per 64 frames.
+  if (contiguous) {
+    const int64_t f0 = frame_indices[0];
+    bool claimed = false;
+    {
+      std::lock_guard<std::mutex> lock(col.mu);
+      if (RangeClear(col.ready, col.inflight, f0, static_cast<int64_t>(n))) {
+        SetRange(col.inflight, f0, static_cast<int64_t>(n));
+        claimed = true;
+      }
+    }
+    if (claimed) {
+      Status status = ComputeMisses(frame_indices, resolution, contrast_scale, out);
+      {
+        std::lock_guard<std::mutex> lock(col.mu);
+        if (status.ok()) {
+          std::copy(out.begin(), out.end(),
+                    col.counts.begin() + static_cast<ptrdiff_t>(f0));
+          SetRange(col.ready, f0, static_cast<int64_t>(n));
+        }
+        // A failed batch releases its claim (the sharded tier's tombstone).
+        ClearRange(col.inflight, f0, static_cast<int64_t>(n));
+      }
+      col.cv.notify_all();
+      if (!status.ok()) return status;
+      model_invocations_.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
+      metrics_.invocations->Add(static_cast<int64_t>(n));
+      metrics_.miss_batch_size->Observe(static_cast<double>(n));
+      return Status::OK();
+    }
+  }
+
+  // General path: per-frame bit probes under one lock acquisition, with the
+  // same classification as the sharded tier — ready hit, duplicate of a
+  // frame this call already claimed, in flight on another thread, or a
+  // fresh claim. The local `ours` bitmap distinguishes this call's own
+  // in-flight bits from other threads' (duplicates within the request).
+  std::vector<uint64_t> ours(static_cast<size_t>((num_frames + 63) / 64), 0);
+  std::vector<int64_t> miss_frames;
+  std::vector<uint32_t> miss_slot;
+  std::vector<uint32_t> dup_slots;
+  std::vector<uint32_t> waiter_slots;
+  int64_t probe_hits = 0;
+  {
+    std::lock_guard<std::mutex> lock(col.mu);
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t frame = frame_indices[i];
+      if (TestBit(col.ready, frame)) {
+        out[i] = col.counts[static_cast<size_t>(frame)];
+        ++probe_hits;
+        continue;
+      }
+      if (TestBit(ours, frame)) {
+        dup_slots.push_back(static_cast<uint32_t>(i));
+        continue;
+      }
+      if (TestBit(col.inflight, frame)) {
+        waiter_slots.push_back(static_cast<uint32_t>(i));
+        continue;
+      }
+      SetBit(col.inflight, frame);
+      SetBit(ours, frame);
+      miss_slot.push_back(static_cast<uint32_t>(i));
+      miss_frames.push_back(frame);
+    }
+  }
+  if (probe_hits > 0) {
+    cache_hits_.fetch_add(probe_hits, std::memory_order_relaxed);
+    metrics_.hits->Add(probe_hits);
+  }
+
+  if (!miss_frames.empty()) {
+    std::vector<int> miss_counts(miss_frames.size());
+    Status status = ComputeMisses(miss_frames, resolution, contrast_scale, miss_counts);
+    {
+      std::lock_guard<std::mutex> lock(col.mu);
+      if (status.ok()) {
+        for (size_t m = 0; m < miss_frames.size(); ++m) {
+          col.counts[static_cast<size_t>(miss_frames[m])] = miss_counts[m];
+          SetBit(col.ready, miss_frames[m]);
+        }
+      }
+      for (int64_t frame : miss_frames) ClearBit(col.inflight, frame);
+    }
+    col.cv.notify_all();
+    if (!status.ok()) return status;
+    for (size_t m = 0; m < miss_frames.size(); ++m) out[miss_slot[m]] = miss_counts[m];
+    // A batch over N distinct keys counts as exactly N model invocations —
+    // the same total the scalar path reports.
+    model_invocations_.fetch_add(static_cast<int64_t>(miss_frames.size()),
+                                 std::memory_order_relaxed);
+    metrics_.invocations->Add(static_cast<int64_t>(miss_frames.size()));
+    metrics_.miss_batch_size->Observe(static_cast<double>(miss_frames.size()));
+  }
+
+  // Duplicates of this call's own claims read the freshly installed counts
+  // (ready bits are monotone and we set these ourselves above) and count as
+  // cache hits, matching the scalar path (first occurrence misses, repeats
+  // hit).
+  for (uint32_t slot : dup_slots) {
+    out[slot] = col.counts[static_cast<size_t>(frame_indices[slot])];
+  }
+  if (!dup_slots.empty()) {
+    cache_hits_.fetch_add(static_cast<int64_t>(dup_slots.size()), std::memory_order_relaxed);
+    metrics_.hits->Add(static_cast<int64_t>(dup_slots.size()));
+  }
+
+  // Frames another thread had in flight fall back to the scalar
+  // wait-and-retry path, which preserves exactly-once compute and exact hit
+  // accounting.
+  for (uint32_t slot : waiter_slots) {
+    SMK_ASSIGN_OR_RETURN(out[slot],
+                         RawCountDense(frame_indices[slot], resolution, contrast_scale));
   }
   return Status::OK();
+}
+
+Result<int> FrameOutputSource::RawCountDense(int64_t frame_index, int resolution,
+                                             double contrast_scale) {
+  const int64_t num_frames = dataset_.num_frames();
+  if (frame_index < 0 || frame_index >= num_frames) {
+    return Status::OutOfRange("frame index " + std::to_string(frame_index) + " out of [0, " +
+                              std::to_string(num_frames) + ")");
+  }
+  DenseColumn& col = DenseColumnFor(resolution, std::llround(contrast_scale * 4096.0));
+  {
+    std::unique_lock<std::mutex> lock(col.mu);
+    for (;;) {
+      if (TestBit(col.ready, frame_index)) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.hits->Increment();
+        return col.counts[static_cast<size_t>(frame_index)];
+      }
+      if (!TestBit(col.inflight, frame_index)) {
+        SetBit(col.inflight, frame_index);
+        break;
+      }
+      // Another thread is invoking the model on this exact key; wait, then
+      // re-probe (the computation may have failed — releasing its claim —
+      // in which case our re-probe claims it).
+      metrics_.inflight_waits->Increment();
+      col.cv.wait(lock);
+    }
+  }
+  // The model runs OUTSIDE the column lock so that concurrent misses on
+  // different frames overlap; the in-flight bit keeps this key
+  // computed-exactly-once.
+  Result<int> count = detector_.CountDetections(dataset_, frame_index, resolution, target_class_,
+                                                contrast_scale);
+  {
+    std::lock_guard<std::mutex> lock(col.mu);
+    if (count.ok()) {
+      model_invocations_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.invocations->Increment();
+      col.counts[static_cast<size_t>(frame_index)] = *count;
+      SetBit(col.ready, frame_index);
+    }
+    ClearBit(col.inflight, frame_index);
+  }
+  col.cv.notify_all();
+  return count;
 }
 
 Result<std::vector<int>> FrameOutputSource::RawCounts(const std::vector<int64_t>& frame_indices,
@@ -580,6 +840,26 @@ OutputStore FrameOutputSource::ExportStore() {
                                                                         entry.count);
     }
   }
+  // The dense tier holds every entry when it is enabled (and nothing
+  // otherwise); scanning both keeps this correct regardless of how the tier
+  // threshold was configured. Ready bits are walked in frame order, so the
+  // harvested pairs arrive pre-sorted.
+  {
+    std::lock_guard<std::mutex> dense_lock(dense_mu_);
+    for (auto& [group_key, col_ptr] : dense_columns_) {
+      DenseColumn& col = *col_ptr;
+      std::lock_guard<std::mutex> lock(col.mu);
+      std::vector<std::pair<int64_t, int>>& entries = groups[group_key];
+      for (size_t w = 0; w < col.ready.size(); ++w) {
+        uint64_t bits = col.ready[w];
+        while (bits != 0) {
+          const int64_t frame = static_cast<int64_t>(w) * 64 + std::countr_zero(bits);
+          entries.emplace_back(frame, col.counts[static_cast<size_t>(frame)]);
+          bits &= bits - 1;
+        }
+      }
+    }
+  }
   OutputStore store(dataset_.dataset_id(), detector_.model_id(), dataset_.num_frames());
   for (auto& [group_key, entries] : groups) {
     std::sort(entries.begin(), entries.end());
@@ -619,6 +899,27 @@ Result<int64_t> FrameOutputSource::Preload(const OutputStore& store) {
     if (column.cls != static_cast<int>(target_class_)) continue;  // Other class: not ours.
     if (column.frames.size() != column.counts.size()) {
       return Status::InvalidArgument("output store column has mismatched frame/count arrays");
+    }
+    if (dense_enabled()) {
+      // Dense tier: install the whole column under one lock. Preloaded
+      // entries do not bump the counters (they were not computed in this
+      // run); entries already present — ready, or in flight on a concurrent
+      // thread — are left alone.
+      DenseColumn& col = DenseColumnFor(column.resolution, column.contrast_q);
+      std::lock_guard<std::mutex> lock(col.mu);
+      for (size_t i = 0; i < column.frames.size(); ++i) {
+        const int64_t frame = column.frames[i];
+        if (frame < 0 || frame >= dataset_.num_frames()) {
+          return Status::OutOfRange("output store frame " + std::to_string(frame) +
+                                    " out of [0, " + std::to_string(dataset_.num_frames()) +
+                                    ")");
+        }
+        if (TestBit(col.ready, frame) || TestBit(col.inflight, frame)) continue;
+        col.counts[static_cast<size_t>(frame)] = column.counts[i];
+        SetBit(col.ready, frame);
+        ++loaded;
+      }
+      continue;
     }
     for (size_t i = 0; i < column.frames.size(); ++i) {
       const int64_t frame = column.frames[i];

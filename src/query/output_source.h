@@ -20,14 +20,31 @@
 // exactly once, so model_invocations() counts distinct computed keys
 // exactly, at any thread count.
 //
-// Storage is a per-shard open-addressing table of fixed-size entries
-// (key, count, state) with linear probing, not a node-based map: a cold
-// batch of N misses costs N slot writes into a flat array instead of N
-// heap-node allocations, which measurably dominated the install phase of
-// large cold batches. An entry moves EMPTY -> IN_FLIGHT -> READY; a failed
-// computation leaves a TOMBSTONE (reusable, does not break probe chains).
-// Rehash moves entries, so no code holds an entry pointer across an unlock
-// — installs re-probe by key.
+// Storage is TIERED by dataset size, decided once per source (a pure
+// function of the dataset's frame count vs. dense_max_frames()), so every
+// key lives in exactly one tier and the exactly-once / exact-accounting
+// guarantees never straddle tiers:
+//  * DENSE tier (datasets up to dense_max_frames() frames, the common case
+//    for profiling runs): one direct-mapped column per (resolution,
+//    contrast) pair — a flat counts[num_frames] array plus ready/in-flight
+//    bitmaps. A contiguous all-cold request (the profiler's full scans, the
+//    kernel bench) claims its whole range with word-wise bitmap fills and
+//    lets the model write counts straight into the caller's output span;
+//    install is a memcpy plus bitmap sets. Per-frame substrate cost is a
+//    couple of bit operations — the memo layer no longer taxes the
+//    columnar kernel it feeds.
+//  * SHARDED tier (larger datasets, where num_frames-sized columns per
+//    (resolution, contrast) pair would not be worth eagerly allocating):
+//    a per-shard open-addressing table of fixed-size entries (key, count,
+//    state) with linear probing, not a node-based map: a cold batch of N
+//    misses costs N slot writes into a flat array instead of N heap-node
+//    allocations. An entry moves EMPTY -> IN_FLIGHT -> READY; a failed
+//    computation leaves a TOMBSTONE (reusable, does not break probe
+//    chains). Rehash moves entries, so no code holds an entry pointer
+//    across an unlock — installs re-probe by key.
+// Both tiers implement the same protocol (probe/claim -> compute outside
+// the lock -> install or release) and produce bit-identical results and
+// counter totals.
 //
 // The cache key is an exact composite (frame, resolution, quantized
 // contrast) triple compared field-by-field. An earlier revision keyed the
@@ -43,6 +60,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <limits>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -186,28 +205,51 @@ class FrameOutputSource {
   int64_t max_batch_size() const { return max_batch_size_; }
 
   /// Intra-batch parallelism: when set, a cold miss-batch of at least
-  /// parallel_min_misses() distinct keys is split into contiguous chunks
-  /// dispatched on `pool` (one Detector::CountBatch per chunk, each writing
-  /// a disjoint slice), so one large cold request saturates cores even from
-  /// a single-threaded caller. Results and invocation accounting are
-  /// IDENTICAL to the serial path at every thread count: chunk boundaries
-  /// depend only on the miss count and pool size, each frame's count is a
-  /// pure function of its key, claims are still made exactly once before
-  /// dispatch, and the batch still tallies one invocation per distinct key.
-  /// The pool is borrowed, not owned; it must outlive this source, and it
-  /// must NOT be a pool whose worker tasks call into this source (the wait
-  /// here is a private latch, but a caller running ON the pool would
-  /// deadlock the pool against itself). nullptr (the default) restores the
-  /// serial single-CountBatch path. max_batch_size still bounds the frames
-  /// per CountBatch call: chunks never exceed it.
+  /// parallel_min_misses() distinct keys is dispatched as a bulk
+  /// ThreadPool::ParallelFor over contiguous chunks (one
+  /// Detector::CountBatch per chunk, each writing a disjoint slice), so one
+  /// large cold request saturates cores even from a single-threaded caller.
+  /// Results and invocation accounting are IDENTICAL to the serial path at
+  /// every thread count: chunk boundaries are a pure function of the miss
+  /// count, max_batch_size() and parallel_min_chunk() — NEVER of the worker
+  /// count or scheduling — each frame's count is a pure function of its
+  /// key, claims are still made exactly once before dispatch, and the batch
+  /// still tallies one invocation per distinct key. The pool is borrowed,
+  /// not owned; it must outlive this source. Callers already running ON a
+  /// worker of this pool are safe: ParallelFor detects the nesting and runs
+  /// the same chunk sequence inline (this is how the serving layer shares
+  /// one executor between sessions, the profiler and this source). nullptr
+  /// (the default) restores the serial path.
   void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
   util::ThreadPool* thread_pool() const { return pool_; }
 
   /// Minimum number of distinct misses in one batch before the pool is
   /// engaged (smaller batches run serially; dispatch overhead would beat
-  /// the win). Default 128.
-  void set_parallel_min_misses(int64_t n) { parallel_min_misses_ = n < 1 ? 1 : n; }
+  /// the win). 0 (the default) derives the threshold from the pool width —
+  /// 32 frames of work per worker — so wide pools are not woken for batches
+  /// they cannot amortize. Explicit values (>= 1) pin the threshold.
+  /// Engagement only picks serial vs. pooled execution; results are
+  /// identical either way.
+  void set_parallel_min_misses(int64_t n) { parallel_min_misses_ = n < 0 ? 0 : n; }
   int64_t parallel_min_misses() const { return parallel_min_misses_; }
+
+  /// Chunk size (frames per CountBatch call) for the pooled miss path. The
+  /// effective chunk is min(max_batch_size or the miss count, this value);
+  /// 0 (the default) uses 1024. A pure constant — never derived from the
+  /// worker count — so the CountBatch call sequence is identical at every
+  /// pool width (the determinism contract above).
+  void set_parallel_min_chunk(int64_t n) { parallel_min_chunk_ = n < 0 ? 0 : n; }
+  int64_t parallel_min_chunk() const { return parallel_min_chunk_; }
+
+  /// Tier threshold: datasets with at most this many frames use the dense
+  /// direct-mapped memo tier; larger ones use the sharded hash tier (see
+  /// the storage notes at the top). Must be set before the first request —
+  /// the tier decision is per-key-space and entries never migrate. Default
+  /// 131072 (a num_frames-sized int column per touched (resolution,
+  /// contrast) pair stays around half a megabyte). 0 forces the sharded
+  /// tier (tests use this to cover both tiers on small datasets).
+  void set_dense_max_frames(int64_t n) { dense_max_frames_ = n < 0 ? 0 : n; }
+  int64_t dense_max_frames() const { return dense_max_frames_; }
 
   /// Retry/watchdog policy applied to every CountBatch invocation (serial
   /// and pooled paths alike). InvalidArgument on a malformed policy; the
@@ -344,14 +386,43 @@ class FrameOutputSource {
   /// chunk triggers at most one rehash per shard).
   static void RehashIfNeeded(Shard& shard, size_t incoming);
 
-  /// One batched round: shard-partitioned probe, single CountBatch over all
-  /// misses, per-shard install. Called by FillCounts per chunk.
+  /// Dense-tier column: a direct-mapped counts array over every frame of
+  /// the dataset plus ready/in-flight bitmaps, one per (resolution,
+  /// contrast_q) pair, created lazily on first touch. `ready` bits are
+  /// monotone (set under mu, never cleared), so a reader that saw a ready
+  /// bit under the lock may read counts[frame] after unlocking.
+  struct DenseColumn {
+    std::mutex mu;
+    /// Signalled when in-flight computations land (or fail).
+    std::condition_variable cv;
+    std::vector<int> counts;
+    std::vector<uint64_t> ready;
+    std::vector<uint64_t> inflight;
+  };
+
+  /// Whether this source's key space lives in the dense tier (fixed per
+  /// source: a pure function of the dataset size and the tier threshold).
+  bool dense_enabled() const { return dataset_.num_frames() <= dense_max_frames_; }
+  DenseColumn& DenseColumnFor(int resolution, int64_t contrast_q);
+
+  /// One batched round through the sharded tier: shard-partitioned probe,
+  /// ComputeMisses over all claims, per-shard install.
   util::Status FillCountsChunk(std::span<const int64_t> frame_indices, int resolution,
                                double contrast_scale, std::span<int> out);
 
-  /// Computes the claimed misses of one round: one CountBatch when small or
-  /// serial, chunked fan-out on pool_ when large. Waits on a private latch
-  /// (never ThreadPool::Wait, which would also wait on unrelated users).
+  /// One batched round through the dense tier. A contiguous all-cold range
+  /// takes the word-wise fast path (claim whole words, compute straight
+  /// into `out`, install by memcpy); anything else falls back to per-frame
+  /// bit probes with the same exactly-once protocol.
+  util::Status FillCountsDense(std::span<const int64_t> frame_indices, int resolution,
+                               double contrast_scale, std::span<int> out);
+  util::Result<int> RawCountDense(int64_t frame_index, int resolution, double contrast_scale);
+
+  /// Computes the claimed misses of one round: cap-sized serial CountBatch
+  /// calls when small or poolless, a bulk ParallelFor of min(cap,
+  /// parallel_min_chunk)-sized chunks when large. ParallelFor is
+  /// synchronous over exactly these chunks, so no private latch is needed
+  /// and a shared pool never makes this wait on unrelated users.
   util::Status ComputeMisses(std::span<const int64_t> miss_frames, int resolution,
                              double contrast_scale, std::span<int> miss_counts);
 
@@ -381,7 +452,9 @@ class FrameOutputSource {
   video::ObjectClass target_class_;
   int64_t max_batch_size_ = 0;
   util::ThreadPool* pool_ = nullptr;
-  int64_t parallel_min_misses_ = 128;
+  int64_t parallel_min_misses_ = 0;   // 0 = derive from pool width.
+  int64_t parallel_min_chunk_ = 0;    // 0 = kDefaultParallelChunk.
+  int64_t dense_max_frames_ = 131072;
   ComputePolicy compute_policy_;
 
   Instruments metrics_;
@@ -389,6 +462,11 @@ class FrameOutputSource {
   /// routes its salvage tallies here so test-isolated registries see them.
   util::MetricsRegistry* registry_ = nullptr;
   std::array<Shard, kNumShards> shards_;
+  /// Dense-tier columns, keyed by (resolution, contrast_q). std::map keeps
+  /// export order deterministic; the unique_ptr keeps DenseColumn addresses
+  /// stable across inserts (callers hold references outside dense_mu_).
+  std::mutex dense_mu_;
+  std::map<std::pair<int, int64_t>, std::unique_ptr<DenseColumn>> dense_columns_;
   std::atomic<int64_t> model_invocations_{0};
   std::atomic<int64_t> cache_hits_{0};
   // Mutable: RetryCountBatch is const (it computes, it does not change the

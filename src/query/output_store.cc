@@ -123,9 +123,17 @@ const char* ColumnVerdictName(ColumnVerdict verdict) {
 }
 
 std::string LoadReport::Summary() const {
-  std::string out = "v" + std::to_string(file_version) + ": " + std::to_string(columns_loaded) +
-                    "/" + std::to_string(columns_total) + " columns (" +
-                    std::to_string(entries_loaded) + " entries) loaded";
+  // Built with appends rather than an operator+ chain: GCC 12 at -O3 raises
+  // a -Wrestrict false positive on ("literal" + std::string&&) inserts.
+  std::string out = "v";
+  out += std::to_string(file_version);
+  out += ": ";
+  out += std::to_string(columns_loaded);
+  out += "/";
+  out += std::to_string(columns_total);
+  out += " columns (";
+  out += std::to_string(entries_loaded);
+  out += " entries) loaded";
   if (!quarantined.empty()) {
     out += "; quarantined:";
     for (const QuarantinedColumn& q : quarantined) {

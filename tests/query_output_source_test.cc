@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -86,6 +87,7 @@ TEST_F(OutputSourceTest, ShardCollidingTriplesReturnDistinctCounts) {
   // sharded cache picks shards from the low hash bits, 64 shards). Under
   // shard collision the two keys share one map + mutex; they must still
   // resolve to their own entries.
+  source_->set_dense_max_frames(0);  // This dataset would otherwise use the dense tier.
   CacheKey first = FrameOutputSource::MakeCacheKey(0, 320, 1.0);
   size_t first_shard = CacheKeyHash{}(first) % 64;
   int64_t colliding_frame = -1;
@@ -223,7 +225,8 @@ class ProbeDetector : public detect::SimYoloV4 {
 TEST_F(OutputSourceTest, ParallelMissBatchMatchesSerialBitForBit) {
   // A cold run with the miss-batch fanned out on a pool must produce the
   // same counts and the same invocation accounting as the serial source, at
-  // every (thread count, max batch size) combination.
+  // every (thread count, max batch size, memo tier) combination — including
+  // widths well past the machine's core count.
   std::vector<int64_t> frames(static_cast<size_t>(dataset_->num_frames()));
   std::iota(frames.begin(), frames.end(), int64_t{0});
 
@@ -231,18 +234,22 @@ TEST_F(OutputSourceTest, ParallelMissBatchMatchesSerialBitForBit) {
   auto want = serial.RawCounts(frames, 320);
   ASSERT_TRUE(want.ok());
 
-  for (int threads : {1, 2, 4}) {
+  for (int threads : {1, 2, 3, 8, 16}) {
     for (int64_t max_batch : {int64_t{0}, int64_t{64}, int64_t{113}}) {
-      util::ThreadPool pool(threads);
-      FrameOutputSource cold(*dataset_, yolo_, ObjectClass::kCar);
-      cold.set_thread_pool(&pool);
-      cold.set_max_batch_size(max_batch);
-      auto got = cold.RawCounts(frames, 320);
-      ASSERT_TRUE(got.ok());
-      EXPECT_EQ(*got, *want) << "threads " << threads << " max_batch " << max_batch;
-      EXPECT_EQ(cold.model_invocations(), dataset_->num_frames())
-          << "threads " << threads << " max_batch " << max_batch;
-      EXPECT_EQ(cold.cache_hits(), 0);
+      for (bool force_sharded : {false, true}) {
+        util::ThreadPool pool(threads);
+        FrameOutputSource cold(*dataset_, yolo_, ObjectClass::kCar);
+        if (force_sharded) cold.set_dense_max_frames(0);
+        cold.set_thread_pool(&pool);
+        cold.set_max_batch_size(max_batch);
+        auto got = cold.RawCounts(frames, 320);
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(*got, *want) << "threads " << threads << " max_batch " << max_batch
+                               << " sharded " << force_sharded;
+        EXPECT_EQ(cold.model_invocations(), dataset_->num_frames())
+            << "threads " << threads << " max_batch " << max_batch;
+        EXPECT_EQ(cold.cache_hits(), 0);
+      }
     }
   }
 }
@@ -324,6 +331,177 @@ TEST_F(OutputSourceTest, ConcurrentSameKeyComputesExactlyOnce) {
     threads.emplace_back([&] {
       for (int i = 0; i < 50; ++i) {
         if (!source_->RawCount(11, 320).ok()) failed.store(true);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_FALSE(failed.load());
+  EXPECT_EQ(source_->model_invocations(), 1);
+  EXPECT_EQ(source_->cache_hits(), kThreads * 50 - 1);
+}
+
+TEST_F(OutputSourceTest, ParallelMinChunkShapesBatchesNeverResults) {
+  // set_parallel_min_chunk shapes how a pooled miss-batch is split, but it
+  // must never change counts or accounting, and max_batch_size stays a hard
+  // per-call cap regardless of the chunk knob.
+  constexpr int64_t kMaxBatch = 50;
+  std::vector<int64_t> frames(static_cast<size_t>(dataset_->num_frames()));
+  std::iota(frames.begin(), frames.end(), int64_t{0});
+  auto want = source_->RawCounts(frames, 320);
+  ASSERT_TRUE(want.ok());
+
+  for (int64_t min_chunk : {int64_t{7}, int64_t{50}, int64_t{200}}) {
+    ProbeDetector probe;
+    util::ThreadPool pool(4);
+    FrameOutputSource source(*dataset_, probe, ObjectClass::kCar);
+    source.set_thread_pool(&pool);
+    source.set_max_batch_size(kMaxBatch);
+    source.set_parallel_min_misses(1);  // Force the parallel path.
+    source.set_parallel_min_chunk(min_chunk);
+    auto got = source.RawCounts(frames, 320);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, *want) << "min_chunk " << min_chunk;
+
+    const int64_t cap = std::min(kMaxBatch, min_chunk);
+    int64_t covered = 0;
+    for (int64_t size : probe.batch_sizes()) {
+      EXPECT_GE(size, 1);
+      EXPECT_LE(size, cap) << "min_chunk " << min_chunk;
+      covered += size;
+    }
+    EXPECT_EQ(covered, dataset_->num_frames());
+    EXPECT_EQ(source.model_invocations(), dataset_->num_frames());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tiered memo: small datasets use the dense bitmap tier, large ones (or
+// set_dense_max_frames(0)) the 64-shard hash tier. The tiers must be
+// observationally identical — counts, accounting, and errors.
+// ---------------------------------------------------------------------------
+
+TEST_F(OutputSourceTest, TierChoiceNeverChangesCountsOrAccounting) {
+  // Out-of-order request with duplicates, then a warm replay, on both tiers.
+  const std::vector<int64_t> request = {7, 3, 3, 0, 399, 250, 250, 9};
+  FrameOutputSource dense(*dataset_, yolo_, ObjectClass::kCar);  // 400 frames: dense.
+  FrameOutputSource sharded(*dataset_, yolo_, ObjectClass::kCar);
+  sharded.set_dense_max_frames(0);
+
+  auto a = dense.RawCounts(request, 320);
+  auto b = sharded.RawCounts(request, 320);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  // 6 distinct keys computed once each; the 2 duplicate slots are hits.
+  EXPECT_EQ(dense.model_invocations(), 6);
+  EXPECT_EQ(sharded.model_invocations(), 6);
+  EXPECT_EQ(dense.cache_hits(), 2);
+  EXPECT_EQ(sharded.cache_hits(), 2);
+
+  // Warm replay: pure hits, identical counts, no new invocations.
+  auto a2 = dense.RawCounts(request, 320);
+  auto b2 = sharded.RawCounts(request, 320);
+  ASSERT_TRUE(a2.ok());
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ(*a2, *a);
+  EXPECT_EQ(*b2, *a);
+  EXPECT_EQ(dense.model_invocations(), 6);
+  EXPECT_EQ(sharded.model_invocations(), 6);
+  EXPECT_EQ(dense.cache_hits(), 2 + 8);
+  EXPECT_EQ(sharded.cache_hits(), 2 + 8);
+}
+
+TEST_F(OutputSourceTest, OutOfRangeFramesRejectedIdenticallyInBothTiers) {
+  FrameOutputSource sharded(*dataset_, yolo_, ObjectClass::kCar);
+  sharded.set_dense_max_frames(0);
+  for (FrameOutputSource* source : {source_.get(), &sharded}) {
+    auto high = source->RawCounts({0, dataset_->num_frames()}, 320);
+    ASSERT_FALSE(high.ok());
+    EXPECT_EQ(high.status().code(), util::StatusCode::kOutOfRange);
+    auto low = source->RawCounts({int64_t{-1}}, 320);
+    ASSERT_FALSE(low.ok());
+    EXPECT_EQ(low.status().code(), util::StatusCode::kOutOfRange);
+    // A rejected batch installs nothing and tallies nothing.
+    EXPECT_EQ(source->model_invocations(), 0);
+    EXPECT_EQ(source->cache_hits(), 0);
+  }
+}
+
+TEST_F(OutputSourceTest, ExportPreloadRoundTripsAcrossTiers) {
+  // A store exported from the dense tier must warm-start the sharded tier
+  // and vice versa: same counts, zero invocations on replay.
+  const std::vector<int64_t> frames = {0, 1, 2, 3, 50, 399};
+  ASSERT_TRUE(source_->RawCounts(frames, 320).ok());
+  ASSERT_TRUE(source_->RawCounts({5, 7}, 608, 0.5).ok());
+  OutputStore exported = source_->ExportStore();
+  EXPECT_EQ(exported.TotalEntries(), 8);
+
+  FrameOutputSource sharded(*dataset_, yolo_, ObjectClass::kCar);
+  sharded.set_dense_max_frames(0);
+  ASSERT_TRUE(sharded.Preload(exported).ok());
+  auto warm = sharded.RawCounts(frames, 320);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(sharded.model_invocations(), 0);
+  EXPECT_EQ(sharded.cache_hits(), static_cast<int64_t>(frames.size()));
+
+  FrameOutputSource dense(*dataset_, yolo_, ObjectClass::kCar);
+  ASSERT_TRUE(dense.Preload(sharded.ExportStore()).ok());
+  auto warm2 = dense.RawCounts(frames, 320);
+  ASSERT_TRUE(warm2.ok());
+  EXPECT_EQ(*warm2, *warm);
+  EXPECT_EQ(dense.model_invocations(), 0);
+  ASSERT_TRUE(dense.RawCount(5, 608, 0.5).ok());
+  EXPECT_EQ(dense.model_invocations(), 0);  // The 608/0.5 column carried over too.
+}
+
+TEST_F(OutputSourceTest, ShardedTierConcurrentHammerKeepsExactAccounting) {
+  // The hash tier's exactly-once discipline under overlapping concurrent
+  // callers (the dense tier's version is ConcurrentHammerKeepsExactAccounting
+  // above, which this dataset size routes to the dense tier by default).
+  source_->set_dense_max_frames(0);
+  constexpr int kThreads = 6;
+  constexpr int64_t kWindow = 120;
+  constexpr int64_t kStride = 30;
+  std::atomic<int64_t> total_calls{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<int64_t> window(kWindow);
+      std::iota(window.begin(), window.end(), t * kStride);
+      if (!source_->RawCounts(window, 320).ok()) failed.store(true);
+      total_calls.fetch_add(kWindow);
+      for (int64_t frame = t * kStride; frame < t * kStride + 20; ++frame) {
+        if (!source_->RawCount(frame, 320).ok()) failed.store(true);
+        total_calls.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_FALSE(failed.load());
+
+  const int64_t distinct = (kThreads - 1) * kStride + kWindow;
+  EXPECT_EQ(source_->model_invocations(), distinct);
+  EXPECT_EQ(source_->cache_hits(), total_calls.load() - distinct);
+  for (int64_t frame : {int64_t{0}, int64_t{95}, int64_t{269}}) {
+    auto cached = source_->RawCount(frame, 320);
+    auto direct = yolo_.CountDetections(*dataset_, frame, 320, ObjectClass::kCar, 1.0);
+    ASSERT_TRUE(cached.ok());
+    EXPECT_EQ(*cached, *direct) << "frame " << frame;
+  }
+}
+
+TEST_F(OutputSourceTest, DenseTierConcurrentSameKeyComputesExactlyOnce) {
+  // All threads fight over one key on the dense tier: the per-column
+  // in-flight bitmap must admit exactly one computation.
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (!source_->RawCount(23, 608).ok()) failed.store(true);
       }
     });
   }

@@ -45,7 +45,11 @@ class OutputStoreTest : public ::testing::Test {
     auto ds = video::MakePresetScaled(ScenePreset::kUaDetrac, 300);
     ds.status().CheckOk();
     dataset_ = std::make_unique<video::VideoDataset>(std::move(ds).ValueOrDie());
-    path_ = testing::TempDir() + "/output_store_test.smkc";
+    // Unique per test: ctest -j runs tests of this binary as separate
+    // processes, and a shared fixed path races their Save/corrupt/TearDown.
+    const testing::TestInfo* info =
+        testing::UnitTest::GetInstance()->current_test_info();
+    path_ = testing::TempDir() + "/output_store_test_" + info->name() + ".smkc";
   }
 
   void TearDown() override {
