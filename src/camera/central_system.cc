@@ -72,6 +72,7 @@ Result<CentralSystem> CentralSystem::Create(const query::QuerySpec& spec, double
 }
 
 Status CentralSystem::AddFeed(const Camera& cam, const detect::Detector& model) {
+  util::MutexLock lock(mu_.get());
   auto [it, inserted] = feeds_.try_emplace(cam.camera_id());
   if (!inserted) {
     return Status::AlreadyExists("camera " + std::to_string(cam.camera_id()) +
@@ -85,11 +86,13 @@ Status CentralSystem::AddFeed(const Camera& cam, const detect::Detector& model) 
 
 Status CentralSystem::set_breaker_policy(const BreakerPolicy& policy) {
   SMK_RETURN_IF_ERROR(policy.Validate());
+  util::MutexLock lock(mu_.get());
   breaker_policy_ = policy;
   return Status::OK();
 }
 
 Result<BreakerState> CentralSystem::feed_breaker(int camera_id) const {
+  util::MutexLock lock(mu_.get());
   auto it = feeds_.find(camera_id);
   if (it == feeds_.end()) {
     return Status::NotFound("camera " + std::to_string(camera_id) + " not registered");
@@ -98,6 +101,7 @@ Result<BreakerState> CentralSystem::feed_breaker(int camera_id) const {
 }
 
 Result<int64_t> CentralSystem::feed_breaker_trips(int camera_id) const {
+  util::MutexLock lock(mu_.get());
   auto it = feeds_.find(camera_id);
   if (it == feeds_.end()) {
     return Status::NotFound("camera " + std::to_string(camera_id) + " not registered");
@@ -106,6 +110,7 @@ Result<int64_t> CentralSystem::feed_breaker_trips(int camera_id) const {
 }
 
 void CentralSystem::RecordIngestFailure(int camera_id, Feed& feed, const char* what) {
+  mu_->AssertHeld();
   ++feed.consecutive_failures;
   metrics_.ingest_failures->Increment();
   if (feed.breaker == BreakerState::kHalfOpen) {
@@ -133,6 +138,7 @@ void CentralSystem::RecordIngestFailure(int camera_id, Feed& feed, const char* w
 }
 
 Status CentralSystem::Ingest(const CameraBatch& batch) {
+  util::MutexLock lock(mu_.get());
   auto it = feeds_.find(batch.camera_id);
   if (it == feeds_.end()) {
     return Status::NotFound("camera " + std::to_string(batch.camera_id) + " not registered");
@@ -206,7 +212,7 @@ Status CentralSystem::Ingest(const CameraBatch& batch) {
   // Refresh the per-feed drift monitor over the new batch's stream.
   auto monitor = core::OnlineMonitor::Create(
       spec_, feed.eligible_population,
-      delta_ / static_cast<double>(std::max<int64_t>(1, feeds_registered())));
+      delta_ / static_cast<double>(std::max<size_t>(1, feeds_.size())));
   if (monitor.ok()) {
     feed.monitor = std::make_unique<core::OnlineMonitor>(std::move(monitor).ValueOrDie());
     feed.monitor->ObserveAll(feed.outputs);
@@ -217,6 +223,12 @@ Status CentralSystem::Ingest(const CameraBatch& batch) {
 }
 
 int64_t CentralSystem::feeds_with_data() const {
+  util::MutexLock lock(mu_.get());
+  return FeedsWithDataLocked();
+}
+
+int64_t CentralSystem::FeedsWithDataLocked() const {
+  mu_->AssertHeld();
   int64_t count = 0;
   for (const auto& [id, feed] : feeds_) {
     if (feed.health == FeedHealth::kLive) ++count;
@@ -225,6 +237,7 @@ int64_t CentralSystem::feeds_with_data() const {
 }
 
 Result<FeedHealth> CentralSystem::feed_health(int camera_id) const {
+  util::MutexLock lock(mu_.get());
   auto it = feeds_.find(camera_id);
   if (it == feeds_.end()) {
     return Status::NotFound("camera " + std::to_string(camera_id) + " not registered");
@@ -233,6 +246,7 @@ Result<FeedHealth> CentralSystem::feed_health(int camera_id) const {
 }
 
 Result<int64_t> CentralSystem::batches_ingested(int camera_id) const {
+  util::MutexLock lock(mu_.get());
   auto it = feeds_.find(camera_id);
   if (it == feeds_.end()) {
     return Status::NotFound("camera " + std::to_string(camera_id) + " not registered");
@@ -241,6 +255,7 @@ Result<int64_t> CentralSystem::batches_ingested(int camera_id) const {
 }
 
 Result<std::pair<int64_t, int64_t>> CentralSystem::feed_delivery(int camera_id) const {
+  util::MutexLock lock(mu_.get());
   auto it = feeds_.find(camera_id);
   if (it == feeds_.end()) {
     return Status::NotFound("camera " + std::to_string(camera_id) + " not registered");
@@ -249,6 +264,7 @@ Result<std::pair<int64_t, int64_t>> CentralSystem::feed_delivery(int camera_id) 
 }
 
 Status CentralSystem::MarkFeedOverdue(int camera_id) {
+  util::MutexLock lock(mu_.get());
   auto it = feeds_.find(camera_id);
   if (it == feeds_.end()) {
     return Status::NotFound("camera " + std::to_string(camera_id) + " not registered");
@@ -260,6 +276,7 @@ Status CentralSystem::MarkFeedOverdue(int camera_id) {
 
 Result<bool> CentralSystem::CheckFeedDrift(int camera_id, double reference_answer,
                                            double slack) {
+  util::MutexLock lock(mu_.get());
   auto it = feeds_.find(camera_id);
   if (it == feeds_.end()) {
     return Status::NotFound("camera " + std::to_string(camera_id) + " not registered");
@@ -281,6 +298,7 @@ Result<bool> CentralSystem::CheckFeedDrift(int camera_id, double reference_answe
 }
 
 Status CentralSystem::ReinstateFeed(int camera_id) {
+  util::MutexLock lock(mu_.get());
   auto it = feeds_.find(camera_id);
   if (it == feeds_.end()) {
     return Status::NotFound("camera " + std::to_string(camera_id) + " not registered");
@@ -300,6 +318,7 @@ Status CentralSystem::ReinstateFeed(int camera_id) {
 }
 
 Result<core::Estimate> CentralSystem::CameraEstimate(int camera_id) const {
+  util::MutexLock lock(mu_.get());
   auto it = feeds_.find(camera_id);
   if (it == feeds_.end()) {
     return Status::NotFound("camera " + std::to_string(camera_id) + " not registered");
@@ -309,7 +328,7 @@ Result<core::Estimate> CentralSystem::CameraEstimate(int camera_id) const {
     return Status::FailedPrecondition("camera " + std::to_string(camera_id) +
                                       " has not delivered a usable batch");
   }
-  int64_t active = std::max<int64_t>(1, feeds_with_data());
+  int64_t active = std::max<int64_t>(1, FeedsWithDataLocked());
   double delta_k = delta_ / static_cast<double>(active);
   core::SmokescreenMeanEstimator estimator;
   return estimator.EstimateMean(feed.outputs, feed.eligible_population, delta_k);
@@ -317,6 +336,7 @@ Result<core::Estimate> CentralSystem::CameraEstimate(int camera_id) const {
 
 Result<core::CombinedEstimate> CentralSystem::CombineFeeds(
     const std::vector<const Feed*>& included) const {
+  mu_->AssertHeld();
   if (included.empty()) {
     return Status::FailedPrecondition("no live feed to combine");
   }
@@ -349,11 +369,12 @@ Result<core::CombinedEstimate> CentralSystem::CombineFeeds(
     }
   }
   combined.coverage = all_frames > 0.0 ? live_frames / all_frames : 1.0;
-  combined.strata_total = feeds_registered();
+  combined.strata_total = static_cast<int64_t>(feeds_.size());
   return combined;
 }
 
 Result<core::CombinedEstimate> CentralSystem::CityWideEstimate() const {
+  util::MutexLock lock(mu_.get());
   if (feeds_.empty()) return Status::FailedPrecondition("no camera registered");
   std::vector<const Feed*> included;
   included.reserve(feeds_.size());
@@ -372,6 +393,7 @@ Result<core::CombinedEstimate> CentralSystem::CityWideEstimate() const {
 Result<core::CombinedEstimate> CentralSystem::CityWideEstimate(
     const PartialPolicy& policy) const {
   SMK_RETURN_IF_ERROR(policy.Validate());
+  util::MutexLock lock(mu_.get());
   if (feeds_.empty()) return Status::FailedPrecondition("no camera registered");
   std::vector<const Feed*> included;
   for (const auto& [id, feed] : feeds_) {

@@ -41,7 +41,9 @@
 #include "query/output_source.h"
 #include "query/query_spec.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace smokescreen {
 namespace camera {
@@ -103,7 +105,7 @@ class CentralSystem {
 
   /// Registers a camera feed. The camera and detector must outlive the
   /// system. Error when the id is already registered.
-  util::Status AddFeed(const Camera& cam, const detect::Detector& model);
+  util::Status AddFeed(const Camera& cam, const detect::Detector& model) SMK_EXCLUDES(*mu_);
 
   /// Ingests one transmitted batch: runs the UDF over the delivered frames
   /// and stores the outputs for estimation. Error for unknown camera ids or
@@ -119,51 +121,58 @@ class CentralSystem {
   /// batch is admitted as a probe — success closes the breaker, failure
   /// re-opens it. Malformed batches (unknown id, attempted nothing) are
   /// caller bugs and neither count as failures nor consume the probe.
-  util::Status Ingest(const CameraBatch& batch);
+  util::Status Ingest(const CameraBatch& batch) SMK_EXCLUDES(*mu_);
 
   /// Breaker policy applied to every feed. InvalidArgument on a malformed
   /// policy. Takes effect on subsequent ingests; already-open breakers keep
   /// their counts.
-  util::Status set_breaker_policy(const BreakerPolicy& policy);
-  const BreakerPolicy& breaker_policy() const { return breaker_policy_; }
+  util::Status set_breaker_policy(const BreakerPolicy& policy) SMK_EXCLUDES(*mu_);
+  BreakerPolicy breaker_policy() const SMK_EXCLUDES(*mu_) {
+    util::MutexLock lock(mu_.get());
+    return breaker_policy_;
+  }
 
   /// Breaker state of one feed; NotFound for unknown ids.
-  util::Result<BreakerState> feed_breaker(int camera_id) const;
+  util::Result<BreakerState> feed_breaker(int camera_id) const SMK_EXCLUDES(*mu_);
   /// Times this feed's breaker has tripped open; NotFound for unknown ids.
-  util::Result<int64_t> feed_breaker_trips(int camera_id) const;
+  util::Result<int64_t> feed_breaker_trips(int camera_id) const SMK_EXCLUDES(*mu_);
 
   /// Number of feeds currently live (ingested and trusted).
-  int64_t feeds_with_data() const;
-  int64_t feeds_registered() const { return static_cast<int64_t>(feeds_.size()); }
+  int64_t feeds_with_data() const SMK_EXCLUDES(*mu_);
+  int64_t feeds_registered() const SMK_EXCLUDES(*mu_) {
+    util::MutexLock lock(mu_.get());
+    return static_cast<int64_t>(feeds_.size());
+  }
 
   /// Health of one feed; NotFound for unknown ids.
-  util::Result<FeedHealth> feed_health(int camera_id) const;
+  util::Result<FeedHealth> feed_health(int camera_id) const SMK_EXCLUDES(*mu_);
   /// Batches ever ingested for one feed (including replaced and empty ones).
-  util::Result<int64_t> batches_ingested(int camera_id) const;
+  util::Result<int64_t> batches_ingested(int camera_id) const SMK_EXCLUDES(*mu_);
   /// Attempted/delivered frame counts from the feed's latest batch.
-  util::Result<std::pair<int64_t, int64_t>> feed_delivery(int camera_id) const;
+  util::Result<std::pair<int64_t, int64_t>> feed_delivery(int camera_id) const
+      SMK_EXCLUDES(*mu_);
 
   // --- Health transitions ---------------------------------------------------
   /// Demotes a feed whose batch has not arrived in time to stale.
-  util::Status MarkFeedOverdue(int camera_id);
+  util::Status MarkFeedOverdue(int camera_id) SMK_EXCLUDES(*mu_);
   /// Runs the feed's drift check (core::OnlineMonitor) against the profiled
   /// reference answer (aggregate scale). Returns whether the feed is
   /// consistent; on inconsistency the feed is demoted to stale as a side
   /// effect. Error when the feed has no ingested data.
   util::Result<bool> CheckFeedDrift(int camera_id, double reference_answer,
-                                    double slack = 0.0);
+                                    double slack = 0.0) SMK_EXCLUDES(*mu_);
   /// Clears a stale feed back to kNoData after re-profiling; it rejoins the
   /// estimate at its next ingested batch.
-  util::Status ReinstateFeed(int camera_id);
+  util::Status ReinstateFeed(int camera_id) SMK_EXCLUDES(*mu_);
 
   /// Algorithm-1 estimate for one camera (mean scale), over whatever its
   /// latest batch delivered.
-  util::Result<core::Estimate> CameraEstimate(int camera_id) const;
+  util::Result<core::Estimate> CameraEstimate(int camera_id) const SMK_EXCLUDES(*mu_);
 
   /// Strict city-wide estimate: every registered feed must be live. Returns
   /// FailedPrecondition naming the first non-live feed otherwise — use the
   /// PartialPolicy overload for an explicit partial answer.
-  util::Result<core::CombinedEstimate> CityWideEstimate() const;
+  util::Result<core::CombinedEstimate> CityWideEstimate() const SMK_EXCLUDES(*mu_);
 
   /// Partial city-wide estimate over the live feeds only. Each live feed
   /// gets failure budget delta / num_live; the result's `coverage` reports
@@ -171,7 +180,8 @@ class CentralSystem {
   /// the number of registered feeds. FailedPrecondition when fewer than
   /// `policy.min_live_feeds` feeds are live or coverage falls below
   /// `policy.min_coverage`.
-  util::Result<core::CombinedEstimate> CityWideEstimate(const PartialPolicy& policy) const;
+  util::Result<core::CombinedEstimate> CityWideEstimate(const PartialPolicy& policy) const
+      SMK_EXCLUDES(*mu_);
 
   /// Re-points the central_system.* instruments (ingest counters, breaker
   /// trip counter, open-breakers gauge) at `registry`; nullptr restores
@@ -181,7 +191,8 @@ class CentralSystem {
   void set_metrics_registry(util::MetricsRegistry* registry) { BindMetrics(registry); }
 
  private:
-  CentralSystem(const query::QuerySpec& spec, double delta) : spec_(spec), delta_(delta) {
+  CentralSystem(const query::QuerySpec& spec, double delta)
+      : mu_(std::make_unique<util::Mutex>()), spec_(spec), delta_(delta) {
     BindMetrics(nullptr);
   }
 
@@ -208,11 +219,15 @@ class CentralSystem {
   };
 
   /// Records one failed ingest (blackout or UDF error) against the feed's
-  /// breaker; trips/re-opens it per policy.
-  void RecordIngestFailure(int camera_id, Feed& feed, const char* what);
+  /// breaker; trips/re-opens it per policy. Caller holds *mu_
+  /// (machine-checked under clang; AssertHeld on entry elsewhere).
+  void RecordIngestFailure(int camera_id, Feed& feed, const char* what) SMK_REQUIRES(*mu_);
+
+  /// Live-feed count; caller holds *mu_.
+  int64_t FeedsWithDataLocked() const SMK_REQUIRES(*mu_);
 
   util::Result<core::CombinedEstimate> CombineFeeds(
-      const std::vector<const Feed*>& included) const;
+      const std::vector<const Feed*>& included) const SMK_REQUIRES(*mu_);
 
   /// Registry-bound instruments (never null after construction).
   struct Instruments {
@@ -226,10 +241,14 @@ class CentralSystem {
   };
   Instruments metrics_;
 
+  /// Heap-held so CentralSystem stays movable (Create returns it by value
+  /// inside a Result); guards every feed's batch, health and breaker state.
+  std::unique_ptr<util::Mutex> mu_;
+
   query::QuerySpec spec_;
   double delta_;
-  BreakerPolicy breaker_policy_;
-  std::map<int, Feed> feeds_;
+  BreakerPolicy breaker_policy_ SMK_GUARDED_BY(*mu_);
+  std::map<int, Feed> feeds_ SMK_GUARDED_BY(*mu_);
 };
 
 }  // namespace camera

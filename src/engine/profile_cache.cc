@@ -48,7 +48,7 @@ ProfileCache::ProfileCache(size_t capacity, util::MetricsRegistry* registry)
 
 core::ProfileHandle ProfileCache::Get(const ProfileKey& key,
                                       const ProfileProvenance& provenance) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -77,7 +77,7 @@ core::ProfileHandle ProfileCache::Get(const ProfileKey& key,
 void ProfileCache::Put(const ProfileKey& key, const ProfileProvenance& provenance,
                        core::ProfileHandle profile) {
   if (capacity_ == 0 || profile == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->provenance = provenance;
@@ -97,27 +97,27 @@ void ProfileCache::Put(const ProfileKey& key, const ProfileProvenance& provenanc
 }
 
 size_t ProfileCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return lru_.size();
 }
 
 int64_t ProfileCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return hits_;
 }
 
 int64_t ProfileCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return misses_;
 }
 
 int64_t ProfileCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return evictions_;
 }
 
 int64_t ProfileCache::provenance_mismatches() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return provenance_mismatches_;
 }
 

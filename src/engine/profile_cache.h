@@ -31,12 +31,13 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "core/profiler.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace smokescreen {
 namespace engine {
@@ -90,21 +91,22 @@ class ProfileCache {
   /// stored provenance differs from `provenance` is a provenance MISMATCH:
   /// the stale entry is evicted, the mismatch is counted, and nullptr is
   /// returned so the caller regenerates against the current workload.
-  core::ProfileHandle Get(const ProfileKey& key, const ProfileProvenance& provenance);
+  core::ProfileHandle Get(const ProfileKey& key, const ProfileProvenance& provenance)
+      SMK_EXCLUDES(mu_);
 
   /// Inserts (or replaces) the profile for `key`, evicting the
   /// least-recently-used entry when over capacity.
   void Put(const ProfileKey& key, const ProfileProvenance& provenance,
-           core::ProfileHandle profile);
+           core::ProfileHandle profile) SMK_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const SMK_EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
 
   /// Exact accounting (mirrors the engine.profile_cache.* registry counters).
-  int64_t hits() const;
-  int64_t misses() const;
-  int64_t evictions() const;
-  int64_t provenance_mismatches() const;
+  int64_t hits() const SMK_EXCLUDES(mu_);
+  int64_t misses() const SMK_EXCLUDES(mu_);
+  int64_t evictions() const SMK_EXCLUDES(mu_);
+  int64_t provenance_mismatches() const SMK_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -126,13 +128,13 @@ class ProfileCache {
   const size_t capacity_;
   Instruments metrics_;
 
-  mutable std::mutex mu_;
-  LruList lru_;  // Front = most recently used.
-  std::unordered_map<ProfileKey, LruList::iterator, ProfileKeyHash> index_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t evictions_ = 0;
-  int64_t provenance_mismatches_ = 0;
+  mutable util::Mutex mu_;
+  LruList lru_ SMK_GUARDED_BY(mu_);  // Front = most recently used.
+  std::unordered_map<ProfileKey, LruList::iterator, ProfileKeyHash> index_ SMK_GUARDED_BY(mu_);
+  int64_t hits_ SMK_GUARDED_BY(mu_) = 0;
+  int64_t misses_ SMK_GUARDED_BY(mu_) = 0;
+  int64_t evictions_ SMK_GUARDED_BY(mu_) = 0;
+  int64_t provenance_mismatches_ SMK_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace engine

@@ -172,7 +172,7 @@ Result<WorkloadHandle> Runtime::GetWorkload(const WorkloadDesc& desc) {
   // creation (once per (dataset, model) pair per process — not a hot path)
   // in exchange for a hard exactly-once guarantee, so two racing sessions
   // can never build two sources for the same pair.
-  std::lock_guard<std::mutex> lock(workloads_mu_);
+  util::MutexLock lock(&workloads_mu_);
   auto it = workloads_.find(key);
   if (it != workloads_.end()) {
     metrics_.workloads_shared->Increment();
@@ -252,7 +252,7 @@ Result<Runtime::WorkPermit> Runtime::AdmitWork() {
   if (options_.max_concurrent_sessions == 0) {
     // Unlimited: no queue, but the gauges still tell the truth.
     {
-      std::lock_guard<std::mutex> lock(admit_mu_);
+      util::MutexLock lock(&admit_mu_);
       ++active_work_;
       metrics_.active_work->Set(active_work_);
     }
@@ -261,25 +261,25 @@ Result<Runtime::WorkPermit> Runtime::AdmitWork() {
   }
 
   util::ScopedSpan wait_span(metrics_.admission_wait_seconds);
-  std::unique_lock<std::mutex> lock(admit_mu_);
+  util::MutexLock lock(&admit_mu_);
   const uint64_t ticket = next_ticket_++;
   admit_queue_.push_back(ticket);
   metrics_.admission_queue_depth->Set(static_cast<int64_t>(admit_queue_.size()));
 
-  auto admissible = [this, ticket] {
+  auto admissible = [this, ticket]() SMK_REQUIRES(admit_mu_) {
     return admit_queue_.front() == ticket &&
            active_work_ < options_.max_concurrent_sessions;
   };
   bool admitted;
   if (std::isinf(options_.admission_wait_budget_sec)) {
-    admit_cv_.wait(lock, admissible);
+    admit_cv_.Wait(admit_mu_, admissible);
     admitted = true;
   } else {
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(options_.admission_wait_budget_sec));
-    admitted = admit_cv_.wait_until(lock, deadline, admissible);
+    admitted = admit_cv_.WaitUntil(admit_mu_, deadline, admissible);
   }
   if (!admitted) {
     // Remove our ticket wherever it sits so later arrivals are not queued
@@ -293,7 +293,7 @@ Result<Runtime::WorkPermit> Runtime::AdmitWork() {
     ++admission_timeouts_;
     metrics_.admission_timeouts->Increment();
     metrics_.admission_queue_depth->Set(static_cast<int64_t>(admit_queue_.size()));
-    admit_cv_.notify_all();
+    admit_cv_.NotifyAll();
     return Status::Unavailable("admission wait exceeded " +
                                std::to_string(options_.admission_wait_budget_sec) +
                                "s (queue full)");
@@ -304,26 +304,26 @@ Result<Runtime::WorkPermit> Runtime::AdmitWork() {
   metrics_.admission_queue_depth->Set(static_cast<int64_t>(admit_queue_.size()));
   metrics_.work_admitted->Increment();
   // The next waiter may also be admissible (multiple slots can be free).
-  admit_cv_.notify_all();
+  admit_cv_.NotifyAll();
   return WorkPermit(this);
 }
 
 void Runtime::ReleaseWork() {
   {
-    std::lock_guard<std::mutex> lock(admit_mu_);
+    util::MutexLock lock(&admit_mu_);
     --active_work_;
     metrics_.active_work->Set(active_work_);
   }
-  admit_cv_.notify_all();
+  admit_cv_.NotifyAll();
 }
 
 int64_t Runtime::active_work() const {
-  std::lock_guard<std::mutex> lock(admit_mu_);
+  util::MutexLock lock(&admit_mu_);
   return active_work_;
 }
 
 int64_t Runtime::admission_timeouts() const {
-  std::lock_guard<std::mutex> lock(admit_mu_);
+  util::MutexLock lock(&admit_mu_);
   return admission_timeouts_;
 }
 

@@ -48,8 +48,6 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <condition_variable>
 #include <optional>
 #include <string>
 #include <vector>
@@ -60,7 +58,9 @@
 #include "query/output_source.h"
 #include "util/env.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "video/dataset.h"
 #include "video/presets.h"
@@ -166,7 +166,8 @@ class Runtime {
   /// Subsequent requests with the same (preset, frames, detector, class)
   /// return the SAME workload — same source, same memo cache — regardless of
   /// store path. Concurrent callers are serialized; exactly one materializes.
-  util::Result<WorkloadHandle> GetWorkload(const WorkloadDesc& desc);
+  util::Result<WorkloadHandle> GetWorkload(const WorkloadDesc& desc)
+      SMK_EXCLUDES(workloads_mu_);
 
   /// A private workload that does NOT enter the share map: its source starts
   /// cold and is never visible to other sessions. This is the bench baseline
@@ -217,7 +218,7 @@ class Runtime {
   /// Blocks until this caller is admitted (FIFO across waiters) or the
   /// admission watchdog budget elapses — then kUnavailable, and the caller's
   /// queue slot is released so later arrivals are not stuck behind a corpse.
-  util::Result<WorkPermit> AdmitWork();
+  util::Result<WorkPermit> AdmitWork() SMK_EXCLUDES(admit_mu_);
 
   util::Env& env() const { return *env_; }
   util::MetricsRegistry& registry() const { return *registry_; }
@@ -226,8 +227,8 @@ class Runtime {
   const RuntimeOptions& options() const { return options_; }
 
   /// Work units currently admitted (for tests and ops dashboards).
-  int64_t active_work() const;
-  int64_t admission_timeouts() const;
+  int64_t active_work() const SMK_EXCLUDES(admit_mu_);
+  int64_t admission_timeouts() const SMK_EXCLUDES(admit_mu_);
 
  private:
   friend class Session;
@@ -237,7 +238,7 @@ class Runtime {
   util::Result<std::unique_ptr<Workload>> Materialize(const WorkloadDesc& desc);
   /// Wires a freshly built source to this runtime's registry and policies.
   void WireSource(query::FrameOutputSource& source) const;
-  void ReleaseWork();
+  void ReleaseWork() SMK_EXCLUDES(admit_mu_);
 
   RuntimeOptions options_;
   util::Env* env_ = nullptr;
@@ -245,17 +246,17 @@ class Runtime {
   std::unique_ptr<util::ThreadPool> executor_;
   std::unique_ptr<ProfileCache> profile_cache_;
 
-  std::mutex workloads_mu_;
-  std::map<std::string, WorkloadHandle> workloads_;
+  util::Mutex workloads_mu_;
+  std::map<std::string, WorkloadHandle> workloads_ SMK_GUARDED_BY(workloads_mu_);
 
   /// FIFO admission queue. Tickets are handed out in arrival order; the
   /// front ticket is admitted as soon as a slot frees.
-  mutable std::mutex admit_mu_;
-  std::condition_variable admit_cv_;
-  std::deque<uint64_t> admit_queue_;
-  uint64_t next_ticket_ = 0;
-  int64_t active_work_ = 0;
-  int64_t admission_timeouts_ = 0;
+  mutable util::Mutex admit_mu_;
+  util::CondVar admit_cv_;
+  std::deque<uint64_t> admit_queue_ SMK_GUARDED_BY(admit_mu_);
+  uint64_t next_ticket_ SMK_GUARDED_BY(admit_mu_) = 0;
+  int64_t active_work_ SMK_GUARDED_BY(admit_mu_) = 0;
+  int64_t admission_timeouts_ SMK_GUARDED_BY(admit_mu_) = 0;
 
   struct Instruments {
     util::Counter* sessions_started = nullptr;

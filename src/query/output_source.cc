@@ -182,6 +182,7 @@ Status FrameOutputSource::RetryCountBatch(std::span<const int64_t> frames, int r
 
 FrameOutputSource::Entry* FrameOutputSource::FindEntry(Shard& shard, const CacheKey& key,
                                                        size_t hash) {
+  shard.mu.AssertHeld();
   if (shard.table.empty()) return nullptr;
   const size_t mask = shard.table.size() - 1;
   size_t idx = (hash >> kShardBits) & mask;
@@ -194,6 +195,7 @@ FrameOutputSource::Entry* FrameOutputSource::FindEntry(Shard& shard, const Cache
 }
 
 void FrameOutputSource::RehashIfNeeded(Shard& shard, size_t incoming) {
+  shard.mu.AssertHeld();
   // Keep occupancy (live + tombstones) at or below 3/4; grow only when the
   // live population warrants it, otherwise rebuild at the same size to shed
   // tombstones (failed claims are rare, so this path almost never runs).
@@ -215,6 +217,7 @@ void FrameOutputSource::RehashIfNeeded(Shard& shard, size_t incoming) {
 
 FrameOutputSource::Entry* FrameOutputSource::ClaimEntry(Shard& shard, const CacheKey& key,
                                                         size_t hash, bool& fresh) {
+  shard.mu.AssertHeld();
   RehashIfNeeded(shard, 1);
   const size_t mask = shard.table.size() - 1;
   size_t idx = (hash >> kShardBits) & mask;
@@ -247,7 +250,7 @@ Result<int> FrameOutputSource::RawCount(int64_t frame_index, int resolution,
   const size_t hash = CacheKeyHash{}(key);
   Shard& shard = ShardFor(hash);
   {
-    std::unique_lock<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     for (;;) {
       bool fresh = false;
       Entry* entry = ClaimEntry(shard, key, hash, fresh);
@@ -261,7 +264,7 @@ Result<int> FrameOutputSource::RawCount(int64_t frame_index, int resolution,
       // re-claim (the computation may have failed — tombstoning its entry —
       // in which case our re-claim takes over).
       metrics_.inflight_waits->Increment();
-      shard.cv.wait(lock);
+      shard.cv.Wait(shard.mu);
     }
   }
   // The model runs OUTSIDE the shard lock so that concurrent misses on
@@ -270,7 +273,7 @@ Result<int> FrameOutputSource::RawCount(int64_t frame_index, int resolution,
   Result<int> count = detector_.CountDetections(dataset_, frame_index, resolution, target_class_,
                                                 contrast_scale);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     // Re-probe: a concurrent insert may have rehashed the table, so no
     // Entry* survives the unlocked section.
     Entry* entry = FindEntry(shard, key, hash);
@@ -284,7 +287,7 @@ Result<int> FrameOutputSource::RawCount(int64_t frame_index, int resolution,
       --shard.live;
     }
   }
-  shard.cv.notify_all();
+  shard.cv.NotifyAll();
   return count;
 }
 
@@ -349,7 +352,7 @@ Status FrameOutputSource::FillCountsChunk(std::span<const int64_t> frame_indices
   for (int s = 0; s < kNumShards; ++s) {
     if (shard_count[s] == 0) continue;
     Shard& shard = shards_[static_cast<size_t>(s)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     // Size the table for the worst case (every slot a fresh claim) up
     // front: at most one rehash per shard per chunk, and ClaimEntry's
     // per-call check stays on its cheap no-op path.
@@ -418,7 +421,7 @@ Status FrameOutputSource::FillCountsChunk(std::span<const int64_t> frame_indices
     const uint32_t s = miss_shard[m];
     Shard& shard = shards_[s];
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      util::MutexLock lock(&shard.mu);
       // Unchanged generation (the common case): claims still sit at their
       // recorded indices. A concurrent insert may have rehashed the shard,
       // moving entries — then fall back to probing by key.
@@ -437,7 +440,7 @@ Status FrameOutputSource::FillCountsChunk(std::span<const int64_t> frame_indices
         }
       }
     }
-    shard.cv.notify_all();
+    shard.cv.NotifyAll();
   }
   if (!batch_status.ok()) return batch_status;
   if (!miss_frames.empty()) {
@@ -543,7 +546,7 @@ Status FrameOutputSource::FillCounts(std::span<const int64_t> frame_indices, int
 
 FrameOutputSource::DenseColumn& FrameOutputSource::DenseColumnFor(int resolution,
                                                                   int64_t contrast_q) {
-  std::lock_guard<std::mutex> lock(dense_mu_);
+  util::MutexLock lock(&dense_mu_);
   std::unique_ptr<DenseColumn>& slot = dense_columns_[{resolution, contrast_q}];
   if (slot == nullptr) {
     slot = std::make_unique<DenseColumn>();
@@ -582,7 +585,7 @@ Status FrameOutputSource::FillCountsDense(std::span<const int64_t> frame_indices
     const int64_t f0 = frame_indices[0];
     bool claimed = false;
     {
-      std::lock_guard<std::mutex> lock(col.mu);
+      util::MutexLock lock(&col.mu);
       if (RangeClear(col.ready, col.inflight, f0, static_cast<int64_t>(n))) {
         SetRange(col.inflight, f0, static_cast<int64_t>(n));
         claimed = true;
@@ -591,7 +594,7 @@ Status FrameOutputSource::FillCountsDense(std::span<const int64_t> frame_indices
     if (claimed) {
       Status status = ComputeMisses(frame_indices, resolution, contrast_scale, out);
       {
-        std::lock_guard<std::mutex> lock(col.mu);
+        util::MutexLock lock(&col.mu);
         if (status.ok()) {
           std::copy(out.begin(), out.end(),
                     col.counts.begin() + static_cast<ptrdiff_t>(f0));
@@ -600,7 +603,7 @@ Status FrameOutputSource::FillCountsDense(std::span<const int64_t> frame_indices
         // A failed batch releases its claim (the sharded tier's tombstone).
         ClearRange(col.inflight, f0, static_cast<int64_t>(n));
       }
-      col.cv.notify_all();
+      col.cv.NotifyAll();
       if (!status.ok()) return status;
       model_invocations_.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
       metrics_.invocations->Add(static_cast<int64_t>(n));
@@ -621,7 +624,7 @@ Status FrameOutputSource::FillCountsDense(std::span<const int64_t> frame_indices
   std::vector<uint32_t> waiter_slots;
   int64_t probe_hits = 0;
   {
-    std::lock_guard<std::mutex> lock(col.mu);
+    util::MutexLock lock(&col.mu);
     for (size_t i = 0; i < n; ++i) {
       const int64_t frame = frame_indices[i];
       if (TestBit(col.ready, frame)) {
@@ -652,16 +655,25 @@ Status FrameOutputSource::FillCountsDense(std::span<const int64_t> frame_indices
     std::vector<int> miss_counts(miss_frames.size());
     Status status = ComputeMisses(miss_frames, resolution, contrast_scale, miss_counts);
     {
-      std::lock_guard<std::mutex> lock(col.mu);
+      util::MutexLock lock(&col.mu);
       if (status.ok()) {
         for (size_t m = 0; m < miss_frames.size(); ++m) {
           col.counts[static_cast<size_t>(miss_frames[m])] = miss_counts[m];
           SetBit(col.ready, miss_frames[m]);
         }
+        // Duplicates of this call's own claims read the freshly installed
+        // counts here, under the same lock acquisition that installed them —
+        // every counts[] access stays inside col.mu. (A duplicate implies
+        // this call claimed the frame, so dup_slots non-empty implies
+        // miss_frames non-empty.) They count as cache hits below, matching
+        // the scalar path (first occurrence misses, repeats hit).
+        for (uint32_t slot : dup_slots) {
+          out[slot] = col.counts[static_cast<size_t>(frame_indices[slot])];
+        }
       }
       for (int64_t frame : miss_frames) ClearBit(col.inflight, frame);
     }
-    col.cv.notify_all();
+    col.cv.NotifyAll();
     if (!status.ok()) return status;
     for (size_t m = 0; m < miss_frames.size(); ++m) out[miss_slot[m]] = miss_counts[m];
     // A batch over N distinct keys counts as exactly N model invocations —
@@ -672,13 +684,6 @@ Status FrameOutputSource::FillCountsDense(std::span<const int64_t> frame_indices
     metrics_.miss_batch_size->Observe(static_cast<double>(miss_frames.size()));
   }
 
-  // Duplicates of this call's own claims read the freshly installed counts
-  // (ready bits are monotone and we set these ourselves above) and count as
-  // cache hits, matching the scalar path (first occurrence misses, repeats
-  // hit).
-  for (uint32_t slot : dup_slots) {
-    out[slot] = col.counts[static_cast<size_t>(frame_indices[slot])];
-  }
   if (!dup_slots.empty()) {
     cache_hits_.fetch_add(static_cast<int64_t>(dup_slots.size()), std::memory_order_relaxed);
     metrics_.hits->Add(static_cast<int64_t>(dup_slots.size()));
@@ -703,7 +708,7 @@ Result<int> FrameOutputSource::RawCountDense(int64_t frame_index, int resolution
   }
   DenseColumn& col = DenseColumnFor(resolution, std::llround(contrast_scale * 4096.0));
   {
-    std::unique_lock<std::mutex> lock(col.mu);
+    util::MutexLock lock(&col.mu);
     for (;;) {
       if (TestBit(col.ready, frame_index)) {
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -718,7 +723,7 @@ Result<int> FrameOutputSource::RawCountDense(int64_t frame_index, int resolution
       // re-probe (the computation may have failed — releasing its claim —
       // in which case our re-probe claims it).
       metrics_.inflight_waits->Increment();
-      col.cv.wait(lock);
+      col.cv.Wait(col.mu);
     }
   }
   // The model runs OUTSIDE the column lock so that concurrent misses on
@@ -727,7 +732,7 @@ Result<int> FrameOutputSource::RawCountDense(int64_t frame_index, int resolution
   Result<int> count = detector_.CountDetections(dataset_, frame_index, resolution, target_class_,
                                                 contrast_scale);
   {
-    std::lock_guard<std::mutex> lock(col.mu);
+    util::MutexLock lock(&col.mu);
     if (count.ok()) {
       model_invocations_.fetch_add(1, std::memory_order_relaxed);
       metrics_.invocations->Increment();
@@ -736,7 +741,7 @@ Result<int> FrameOutputSource::RawCountDense(int64_t frame_index, int resolution
     }
     ClearBit(col.inflight, frame_index);
   }
-  col.cv.notify_all();
+  col.cv.NotifyAll();
   return count;
 }
 
@@ -833,7 +838,7 @@ OutputStore FrameOutputSource::ExportStore() {
   // regardless of hash-map iteration order.
   std::map<std::pair<int, int64_t>, std::vector<std::pair<int64_t, int>>> groups;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     for (const Entry& entry : shard.table) {
       if (entry.state != kSlotReady) continue;
       groups[{entry.key.resolution, entry.key.contrast_q}].emplace_back(entry.key.frame,
@@ -845,10 +850,10 @@ OutputStore FrameOutputSource::ExportStore() {
   // threshold was configured. Ready bits are walked in frame order, so the
   // harvested pairs arrive pre-sorted.
   {
-    std::lock_guard<std::mutex> dense_lock(dense_mu_);
+    util::MutexLock dense_lock(&dense_mu_);
     for (auto& [group_key, col_ptr] : dense_columns_) {
       DenseColumn& col = *col_ptr;
-      std::lock_guard<std::mutex> lock(col.mu);
+      util::MutexLock lock(&col.mu);
       std::vector<std::pair<int64_t, int>>& entries = groups[group_key];
       for (size_t w = 0; w < col.ready.size(); ++w) {
         uint64_t bits = col.ready[w];
@@ -906,7 +911,7 @@ Result<int64_t> FrameOutputSource::Preload(const OutputStore& store) {
       // run); entries already present — ready, or in flight on a concurrent
       // thread — are left alone.
       DenseColumn& col = DenseColumnFor(column.resolution, column.contrast_q);
-      std::lock_guard<std::mutex> lock(col.mu);
+      util::MutexLock lock(&col.mu);
       for (size_t i = 0; i < column.frames.size(); ++i) {
         const int64_t frame = column.frames[i];
         if (frame < 0 || frame >= dataset_.num_frames()) {
@@ -933,7 +938,7 @@ Result<int64_t> FrameOutputSource::Preload(const OutputStore& store) {
       key.contrast_q = column.contrast_q;
       const size_t hash = CacheKeyHash{}(key);
       Shard& shard = ShardFor(hash);
-      std::lock_guard<std::mutex> lock(shard.mu);
+      util::MutexLock lock(&shard.mu);
       // Preloaded entries do not bump the counters: they were not computed
       // (nor requested) in this run. An entry already present (ready, or in
       // flight on a concurrent thread) is left alone.

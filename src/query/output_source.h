@@ -57,12 +57,10 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -72,7 +70,9 @@
 #include "query/query_spec.h"
 #include "util/env.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "video/dataset.h"
 
 namespace smokescreen {
@@ -147,14 +147,18 @@ class FrameOutputSource {
                     video::ObjectClass target_class);
 
   /// Raw detector count for one frame at the given resolution. Cached.
-  util::Result<int> RawCount(int64_t frame_index, int resolution, double contrast_scale = 1.0);
+  /// Re-entrancy from code already holding a shard or column lock would
+  /// self-deadlock; the EXCLUDES annotation machine-checks the expressible
+  /// part (the dense-tier directory lock).
+  util::Result<int> RawCount(int64_t frame_index, int resolution, double contrast_scale = 1.0)
+      SMK_EXCLUDES(dense_mu_);
 
   /// Batched core: raw counts for `frame_indices` written into `out` (same
   /// length, same order). Misses are computed by ONE CountBatch invocation
   /// per batch chunk (see set_max_batch_size). Duplicate frames, unsorted
   /// lists and empty lists are all fine.
   util::Status FillCounts(std::span<const int64_t> frame_indices, int resolution,
-                          double contrast_scale, std::span<int> out);
+                          double contrast_scale, std::span<int> out) SMK_EXCLUDES(dense_mu_);
 
   /// Raw counts for a list of frames (order preserved).
   util::Result<std::vector<int>> RawCounts(const std::vector<int64_t>& frame_indices,
@@ -352,19 +356,21 @@ class FrameOutputSource {
   };
 
   struct Shard {
-    std::mutex mu;
+    util::Mutex mu;
     /// Signalled when an in-flight computation lands (or fails).
-    std::condition_variable cv;
+    util::CondVar cv;
     /// Open-addressing table; size is 0 or a power of two. Probing starts at
     /// (hash >> kShardBits) — the low hash bits picked the shard, so they
     /// are constant within it.
-    std::vector<Entry> table;
-    size_t slots_used = 0;  // EMPTY -> non-EMPTY transitions (incl. tombstones).
-    size_t live = 0;        // IN_FLIGHT + READY entries.
+    std::vector<Entry> table SMK_GUARDED_BY(mu);
+    /// EMPTY -> non-EMPTY transitions (incl. tombstones).
+    size_t slots_used SMK_GUARDED_BY(mu) = 0;
+    /// IN_FLIGHT + READY entries.
+    size_t live SMK_GUARDED_BY(mu) = 0;
     /// Bumped on every rehash. A claimant that recorded an entry index plus
     /// this generation can install through the index directly when the
     /// generation is unchanged (the common case), skipping the re-probe.
-    uint64_t generation = 0;
+    uint64_t generation SMK_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(size_t hash) {
@@ -372,38 +378,44 @@ class FrameOutputSource {
   }
 
   /// Looks up `key` in the shard table; returns the IN_FLIGHT/READY entry or
-  /// nullptr. Caller holds shard.mu.
-  static Entry* FindEntry(Shard& shard, const CacheKey& key, size_t hash);
+  /// nullptr. Caller holds shard.mu (machine-checked; AssertHeld on entry).
+  static Entry* FindEntry(Shard& shard, const CacheKey& key, size_t hash)
+      SMK_REQUIRES(shard.mu);
 
   /// Find-or-claim: returns the entry for `key`, inserting a fresh IN_FLIGHT
   /// claim (fresh=true) when the key is absent or tombstoned. May rehash —
   /// any previously obtained Entry* into this shard is invalidated. Caller
-  /// holds shard.mu.
-  static Entry* ClaimEntry(Shard& shard, const CacheKey& key, size_t hash, bool& fresh);
+  /// holds shard.mu (machine-checked; AssertHeld on entry).
+  static Entry* ClaimEntry(Shard& shard, const CacheKey& key, size_t hash, bool& fresh)
+      SMK_REQUIRES(shard.mu);
 
   /// Grows/compacts the table so `incoming` more inserts fit below the load
   /// limit (batch probes pass their whole per-shard slot count so a cold
-  /// chunk triggers at most one rehash per shard).
-  static void RehashIfNeeded(Shard& shard, size_t incoming);
+  /// chunk triggers at most one rehash per shard). Caller holds shard.mu.
+  static void RehashIfNeeded(Shard& shard, size_t incoming) SMK_REQUIRES(shard.mu);
 
   /// Dense-tier column: a direct-mapped counts array over every frame of
   /// the dataset plus ready/in-flight bitmaps, one per (resolution,
-  /// contrast_q) pair, created lazily on first touch. `ready` bits are
-  /// monotone (set under mu, never cleared), so a reader that saw a ready
-  /// bit under the lock may read counts[frame] after unlocking.
+  /// contrast_q) pair, created lazily on first touch. All three arrays are
+  /// guarded by mu — `ready` bits are monotone (set under mu, never
+  /// cleared), and every counts[] read happens under mu too, so the
+  /// publication protocol is fully expressible to the static analysis. The
+  /// one exception is the contiguous-cold fast path, which computes straight
+  /// into the caller's output span (unguarded local data) and installs into
+  /// counts[] under mu afterwards.
   struct DenseColumn {
-    std::mutex mu;
+    util::Mutex mu;
     /// Signalled when in-flight computations land (or fail).
-    std::condition_variable cv;
-    std::vector<int> counts;
-    std::vector<uint64_t> ready;
-    std::vector<uint64_t> inflight;
+    util::CondVar cv;
+    std::vector<int> counts SMK_GUARDED_BY(mu);
+    std::vector<uint64_t> ready SMK_GUARDED_BY(mu);
+    std::vector<uint64_t> inflight SMK_GUARDED_BY(mu);
   };
 
   /// Whether this source's key space lives in the dense tier (fixed per
   /// source: a pure function of the dataset size and the tier threshold).
   bool dense_enabled() const { return dataset_.num_frames() <= dense_max_frames_; }
-  DenseColumn& DenseColumnFor(int resolution, int64_t contrast_q);
+  DenseColumn& DenseColumnFor(int resolution, int64_t contrast_q) SMK_EXCLUDES(dense_mu_);
 
   /// One batched round through the sharded tier: shard-partitioned probe,
   /// ComputeMisses over all claims, per-shard install.
@@ -415,8 +427,10 @@ class FrameOutputSource {
   /// into `out`, install by memcpy); anything else falls back to per-frame
   /// bit probes with the same exactly-once protocol.
   util::Status FillCountsDense(std::span<const int64_t> frame_indices, int resolution,
-                               double contrast_scale, std::span<int> out);
-  util::Result<int> RawCountDense(int64_t frame_index, int resolution, double contrast_scale);
+                               double contrast_scale, std::span<int> out)
+      SMK_EXCLUDES(dense_mu_);
+  util::Result<int> RawCountDense(int64_t frame_index, int resolution, double contrast_scale)
+      SMK_EXCLUDES(dense_mu_);
 
   /// Computes the claimed misses of one round: cap-sized serial CountBatch
   /// calls when small or poolless, a bulk ParallelFor of min(cap,
@@ -465,8 +479,9 @@ class FrameOutputSource {
   /// Dense-tier columns, keyed by (resolution, contrast_q). std::map keeps
   /// export order deterministic; the unique_ptr keeps DenseColumn addresses
   /// stable across inserts (callers hold references outside dense_mu_).
-  std::mutex dense_mu_;
-  std::map<std::pair<int, int64_t>, std::unique_ptr<DenseColumn>> dense_columns_;
+  util::Mutex dense_mu_;
+  std::map<std::pair<int, int64_t>, std::unique_ptr<DenseColumn>> dense_columns_
+      SMK_GUARDED_BY(dense_mu_);
   std::atomic<int64_t> model_invocations_{0};
   std::atomic<int64_t> cache_hits_{0};
   // Mutable: RetryCountBatch is const (it computes, it does not change the

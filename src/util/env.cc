@@ -45,7 +45,8 @@ uint64_t Pick(stats::Rng& rng, uint64_t bound) { return rng.NextUint64() % bound
 class PosixWritableFile : public WritableFile {
  public:
   PosixWritableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
-  ~PosixWritableFile() override { Close().ok(); }
+  // Best effort: a destructor cannot report; call Close() to see errors.
+  ~PosixWritableFile() override { (void)Close(); }
 
   Status Append(std::span<const unsigned char> data) override {
     if (fd_ < 0) return Status::FailedPrecondition("append to closed file: " + path_);
@@ -162,7 +163,7 @@ Status Env::WriteFileAtomic(const std::string& path, std::span<const unsigned ch
     }
     return RenameFile(tmp, path);
   }();
-  if (!status.ok()) RemoveFile(tmp).ok();  // Best effort; the error stands.
+  if (!status.ok()) (void)RemoveFile(tmp);  // Best effort; the error stands.
   return status;
 }
 

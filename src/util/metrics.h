@@ -50,13 +50,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "util/env.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace smokescreen {
@@ -229,28 +230,29 @@ class MetricsRegistry {
   /// static-destruction-order hazards).
   static MetricsRegistry& Default();
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  Counter* GetCounter(const std::string& name) SMK_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) SMK_EXCLUDES(mu_);
   /// First registration fixes the boundaries; later calls with the same name
   /// return the existing histogram regardless of the boundaries argument.
-  Histogram* GetHistogram(const std::string& name, std::span<const double> boundaries);
+  Histogram* GetHistogram(const std::string& name, std::span<const double> boundaries)
+      SMK_EXCLUDES(mu_);
   /// Stage-timer histogram with LatencyBoundariesSeconds().
   Histogram* GetStageHistogram(const std::string& name) {
     return GetHistogram(name, LatencyBoundariesSeconds());
   }
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const SMK_EXCLUDES(mu_);
 
   /// Zeroes every registered instrument (instruments stay registered and
   /// pointers stay valid). Test hygiene and per-run CLI accounting only.
-  void Reset();
+  void Reset() SMK_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // std::map: stable pointers (node-based) AND name-sorted snapshots.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ SMK_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ SMK_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ SMK_GUARDED_BY(mu_);
 };
 
 /// RAII stage timer: starts on construction, observes elapsed seconds into

@@ -44,7 +44,12 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// Status is cheap to copy in the success case (no allocation) and carries a
 /// code plus free-form message otherwise.
-class Status {
+///
+/// The class-level [[nodiscard]] makes silently dropping ANY Status-returning
+/// call a compile error under -Werror (every compiler this repo builds with
+/// honors it): errors must be returned, checked, or explicitly discarded with
+/// a `(void)` cast at the call site.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -83,9 +88,9 @@ class Status {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;
@@ -105,8 +110,11 @@ class Status {
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// A value of type T or an error Status. Modeled on arrow::Result.
+///
+/// [[nodiscard]] for the same reason as Status: a dropped Result is a dropped
+/// error (and a discarded payload someone paid to compute).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: allows `return value;` in Result-returning code.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -119,10 +127,10 @@ class Result {
     }
   }
 
-  bool ok() const { return std::holds_alternative<T>(repr_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// Error status, or OK when a value is held.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(repr_);
   }
 

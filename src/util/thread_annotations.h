@@ -1,0 +1,88 @@
+// Clang Thread Safety Analysis annotations (abseil-style, SMK_ prefix).
+//
+// These macros move the repo's locking invariants out of comments and into
+// the type system: a field tagged SMK_GUARDED_BY(mu) may only be touched
+// while `mu` is held, a helper tagged SMK_REQUIRES(mu) may only be called
+// with `mu` held, and a public API tagged SMK_EXCLUDES(mu) may not be
+// entered while the caller already holds `mu` (self-deadlock). Under Clang
+// with -Wthread-safety the compiler PROVES these contracts on every build —
+// a violation is a compile error under -Werror=thread-safety — turning the
+// race classes ThreadSanitizer only catches on lucky interleavings into
+// build breaks. Under GCC (which has no thread-safety analysis) every macro
+// expands to nothing, so the annotations are zero-cost and the default
+// toolchain is unaffected.
+//
+// Conventions (see DESIGN.md "Static analysis & lock discipline"):
+//  * Every mutex in src/ is a util::Mutex (util/mutex.h), never a bare
+//    std::mutex — the wrapper carries the SMK_LOCKABLE capability the
+//    analysis keys on.
+//  * Every field a mutex protects carries SMK_GUARDED_BY(mu) (or
+//    SMK_PT_GUARDED_BY for the pointee of an owned pointer).
+//  * Private helpers that assume "caller holds the lock" are annotated
+//    SMK_REQUIRES(mu) and call mu.AssertHeld() on entry.
+//  * SMK_NO_THREAD_SAFETY_ANALYSIS is a last resort for protocols the
+//    analysis cannot express (lock-free publication, adopt-lock tricks);
+//    each use carries a justification comment.
+
+#ifndef SMOKESCREEN_UTIL_THREAD_ANNOTATIONS_H_
+#define SMOKESCREEN_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang exposes the analysis attributes whether or not -Wthread-safety is
+// on; other compilers (GCC) define none of them, so the macros vanish and
+// annotated code compiles identically.
+#if defined(__clang__) && !defined(SMOKESCREEN_NO_THREAD_SAFETY_ANALYSIS)
+#define SMK_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SMK_THREAD_ANNOTATION__(x)  // no-op
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names the capability kind
+/// in diagnostics). util::Mutex is the only lockable type in the tree.
+#define SMK_LOCKABLE SMK_THREAD_ANNOTATION__(capability("mutex"))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (util::MutexLock).
+#define SMK_SCOPED_LOCKABLE SMK_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data members: may only be read or written while `x` is held.
+#define SMK_GUARDED_BY(x) SMK_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer members: the POINTEE may only be accessed while `x` is held (the
+/// pointer itself is unguarded).
+#define SMK_PT_GUARDED_BY(x) SMK_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define SMK_ACQUIRED_BEFORE(...) SMK_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define SMK_ACQUIRED_AFTER(...) SMK_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Functions: the caller must hold the listed capabilities (exclusively /
+/// shared) on entry, and still holds them on exit.
+#define SMK_REQUIRES(...) SMK_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define SMK_REQUIRES_SHARED(...) \
+  SMK_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Functions: acquire / release the listed capabilities (no argument means
+/// `this`, for members of a lockable class).
+#define SMK_ACQUIRE(...) SMK_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define SMK_ACQUIRE_SHARED(...) SMK_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define SMK_RELEASE(...) SMK_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define SMK_RELEASE_SHARED(...) SMK_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Functions: acquire the capability only when returning `b` (TryLock).
+#define SMK_TRY_ACQUIRE(b, ...) SMK_THREAD_ANNOTATION__(try_acquire_capability(b, __VA_ARGS__))
+
+/// Functions: the caller must NOT hold the listed capabilities (the API
+/// takes them itself; entering while held would self-deadlock).
+#define SMK_EXCLUDES(...) SMK_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Functions: assert (at runtime) that the capability is held, teaching the
+/// analysis it is held from here on (util::Mutex::AssertHeld).
+#define SMK_ASSERT_CAPABILITY(x) SMK_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Functions returning a reference/pointer to a capability (lock accessors).
+#define SMK_RETURN_CAPABILITY(x) SMK_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Opts one function out of the analysis. Last resort; justify every use.
+#define SMK_NO_THREAD_SAFETY_ANALYSIS SMK_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // SMOKESCREEN_UTIL_THREAD_ANNOTATIONS_H_

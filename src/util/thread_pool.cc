@@ -115,10 +115,10 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(ResolveThreadCount(num_th
 ThreadPool::~ThreadPool() {
   if (workers_.empty()) return;
   stop_.store(true, std::memory_order_release);
-  work_signal_.fetch_add(1, std::memory_order_release);
+  work_signal_.fetch_add(1, std::memory_order_seq_cst);
   {
-    std::lock_guard<std::mutex> lock(park_mu_);
-    park_cv_.notify_all();
+    MutexLock lock(&park_mu_);
+    park_cv_.NotifyAll();
   }
   for (std::unique_ptr<Worker>& worker : workers_) worker->thread.join();
 }
@@ -136,30 +136,36 @@ void ThreadPool::Enqueue(uintptr_t item) {
   queue_depth_->Add(1);
   if (tls_pool == this) {
     if (workers_[static_cast<size_t>(tls_worker_index)]->deque.Push(item)) {
-      work_signal_.fetch_add(1, std::memory_order_release);
+      // seq_cst: this signal bump must not reorder with WakeWorkers'
+      // num_parked_ read (the Dekker pairing documented in the header).
+      work_signal_.fetch_add(1, std::memory_order_seq_cst);
       WakeWorkers(1);
       return;
     }
     // Own deque full: overflow to the injection queue below.
   }
   {
-    std::lock_guard<std::mutex> lock(inject_mu_);
+    MutexLock lock(&inject_mu_);
     inject_queue_.push_back(item);
   }
-  work_signal_.fetch_add(1, std::memory_order_release);
+  work_signal_.fetch_add(1, std::memory_order_seq_cst);
   WakeWorkers(1);
 }
 
 void ThreadPool::WakeWorkers(int count) {
-  if (num_parked_.load(std::memory_order_acquire) == 0) return;
+  // seq_cst load: pairs with the parker's seq_cst num_parked_ increment so
+  // the producer's (signal bump -> parked check) and the parker's (parked
+  // increment -> signal check) cannot BOTH read stale values — one side
+  // always sees the other, so no wakeup is lost.
+  if (num_parked_.load(std::memory_order_seq_cst) == 0) return;
   // Taking park_mu_ orders this notify against the parking worker's final
   // signal check: either the worker sees the bumped signal and never waits,
   // or it is already waiting and the notify lands.
-  std::lock_guard<std::mutex> lock(park_mu_);
+  MutexLock lock(&park_mu_);
   if (count == 1) {
-    park_cv_.notify_one();
+    park_cv_.NotifyOne();
   } else {
-    park_cv_.notify_all();
+    park_cv_.NotifyAll();
   }
 }
 
@@ -167,7 +173,7 @@ bool ThreadPool::TryAcquire(int worker_index, uintptr_t* item) {
   Worker& self = *workers_[static_cast<size_t>(worker_index)];
   if (self.deque.Pop(item)) return true;
   {
-    std::lock_guard<std::mutex> lock(inject_mu_);
+    MutexLock lock(&inject_mu_);
     if (!inject_queue_.empty()) {
       *item = inject_queue_.front();
       inject_queue_.pop_front();
@@ -201,8 +207,8 @@ void ThreadPool::RunSubmitNode(SubmitNode* node) {
   if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Lock before notifying so Wait() cannot check the predicate, see it
     // unsatisfied, and miss the notification in between.
-    std::lock_guard<std::mutex> lock(idle_mu_);
-    idle_cv_.notify_all();
+    MutexLock lock(&idle_mu_);
+    idle_cv_.NotifyAll();
   }
 }
 
@@ -220,9 +226,9 @@ void ThreadPool::RunBulkChunks(Bulk* bulk) {
     const int64_t done =
         bulk->done.fetch_add(end - begin, std::memory_order_acq_rel) + (end - begin);
     if (done == range) {
-      std::lock_guard<std::mutex> lock(bulk->mu);
+      MutexLock lock(&bulk->mu);
       bulk->complete = true;
-      bulk->cv.notify_all();
+      bulk->cv.NotifyAll();
     }
   }
 }
@@ -279,11 +285,14 @@ void ThreadPool::WorkerLoop(int worker_index) {
       continue;
     }
     {
-      std::unique_lock<std::mutex> lock(park_mu_);
-      num_parked_.fetch_add(1, std::memory_order_release);
-      if (work_signal_.load(std::memory_order_acquire) == signal &&
+      MutexLock lock(&park_mu_);
+      // seq_cst increment-then-check: the Dekker pairing with Enqueue's
+      // seq_cst bump-then-check (see the header) — at least one side sees
+      // the other, so either we skip the wait or the producer notifies.
+      num_parked_.fetch_add(1, std::memory_order_seq_cst);
+      if (work_signal_.load(std::memory_order_seq_cst) == signal &&
           !stop_.load(std::memory_order_acquire)) {
-        park_cv_.wait(lock);
+        park_cv_.Wait(park_mu_);
       }
       num_parked_.fetch_sub(1, std::memory_order_release);
     }
@@ -314,8 +323,8 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   if (workers_.empty()) return;  // Inline mode: nothing can be outstanding.
   SMK_CHECK(tls_pool != this) << "ThreadPool::Wait() called from a task on the same pool";
-  std::unique_lock<std::mutex> lock(idle_mu_);
-  idle_cv_.wait(lock, [this] {
+  MutexLock lock(&idle_mu_);
+  idle_cv_.Wait(idle_mu_, [this] {
     return outstanding_.load(std::memory_order_acquire) == 0;
   });
 }
@@ -357,8 +366,8 @@ void ThreadPool::ParallelForImpl(int64_t first, int64_t last, int64_t min_chunk,
 
   RunBulkChunks(bulk);
   {
-    std::unique_lock<std::mutex> lock(bulk->mu);
-    bulk->cv.wait(lock, [bulk] { return bulk->complete; });
+    MutexLock lock(&bulk->mu);
+    bulk->cv.Wait(bulk->mu, [bulk]() SMK_REQUIRES(bulk->mu) { return bulk->complete; });
   }
   UnrefBulk(bulk);
 }

@@ -51,17 +51,17 @@
 #define SMOKESCREEN_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace smokescreen {
 namespace util {
@@ -83,12 +83,12 @@ class ThreadPool {
   /// Submit returns. From a worker of THIS pool the task goes onto that
   /// worker's own deque (lock-free); from any other thread it goes through
   /// the injection queue. Tasks must not call Wait() on the same pool.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) SMK_EXCLUDES(inject_mu_, park_mu_);
 
   /// Blocks until every Submit()ted task has finished. ParallelFor is
   /// synchronous and already complete when it returns, so Wait() tracks only
   /// Submit() tasks. Must not be called from a task running on this pool.
-  void Wait();
+  void Wait() SMK_EXCLUDES(idle_mu_);
 
   /// Runs `body(chunk_begin, chunk_end)` over every chunk of [first, last),
   /// where chunk k is [first + k*min_chunk, min(first + (k+1)*min_chunk,
@@ -168,9 +168,9 @@ class ThreadPool {
     std::atomic<int64_t> next{0};
     std::atomic<int64_t> done{0};
     std::atomic<int64_t> refs{0};
-    std::mutex mu;
-    std::condition_variable cv;
-    bool complete = false;
+    util::Mutex mu;
+    util::CondVar cv;
+    bool complete SMK_GUARDED_BY(mu) = false;
   };
 
   /// Heap node carrying one Submit() task through the queues.
@@ -182,7 +182,8 @@ class ThreadPool {
   static constexpr uintptr_t kBulkTag = 1;
 
   void ParallelForImpl(int64_t first, int64_t last, int64_t min_chunk,
-                       void (*fn)(void*, int64_t, int64_t), void* ctx);
+                       void (*fn)(void*, int64_t, int64_t), void* ctx)
+      SMK_EXCLUDES(inject_mu_, park_mu_);
   /// Claims and runs chunks of `bulk` until none remain; signals completion.
   void RunBulkChunks(Bulk* bulk);
   void UnrefBulk(Bulk* bulk);
@@ -196,8 +197,8 @@ class ThreadPool {
   bool TryAcquire(int worker_index, uintptr_t* item);
   /// Enqueue from the current thread (own deque when on a worker of this
   /// pool, else injection queue), bump the work signal, wake a parked worker.
-  void Enqueue(uintptr_t item);
-  void WakeWorkers(int count);
+  void Enqueue(uintptr_t item) SMK_EXCLUDES(inject_mu_, park_mu_);
+  void WakeWorkers(int count) SMK_EXCLUDES(park_mu_);
 
   void BindMetrics(MetricsRegistry* registry);
 
@@ -210,22 +211,30 @@ class ThreadPool {
   std::vector<std::unique_ptr<Worker>> workers_;
 
   /// Cold-path entry for external submitters and deque overflow.
-  std::mutex inject_mu_;
-  std::deque<uintptr_t> inject_queue_;
+  Mutex inject_mu_;
+  std::deque<uintptr_t> inject_queue_ SMK_GUARDED_BY(inject_mu_);
 
   /// Eventcount-style parking. Producers bump `work_signal_` BEFORE
   /// notifying; a worker records the signal, re-checks all queues, and only
   /// parks if the signal is unchanged under `park_mu_` — so a wakeup can
   /// never be lost between the final check and the wait.
-  std::mutex park_mu_;
-  std::condition_variable park_cv_;
+  ///
+  /// Ordering: the producer's signal bump followed by its `num_parked_` read
+  /// races the parker's `num_parked_` increment followed by its signal
+  /// re-check — a Dekker-style store-then-load on each side. Both sides use
+  /// seq_cst so the two accesses cannot reorder: with plain acquire/release
+  /// the producer could read num_parked_ == 0 (skipping the notify) while
+  /// the parker still reads the stale signal (and parks) — a lost wakeup on
+  /// weakly-ordered hardware.
+  Mutex park_mu_;
+  CondVar park_cv_;
   std::atomic<uint64_t> work_signal_{0};
   std::atomic<int> num_parked_{0};
 
   /// Submit() bookkeeping for Wait().
   std::atomic<int64_t> outstanding_{0};
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
+  Mutex idle_mu_;
+  CondVar idle_cv_;
 
   std::atomic<bool> stop_{false};
 };

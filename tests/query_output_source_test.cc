@@ -492,6 +492,54 @@ TEST_F(OutputSourceTest, ShardedTierConcurrentHammerKeepsExactAccounting) {
   }
 }
 
+TEST_F(OutputSourceTest, DenseTierDuplicateHeavyConcurrentBatchesStayExact) {
+  // Duplicate-heavy batches over the dense tier, concurrently. Each request
+  // repeats every frame of its window three times, so the dup-slot fill path
+  // — which since the lock-discipline audit reads col.counts inside the same
+  // col.mu critical section that installed the fresh results — races other
+  // threads' installs and waits on every run. Every slot of every request
+  // must come back bit-identical to the detector, and the dedup accounting
+  // must hold: duplicates and overlaps are hits, each distinct frame is
+  // computed exactly once.
+  constexpr int kThreads = 6;
+  constexpr int64_t kWindow = 80;
+  constexpr int64_t kStride = 20;  // Windows overlap across threads.
+  std::atomic<bool> failed{false};
+  std::atomic<int64_t> total_requested{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<int64_t> frames;
+      frames.reserve(3 * kWindow);
+      for (int64_t f = t * kStride; f < t * kStride + kWindow; ++f) {
+        frames.push_back(f);
+        frames.push_back(f);  // In-batch duplicate (dup_slots path).
+        frames.push_back(f);
+      }
+      auto counts = source_->RawCounts(frames, 320);
+      if (!counts.ok()) {
+        failed.store(true);
+        return;
+      }
+      total_requested.fetch_add(static_cast<int64_t>(frames.size()));
+      for (size_t i = 0; i < frames.size(); ++i) {
+        auto direct = yolo_.CountDetections(*dataset_, frames[i], 320,
+                                            ObjectClass::kCar, 1.0);
+        if (!direct.ok() || (*counts)[i] != *direct) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_FALSE(failed.load());
+  const int64_t distinct = (kThreads - 1) * kStride + kWindow;
+  EXPECT_EQ(source_->model_invocations(), distinct);
+  EXPECT_EQ(source_->cache_hits(), total_requested.load() - distinct);
+}
+
 TEST_F(OutputSourceTest, DenseTierConcurrentSameKeyComputesExactlyOnce) {
   // All threads fight over one key on the dense tier: the per-column
   // in-flight bitmap must admit exactly one computation.

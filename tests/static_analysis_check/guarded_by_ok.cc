@@ -1,0 +1,29 @@
+// POSITIVE control for the static-analysis negative check: identical shape
+// to guarded_by_violation.cc but with the lock held correctly, so it MUST
+// compile under clang -Werror=thread-safety. If this control fails, the
+// violation check's failure is meaningless (bad include path, broken
+// toolchain) — the configure step aborts rather than reporting a vacuous
+// pass.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct GuardedState {
+  smokescreen::util::Mutex mu;
+  int value SMK_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  GuardedState state;
+  int snapshot;
+  {
+    smokescreen::util::MutexLock lock(&state.mu);
+    state.value = 42;
+    snapshot = state.value;
+  }
+  return snapshot;
+}

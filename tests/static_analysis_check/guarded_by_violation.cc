@@ -1,0 +1,28 @@
+// NEGATIVE static-analysis check: this translation unit MUST FAIL to compile
+// under clang with -Werror=thread-safety, because it writes a SMK_GUARDED_BY
+// field without holding its mutex. The build (tests/CMakeLists.txt) proves
+// the failure with try_compile on clang configures; if this file ever
+// compiles there, the annotation plumbing is broken (macros expanding to
+// nothing under clang, capability attribute lost, etc.) and the configure
+// step aborts.
+//
+// Under GCC the annotations are no-ops and this file compiles — which is why
+// the check is gated on the compiler, not on a CMake option.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct GuardedState {
+  smokescreen::util::Mutex mu;
+  int value SMK_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  GuardedState state;
+  state.value = 42;  // BUG (deliberate): guarded field written lock-free.
+  return state.value;
+}

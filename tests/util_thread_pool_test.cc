@@ -229,6 +229,28 @@ TEST(ThreadPoolTest, ParkUnparkChurnKeepsExactCounts) {
   }
 }
 
+TEST(ThreadPoolTest, SingleSubmitAfterQuiescenceAlwaysWakes) {
+  // Regression for the park-path store-load ordering (a Dekker pattern): the
+  // producer bumps work_signal_ THEN reads num_parked_; the parker increments
+  // num_parked_ THEN re-reads the signal. With acquire/release alone both
+  // sides may read the stale value on weakly-ordered hardware — the producer
+  // skips the notify while the worker parks anyway, and with exactly one
+  // task in flight there is no second producer to recover: Wait() hangs.
+  // All four accesses are seq_cst now; this test hammers precisely that
+  // window — full quiescence (workers parked), then ONE Submit.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 400; ++round) {
+    if (round % 3 == 0) {
+      // Give the workers time to spin out and park.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    pool.Wait();
+    ASSERT_EQ(counter.load(), round + 1) << "lost wakeup at round " << round;
+  }
+}
+
 TEST(ThreadPoolTest, QueueDepthGaugeNeverGoesNegative) {
   // The gauge is incremented BEFORE an item becomes acquirable and
   // decremented only AFTER it is dequeued, so a concurrent sampler must
